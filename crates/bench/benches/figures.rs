@@ -1,0 +1,146 @@
+//! One Criterion benchmark per paper table/figure: each bench runs a
+//! scaled-down version of the corresponding experiment end to end
+//! (workload synthesis, simulation, measurement), so `cargo bench`
+//! regenerates every result and tracks the cost of doing so.
+//!
+//! The full-size experiments (paper-scale objects and seed counts) are
+//! run by the `repro` binary:
+//! `cargo run --release -p bytecache-experiments --bin repro -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytecache::PolicyKind;
+use bytecache_experiments::{fig6, insights, kdistance, mobility, perceived, stalltrace, sweep, table1, table2};
+use bytecache_netsim::time::SimDuration;
+use bytecache_workload::FileSpec;
+
+/// Object size for the scaled-down benches.
+const SIZE: usize = 120_000;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1_redundancy", |b| {
+        b.iter(|| {
+            let rows = table1::run(SIZE, 42);
+            assert_eq!(rows.len(), 3);
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_naive_stalls", |b| {
+        b.iter(|| {
+            let r = fig6::run(3, SIZE, 0.03);
+            assert_eq!(r.fractions.len(), 3);
+            r
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10_11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig10_fig11_sweep_point", |b| {
+        b.iter(|| {
+            let params = sweep::SweepParams {
+                object_size: SIZE,
+                losses: vec![0.02],
+                seeds: 1,
+                files: vec![FileSpec::File1],
+                policies: vec![PolicyKind::CacheFlush, PolicyKind::TcpSeq],
+            };
+            let pts = sweep::run(&params);
+            assert_eq!(pts.len(), 2);
+            pts
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig12_kdistance_point", |b| {
+        b.iter(|| {
+            let params = kdistance::KParams {
+                object_size: SIZE,
+                ks: vec![8],
+                losses: vec![0.05],
+                seeds: 1,
+            };
+            kdistance::run(&params)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig13_perceived_point", |b| {
+        b.iter(|| {
+            let params = perceived::PerceivedParams {
+                object_size: SIZE,
+                losses: vec![0.05],
+                seeds: 1,
+            };
+            perceived::run(&params)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table2_three_schemes", |b| b.iter(|| table2::run(SIZE, 1)));
+    g.finish();
+}
+
+fn bench_insights(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("sec7_insights", |b| b.iter(|| insights::run(SIZE, 1)));
+    g.finish();
+}
+
+fn bench_stalltrace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig4_5_stalltrace", |b| {
+        b.iter(|| stalltrace::trace(PolicyKind::Naive, 6))
+    });
+    g.finish();
+}
+
+fn bench_mobility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("sec2_mobility_handoff", |b| {
+        b.iter(|| {
+            let r = mobility::run(SIZE, SimDuration::from_millis(100), 3);
+            assert!(r.completed);
+            r
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig6,
+    bench_fig10_11,
+    bench_fig12,
+    bench_fig13,
+    bench_table2,
+    bench_insights,
+    bench_stalltrace,
+    bench_mobility
+);
+criterion_main!(figures);

@@ -1,0 +1,160 @@
+//! Micro-benchmarks for the hot paths: Rabin fingerprinting, encode,
+//! decode, and cache operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytecache::{Decoder, DreConfig, Encoder, PacketMeta, PolicyKind};
+use bytecache_packet::{FlowId, SeqNum, MSS};
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{Fingerprinter, Polynomial};
+use bytecache_workload::FileSpec;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+fn data(len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            let mut x = (i as u64).wrapping_mul(0xBF58476D1CE4E5B9);
+            x ^= x >> 31;
+            x as u8
+        })
+        .collect()
+}
+
+fn bench_fingerprinting(c: &mut Criterion) {
+    let engine = Fingerprinter::new(Polynomial::default(), 16);
+    let sampler = Sampler::default();
+    let mut group = c.benchmark_group("rabin");
+    for size in [MSS, 64 * 1024] {
+        let buf = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("roll_all_windows", size), &buf, |b, buf| {
+            b.iter(|| {
+                let mut selected = 0u64;
+                for (_, fp) in engine.windows(buf) {
+                    if sampler.selects(fp) {
+                        selected += 1;
+                    }
+                }
+                selected
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let object = FileSpec::File1.build(1 << 20, 7);
+    let mut group = c.benchmark_group("dre");
+    group.throughput(Throughput::Bytes(object.len() as u64));
+    group.sample_size(20);
+    group.bench_function("encode_1MiB_stream", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(DreConfig::default(), PolicyKind::Naive.build());
+            let mut seq = 1u32;
+            let mut out = 0usize;
+            for chunk in object.chunks(MSS) {
+                let meta = PacketMeta {
+                    flow: flow(),
+                    seq: SeqNum::new(seq),
+                    payload_len: chunk.len(),
+                    flow_index: 0,
+                };
+                out += enc.encode(&meta, &Bytes::copy_from_slice(chunk)).wire.len();
+                seq = seq.wrapping_add(chunk.len() as u32);
+            }
+            out
+        })
+    });
+    group.bench_function("encode_decode_1MiB_stream", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::new(DreConfig::default(), PolicyKind::Naive.build());
+            let mut dec = Decoder::new(DreConfig::default());
+            let mut seq = 1u32;
+            let mut out = 0usize;
+            for chunk in object.chunks(MSS) {
+                let meta = PacketMeta {
+                    flow: flow(),
+                    seq: SeqNum::new(seq),
+                    payload_len: chunk.len(),
+                    flow_index: 0,
+                };
+                let w = enc.encode(&meta, &Bytes::copy_from_slice(chunk));
+                let (r, _) = dec.decode(&w.wire, &meta);
+                out += r.expect("lossless").len();
+                seq = seq.wrapping_add(chunk.len() as u32);
+            }
+            out
+        })
+    });
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let object = FileSpec::File1.build(256 * 1024, 7);
+    let mut group = c.benchmark_group("policy_encode_256KiB");
+    group.sample_size(20);
+    for kind in [
+        PolicyKind::Naive,
+        PolicyKind::CacheFlush,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(8),
+        PolicyKind::Adaptive,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let mut enc = Encoder::new(DreConfig::default(), kind.build());
+                let mut seq = 1u32;
+                let mut out = 0usize;
+                for chunk in object.chunks(MSS) {
+                    let meta = PacketMeta {
+                        flow: flow(),
+                        seq: SeqNum::new(seq),
+                        payload_len: chunk.len(),
+                        flow_index: 0,
+                    };
+                    out += enc.encode(&meta, &Bytes::copy_from_slice(chunk)).wire.len();
+                    seq = seq.wrapping_add(chunk.len() as u32);
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_serialization(c: &mut Criterion) {
+    let pkt = bytecache_packet::Packet::builder()
+        .src(Ipv4Addr::new(10, 0, 0, 1), 80)
+        .dst(Ipv4Addr::new(10, 0, 0, 2), 4000)
+        .seq(12345)
+        .ack_num(999)
+        .payload(data(MSS))
+        .build();
+    let bytes = pkt.to_bytes();
+    let mut group = c.benchmark_group("packet");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("to_bytes", |b| b.iter(|| pkt.to_bytes()));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| bytecache_packet::Packet::from_bytes(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fingerprinting,
+    bench_encode_decode,
+    bench_policies,
+    bench_packet_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,257 @@
+//! The byte caching decoder: reconstruct payloads and mirror the
+//! encoder's cache updates.
+
+use bytes::Bytes;
+
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{Fingerprinter, Polynomial};
+
+use crate::config::DreConfig;
+use crate::policy::PacketMeta;
+use crate::stats::DecoderStats;
+use crate::store::{Cache, PacketId};
+use crate::wire::{self, ShimPayload, Token, WireError};
+
+/// Why a shim payload could not be reconstructed.
+///
+/// Every variant is a *drop*: the decoder discards the packet, TCP never
+/// sees it, and the sender eventually retransmits — the mechanics behind
+/// the paper's perceived-loss-rate inflation (Figure 13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The shim payload did not parse.
+    Malformed(WireError),
+    /// A match token references a fingerprint absent from the cache
+    /// (its packet was lost, evicted, or flushed).
+    MissingReference {
+        /// The unresolved fingerprint.
+        fingerprint: u64,
+    },
+    /// A match token's region exceeds the cached packet's bounds (the
+    /// entry went stale: the encoder re-pointed the fingerprint).
+    BadRegion {
+        /// The offending fingerprint.
+        fingerprint: u64,
+    },
+    /// Reconstruction succeeded structurally but the checksum disagrees —
+    /// a stale cache entry supplied wrong bytes.
+    ChecksumMismatch,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Malformed(e) => write!(f, "malformed shim payload: {e}"),
+            DecodeError::MissingReference { fingerprint } => {
+                write!(f, "no cache entry for fingerprint {fingerprint:#x}")
+            }
+            DecodeError::BadRegion { fingerprint } => {
+                write!(f, "stale region for fingerprint {fingerprint:#x}")
+            }
+            DecodeError::ChecksumMismatch => write!(f, "reconstruction checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Feedback the decoder wants sent upstream (informed marking).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Feedback {
+    /// Shim ids the decoder believes were lost (id gaps) or failed to
+    /// decode; the encoder should mark them dead.
+    pub nack_ids: Vec<u32>,
+}
+
+/// The byte caching decoder.
+///
+/// Performs the reciprocal steps of the [`Encoder`](crate::Encoder) and
+/// mirrors its cache update procedure on every *successfully* received
+/// payload — which is precisely why loss desynchronizes the two caches:
+/// the decoder misses the updates of packets it never received.
+pub struct Decoder {
+    config: DreConfig,
+    engine: Fingerprinter,
+    sampler: Sampler,
+    cache: Cache,
+    epoch: Option<u16>,
+    next_expected_id: u32,
+    stats: DecoderStats,
+}
+
+impl Decoder {
+    /// New decoder; the configuration must equal the encoder's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: DreConfig) -> Self {
+        config.validate();
+        let engine = Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
+        let sampler = Sampler::new(config.sample_bits);
+        let cache = Cache::new(&config);
+        Decoder {
+            config,
+            engine,
+            sampler,
+            cache,
+            epoch: None,
+            next_expected_id: 0,
+            stats: DecoderStats::default(),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &DecoderStats {
+        &self.stats
+    }
+
+    /// The configuration this decoder was built with.
+    #[must_use]
+    pub fn config(&self) -> &DreConfig {
+        &self.config
+    }
+
+    /// Borrow the cache (inspection / tests).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Decode one shim payload.
+    ///
+    /// On success the original payload is returned and cached (mirroring
+    /// the encoder); on failure the packet must be dropped by the
+    /// caller. Either way, [`Feedback`] lists shim ids to NACK upstream
+    /// when informed marking is enabled.
+    pub fn decode(
+        &mut self,
+        wire_payload: &[u8],
+        meta: &PacketMeta,
+    ) -> (Result<Bytes, DecodeError>, Feedback) {
+        self.stats.packets += 1;
+        self.stats.bytes_in += wire_payload.len() as u64;
+        let parsed = match wire::parse(wire_payload) {
+            Ok(p) => p,
+            Err(e) => {
+                self.stats.malformed += 1;
+                return (Err(DecodeError::Malformed(e)), Feedback::default());
+            }
+        };
+        let mut feedback = Feedback::default();
+
+        // Epoch advanced ⇒ the encoder flushed; mirror it. Comparison is
+        // wrapping ("newer than"), so a reordered packet from an *older*
+        // epoch cannot thrash the cache — it just fails to decode.
+        match self.epoch {
+            None => self.epoch = Some(parsed.header.epoch),
+            Some(current) => {
+                let advanced = (parsed.header.epoch.wrapping_sub(current) as i16) > 0;
+                if advanced {
+                    self.cache.flush();
+                    self.stats.epoch_flushes += 1;
+                    self.epoch = Some(parsed.header.epoch);
+                }
+            }
+        }
+
+        // Loss detection by id gap (informed marking feedback).
+        let id = parsed.header.id;
+        if id >= self.next_expected_id {
+            for missing in self.next_expected_id..id {
+                feedback.nack_ids.push(missing);
+            }
+            self.next_expected_id = id + 1;
+        }
+
+        let result = self.reconstruct(&parsed);
+        match &result {
+            Ok(payload) => {
+                self.stats.bytes_out += payload.len() as u64;
+                if parsed.header.encoded {
+                    self.stats.decoded += 1;
+                } else {
+                    self.stats.raw += 1;
+                }
+                // Mirror the encoder's cache update procedure.
+                let pid = PacketId(u64::from(id));
+                self.cache
+                    .insert_with_id(pid, payload.clone(), meta.flow, meta.seq);
+                self.cache.index_payload(&self.engine, &self.sampler, pid);
+            }
+            Err(e) => {
+                match e {
+                    DecodeError::MissingReference { .. } => self.stats.missing_reference += 1,
+                    DecodeError::BadRegion { .. } => self.stats.bad_region += 1,
+                    DecodeError::ChecksumMismatch => self.stats.checksum_mismatch += 1,
+                    DecodeError::Malformed(_) => self.stats.malformed += 1,
+                }
+                // This packet never made it into our cache either; tell
+                // the encoder not to use it.
+                feedback.nack_ids.push(id);
+            }
+        }
+        (result, feedback)
+    }
+
+    fn reconstruct(&self, parsed: &ShimPayload) -> Result<Bytes, DecodeError> {
+        if let Some(raw) = &parsed.raw {
+            // Raw payloads are still integrity-checked: the TCP checksum
+            // has already passed upstream of us, but a paranoid check is
+            // cheap and catches wire-format bugs.
+            if wire::payload_checksum(raw) != parsed.header.checksum {
+                return Err(DecodeError::ChecksumMismatch);
+            }
+            return Ok(raw.clone());
+        }
+        let mut out: Vec<u8> = Vec::with_capacity(parsed.header.orig_len as usize);
+        for token in &parsed.tokens {
+            match token {
+                Token::Literal(bytes) => out.extend_from_slice(bytes),
+                Token::Match {
+                    fingerprint,
+                    offset_new,
+                    offset_stored,
+                    len,
+                } => {
+                    if usize::from(*offset_new) != out.len() {
+                        return Err(DecodeError::Malformed(WireError::Malformed(
+                            "match token out of position",
+                        )));
+                    }
+                    let Some((_, _, stored)) = self.cache.lookup(*fingerprint) else {
+                        return Err(DecodeError::MissingReference {
+                            fingerprint: *fingerprint,
+                        });
+                    };
+                    let start = usize::from(*offset_stored);
+                    let end = start + usize::from(*len);
+                    if end > stored.payload.len() {
+                        return Err(DecodeError::BadRegion {
+                            fingerprint: *fingerprint,
+                        });
+                    }
+                    out.extend_from_slice(&stored.payload[start..end]);
+                }
+            }
+        }
+        if out.len() != usize::from(parsed.header.orig_len)
+            || wire::payload_checksum(&out) != parsed.header.checksum
+        {
+            return Err(DecodeError::ChecksumMismatch);
+        }
+        Ok(Bytes::from(out))
+    }
+}
+
+impl core::fmt::Debug for Decoder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Decoder")
+            .field("epoch", &self.epoch)
+            .field("cache_packets", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,312 @@
+//! The byte caching encoder (paper Figure 2, with policy hooks from
+//! Figure 7 / §V).
+
+use bytes::Bytes;
+
+use bytecache_packet::Packet;
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{Fingerprinter, Polynomial};
+
+use crate::config::DreConfig;
+use crate::policy::{PacketMeta, Policy};
+use crate::stats::EncoderStats;
+use crate::store::{Cache, PacketId};
+use crate::wire::{self, Token};
+
+/// What [`Encoder::encode`] produced for one packet.
+#[derive(Debug, Clone)]
+pub struct EncodeOutcome {
+    /// The shim payload to put on the wire.
+    pub wire: Vec<u8>,
+    /// Cache id assigned to the packet.
+    pub id: PacketId,
+    /// Match tokens emitted.
+    pub matches: usize,
+    /// Original bytes covered by matches.
+    pub matched_bytes: usize,
+    /// Distinct cached packets referenced.
+    pub distinct_refs: usize,
+    /// The policy made this packet a raw reference.
+    pub was_reference: bool,
+    /// The policy flushed the cache before this packet.
+    pub flushed: bool,
+}
+
+/// The byte caching encoder: redundancy identification and elimination
+/// plus the cache update procedure, parameterized by an encoding
+/// [`Policy`].
+///
+/// # Example
+///
+/// ```
+/// use bytecache::{DreConfig, Encoder, Decoder, PacketMeta, PolicyKind};
+/// use bytecache_packet::{FlowId, SeqNum};
+/// use bytes::Bytes;
+/// use std::net::Ipv4Addr;
+///
+/// let config = DreConfig::default();
+/// let mut enc = Encoder::new(config.clone(), PolicyKind::Naive.build());
+/// let mut dec = Decoder::new(config);
+/// let flow = FlowId {
+///     src: Ipv4Addr::new(10, 0, 0, 1), src_port: 80,
+///     dst: Ipv4Addr::new(10, 0, 0, 2), dst_port: 4000,
+/// };
+/// let payload = Bytes::from(vec![7u8; 1000]);
+/// let meta = PacketMeta { flow, seq: SeqNum::new(1), payload_len: 1000, flow_index: 0 };
+/// let out = enc.encode(&meta, &payload);
+/// let (restored, _) = dec.decode(&out.wire, &meta);
+/// assert_eq!(restored.unwrap(), payload);
+/// ```
+pub struct Encoder {
+    config: DreConfig,
+    engine: Fingerprinter,
+    sampler: Sampler,
+    cache: Cache,
+    policy: Box<dyn Policy>,
+    epoch: u16,
+    stats: EncoderStats,
+}
+
+impl Encoder {
+    /// New encoder with the given configuration and policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DreConfig::validate`]).
+    #[must_use]
+    pub fn new(config: DreConfig, policy: Box<dyn Policy>) -> Self {
+        config.validate();
+        let engine = Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
+        let sampler = Sampler::new(config.sample_bits);
+        let cache = Cache::new(&config);
+        Encoder {
+            config,
+            engine,
+            sampler,
+            cache,
+            policy,
+            epoch: 0,
+            stats: EncoderStats::default(),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &EncoderStats {
+        &self.stats
+    }
+
+    /// The configuration this encoder was built with.
+    #[must_use]
+    pub fn config(&self) -> &DreConfig {
+        &self.config
+    }
+
+    /// The active policy's name.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Current cache epoch (carried in every shim header).
+    #[must_use]
+    pub fn epoch(&self) -> u16 {
+        self.epoch
+    }
+
+    /// Borrow the cache (inspection / tests).
+    #[must_use]
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Observe a reverse-direction packet (feeds ACK-gated policies).
+    pub fn observe_reverse(&mut self, packet: &Packet) {
+        self.policy.on_reverse_packet(packet);
+    }
+
+    /// Informed marking: the decoder reported these shim ids as lost;
+    /// never use them as match sources again.
+    pub fn handle_nack(&mut self, missing_ids: &[u32]) {
+        for &id in missing_ids {
+            self.cache.mark_dead(PacketId(u64::from(id)));
+        }
+    }
+
+    /// Encode one data packet: returns the shim payload and bookkeeping.
+    ///
+    /// `meta.flow_index` is recomputed internally; callers may pass 0.
+    pub fn encode(&mut self, meta: &PacketMeta, payload: &Bytes) -> EncodeOutcome {
+        let meta = PacketMeta {
+            flow_index: self.cache.flow_index(&meta.flow),
+            ..*meta
+        };
+        let pre = self.policy.before_packet(&meta);
+        if pre.flush {
+            self.cache.flush();
+            self.epoch = self.epoch.wrapping_add(1);
+            self.stats.flushes += 1;
+        }
+        let id = self.cache.next_id();
+        let shim_id = id.0 as u32;
+
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut matched_bytes = 0usize;
+        let mut refs: Vec<PacketId> = Vec::new();
+        if !pre.suppress_encoding {
+            self.identify_redundancy(&meta, payload, &mut tokens, &mut matched_bytes, &mut refs);
+        }
+
+        let matches = refs.len();
+        let wire = if tokens.iter().any(|t| matches!(t, Token::Match { .. })) {
+            wire::encode_tokens(
+                self.epoch,
+                shim_id,
+                payload.len() as u16,
+                wire::payload_checksum(payload),
+                &tokens,
+            )
+        } else {
+            wire::encode_raw(self.epoch, shim_id, payload)
+        };
+
+        // Cache update procedure (paper Fig. 2 part C) on the ORIGINAL
+        // payload — retransmissions included, which is exactly what makes
+        // the naive policy self-referential.
+        self.cache
+            .insert_with_id(id, payload.clone(), meta.flow, meta.seq);
+        self.cache.index_payload(&self.engine, &self.sampler, id);
+
+        // Bookkeeping.
+        let distinct_refs = {
+            let mut sorted = refs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len()
+        };
+        self.stats.packets += 1;
+        self.stats.bytes_in += payload.len() as u64;
+        self.stats.bytes_out += wire.len() as u64;
+        self.stats.matches += matches as u64;
+        self.stats.matched_bytes += matched_bytes as u64;
+        if pre.suppress_encoding {
+            self.stats.references += 1;
+            self.stats.raw_packets += 1;
+        } else if distinct_refs > 0 {
+            self.stats.encoded_packets += 1;
+            self.stats.sum_distinct_refs += distinct_refs as u64;
+        } else {
+            self.stats.raw_packets += 1;
+        }
+
+        EncodeOutcome {
+            wire,
+            id,
+            matches,
+            matched_bytes,
+            distinct_refs,
+            was_reference: pre.suppress_encoding,
+            flushed: pre.flush,
+        }
+    }
+
+    /// The redundancy identification and elimination procedure
+    /// (paper Fig. 2 part B): slide the window, look up sampled
+    /// fingerprints, verify and extend matches, and emit tokens.
+    fn identify_redundancy(
+        &mut self,
+        meta: &PacketMeta,
+        payload: &Bytes,
+        tokens: &mut Vec<Token>,
+        matched_bytes: &mut usize,
+        refs: &mut Vec<PacketId>,
+    ) {
+        let w = self.config.window;
+        if payload.len() < w {
+            if !payload.is_empty() {
+                tokens.push(Token::Literal(payload.clone()));
+            }
+            return;
+        }
+        let mut emitted = 0usize; // payload bytes already covered by tokens
+        let mut pos = 0usize;
+        let mut fp = self.engine.fingerprint(&payload[..w]);
+        loop {
+            let mut jumped = false;
+            if self.sampler.selects(fp) {
+                if let Some((src_id, src_off, stored)) = self.cache.lookup(fp) {
+                    let entry_meta = stored.meta;
+                    let src_payload = stored.payload.clone();
+                    let src_off = src_off as usize;
+                    if !self.cache.is_dead(src_id)
+                        && self.policy.allow_match(meta, &entry_meta, src_id)
+                        && src_off + w <= src_payload.len()
+                        && src_payload[src_off..src_off + w] == payload[pos..pos + w]
+                    {
+                        // Determine the boundaries of the repeated area
+                        // around the window.
+                        let mut ns = pos;
+                        let mut ss = src_off;
+                        while ns > emitted && ss > 0 && src_payload[ss - 1] == payload[ns - 1] {
+                            ns -= 1;
+                            ss -= 1;
+                        }
+                        let mut ne = pos + w;
+                        let mut se = src_off + w;
+                        while ne < payload.len()
+                            && se < src_payload.len()
+                            && src_payload[se] == payload[ne]
+                        {
+                            ne += 1;
+                            se += 1;
+                        }
+                        let len = ne - ns;
+                        if len > self.config.min_match {
+                            if ns > emitted {
+                                tokens.push(Token::Literal(payload.slice(emitted..ns)));
+                            }
+                            tokens.push(Token::Match {
+                                fingerprint: fp,
+                                offset_new: ns as u16,
+                                offset_stored: ss as u16,
+                                len: len as u16,
+                            });
+                            *matched_bytes += len;
+                            refs.push(src_id);
+                            emitted = ne;
+                            // Resume scanning after the repeated area.
+                            if ne + w > payload.len() {
+                                break;
+                            }
+                            pos = ne;
+                            fp = self.engine.fingerprint(&payload[pos..pos + w]);
+                            jumped = true;
+                        }
+                    }
+                }
+            }
+            if !jumped {
+                if pos + w >= payload.len() {
+                    break;
+                }
+                fp = self.engine.roll(fp, payload[pos], payload[pos + w]);
+                pos += 1;
+            }
+        }
+        if emitted < payload.len() {
+            tokens.push(Token::Literal(payload.slice(emitted..)));
+        }
+    }
+}
+
+impl core::fmt::Debug for Encoder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Encoder")
+            .field("policy", &self.policy.name())
+            .field("epoch", &self.epoch)
+            .field("cache_packets", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}

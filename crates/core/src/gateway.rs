@@ -1,0 +1,262 @@
+//! Byte caching gateways: simulator middlebox nodes wrapping
+//! [`Encoder`] and [`Decoder`].
+//!
+//! This is the paper's deployment (Figure 1/Figure 3): two appliances on
+//! the path intercept IP packets, the upstream one encodes payloads
+//! travelling toward the client, the downstream one reconstructs them.
+//! TCP endpoints never learn the gateways exist — unless a packet
+//! becomes undecodable, in which case the decoder drops it and TCP sees
+//! loss.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+use bytecache_netsim::{Context, Node};
+use bytecache_packet::{Packet, TcpFlags};
+
+use crate::decoder::{Decoder, Feedback};
+use crate::encoder::Encoder;
+use crate::policy::PacketMeta;
+
+/// TCP port used by gateway-to-gateway NACK control packets.
+pub const CONTROL_PORT: u16 = 7777;
+
+/// Encoder-side middlebox: compresses payloads of packets addressed to
+/// `encode_dst` (the client side of the constrained segment), passes
+/// everything else through, and feeds reverse traffic to the policy.
+pub struct EncoderGateway {
+    encoder: Encoder,
+    encode_dsts: HashSet<Ipv4Addr>,
+    control_addr: Option<Ipv4Addr>,
+    nacks_received: u64,
+}
+
+impl EncoderGateway {
+    /// New encoder gateway compressing traffic addressed to `encode_dst`.
+    #[must_use]
+    pub fn new(encoder: Encoder, encode_dst: Ipv4Addr) -> Self {
+        EncoderGateway {
+            encoder,
+            encode_dsts: HashSet::from([encode_dst]),
+            control_addr: None,
+            nacks_received: 0,
+        }
+    }
+
+    /// Compress traffic addressed to any of `dsts` (multi-client
+    /// deployments; the cache and fingerprint table are shared across
+    /// flows, so repeated content is eliminated *between* flows too).
+    #[must_use]
+    pub fn for_destinations(encoder: Encoder, dsts: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        EncoderGateway {
+            encoder,
+            encode_dsts: dsts.into_iter().collect(),
+            control_addr: None,
+            nacks_received: 0,
+        }
+    }
+
+    /// Give the gateway a control address so it can receive informed-
+    /// marking NACKs from the decoder gateway.
+    #[must_use]
+    pub fn with_control_addr(mut self, addr: Ipv4Addr) -> Self {
+        self.control_addr = Some(addr);
+        self
+    }
+
+    /// Borrow the wrapped encoder (stats, cache inspection).
+    #[must_use]
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// NACK control packets processed.
+    #[must_use]
+    pub fn nacks_received(&self) -> u64 {
+        self.nacks_received
+    }
+
+    fn handle_control(&mut self, packet: &Packet) {
+        // Payload: sequence of big-endian u32 shim ids.
+        let ids: Vec<u32> = packet
+            .payload
+            .chunks_exact(4)
+            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        self.nacks_received += 1;
+        self.encoder.handle_nack(&ids);
+    }
+}
+
+impl Node for EncoderGateway {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if let Some(addr) = self.control_addr {
+            if packet.ip.dst == addr && packet.tcp.dst_port == CONTROL_PORT {
+                self.handle_control(&packet);
+                return; // consumed
+            }
+        }
+        if self.encode_dsts.contains(&packet.ip.dst) && packet.has_payload() {
+            let meta = PacketMeta {
+                flow: packet.flow(),
+                seq: packet.tcp.seq,
+                payload_len: packet.payload.len(),
+                flow_index: 0, // recomputed by the encoder
+            };
+            let out = self.encoder.encode(&meta, &packet.payload);
+            ctx.forward(packet.with_payload(out.wire));
+        } else {
+            // Reverse direction (or control-plane) traffic: observe and
+            // pass through untouched.
+            if self.encode_dsts.contains(&packet.ip.src) {
+                self.encoder.observe_reverse(&packet);
+            }
+            ctx.forward(packet);
+        }
+    }
+}
+
+impl core::fmt::Debug for EncoderGateway {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EncoderGateway")
+            .field("encode_dsts", &self.encode_dsts)
+            .field("encoder", &self.encoder)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Decoder-side middlebox: reconstructs payloads of packets addressed to
+/// `decode_dst`; undecodable packets are dropped (TCP perceives loss).
+/// Optionally reports lost/undecodable shim ids back to the encoder
+/// gateway (informed marking, after Lumezanu et al.).
+pub struct DecoderGateway {
+    decoder: Decoder,
+    decode_dsts: HashSet<Ipv4Addr>,
+    /// Where to send NACKs, if informed marking is on.
+    nack_target: Option<(Ipv4Addr, u16)>,
+    /// Local address used as the source of NACK packets.
+    local_addr: Ipv4Addr,
+    nacks_sent: u64,
+    dropped: u64,
+    ip_id: u16,
+}
+
+impl DecoderGateway {
+    /// New decoder gateway reconstructing traffic addressed to
+    /// `decode_dst`. `local_addr` identifies the gateway itself (used as
+    /// the source of control packets).
+    #[must_use]
+    pub fn new(decoder: Decoder, decode_dst: Ipv4Addr, local_addr: Ipv4Addr) -> Self {
+        DecoderGateway {
+            decoder,
+            decode_dsts: HashSet::from([decode_dst]),
+            nack_target: None,
+            local_addr,
+            nacks_sent: 0,
+            dropped: 0,
+            ip_id: 0,
+        }
+    }
+
+    /// Reconstruct traffic addressed to any of `dsts` (the reciprocal of
+    /// [`EncoderGateway::for_destinations`]).
+    #[must_use]
+    pub fn for_destinations(
+        decoder: Decoder,
+        dsts: impl IntoIterator<Item = Ipv4Addr>,
+        local_addr: Ipv4Addr,
+    ) -> Self {
+        DecoderGateway {
+            decoder,
+            decode_dsts: dsts.into_iter().collect(),
+            nack_target: None,
+            local_addr,
+            nacks_sent: 0,
+            dropped: 0,
+            ip_id: 0,
+        }
+    }
+
+    /// Enable informed marking: send NACK control packets to the encoder
+    /// gateway's control address.
+    #[must_use]
+    pub fn with_nacks(mut self, encoder_control: Ipv4Addr) -> Self {
+        self.nack_target = Some((encoder_control, CONTROL_PORT));
+        self
+    }
+
+    /// Borrow the wrapped decoder (stats, cache inspection).
+    #[must_use]
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
+    }
+
+    /// Packets dropped because they could not be reconstructed.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// NACK control packets emitted.
+    #[must_use]
+    pub fn nacks_sent(&self) -> u64 {
+        self.nacks_sent
+    }
+
+    fn send_feedback(&mut self, feedback: &Feedback, ctx: &mut Context<'_>) {
+        let Some((addr, port)) = self.nack_target else {
+            return;
+        };
+        if feedback.nack_ids.is_empty() {
+            return;
+        }
+        let mut payload = Vec::with_capacity(feedback.nack_ids.len() * 4);
+        for id in &feedback.nack_ids {
+            payload.extend_from_slice(&id.to_be_bytes());
+        }
+        self.ip_id = self.ip_id.wrapping_add(1);
+        let pkt = Packet::builder()
+            .src(self.local_addr, CONTROL_PORT)
+            .dst(addr, port)
+            .ip_id(self.ip_id)
+            .flags(TcpFlags::PSH)
+            .payload(payload)
+            .build();
+        self.nacks_sent += 1;
+        ctx.forward(pkt);
+    }
+}
+
+impl Node for DecoderGateway {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        if self.decode_dsts.contains(&packet.ip.dst) && packet.has_payload() {
+            let meta = PacketMeta {
+                flow: packet.flow(),
+                seq: packet.tcp.seq,
+                payload_len: packet.payload.len(),
+                flow_index: 0,
+            };
+            let (result, feedback) = self.decoder.decode(&packet.payload, &meta);
+            self.send_feedback(&feedback, ctx);
+            match result {
+                Ok(original) => ctx.forward(packet.with_payload(original)),
+                Err(_) => {
+                    // Undecodable: drop. Upstream TCP will retransmit.
+                    self.dropped += 1;
+                }
+            }
+        } else {
+            ctx.forward(packet);
+        }
+    }
+}
+
+impl core::fmt::Debug for DecoderGateway {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DecoderGateway")
+            .field("decode_dsts", &self.decode_dsts)
+            .field("dropped", &self.dropped)
+            .field("decoder", &self.decoder)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,173 @@
+//! Loss-adaptive encoding (the tunable scheme the paper's conclusion
+//! calls for).
+
+use std::collections::HashMap;
+
+use bytecache_packet::{FlowId, SeqNum};
+
+use crate::policy::{is_retransmission, PacketMeta, Policy, PrePacket};
+use crate::store::{EntryMeta, PacketId};
+
+/// k-distance with the distance driven by the observed loss rate.
+///
+/// The paper's conclusion argues for "a tuneable byte caching scheme
+/// that can dynamically adapt how aggressively it compresses packets
+/// based on the packet loss rate in the underlying communication
+/// channel". The encoder cannot see channel losses directly, but it
+/// *can* see their echo: TCP retransmissions (sequence-number
+/// regressions). This policy keeps an exponentially weighted estimate of
+/// the retransmission fraction `p` and emits references at the
+/// loss-matched spacing `k ≈ clamp(target/p)` — long dependency chains
+/// on clean channels, short chains on lossy ones (§VII shows chains
+/// longer than `1/p` are counterproductive).
+#[derive(Debug)]
+pub struct Adaptive {
+    /// EWMA of the retransmission fraction.
+    p_est: f64,
+    /// EWMA smoothing factor.
+    alpha: f64,
+    /// `k` is chosen so the expected losses per group stay near this.
+    losses_per_group: f64,
+    min_k: u64,
+    max_k: u64,
+    highest_seq: HashMap<FlowId, SeqNum>,
+    last_reference: HashMap<FlowId, u64>,
+}
+
+impl Default for Adaptive {
+    fn default() -> Self {
+        Adaptive {
+            p_est: 0.0,
+            alpha: 0.05,
+            losses_per_group: 0.5,
+            min_k: 2,
+            max_k: 64,
+            highest_seq: HashMap::new(),
+            last_reference: HashMap::new(),
+        }
+    }
+}
+
+impl Adaptive {
+    /// New adaptive policy with default tuning (k ∈ [2, 64], EWMA 0.05,
+    /// about one loss per two groups).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current retransmission-rate estimate.
+    #[must_use]
+    pub fn estimated_loss(&self) -> f64 {
+        self.p_est
+    }
+
+    /// The reference distance implied by the current estimate.
+    #[must_use]
+    pub fn current_k(&self) -> u64 {
+        if self.p_est <= f64::EPSILON {
+            return self.max_k;
+        }
+        let k = (self.losses_per_group / self.p_est).round() as i64;
+        (k.max(self.min_k as i64) as u64).min(self.max_k)
+    }
+}
+
+impl Policy for Adaptive {
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+
+    fn before_packet(&mut self, meta: &PacketMeta) -> PrePacket {
+        let retrans = is_retransmission(&mut self.highest_seq, meta.flow, meta.seq);
+        self.p_est = (1.0 - self.alpha) * self.p_est + self.alpha * f64::from(u8::from(retrans));
+        let k = self.current_k();
+        let last = self.last_reference.get(&meta.flow).copied();
+        let due = match last {
+            None => true,
+            Some(reference) => meta.flow_index.saturating_sub(reference) >= k,
+        };
+        if due {
+            self.last_reference.insert(meta.flow, meta.flow_index);
+            PrePacket {
+                flush: false,
+                suppress_encoding: true,
+            }
+        } else {
+            PrePacket::default()
+        }
+    }
+
+    fn allow_match(&self, meta: &PacketMeta, entry: &EntryMeta, _id: PacketId) -> bool {
+        if entry.flow != meta.flow || !entry.seq.precedes(meta.seq) {
+            return false;
+        }
+        match self.last_reference.get(&meta.flow) {
+            Some(&reference) => entry.flow_index >= reference,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_util::{entry, meta};
+
+    #[test]
+    fn clean_stream_converges_to_max_k() {
+        let mut p = Adaptive::default();
+        for i in 0..200u64 {
+            p.before_packet(&meta(1000 + (i as u32) * 1460, i));
+        }
+        assert_eq!(p.current_k(), 64);
+        assert!(p.estimated_loss() < 1e-3);
+    }
+
+    #[test]
+    fn retransmissions_shrink_k() {
+        let mut p = Adaptive::default();
+        // 20% of packets are retransmissions (every 5th repeats).
+        let mut seq = 1000u32;
+        for (idx, i) in (0..500u64).enumerate() {
+            if i % 5 != 4 {
+                seq += 1460; // otherwise: repeat the previous number
+            }
+            p.before_packet(&meta(seq, idx as u64));
+        }
+        assert!(p.estimated_loss() > 0.1, "est={}", p.estimated_loss());
+        assert!(p.current_k() <= 4, "k={}", p.current_k());
+    }
+
+    #[test]
+    fn first_packet_is_a_reference() {
+        let mut p = Adaptive::default();
+        assert!(p.before_packet(&meta(1000, 0)).suppress_encoding);
+        assert!(!p.before_packet(&meta(2460, 1)).suppress_encoding);
+    }
+
+    #[test]
+    fn matches_restricted_to_since_reference() {
+        let mut p = Adaptive::default();
+        for i in 0..3u64 {
+            p.before_packet(&meta(1000 + (i as u32) * 1460, i));
+        }
+        let m = meta(1000 + 3 * 1460, 3);
+        assert!(p.allow_match(&m, &entry(1000, 0), PacketId(0)));
+        assert!(p.allow_match(&m, &entry(2460, 2), PacketId(2)));
+    }
+
+    #[test]
+    fn k_respects_bounds() {
+        let high = Adaptive {
+            p_est: 0.9,
+            ..Adaptive::default()
+        };
+        assert_eq!(high.current_k(), 2);
+        let low = Adaptive {
+            p_est: 1e-9,
+            ..Adaptive::default()
+        };
+        assert_eq!(low.current_k(), 64);
+    }
+}

@@ -1,0 +1,140 @@
+//! Encoder- and decoder-side counters used by every experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters maintained by [`Encoder`](crate::Encoder).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncoderStats {
+    /// Data packets processed.
+    pub packets: u64,
+    /// Original payload bytes in.
+    pub bytes_in: u64,
+    /// Shim payload bytes out.
+    pub bytes_out: u64,
+    /// Packets that carried at least one match token.
+    pub encoded_packets: u64,
+    /// Packets sent raw (no beneficial match found).
+    pub raw_packets: u64,
+    /// Packets sent raw because the policy made them references.
+    pub references: u64,
+    /// Cache flushes performed (policy-initiated).
+    pub flushes: u64,
+    /// Match tokens emitted.
+    pub matches: u64,
+    /// Original bytes covered by match tokens.
+    pub matched_bytes: u64,
+    /// Sum over encoded packets of the number of *distinct* cached
+    /// packets referenced — the paper's "dependencies to distinct IP
+    /// packets" metric (File 1 averages 4, File 2 averages 7).
+    pub sum_distinct_refs: u64,
+}
+
+impl EncoderStats {
+    /// Compression ratio: shim bytes out per original byte in
+    /// (1.0 = no saving; the shim header makes >1.0 possible).
+    #[must_use]
+    pub fn byte_ratio(&self) -> f64 {
+        if self.bytes_in == 0 {
+            1.0
+        } else {
+            self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+
+    /// Mean distinct-packet dependencies among packets that were encoded.
+    #[must_use]
+    pub fn avg_dependencies(&self) -> f64 {
+        if self.encoded_packets == 0 {
+            0.0
+        } else {
+            self.sum_distinct_refs as f64 / self.encoded_packets as f64
+        }
+    }
+
+    /// Fraction of original bytes eliminated by match tokens (gross,
+    /// before shim/token overhead).
+    #[must_use]
+    pub fn redundancy_fraction(&self) -> f64 {
+        if self.bytes_in == 0 {
+            0.0
+        } else {
+            self.matched_bytes as f64 / self.bytes_in as f64
+        }
+    }
+}
+
+/// Counters maintained by [`Decoder`](crate::Decoder).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecoderStats {
+    /// Shim payloads processed.
+    pub packets: u64,
+    /// Raw payloads passed through.
+    pub raw: u64,
+    /// Encoded payloads successfully reconstructed.
+    pub decoded: u64,
+    /// Failures: referenced fingerprint absent from the cache.
+    pub missing_reference: u64,
+    /// Failures: reconstruction checksum mismatch (stale cache entry or
+    /// undetected upstream corruption).
+    pub checksum_mismatch: u64,
+    /// Failures: referenced region out of bounds in the cached packet.
+    pub bad_region: u64,
+    /// Failures: unparseable shim payload.
+    pub malformed: u64,
+    /// Cache flushes triggered by an epoch change.
+    pub epoch_flushes: u64,
+    /// Shim bytes in.
+    pub bytes_in: u64,
+    /// Reconstructed bytes out.
+    pub bytes_out: u64,
+}
+
+impl DecoderStats {
+    /// Packets the decoder had to drop — the paper's "undecodable"
+    /// events, the second component of the perceived loss rate.
+    #[must_use]
+    pub fn undecodable(&self) -> u64 {
+        self.missing_reference + self.checksum_mismatch + self.bad_region + self.malformed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_ratios() {
+        let s = EncoderStats {
+            bytes_in: 1000,
+            bytes_out: 550,
+            matched_bytes: 500,
+            encoded_packets: 4,
+            sum_distinct_refs: 14,
+            ..EncoderStats::default()
+        };
+        assert!((s.byte_ratio() - 0.55).abs() < 1e-12);
+        assert!((s.redundancy_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.avg_dependencies() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = EncoderStats::default();
+        assert_eq!(s.byte_ratio(), 1.0);
+        assert_eq!(s.avg_dependencies(), 0.0);
+        assert_eq!(s.redundancy_fraction(), 0.0);
+        assert_eq!(DecoderStats::default().undecodable(), 0);
+    }
+
+    #[test]
+    fn undecodable_sums_all_failure_kinds() {
+        let s = DecoderStats {
+            missing_reference: 1,
+            checksum_mismatch: 2,
+            bad_region: 3,
+            malformed: 4,
+            ..DecoderStats::default()
+        };
+        assert_eq!(s.undecodable(), 10);
+    }
+}

@@ -1,0 +1,424 @@
+//! The byte cache: packet store plus fingerprint index.
+//!
+//! Both the encoder and the decoder keep one of these. The *packet store*
+//! holds recent packet payloads under a byte budget (FIFO eviction); the
+//! *fingerprint index* maps each retained representative fingerprint to
+//! the most recent packet containing it and the window's offset there —
+//! "most recent" because, as in the paper, inserting an existing
+//! fingerprint *replaces* the previous entry. That replacement rule is
+//! load-bearing: it is what makes a naive encoder point a fingerprint at
+//! a packet the decoder never received.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use bytes::Bytes;
+
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::Fingerprinter;
+
+use crate::config::DreConfig;
+
+/// Identifier of a cached packet. Encoders assign these sequentially and
+/// carry them (truncated to 32 bits) in the shim header; decoders adopt
+/// the encoder's ids so the two stores stay aligned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+impl core::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Metadata recorded with every cached packet; the encoding policies'
+/// eligibility checks read these fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// Flow the packet belonged to.
+    pub flow: FlowId,
+    /// TCP sequence number of its first payload byte.
+    pub seq: SeqNum,
+    /// Sequence number one past its last payload byte.
+    pub seq_end: SeqNum,
+    /// Zero-based index of this packet within its flow at this cache.
+    pub flow_index: u64,
+}
+
+/// A cached packet: payload plus metadata.
+#[derive(Debug, Clone)]
+pub struct Stored {
+    /// The original (pre-encoding) payload.
+    pub payload: Bytes,
+    /// Policy-relevant metadata.
+    pub meta: EntryMeta,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FpEntry {
+    packet: PacketId,
+    offset: u16,
+}
+
+/// Counters the cache maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Packets inserted.
+    pub inserts: u64,
+    /// Packets evicted by the byte/packet budget.
+    pub evictions: u64,
+    /// Fingerprint index insertions that replaced an existing entry.
+    pub replacements: u64,
+    /// Full flushes.
+    pub flushes: u64,
+}
+
+/// Packet store + fingerprint index under one budget.
+#[derive(Debug)]
+pub struct Cache {
+    packets: HashMap<PacketId, Stored>,
+    order: VecDeque<PacketId>,
+    fingerprints: HashMap<u64, FpEntry>,
+    bytes_used: usize,
+    byte_budget: usize,
+    max_packets: Option<usize>,
+    next_id: u64,
+    flow_counters: HashMap<FlowId, u64>,
+    /// Packets reported lost by the peer (informed marking): never used
+    /// as match sources again.
+    dead: HashSet<PacketId>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Empty cache with the configuration's budgets.
+    #[must_use]
+    pub fn new(config: &DreConfig) -> Self {
+        Cache {
+            packets: HashMap::new(),
+            order: VecDeque::new(),
+            fingerprints: HashMap::new(),
+            bytes_used: 0,
+            byte_budget: config.cache_bytes,
+            max_packets: config.max_packets,
+            next_id: 0,
+            flow_counters: HashMap::new(),
+            dead: HashSet::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of packets currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Payload bytes currently stored.
+    #[must_use]
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
+    }
+
+    /// The id the next [`insert`](Self::insert) will assign.
+    #[must_use]
+    pub fn next_id(&self) -> PacketId {
+        PacketId(self.next_id)
+    }
+
+    /// The flow index the next packet of `flow` will receive.
+    #[must_use]
+    pub fn flow_index(&self, flow: &FlowId) -> u64 {
+        self.flow_counters.get(flow).copied().unwrap_or(0)
+    }
+
+    /// Insert a packet with an auto-assigned id (encoder side).
+    pub fn insert(&mut self, payload: Bytes, flow: FlowId, seq: SeqNum) -> PacketId {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        self.insert_with_id(id, payload, flow, seq);
+        id
+    }
+
+    /// Insert a packet under an externally assigned id (decoder side,
+    /// adopting the encoder's shim id).
+    pub fn insert_with_id(&mut self, id: PacketId, payload: Bytes, flow: FlowId, seq: SeqNum) {
+        let counter = self.flow_counters.entry(flow).or_insert(0);
+        let flow_index = *counter;
+        *counter += 1;
+        let meta = EntryMeta {
+            flow,
+            seq,
+            seq_end: seq + payload.len(),
+            flow_index,
+        };
+        self.bytes_used += payload.len();
+        self.packets.insert(id, Stored { payload, meta });
+        self.order.push_back(id);
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.stats.inserts += 1;
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.bytes_used > self.byte_budget
+            || self
+                .max_packets
+                .is_some_and(|cap| self.packets.len() > cap)
+        {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            if let Some(stored) = self.packets.remove(&old) {
+                self.bytes_used -= stored.payload.len();
+                self.stats.evictions += 1;
+            }
+            self.dead.remove(&old);
+        }
+    }
+
+    /// Index one representative fingerprint of packet `id` at `offset`.
+    /// Replaces any existing entry for the fingerprint (the paper's
+    /// update rule).
+    pub fn index_fingerprint(&mut self, fingerprint: u64, id: PacketId, offset: u16) {
+        if self
+            .fingerprints
+            .insert(fingerprint, FpEntry { packet: id, offset })
+            .is_some()
+        {
+            self.stats.replacements += 1;
+        }
+    }
+
+    /// Run the paper's *cache update procedure* for packet `id`: slide
+    /// the window over its payload and index every sampled fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not currently stored (insert it first).
+    pub fn index_payload(&mut self, engine: &Fingerprinter, sampler: &Sampler, id: PacketId) {
+        let payload = self
+            .packets
+            .get(&id)
+            .expect("index_payload: packet not stored")
+            .payload
+            .clone();
+        for (offset, fp) in engine.windows(&payload) {
+            if sampler.selects(fp) {
+                self.index_fingerprint(fp, id, offset as u16);
+            }
+        }
+    }
+
+    /// Look up a fingerprint: the stored packet it points to (if that
+    /// packet is still resident) and the window offset within it.
+    #[must_use]
+    pub fn lookup(&self, fingerprint: u64) -> Option<(PacketId, u16, &Stored)> {
+        let entry = self.fingerprints.get(&fingerprint)?;
+        let stored = self.packets.get(&entry.packet)?;
+        Some((entry.packet, entry.offset, stored))
+    }
+
+    /// Borrow a stored packet by id.
+    #[must_use]
+    pub fn packet(&self, id: PacketId) -> Option<&Stored> {
+        self.packets.get(&id)
+    }
+
+    /// Mark a packet as lost at the peer (informed marking): it will be
+    /// reported by [`is_dead`](Self::is_dead) until evicted.
+    pub fn mark_dead(&mut self, id: PacketId) {
+        if self.packets.contains_key(&id) {
+            self.dead.insert(id);
+        }
+    }
+
+    /// Whether a packet was marked dead.
+    #[must_use]
+    pub fn is_dead(&self, id: PacketId) -> bool {
+        self.dead.contains(&id)
+    }
+
+    /// Drop all packets and fingerprints (the Cache Flush policy's
+    /// action). Ids and per-flow indices keep counting monotonically.
+    pub fn flush(&mut self) {
+        self.packets.clear();
+        self.order.clear();
+        self.fingerprints.clear();
+        self.dead.clear();
+        self.bytes_used = 0;
+        self.stats.flushes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecache_rabin::Polynomial;
+    use std::net::Ipv4Addr;
+
+    fn flow() -> FlowId {
+        FlowId {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 80,
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: 4000,
+        }
+    }
+
+    fn cache() -> Cache {
+        Cache::new(&DreConfig::default())
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids_and_flow_indices() {
+        let mut c = cache();
+        let a = c.insert(Bytes::from_static(b"aaaa"), flow(), SeqNum::new(1));
+        let b = c.insert(Bytes::from_static(b"bbbb"), flow(), SeqNum::new(5));
+        assert_eq!(a, PacketId(0));
+        assert_eq!(b, PacketId(1));
+        assert_eq!(c.packet(a).unwrap().meta.flow_index, 0);
+        assert_eq!(c.packet(b).unwrap().meta.flow_index, 1);
+        assert_eq!(c.packet(b).unwrap().meta.seq_end, SeqNum::new(9));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.bytes_used(), 8);
+    }
+
+    #[test]
+    fn flow_indices_are_per_flow() {
+        let mut c = cache();
+        let other = FlowId {
+            src_port: 81,
+            ..flow()
+        };
+        c.insert(Bytes::from_static(b"x"), flow(), SeqNum::new(0));
+        c.insert(Bytes::from_static(b"y"), other, SeqNum::new(0));
+        let b = c.insert(Bytes::from_static(b"z"), other, SeqNum::new(1));
+        assert_eq!(c.packet(b).unwrap().meta.flow_index, 1);
+        assert_eq!(c.flow_index(&flow()), 1);
+        assert_eq!(c.flow_index(&other), 2);
+    }
+
+    #[test]
+    fn fingerprint_lookup_and_replacement() {
+        let mut c = cache();
+        let a = c.insert(Bytes::from_static(b"first"), flow(), SeqNum::new(0));
+        let b = c.insert(Bytes::from_static(b"second"), flow(), SeqNum::new(5));
+        c.index_fingerprint(0xF00, a, 3);
+        let (id, off, stored) = c.lookup(0xF00).unwrap();
+        assert_eq!((id, off), (a, 3));
+        assert_eq!(&stored.payload[..], b"first");
+        // Replacement points the fingerprint at the newer packet.
+        c.index_fingerprint(0xF00, b, 1);
+        let (id, off, stored) = c.lookup(0xF00).unwrap();
+        assert_eq!((id, off), (b, 1));
+        assert_eq!(&stored.payload[..], b"second");
+        assert_eq!(c.stats().replacements, 1);
+    }
+
+    #[test]
+    fn lookup_of_evicted_packet_is_none() {
+        let mut c = Cache::new(&DreConfig {
+            max_packets: Some(2),
+            ..DreConfig::default()
+        });
+        let a = c.insert(Bytes::from_static(b"aa"), flow(), SeqNum::new(0));
+        c.index_fingerprint(7, a, 0);
+        c.insert(Bytes::from_static(b"bb"), flow(), SeqNum::new(2));
+        c.insert(Bytes::from_static(b"cc"), flow(), SeqNum::new(4));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(7).is_none(), "entry must die with its packet");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let mut c = Cache::new(&DreConfig {
+            cache_bytes: 10,
+            ..DreConfig::default()
+        });
+        let a = c.insert(Bytes::from_static(b"12345"), flow(), SeqNum::new(0));
+        let b = c.insert(Bytes::from_static(b"67890"), flow(), SeqNum::new(5));
+        assert_eq!(c.bytes_used(), 10);
+        let d = c.insert(Bytes::from_static(b"x"), flow(), SeqNum::new(10));
+        assert!(c.packet(a).is_none(), "oldest evicted");
+        assert!(c.packet(b).is_some());
+        assert!(c.packet(d).is_some());
+        assert_eq!(c.bytes_used(), 6);
+    }
+
+    #[test]
+    fn index_payload_indexes_sampled_windows() {
+        let engine = Fingerprinter::new(Polynomial::default(), 8);
+        let sampler = Sampler::new(2);
+        let mut c = cache();
+        let data: Bytes = (0..300u32).map(|i| (i * 7 % 251) as u8).collect::<Vec<_>>().into();
+        let id = c.insert(data.clone(), flow(), SeqNum::new(0));
+        c.index_payload(&engine, &sampler, id);
+        // Every sampled window must resolve back to this packet at the
+        // right offset.
+        for (off, fp) in engine.windows(&data) {
+            if sampler.selects(fp) {
+                let (pid, stored_off, _) = c.lookup(fp).expect("indexed");
+                assert_eq!(pid, id);
+                // Duplicate content may alias offsets; the window content
+                // at the stored offset must at least equal this window.
+                let so = stored_off as usize;
+                assert_eq!(&data[so..so + 8], &data[off..off + 8]);
+            }
+        }
+    }
+
+    #[test]
+    fn flush_clears_but_keeps_counters() {
+        let mut c = cache();
+        let a = c.insert(Bytes::from_static(b"data"), flow(), SeqNum::new(0));
+        c.index_fingerprint(1, a, 0);
+        c.mark_dead(a);
+        c.flush();
+        assert!(c.is_empty());
+        assert!(c.lookup(1).is_none());
+        assert!(!c.is_dead(a));
+        assert_eq!(c.stats().flushes, 1);
+        // Ids and flow indices continue, they never rewind.
+        let b = c.insert(Bytes::from_static(b"next"), flow(), SeqNum::new(4));
+        assert_eq!(b, PacketId(1));
+        assert_eq!(c.packet(b).unwrap().meta.flow_index, 1);
+    }
+
+    #[test]
+    fn dead_marks_require_residency_and_clear_on_eviction() {
+        let mut c = Cache::new(&DreConfig {
+            max_packets: Some(1),
+            ..DreConfig::default()
+        });
+        c.mark_dead(PacketId(99));
+        assert!(!c.is_dead(PacketId(99)), "unknown packets cannot be dead");
+        let a = c.insert(Bytes::from_static(b"a"), flow(), SeqNum::new(0));
+        c.mark_dead(a);
+        assert!(c.is_dead(a));
+        c.insert(Bytes::from_static(b"b"), flow(), SeqNum::new(1));
+        assert!(!c.is_dead(a), "eviction clears the dead mark");
+    }
+
+    #[test]
+    fn insert_with_external_id_advances_next_id() {
+        let mut c = cache();
+        c.insert_with_id(PacketId(10), Bytes::from_static(b"x"), flow(), SeqNum::new(0));
+        assert_eq!(c.next_id(), PacketId(11));
+        let b = c.insert(Bytes::from_static(b"y"), flow(), SeqNum::new(1));
+        assert_eq!(b, PacketId(11));
+    }
+}

@@ -1,0 +1,279 @@
+//! Reproduces the paper's §IV correctness failure and verifies that each
+//! §V policy breaks the circular dependency.
+//!
+//! The scenario follows Figure 4: packet IPᵢ₋₁ is lost between the
+//! encoder and decoder; IPᵢ (sharing content) is encoded against it and
+//! becomes undecodable; TCP then retransmits the segment of IPᵢ₋₁ over
+//! and over — each retransmission a fresh IP packet that the naive
+//! encoder compresses against its own previously cached (and lost)
+//! transmissions, forever.
+
+use bytecache::{Decoder, DreConfig, Encoder, PacketMeta, PolicyKind};
+use bytecache_packet::{FlowId, SeqNum};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+fn meta(seq: u32) -> PacketMeta {
+    PacketMeta {
+        flow: flow(),
+        seq: SeqNum::new(seq),
+        payload_len: 0,
+        flow_index: 0,
+    }
+}
+
+/// Pseudo-random but deterministic payload block (splitmix64 per byte —
+/// nonlinear, so distinct seeds share no repeated windows).
+fn block(seed: u64, len: usize) -> Bytes {
+    (0..len)
+        .map(|i| {
+            let mut x = (i as u64).wrapping_add(seed.wrapping_mul(0x9E3779B97F4A7C15));
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+            (x ^ (x >> 31)) as u8
+        })
+        .collect::<Vec<u8>>()
+        .into()
+}
+
+fn pair(kind: PolicyKind) -> (Encoder, Decoder) {
+    let config = DreConfig::default();
+    (
+        Encoder::new(config.clone(), kind.build()),
+        Decoder::new(config),
+    )
+}
+
+/// The paper's stall scenario. Returns how many retransmissions of the
+/// lost segment failed to decode before one finally got through (capped
+/// at `max_attempts`).
+fn stall_length(kind: PolicyKind, max_attempts: usize) -> usize {
+    let (mut enc, mut dec) = pair(kind);
+    let shared = block(1, 1460);
+
+    // t1: IP_{i-1} carries `shared`; encoded (raw, first sighting) but
+    // LOST on the channel — the decoder never sees it.
+    let m1 = meta(1000);
+    let _lost = enc.encode(&m1, &shared);
+
+    // t2: IP_i carries the same byte sequence (e.g. a repeated region in
+    // the stream); the encoder compresses it against IP_{i-1}.
+    let m2 = meta(2460);
+    let w2 = enc.encode(&m2, &shared);
+    assert!(
+        w2.matches > 0 || matches!(kind, PolicyKind::KDistance(_) | PolicyKind::Adaptive | PolicyKind::AckGated),
+        "{kind:?}: expected the second packet to compress"
+    );
+    // The decoder drops it if it was encoded (missing reference).
+    let (r2, _) = dec.decode(&w2.wire, &m2);
+    let ip_i_delivered = r2.is_ok();
+
+    // t4/t5 repeated: TCP retransmits the segment of IP_{i-1}. Each
+    // attempt is a fresh IP packet with the same payload and seq.
+    let mut failures = 0;
+    for _attempt in 0..max_attempts {
+        let m = meta(1000); // same TCP segment ⇒ same sequence number
+        let w = enc.encode(&m, &shared);
+        let (r, _) = dec.decode(&w.wire, &m);
+        if let Ok(decoded) = r {
+            assert_eq!(decoded, shared, "decoded bytes must be exact");
+            let _ = ip_i_delivered;
+            return failures;
+        }
+        failures += 1;
+    }
+    failures
+}
+
+#[test]
+fn naive_policy_loops_forever() {
+    // Figure 4/5: every retransmission is encoded against a packet the
+    // decoder never received (ultimately itself) — none ever decodes.
+    let failures = stall_length(PolicyKind::Naive, 50);
+    assert_eq!(failures, 50, "naive must never recover");
+}
+
+#[test]
+fn cache_flush_recovers_immediately() {
+    // §V-A: the sequence-number decrease triggers a flush; the
+    // retransmission is sent raw and decodes at once.
+    assert_eq!(stall_length(PolicyKind::CacheFlush, 50), 0);
+}
+
+#[test]
+fn tcp_seq_recovers_immediately() {
+    // §V-B: entries with seq ≥ the retransmission's are ineligible, so
+    // the retransmission cannot reference its own lost copies.
+    assert_eq!(stall_length(PolicyKind::TcpSeq, 50), 0);
+}
+
+#[test]
+fn k_distance_recovers_within_k() {
+    // §V-C: retransmissions may still reference lost packets, but every
+    // k-th packet is a raw reference, so the stall is bounded by k.
+    for k in [2u64, 4, 8] {
+        let failures = stall_length(PolicyKind::KDistance(k), 50);
+        assert!(
+            failures < k as usize,
+            "k={k}: stall of {failures} exceeds the bound"
+        );
+    }
+}
+
+#[test]
+fn ack_gated_never_references_unacked_data() {
+    // §VIII: with no ACKs observed at all, nothing is eligible; every
+    // packet goes raw and decodes immediately.
+    assert_eq!(stall_length(PolicyKind::AckGated, 50), 0);
+}
+
+#[test]
+fn adaptive_recovers_quickly() {
+    let failures = stall_length(PolicyKind::Adaptive, 64);
+    assert!(failures < 64, "adaptive must eventually recover: {failures}");
+}
+
+#[test]
+fn informed_marking_breaks_the_loop() {
+    // Naive policy + decoder NACK feedback: once the encoder learns the
+    // ids the decoder is missing, it stops using them and the
+    // retransmission goes out raw (or encoded against delivered data).
+    let (mut enc, mut dec) = pair(PolicyKind::Naive);
+    let shared = block(2, 1460);
+    let m1 = meta(1000);
+    let w1 = enc.encode(&m1, &shared); // lost
+    let lost_id = w1.id.0 as u32;
+
+    let m2 = meta(2460);
+    let w2 = enc.encode(&m2, &shared);
+    let (r2, fb2) = dec.decode(&w2.wire, &m2);
+    assert!(r2.is_err(), "depends on the lost packet");
+    // The decoder noticed the id gap AND the failed packet.
+    assert!(fb2.nack_ids.contains(&lost_id));
+    enc.handle_nack(&fb2.nack_ids);
+
+    // Retransmission: the encoder must avoid the dead entries now. It
+    // may still take one more round (the retransmission can reference
+    // w2's packet, which the decoder also NACKed), so feed NACKs back
+    // each time; within a few attempts it converges.
+    let mut recovered = false;
+    for _ in 0..5 {
+        let m = meta(1000);
+        let w = enc.encode(&m, &shared);
+        let (r, fb) = dec.decode(&w.wire, &m);
+        if let Ok(decoded) = r {
+            assert_eq!(decoded, shared);
+            recovered = true;
+            break;
+        }
+        enc.handle_nack(&fb.nack_ids);
+    }
+    assert!(recovered, "informed marking failed to converge");
+}
+
+#[test]
+fn clean_stream_round_trips_under_every_policy() {
+    // 200 packets, heavy cross-packet redundancy, zero loss: every
+    // policy must reconstruct every payload exactly.
+    for kind in [
+        PolicyKind::Naive,
+        PolicyKind::CacheFlush,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(8),
+        PolicyKind::AckGated,
+        PolicyKind::Adaptive,
+    ] {
+        let (mut enc, mut dec) = pair(kind);
+        for i in 0..200u32 {
+            // Every third packet repeats an earlier block.
+            let payload = if i % 3 == 0 {
+                block(u64::from(i / 9), 1000)
+            } else {
+                block(u64::from(1000 + i), 1000)
+            };
+            let m = meta(1000 + i * 1000);
+            let w = enc.encode(&m, &payload);
+            let (r, _) = dec.decode(&w.wire, &m);
+            assert_eq!(r.expect("decodes"), payload, "{kind:?} packet {i}");
+        }
+    }
+}
+
+#[test]
+fn naive_compresses_best_on_clean_streams() {
+    // Aggressiveness ordering sanity: naive ≥ tcp-seq ≥ k-distance in
+    // bytes saved on a redundant lossless stream.
+    let mut ratios = Vec::new();
+    for kind in [
+        PolicyKind::Naive,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(4),
+    ] {
+        let (mut enc, mut dec) = pair(kind);
+        for i in 0..120u32 {
+            let payload = block(u64::from(i % 5), 1200); // heavy reuse
+            let m = meta(1000 + i * 1200);
+            let w = enc.encode(&m, &payload);
+            let (r, _) = dec.decode(&w.wire, &m);
+            assert!(r.is_ok());
+        }
+        ratios.push(enc.stats().byte_ratio());
+    }
+    assert!(ratios[0] <= ratios[1] + 1e-9, "naive {} vs tcp-seq {}", ratios[0], ratios[1]);
+    assert!(ratios[1] <= ratios[2] + 1e-9, "tcp-seq {} vs k-dist {}", ratios[1], ratios[2]);
+    assert!(ratios[0] < 0.25, "redundant stream should compress hard: {}", ratios[0]);
+}
+
+#[test]
+fn decoder_epoch_follows_encoder_flushes() {
+    let (mut enc, mut dec) = pair(PolicyKind::CacheFlush);
+    let a = block(1, 1000);
+    let w1 = enc.encode(&meta(1000), &a);
+    let (r1, _) = dec.decode(&w1.wire, &meta(1000));
+    assert!(r1.is_ok());
+    assert_eq!(dec.stats().epoch_flushes, 0);
+    // Retransmission: encoder flushes, epoch bumps; decoder mirrors.
+    let w2 = enc.encode(&meta(1000), &a);
+    assert!(w2.flushed);
+    let (r2, _) = dec.decode(&w2.wire, &meta(1000));
+    assert!(r2.is_ok());
+    assert_eq!(dec.stats().epoch_flushes, 1);
+    assert_eq!(dec.cache().len(), 1, "only the post-flush packet remains");
+}
+
+#[test]
+fn undecodable_packets_do_not_poison_the_decoder_cache() {
+    let (mut enc, mut dec) = pair(PolicyKind::Naive);
+    let shared = block(3, 1460);
+    let _lost = enc.encode(&meta(1000), &shared); // never decoded
+    let w2 = enc.encode(&meta(2460), &shared); // encoded vs. lost
+    let before = dec.cache().len();
+    let (r2, _) = dec.decode(&w2.wire, &meta(2460));
+    assert!(r2.is_err());
+    assert_eq!(dec.cache().len(), before, "failed decode must not cache");
+}
+
+#[test]
+fn stats_track_dependencies() {
+    let (mut enc, _dec) = pair(PolicyKind::Naive);
+    // Packet 2 copies halves from packets 0 and 1 → 2 distinct refs.
+    let a = block(10, 800);
+    let b = block(11, 800);
+    let mut c = Vec::new();
+    c.extend_from_slice(&a[..700]);
+    c.extend_from_slice(&b[..700]);
+    enc.encode(&meta(1000), &a);
+    enc.encode(&meta(1800), &b);
+    let out = enc.encode(&meta(2600), &Bytes::from(c));
+    assert!(out.distinct_refs >= 2, "expected ≥2 deps, got {}", out.distinct_refs);
+    assert!(enc.stats().avg_dependencies() >= 2.0);
+}

@@ -1,0 +1,221 @@
+//! Property-based tests: whatever happens on the channel, the decoder
+//! either reproduces the exact original payload or drops the packet —
+//! it must never deliver wrong bytes.
+
+use bytecache::{Decoder, DreConfig, Encoder, PacketMeta, PolicyKind};
+use bytecache_packet::{FlowId, SeqNum};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+/// A stream of payloads with controllable redundancy: each packet either
+/// introduces fresh pseudo-random content or repeats an earlier packet's
+/// content (possibly shifted), which is what makes matches appear.
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Fresh content seeded by a small number.
+            (0u64..1000).prop_map(|seed| (seed, false)),
+            // Repeat of an earlier seed (mod the index, applied later).
+            (0u64..8).prop_map(|seed| (seed, true)),
+        ],
+        1..24,
+    )
+    .prop_map(|specs| {
+        specs
+            .iter()
+            .map(|&(seed, _repeat)| {
+                (0..600usize)
+                    .map(|i| {
+                        let x = (i as u64 + seed * 104_729).wrapping_mul(0x9E3779B97F4A7C15);
+                        (x >> 48) as u8
+                    })
+                    .collect::<Vec<u8>>()
+            })
+            .collect()
+    })
+}
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Naive,
+        PolicyKind::CacheFlush,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(4),
+        PolicyKind::Adaptive,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lossless channel ⇒ lossless reconstruction, every policy.
+    #[test]
+    fn lossless_round_trip(stream in arb_stream(), policy_idx in 0usize..5) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig::default();
+        let mut enc = Encoder::new(config.clone(), kind.build());
+        let mut dec = Decoder::new(config);
+        for (i, payload) in stream.iter().enumerate() {
+            let m = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(1000 + (i as u32) * 600),
+                payload_len: payload.len(),
+                flow_index: 0,
+            };
+            let payload = Bytes::from(payload.clone());
+            let w = enc.encode(&m, &payload);
+            let (r, _) = dec.decode(&w.wire, &m);
+            prop_assert_eq!(r.expect("lossless must decode"), payload);
+        }
+    }
+
+    /// Lossy channel ⇒ every *successfully decoded* packet is exact.
+    /// (Silent corruption would be a real bug; drops are expected.)
+    #[test]
+    fn lossy_never_corrupts(
+        stream in arb_stream(),
+        drops in proptest::collection::vec(any::<bool>(), 1..40),
+        policy_idx in 0usize..5,
+    ) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig::default();
+        let mut enc = Encoder::new(config.clone(), kind.build());
+        let mut dec = Decoder::new(config);
+        for (i, payload) in stream.iter().enumerate() {
+            let m = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(1000 + (i as u32) * 600),
+                payload_len: payload.len(),
+                flow_index: 0,
+            };
+            let payload = Bytes::from(payload.clone());
+            let w = enc.encode(&m, &payload);
+            let dropped = drops.get(i % drops.len()).copied().unwrap_or(false);
+            if dropped {
+                continue; // channel ate it; decoder never sees it
+            }
+            let (r, _) = dec.decode(&w.wire, &m);
+            if let Ok(decoded) = r {
+                prop_assert_eq!(decoded, payload, "policy {:?} packet {}", kind, i);
+            }
+        }
+    }
+
+    /// Corrupted shim payloads are always rejected, never mis-decoded.
+    #[test]
+    fn bitflips_are_rejected(
+        payload_seed in 0u64..50,
+        flip_pos in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let config = DreConfig::default();
+        let mut enc = Encoder::new(config.clone(), PolicyKind::Naive.build());
+        let mut dec = Decoder::new(config);
+        let payload: Bytes = (0..800usize)
+            .map(|i| ((i as u64 + payload_seed).wrapping_mul(0x9E3779B97F4A7C15) >> 40) as u8)
+            .collect::<Vec<u8>>()
+            .into();
+        let m = PacketMeta {
+            flow: flow(),
+            seq: SeqNum::new(1),
+            payload_len: payload.len(),
+            flow_index: 0,
+        };
+        // Send one clean packet so the second can be encoded.
+        let w1 = enc.encode(&m, &payload);
+        let (r1, _) = dec.decode(&w1.wire, &m);
+        prop_assert!(r1.is_ok());
+        let m2 = PacketMeta { seq: SeqNum::new(900), ..m };
+        let w2 = enc.encode(&m2, &payload);
+        let mut wire = w2.wire.clone();
+        let pos = flip_pos.index(wire.len());
+        wire[pos] ^= 1 << flip_bit;
+        let (r2, _) = dec.decode(&wire, &m2);
+        if let Ok(decoded) = r2 {
+            // A flip in a "don't care" spot (e.g. the epoch field is
+            // compared, id field only feeds NACKs) may still decode — but
+            // then the bytes must be exact.
+            prop_assert_eq!(decoded, payload);
+        }
+    }
+
+    /// The decoder never panics on arbitrary input bytes — a gateway
+    /// parses whatever arrives on the wire.
+    #[test]
+    fn decoder_never_panics_on_garbage(
+        garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+        prime_packets in 0usize..4,
+    ) {
+        let config = DreConfig::default();
+        let mut dec = Decoder::new(config.clone());
+        let mut enc = Encoder::new(config, PolicyKind::Naive.build());
+        let m = PacketMeta {
+            flow: flow(),
+            seq: SeqNum::new(1),
+            payload_len: 0,
+            flow_index: 0,
+        };
+        // Optionally prime the decoder with some real traffic first.
+        for i in 0..prime_packets {
+            let payload: Bytes = (0..700usize)
+                .map(|j| ((j + i * 131) % 251) as u8)
+                .collect::<Vec<u8>>()
+                .into();
+            let w = enc.encode(&m, &payload);
+            let _ = dec.decode(&w.wire, &m);
+        }
+        // Then feed garbage: must return an error or a value, never panic.
+        let _ = dec.decode(&garbage, &m);
+    }
+
+    /// A garbage payload with a forged valid header must still fail
+    /// closed (checksum) rather than deliver wrong bytes.
+    #[test]
+    fn forged_headers_fail_closed(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut dec = Decoder::new(DreConfig::default());
+        let m = PacketMeta {
+            flow: flow(),
+            seq: SeqNum::new(1),
+            payload_len: 0,
+            flow_index: 0,
+        };
+        // Craft a raw shim whose checksum field is wrong.
+        let mut wire = bytecache::wire::encode_raw(0, 0, &body);
+        if !body.is_empty() {
+            // Flip a checksum bit.
+            wire[11] ^= 0x01;
+            let (r, _) = dec.decode(&wire, &m);
+            prop_assert!(r.is_err(), "forged checksum accepted");
+        }
+    }
+
+    /// Encoded output is never dramatically larger than the input
+    /// (bounded expansion: shim header + literal framing).
+    #[test]
+    fn bounded_expansion(stream in arb_stream()) {
+        let config = DreConfig::default();
+        let mut enc = Encoder::new(config, PolicyKind::Naive.build());
+        for (i, payload) in stream.iter().enumerate() {
+            let m = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(1000 + (i as u32) * 600),
+                payload_len: payload.len(),
+                flow_index: 0,
+            };
+            let payload = Bytes::from(payload.clone());
+            let w = enc.encode(&m, &payload);
+            prop_assert!(w.wire.len() <= payload.len() + 64,
+                "packet {} expanded from {} to {}", i, payload.len(), w.wire.len());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   table1      Table I   — redundancy of web objects vs cache window
+//!   fig6        Figure 6  — naive policy stalls at 1% loss
+//!   fig10       Figure 10 — bytes-sent ratio vs loss rate
+//!   fig11       Figure 11 — download-time ratio vs loss rate
+//!   fig12       Figure 12 — k-distance parameter sweep
+//!   fig13       Figure 13 — perceived vs actual loss rate
+//!   table2      Table II  — the three schemes at 5%/10% loss
+//!   insights    §VII      — packet size vs count at 9% loss
+//!   stalltrace  Figures 4/5 — annotated circular-dependency trace
+//!   mobility    §II       — mid-download handoff survival
+//!   interflow   §I/IV-C   — inter-flow savings through shared gateways
+//!   ablation    extension — Bernoulli vs bursty loss at equal mean rate
+//!   tuning      §III-B    — DRE parameter (w, k) trade-offs
+//!   all         everything above
+//!
+//! --quick shrinks object sizes and seed counts (~10x faster).
+//! ```
+
+use bytecache::PolicyKind;
+use bytecache_experiments::{
+    ablation, fig6, insights, interflow, kdistance, mobility, perceived, stalltrace, sweep,
+    table1, table2, tuning,
+};
+use bytecache_netsim::time::SimDuration;
+
+struct Scale {
+    object_size: usize,
+    table1_size: usize,
+    fig6_runs: usize,
+    seeds: u64,
+}
+
+impl Scale {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Scale {
+                object_size: 150_000,
+                table1_size: 200_000,
+                fig6_runs: 10,
+                seeds: 2,
+            }
+        } else {
+            Scale {
+                object_size: fig6::EBOOK_SIZE,
+                table1_size: fig6::EBOOK_SIZE,
+                fig6_runs: 50,
+                seeds: 5,
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str)
+        .to_string();
+    let scale = Scale::new(quick);
+
+    let known = [
+        "table1", "fig6", "fig10", "fig11", "fig12", "fig13", "table2", "insights",
+        "stalltrace", "mobility", "interflow", "ablation", "tuning", "all",
+    ];
+    if !known.contains(&what.as_str()) {
+        eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let run = |name: &str| what == name || what == "all";
+
+    if run("table1") {
+        let rows = table1::run(scale.table1_size, 42);
+        println!("{}", table1::render(&rows));
+    }
+    if run("fig6") {
+        let r = fig6::run(scale.fig6_runs, scale.object_size.min(fig6::EBOOK_SIZE), 0.01);
+        println!("{}", fig6::render(&r));
+    }
+    if run("fig10") || run("fig11") {
+        let params = sweep::SweepParams {
+            object_size: scale.object_size,
+            seeds: scale.seeds,
+            ..sweep::SweepParams::default()
+        };
+        let pts = sweep::run(&params);
+        if run("fig10") {
+            println!("{}", sweep::render_fig10(&pts));
+        }
+        if run("fig11") {
+            println!("{}", sweep::render_fig11(&pts));
+        }
+    }
+    if run("fig12") {
+        let params = kdistance::KParams {
+            object_size: scale.object_size,
+            seeds: scale.seeds,
+            ..kdistance::KParams::default()
+        };
+        println!("{}", kdistance::render(&kdistance::run(&params)));
+    }
+    if run("fig13") {
+        let params = perceived::PerceivedParams {
+            object_size: scale.object_size,
+            seeds: scale.seeds,
+            ..perceived::PerceivedParams::default()
+        };
+        println!("{}", perceived::render(&perceived::run(&params)));
+    }
+    if run("table2") {
+        let r = table2::run(scale.object_size, scale.seeds);
+        println!("{}", table2::render(&r));
+    }
+    if run("insights") {
+        println!("{}", insights::render(&insights::run(scale.object_size, scale.seeds)));
+    }
+    if run("stalltrace") {
+        for policy in [
+            PolicyKind::Naive,
+            PolicyKind::CacheFlush,
+            PolicyKind::TcpSeq,
+            PolicyKind::KDistance(4),
+        ] {
+            println!("## Figures 4/5 — stall trace");
+            for line in stalltrace::trace(policy, 6) {
+                println!("  {line}");
+            }
+            println!();
+        }
+    }
+    if run("interflow") {
+        let r = interflow::run(
+            scale.object_size,
+            bytecache::PolicyKind::CacheFlush,
+            0.0,
+            SimDuration::from_secs(3),
+            1,
+        );
+        println!("## §I — inter-flow redundancy elimination (second download of the same object)");
+        println!(
+            "  flow 1 wire bytes: {} | flow 2 wire bytes: {} | flow2/flow1 = {:.3} | complete: {}/{}",
+            r.first_flow_bytes,
+            r.second_flow_bytes,
+            r.second_over_first,
+            r.first_complete,
+            r.second_complete
+        );
+        println!();
+    }
+    if run("ablation") {
+        let pts = ablation::run(scale.object_size, 0.05, &[4.0, 8.0], scale.seeds);
+        println!("{}", ablation::render(&pts, 0.05));
+    }
+    if run("tuning") {
+        let pts = tuning::run(scale.object_size, &[16, 32, 64], &[3, 4, 6]);
+        println!("{}", tuning::render(&pts));
+    }
+    if run("mobility") {
+        let r = mobility::run(scale.object_size, SimDuration::from_millis(200), 3);
+        println!("## §II — mobility handoff");
+        println!(
+            "  completed: {} | bytes before handoff: {} | total: {} | \
+             in-flight drops at handoff: {} | duration: {:.2}s",
+            r.completed,
+            r.bytes_before_handoff,
+            r.bytes_total,
+            r.in_flight_drops,
+            r.duration_secs.unwrap_or(f64::NAN)
+        );
+        println!();
+    }
+}

@@ -1,0 +1,203 @@
+//! Inter-flow redundancy elimination and cross-connection cache
+//! poisoning (paper §I and §IV-C).
+//!
+//! Byte caching's selling point over object caches is that it
+//! "eliminates redundancy both intra-flow and inter-flows": a second
+//! client downloading the same content through the same gateway pair is
+//! served almost entirely from the shared packet cache. The flip side
+//! (§IV-C): a desynchronized cache poisons "not only one TCP connection,
+//! but all subsequent connections going through the encoder and
+//! decoder".
+//!
+//! Topology: two servers and two clients share one gateway pair and one
+//! wireless link. Client 1 downloads immediately; client 2 requests the
+//! same object after a delay (long enough for flow 1 to finish on a
+//! clean channel).
+
+use std::net::Ipv4Addr;
+
+use bytecache::gateway::{DecoderGateway, EncoderGateway};
+use bytecache::{Decoder, DreConfig, Encoder, PolicyKind};
+use bytecache_netsim::channel::ChannelConfig;
+use bytecache_netsim::time::{SimDuration, SimTime};
+use bytecache_netsim::{LinkConfig, Simulator};
+use bytecache_tcp::{TcpClientNode, TcpConfig, TcpServerNode};
+use bytecache_workload::FileSpec;
+use serde::{Deserialize, Serialize};
+
+const SERVER1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const SERVER2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5);
+const CLIENT1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const CLIENT2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 6);
+const PORT: u16 = 80;
+
+/// Outcome of the two-flow experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterflowResult {
+    /// Wireless bytes consumed up to the start of flow 2.
+    pub first_flow_bytes: u64,
+    /// Wireless bytes consumed from flow 2's start until idle.
+    pub second_flow_bytes: u64,
+    /// `second_flow_bytes / first_flow_bytes`.
+    pub second_over_first: f64,
+    /// Flow 1 completed with intact data.
+    pub first_complete: bool,
+    /// Flow 2 completed with intact data.
+    pub second_complete: bool,
+    /// Flow 2's perceived loss contribution (undecodable drops after
+    /// its start).
+    pub undecodable_total: u64,
+}
+
+/// Run two sequential downloads of the same object through shared
+/// gateways.
+#[must_use]
+pub fn run(
+    object_size: usize,
+    policy: PolicyKind,
+    loss: f64,
+    second_start: SimDuration,
+    seed: u64,
+) -> InterflowResult {
+    let object = FileSpec::File1.build(object_size, 42);
+    let tcp = TcpConfig::default();
+    let mut sim = Simulator::new(seed);
+
+    let s1 = sim.add_node(TcpServerNode::new(SERVER1, PORT, object.clone(), tcp.clone()));
+    let s2 = sim.add_node(TcpServerNode::new(SERVER2, PORT, object.clone(), tcp.clone()));
+    let c1 = sim.add_node(TcpClientNode::new(CLIENT1, 40_001, SERVER1, PORT, tcp.clone()));
+    let c2 = sim.add_node(
+        TcpClientNode::new(CLIENT2, 40_002, SERVER2, PORT, tcp).with_start_delay(second_start),
+    );
+    let dre = DreConfig::default();
+    let enc = sim.add_node(EncoderGateway::for_destinations(
+        Encoder::new(dre.clone(), policy.build()),
+        [CLIENT1, CLIENT2],
+    ));
+    let dec = sim.add_node(DecoderGateway::for_destinations(
+        Decoder::new(dre),
+        [CLIENT1, CLIENT2],
+        Ipv4Addr::new(10, 0, 0, 4),
+    ));
+
+    let lan = LinkConfig {
+        rate_bytes_per_sec: None,
+        propagation: SimDuration::from_micros(500),
+        channel: ChannelConfig::clean(),
+    };
+    sim.add_duplex_link(s1, enc, lan.clone());
+    sim.add_duplex_link(s2, enc, lan.clone());
+    sim.add_duplex_link(dec, c1, lan.clone());
+    sim.add_duplex_link(dec, c2, lan);
+    let wireless_data = sim.add_link(
+        enc,
+        dec,
+        LinkConfig {
+            rate_bytes_per_sec: Some(1_000_000),
+            propagation: SimDuration::from_millis(10),
+            channel: ChannelConfig::lossy(loss),
+        },
+    );
+    sim.add_link(
+        dec,
+        enc,
+        LinkConfig {
+            rate_bytes_per_sec: Some(1_000_000),
+            propagation: SimDuration::from_millis(10),
+            channel: ChannelConfig::clean(),
+        },
+    );
+
+    for (dst, next) in [(CLIENT1, dec), (CLIENT2, dec)] {
+        sim.add_route(enc, dst, next);
+    }
+    sim.add_route(dec, CLIENT1, c1);
+    sim.add_route(dec, CLIENT2, c2);
+    sim.add_route(s1, CLIENT1, enc);
+    sim.add_route(s2, CLIENT2, enc);
+    sim.add_route(c1, SERVER1, dec);
+    sim.add_route(c2, SERVER2, dec);
+    sim.add_route(dec, SERVER1, enc);
+    sim.add_route(dec, SERVER2, enc);
+    sim.add_route(enc, SERVER1, s1);
+    sim.add_route(enc, SERVER2, s2);
+
+    sim.run_until(SimTime::ZERO + second_start);
+    let first_flow_bytes = sim.link_stats(wireless_data).bytes_offered;
+    sim.run_until_idle();
+    let total = sim.link_stats(wireless_data).bytes_offered;
+
+    let check = |sim: &Simulator, id, object: &[u8]| {
+        let node = sim.node::<TcpClientNode>(id).expect("client");
+        node.report().complete && node.received() == object
+    };
+    let first_complete = check(&sim, c1, &object);
+    let second_complete = check(&sim, c2, &object);
+    let undecodable_total = sim.node::<DecoderGateway>(dec).expect("decoder").dropped();
+    let second_flow_bytes = total - first_flow_bytes;
+    InterflowResult {
+        first_flow_bytes,
+        second_flow_bytes,
+        second_over_first: second_flow_bytes as f64 / first_flow_bytes.max(1) as f64,
+        first_complete,
+        second_complete,
+        undecodable_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_flow_rides_the_shared_cache() {
+        // Clean channel: the second download of the same object should
+        // cost a small fraction of the first (inter-flow DRE).
+        let r = run(
+            200_000,
+            PolicyKind::Naive,
+            0.0,
+            SimDuration::from_secs(3),
+            1,
+        );
+        assert!(r.first_complete && r.second_complete, "{r:?}");
+        assert!(
+            r.second_over_first < 0.35,
+            "second flow should be mostly cache hits: {r:?}"
+        );
+    }
+
+    #[test]
+    fn cache_flush_also_benefits_across_flows() {
+        let r = run(
+            200_000,
+            PolicyKind::CacheFlush,
+            0.0,
+            SimDuration::from_secs(3),
+            1,
+        );
+        assert!(r.first_complete && r.second_complete);
+        assert!(r.second_over_first < 0.35, "{r:?}");
+    }
+
+    #[test]
+    fn desync_poisons_the_subsequent_connection() {
+        // §IV-C: with the naive policy, losses during flow 1 leave the
+        // caches desynchronized. Flow 2 repeats flow 1's content, so its
+        // packets are encoded against entries the decoder never got —
+        // flow 2 suffers (stalls or sees undecodable drops) even though
+        // it would have had few losses of its own.
+        let r = run(
+            200_000,
+            PolicyKind::Naive,
+            0.01,
+            SimDuration::from_secs(60), // well after flow 1 stalls/aborts
+            2,
+        );
+        assert!(!r.first_complete, "flow 1 should stall under naive+loss");
+        assert!(
+            !r.second_complete || r.undecodable_total > 0,
+            "the desynchronized cache must affect the subsequent connection: {r:?}"
+        );
+    }
+}

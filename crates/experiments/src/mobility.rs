@@ -1,0 +1,139 @@
+//! §II — node mobility: byte caching at the IP layer survives a
+//! mid-download handoff.
+//!
+//! The paper's motivation (Figure 1): transparent TCP-level byte caching
+//! proxies split the connection into three TCP sessions with unrelated
+//! sequence numbers, so when a client moves to a path that bypasses the
+//! proxies, the server sees acknowledgments from a foreign sequence
+//! space and the connection stalls. IP-level byte caching preserves the
+//! end-to-end TCP session: after the handoff, losses in flight are
+//! ordinary losses and TCP retransmits over the new path.
+//!
+//! This experiment downloads through the gateway pair, then at a fixed
+//! time reroutes the client to a direct path that bypasses both
+//! gateways, dropping whatever was in flight. The download must still
+//! complete with intact data.
+
+use bytecache::gateway::{DecoderGateway, EncoderGateway};
+use bytecache::{Decoder, DreConfig, Encoder, PolicyKind};
+use bytecache_netsim::channel::ChannelConfig;
+use bytecache_netsim::time::{SimDuration, SimTime};
+use bytecache_netsim::{LinkConfig, Simulator};
+use bytecache_tcp::{TcpClientNode, TcpConfig, TcpServerNode};
+use bytecache_workload::FileSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::addrs::{CLIENT, CLIENT_PORT, DECODER_GW, ENCODER_GW, SERVER, SERVER_PORT};
+
+/// Outcome of the handoff experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MobilityResult {
+    /// Whether the download completed with intact data.
+    pub completed: bool,
+    /// Bytes delivered before the handoff fired.
+    pub bytes_before_handoff: u64,
+    /// Total bytes delivered.
+    pub bytes_total: u64,
+    /// Download duration in seconds.
+    pub duration_secs: Option<f64>,
+    /// Packets dropped because the old path lost its route mid-flight.
+    pub in_flight_drops: u64,
+}
+
+/// Run the handoff scenario: gateway path until `handoff`, direct path
+/// after.
+#[must_use]
+pub fn run(object_size: usize, handoff: SimDuration, seed: u64) -> MobilityResult {
+    let object = FileSpec::File1.build(object_size, 42);
+    let mut sim = Simulator::new(seed);
+    let tcp = TcpConfig::default();
+
+    let server = sim.add_node(TcpServerNode::new(SERVER, SERVER_PORT, object.clone(), tcp.clone()));
+    let client = sim.add_node(TcpClientNode::new(CLIENT, CLIENT_PORT, SERVER, SERVER_PORT, tcp));
+    let dre = DreConfig::default();
+    let enc_gw = sim.add_node(
+        EncoderGateway::new(Encoder::new(dre.clone(), PolicyKind::CacheFlush.build()), CLIENT)
+            .with_control_addr(ENCODER_GW),
+    );
+    let dec_gw = sim.add_node(DecoderGateway::new(Decoder::new(dre), CLIENT, DECODER_GW));
+    // The new access network the client moves to (no byte caching).
+    let access2 = sim.add_node(crate::scenario::PassThrough);
+
+    let lan = LinkConfig {
+        rate_bytes_per_sec: None,
+        propagation: SimDuration::from_micros(500),
+        channel: ChannelConfig::clean(),
+    };
+    let wireless = LinkConfig {
+        rate_bytes_per_sec: Some(1_000_000),
+        propagation: SimDuration::from_millis(10),
+        channel: ChannelConfig::clean(),
+    };
+    sim.add_duplex_link(server, enc_gw, lan.clone());
+    sim.add_duplex_link(enc_gw, dec_gw, wireless.clone());
+    sim.add_duplex_link(dec_gw, client, lan.clone());
+    // The post-handoff path: server ↔ access2 ↔ client (also wireless).
+    sim.add_duplex_link(server, access2, lan);
+    sim.add_duplex_link(access2, client, wireless);
+
+    // Initial routes: via the gateways.
+    sim.add_route(server, CLIENT, enc_gw);
+    sim.add_route(enc_gw, CLIENT, dec_gw);
+    sim.add_route(dec_gw, CLIENT, client);
+    sim.add_route(client, SERVER, dec_gw);
+    sim.add_route(dec_gw, SERVER, enc_gw);
+    sim.add_route(enc_gw, SERVER, server);
+
+    // The handoff: server and client switch to the direct path; the
+    // decoder gateway loses its route to the client, so packets still in
+    // flight on the old path are dropped (counted as no-route drops).
+    let t = SimTime::ZERO + handoff;
+    sim.schedule_route_change(t, server, CLIENT, Some(access2));
+    sim.schedule_route_change(t, access2, CLIENT, Some(client));
+    sim.schedule_route_change(t, access2, SERVER, Some(server));
+    sim.schedule_route_change(t, client, SERVER, Some(access2));
+    sim.schedule_route_change(t, dec_gw, CLIENT, None);
+
+    sim.run_until(t);
+    let bytes_before = sim
+        .node::<TcpClientNode>(client)
+        .expect("client")
+        .report()
+        .bytes_delivered;
+    sim.run_until_idle();
+
+    let node = sim.node::<TcpClientNode>(client).expect("client");
+    let report = node.report().clone();
+    let intact = node.received() == &object[..];
+    MobilityResult {
+        completed: report.complete && intact,
+        bytes_before_handoff: bytes_before,
+        bytes_total: report.bytes_delivered,
+        duration_secs: report.duration().map(|d| d.as_secs_f64()),
+        in_flight_drops: sim.no_route_drops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_survives_the_handoff() {
+        let r = run(300_000, SimDuration::from_millis(150), 3);
+        assert!(r.completed, "IP-level byte caching must survive mobility: {r:?}");
+        // The handoff happened mid-transfer...
+        assert!(r.bytes_before_handoff > 0);
+        assert!(r.bytes_before_handoff < r.bytes_total);
+        // ...and actually cost some in-flight packets.
+        assert!(r.in_flight_drops > 0, "expected in-flight drops at handoff");
+    }
+
+    #[test]
+    fn handoff_after_completion_is_harmless() {
+        let r = run(60_000, SimDuration::from_secs(30), 3);
+        assert!(r.completed);
+        assert_eq!(r.bytes_before_handoff, r.bytes_total);
+        assert_eq!(r.in_flight_drops, 0);
+    }
+}

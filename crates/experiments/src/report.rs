@@ -1,0 +1,155 @@
+//! ASCII table rendering and a small parallel sweep runner.
+
+use parking_lot::Mutex;
+
+/// A printable experiment table (monospace, padded columns).
+///
+/// # Example
+///
+/// ```
+/// use bytecache_experiments::report::Table;
+///
+/// let mut t = Table::new("Demo", &["policy", "ratio"]);
+/// t.row(&["cache-flush", "0.67"]);
+/// let s = t.render();
+/// assert!(s.contains("cache-flush"));
+/// assert!(s.contains("Demo"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Render to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Map `f` over `items` on a small thread pool, preserving order.
+///
+/// The experiment sweeps are embarrassingly parallel (independent
+/// seeded simulations); this keeps the `repro` binary and the Criterion
+/// benches wall-clock friendly.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = Mutex::new(work);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                let Some((idx, item)) = item else { break };
+                let out = f(item);
+                results.lock().push((idx, out));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut results = results.into_inner();
+    results.sort_by_key(|(i, _)| *i);
+    results.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_alignment() {
+        let mut t = Table::new("T", &["a", "longheader"]);
+        t.row(&["xxxxxxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "## T");
+        // All table lines are equally wide.
+        assert_eq!(lines[1].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_rejected() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let out = parallel_map(input.clone(), |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

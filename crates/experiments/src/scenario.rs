@@ -1,0 +1,373 @@
+//! Topology assembly and single-run execution (the paper's Figure 3).
+
+use bytecache::gateway::{DecoderGateway, EncoderGateway};
+use bytecache::{Decoder, DecoderStats, DreConfig, Encoder, EncoderStats, PolicyKind};
+use bytecache_netsim::channel::{ChannelConfig, LossModel};
+use bytecache_netsim::time::{SimDuration, SimTime};
+use bytecache_netsim::{Context, LinkConfig, LinkStats, Node, Simulator};
+use bytecache_packet::Packet;
+use bytecache_tcp::{DownloadReport, ServerReport, TcpClientNode, TcpConfig, TcpServerNode};
+
+/// Fixed addresses of the four-node chain.
+pub mod addrs {
+    use std::net::Ipv4Addr;
+    /// HTTP server.
+    pub const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    /// Downloading client.
+    pub const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    /// Encoder gateway (control address for NACKs).
+    pub const ENCODER_GW: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    /// Decoder gateway.
+    pub const DECODER_GW: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 4);
+    /// Server TCP port.
+    pub const SERVER_PORT: u16 = 80;
+    /// Client TCP port.
+    pub const CLIENT_PORT: u16 = 40_000;
+}
+
+/// A middlebox that forwards everything untouched — the gateway used in
+/// baseline (no-DRE) runs so topology and link behaviour stay identical.
+#[derive(Debug, Default, Clone)]
+pub struct PassThrough;
+
+impl Node for PassThrough {
+    fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
+        ctx.forward(packet);
+    }
+}
+
+/// Everything a single run needs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The object served.
+    pub object: Vec<u8>,
+    /// Bernoulli loss rate on the wireless data direction.
+    pub loss_rate: f64,
+    /// Corruption rate on the wireless data direction.
+    pub corruption_rate: f64,
+    /// Reorder rate on the wireless data direction.
+    pub reorder_rate: f64,
+    /// Use a Gilbert–Elliott bursty channel with this mean burst length
+    /// instead of Bernoulli loss.
+    pub burst_len: Option<f64>,
+    /// Wireless serialization rate (paper: 1 MB/s).
+    pub wireless_rate: u64,
+    /// Wireless one-way propagation delay.
+    pub wireless_propagation: SimDuration,
+    /// Byte caching policy; `None` runs the no-DRE baseline.
+    pub policy: Option<PolicyKind>,
+    /// Enable decoder→encoder NACKs (informed marking).
+    pub nacks: bool,
+    /// DRE parameters.
+    pub dre: DreConfig,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Simulation seed (channel randomness).
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// Paper-shaped defaults: 1 MB/s wireless link, 10 ms propagation,
+    /// clean channel, no DRE, default TCP with enough retries that
+    /// robust policies can ride out 20 % loss.
+    #[must_use]
+    pub fn new(object: Vec<u8>) -> Self {
+        ScenarioConfig {
+            object,
+            loss_rate: 0.0,
+            corruption_rate: 0.0,
+            reorder_rate: 0.0,
+            burst_len: None,
+            wireless_rate: 1_000_000,
+            wireless_propagation: SimDuration::from_millis(10),
+            policy: None,
+            nacks: false,
+            dre: DreConfig::default(),
+            tcp: TcpConfig {
+                // Linux's default of 15 retries: robust policies must be
+                // able to ride out 20 % loss (and k-distance's bounded
+                // self-poisoning episodes) without spurious aborts.
+                max_retries: 15,
+                ..TcpConfig::default()
+            },
+            seed: 1,
+        }
+    }
+
+    /// Set the loss rate (builder style).
+    #[must_use]
+    pub fn loss(mut self, rate: f64) -> Self {
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Set the policy (builder style).
+    #[must_use]
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = Some(kind);
+        self
+    }
+
+    /// Set the seed (builder style).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn data_channel(&self) -> ChannelConfig {
+        let loss = match (self.loss_rate, self.burst_len) {
+            (rate, _) if rate <= 0.0 => LossModel::None,
+            (rate, Some(burst)) => LossModel::bursty(rate, burst),
+            (rate, None) => LossModel::Bernoulli { rate },
+        };
+        ChannelConfig {
+            loss,
+            corruption_rate: self.corruption_rate,
+            reorder_rate: self.reorder_rate,
+            reorder_window: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Everything a single run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Client-side download report.
+    pub client: DownloadReport,
+    /// Server-side transfer report.
+    pub server: ServerReport,
+    /// Encoder counters (`None` in baseline runs).
+    pub encoder: Option<EncoderStats>,
+    /// Decoder counters (`None` in baseline runs).
+    pub decoder: Option<DecoderStats>,
+    /// Packets the decoder gateway dropped as undecodable.
+    pub undecodable_drops: u64,
+    /// Wireless link counters, data direction.
+    pub wireless: LinkStats,
+    /// Simulated time when the run went idle.
+    pub end_time: SimTime,
+    /// Whether the delivered bytes exactly equal the object.
+    pub data_intact: bool,
+    /// Object length (denominator for retrieval fractions).
+    pub object_len: usize,
+}
+
+impl RunResult {
+    /// Download completed (FIN received, data intact).
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.client.complete && self.data_intact
+    }
+
+    /// Download duration in seconds, if completed.
+    #[must_use]
+    pub fn duration_secs(&self) -> Option<f64> {
+        self.client.duration().map(|d| d.as_secs_f64())
+    }
+
+    /// Bytes offered on the wireless data direction — the paper's
+    /// "bytes sent" measure.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.wireless.bytes_offered
+    }
+
+    /// Fraction of the object the client retrieved.
+    #[must_use]
+    pub fn fraction_retrieved(&self) -> f64 {
+        self.client.fraction_retrieved(self.object_len)
+    }
+
+    /// The paper's perceived loss rate: channel losses plus undecodable
+    /// drops, over packets offered on the wireless data direction.
+    #[must_use]
+    pub fn perceived_loss(&self) -> f64 {
+        if self.wireless.packets_offered == 0 {
+            return 0.0;
+        }
+        let lost = self.wireless.packets_lost
+            + self.wireless.packets_corrupted
+            + self.undecodable_drops;
+        lost as f64 / self.wireless.packets_offered as f64
+    }
+}
+
+/// Run one object retrieval through the four-node chain and collect
+/// everything the experiments need.
+///
+/// # Panics
+///
+/// Panics if the simulator's event budget is exhausted (indicates a
+/// protocol loop — which the TCP abort logic should prevent).
+#[must_use]
+pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
+    use addrs::*;
+
+    let object_len = config.object.len();
+    let mut sim = Simulator::new(config.seed);
+
+    let server = sim.add_node(TcpServerNode::new(
+        SERVER,
+        SERVER_PORT,
+        config.object.clone(),
+        config.tcp.clone(),
+    ));
+    let client = sim.add_node(TcpClientNode::new(
+        CLIENT,
+        CLIENT_PORT,
+        SERVER,
+        SERVER_PORT,
+        config.tcp.clone(),
+    ));
+    let (enc_gw, dec_gw) = match config.policy {
+        Some(kind) => {
+            let encoder = Encoder::new(config.dre.clone(), kind.build());
+            let decoder = Decoder::new(config.dre.clone());
+            let enc = EncoderGateway::new(encoder, CLIENT).with_control_addr(ENCODER_GW);
+            let mut dec = DecoderGateway::new(decoder, CLIENT, DECODER_GW);
+            if config.nacks {
+                dec = dec.with_nacks(ENCODER_GW);
+            }
+            (sim.add_node(enc), sim.add_node(dec))
+        }
+        None => (sim.add_node(PassThrough), sim.add_node(PassThrough)),
+    };
+
+    // Links. Clean LAN hops at both ends; the constrained wireless
+    // segment in the middle. Loss/corruption/reordering apply to the
+    // data direction only (the paper's downlink).
+    let lan = LinkConfig {
+        rate_bytes_per_sec: None,
+        propagation: SimDuration::from_micros(500),
+        channel: ChannelConfig::clean(),
+    };
+    sim.add_duplex_link(server, enc_gw, lan.clone());
+    sim.add_duplex_link(dec_gw, client, lan);
+    let wireless_data = sim.add_link(
+        enc_gw,
+        dec_gw,
+        LinkConfig {
+            rate_bytes_per_sec: Some(config.wireless_rate),
+            propagation: config.wireless_propagation,
+            channel: config.data_channel(),
+        },
+    );
+    sim.add_link(
+        dec_gw,
+        enc_gw,
+        LinkConfig {
+            rate_bytes_per_sec: Some(config.wireless_rate),
+            propagation: config.wireless_propagation,
+            channel: ChannelConfig::clean(),
+        },
+    );
+
+    // Routes (static IP forwarding tables).
+    sim.add_route(server, CLIENT, enc_gw);
+    sim.add_route(enc_gw, CLIENT, dec_gw);
+    sim.add_route(dec_gw, CLIENT, client);
+    sim.add_route(client, SERVER, dec_gw);
+    sim.add_route(dec_gw, SERVER, enc_gw);
+    sim.add_route(enc_gw, SERVER, server);
+    // NACK control path: decoder gateway → encoder gateway.
+    sim.add_route(dec_gw, ENCODER_GW, enc_gw);
+
+    let end_time = sim.run_until_idle();
+
+    let client_node = sim.node::<TcpClientNode>(client).expect("client");
+    let server_node = sim.node::<TcpServerNode>(server).expect("server");
+    let received = client_node.received();
+    let data_intact = if client_node.report().complete {
+        received == &config.object[..]
+    } else {
+        config.object.starts_with(received)
+    };
+    let (encoder, decoder, undecodable) = match config.policy {
+        Some(_) => {
+            let e = sim.node::<EncoderGateway>(enc_gw).expect("encoder gw");
+            let d = sim.node::<DecoderGateway>(dec_gw).expect("decoder gw");
+            (
+                Some(e.encoder().stats().clone()),
+                Some(d.decoder().stats().clone()),
+                d.dropped(),
+            )
+        }
+        None => (None, None, 0),
+    };
+
+    RunResult {
+        client: client_node.report().clone(),
+        server: server_node.report().clone(),
+        encoder,
+        decoder,
+        undecodable_drops: undecodable,
+        wireless: sim.link_stats(wireless_data).clone(),
+        end_time,
+        data_intact,
+        object_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecache_workload::FileSpec;
+
+    #[test]
+    fn baseline_clean_run_completes_intact() {
+        let object = FileSpec::File1.build(120_000, 1);
+        let r = run_scenario(&ScenarioConfig::new(object));
+        assert!(r.completed());
+        assert!(r.data_intact);
+        assert!(r.duration_secs().unwrap() > 0.1);
+        assert_eq!(r.encoder, None);
+        assert_eq!(r.perceived_loss(), 0.0);
+    }
+
+    #[test]
+    fn dre_clean_run_is_intact_and_smaller_on_the_wire() {
+        let object = FileSpec::File1.build(120_000, 1);
+        let base = run_scenario(&ScenarioConfig::new(object.clone()));
+        let dre = run_scenario(&ScenarioConfig::new(object).policy(PolicyKind::Naive));
+        assert!(dre.completed());
+        assert!(dre.data_intact, "DRE must be transparent");
+        assert!(
+            dre.wire_bytes() < base.wire_bytes() * 8 / 10,
+            "expected >20% byte savings: {} vs {}",
+            dre.wire_bytes(),
+            base.wire_bytes()
+        );
+        assert!(dre.duration_secs().unwrap() < base.duration_secs().unwrap());
+    }
+
+    #[test]
+    fn lossy_dre_with_cache_flush_completes_intact() {
+        let object = FileSpec::File1.build(120_000, 2);
+        let r = run_scenario(
+            &ScenarioConfig::new(object)
+                .policy(PolicyKind::CacheFlush)
+                .loss(0.03)
+                .seed(5),
+        );
+        assert!(r.completed(), "cache-flush must survive loss: {r:?}");
+        assert!(r.undecodable_drops > 0 || r.wireless.packets_lost > 0);
+    }
+
+    #[test]
+    fn naive_under_loss_stalls() {
+        let object = FileSpec::File1.build(400_000, 3);
+        let r = run_scenario(
+            &ScenarioConfig::new(object)
+                .policy(PolicyKind::Naive)
+                .loss(0.01)
+                .seed(7),
+        );
+        // The paper's headline correctness result: the transfer should
+        // abort with only part of the object retrieved.
+        assert!(!r.completed());
+        assert!(r.server.aborted || r.client.aborted);
+        assert!(r.fraction_retrieved() < 1.0);
+        assert!(r.data_intact, "partial data must still be a clean prefix");
+    }
+}

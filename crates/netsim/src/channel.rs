@@ -1,0 +1,363 @@
+//! Channel impairment models: loss, corruption, and reordering.
+//!
+//! The paper's experiments vary the packet loss rate of the wireless
+//! segment from 0 to 20 %. This module supplies the per-packet random
+//! verdicts. Two loss processes are provided:
+//!
+//! * [`LossModel::Bernoulli`] — independent loss with fixed probability,
+//!   exactly what the paper's traffic shaper emulated.
+//! * [`LossModel::GilbertElliott`] — a two-state Markov chain producing
+//!   *bursty* loss, which is how real wireless channels actually fail.
+//!   The ablation benches compare the two at equal mean loss rate.
+//!
+//! Corruption and reordering are modelled independently: a corrupted
+//! packet has random payload bits flipped (every checksum downstream will
+//! reject it), and a reordered packet is held back by a random extra
+//! delay so later packets overtake it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::time::SimDuration;
+
+/// Per-packet loss process.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No loss ever.
+    None,
+    /// Independent (i.i.d.) loss with probability `rate`.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Two-state Gilbert–Elliott Markov model. In the *good* state
+    /// packets are lost with probability `good_loss`, in the *bad* state
+    /// with `bad_loss`; the chain moves good→bad with `p_good_to_bad`
+    /// and bad→good with `p_bad_to_good` per packet.
+    GilbertElliott {
+        /// P(loss) in the good state (typically ~0).
+        good_loss: f64,
+        /// P(loss) in the bad state (typically high, e.g. 0.5–1.0).
+        bad_loss: f64,
+        /// Per-packet transition probability good → bad.
+        p_good_to_bad: f64,
+        /// Per-packet transition probability bad → good.
+        p_bad_to_good: f64,
+    },
+}
+
+impl LossModel {
+    /// A Gilbert–Elliott model tuned to a target mean loss `rate` with a
+    /// mean burst length of `burst_len` packets (loss certain in the bad
+    /// state, never in the good state).
+    ///
+    /// Stationary probability of the bad state is then `rate`, giving a
+    /// long-run loss rate of `rate` while concentrating losses in runs of
+    /// expected length `burst_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1` and `burst_len >= 1`.
+    #[must_use]
+    pub fn bursty(rate: f64, burst_len: f64) -> LossModel {
+        assert!((0.0..1.0).contains(&rate), "rate out of range: {rate}");
+        assert!(burst_len >= 1.0, "burst length must be >= 1");
+        if rate == 0.0 {
+            return LossModel::None;
+        }
+        let p_bad_to_good = 1.0 / burst_len;
+        // Stationary P(bad) = g2b / (g2b + b2g) = rate.
+        let p_good_to_bad = rate * p_bad_to_good / (1.0 - rate);
+        LossModel::GilbertElliott {
+            good_loss: 0.0,
+            bad_loss: 1.0,
+            p_good_to_bad,
+            p_bad_to_good,
+        }
+    }
+
+    /// Long-run expected loss rate of this model.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { rate } => rate,
+            LossModel::GilbertElliott {
+                good_loss,
+                bad_loss,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                let p_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good);
+                (1.0 - p_bad) * good_loss + p_bad * bad_loss
+            }
+        }
+    }
+}
+
+/// Runtime state for a [`LossModel`] (the Markov state for
+/// Gilbert–Elliott).
+#[derive(Debug, Clone)]
+pub struct LossState {
+    model: LossModel,
+    in_bad_state: bool,
+}
+
+impl LossState {
+    /// Fresh state (Gilbert–Elliott starts in the good state).
+    #[must_use]
+    pub fn new(model: LossModel) -> Self {
+        LossState {
+            model,
+            in_bad_state: false,
+        }
+    }
+
+    /// Decide whether the next packet is lost.
+    pub fn is_lost(&mut self, rng: &mut StdRng) -> bool {
+        match self.model {
+            LossModel::None => false,
+            LossModel::Bernoulli { rate } => rate > 0.0 && rng.gen_bool(rate.min(1.0)),
+            LossModel::GilbertElliott {
+                good_loss,
+                bad_loss,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                // Transition first, then sample loss in the new state.
+                if self.in_bad_state {
+                    if rng.gen_bool(p_bad_to_good.clamp(0.0, 1.0)) {
+                        self.in_bad_state = false;
+                    }
+                } else if rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state { bad_loss } else { good_loss };
+                p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+/// Full channel impairment configuration for one link direction.
+#[derive(Debug, Clone)]
+pub struct ChannelConfig {
+    /// Loss process.
+    pub loss: LossModel,
+    /// Probability a surviving packet has payload bits flipped.
+    pub corruption_rate: f64,
+    /// Probability a surviving packet is held back (reordered).
+    pub reorder_rate: f64,
+    /// Maximum extra delay applied to a reordered packet.
+    pub reorder_window: SimDuration,
+}
+
+impl Default for ChannelConfig {
+    /// A clean channel: no loss, corruption, or reordering.
+    fn default() -> Self {
+        ChannelConfig {
+            loss: LossModel::None,
+            corruption_rate: 0.0,
+            reorder_rate: 0.0,
+            reorder_window: SimDuration::from_millis(20),
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// Clean channel (no impairments).
+    #[must_use]
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// Bernoulli loss at `rate`, nothing else — the paper's setting.
+    #[must_use]
+    pub fn lossy(rate: f64) -> Self {
+        ChannelConfig {
+            loss: if rate > 0.0 {
+                LossModel::Bernoulli { rate }
+            } else {
+                LossModel::None
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// The verdict a channel renders for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver unmodified, on time.
+    Deliver,
+    /// Drop silently.
+    Lose,
+    /// Deliver with flipped payload bits (will fail checksums).
+    Corrupt,
+    /// Deliver late by the given extra delay.
+    Reorder(SimDuration),
+}
+
+/// Stateful per-link channel: renders a [`Verdict`] per packet.
+#[derive(Debug)]
+pub struct Channel {
+    config: ChannelConfig,
+    loss: LossState,
+}
+
+impl Channel {
+    /// Build the runtime channel for a configuration.
+    #[must_use]
+    pub fn new(config: ChannelConfig) -> Self {
+        Channel {
+            loss: LossState::new(config.loss.clone()),
+            config,
+        }
+    }
+
+    /// Render the verdict for the next packet.
+    pub fn verdict(&mut self, rng: &mut StdRng) -> Verdict {
+        if self.loss.is_lost(rng) {
+            return Verdict::Lose;
+        }
+        if self.config.corruption_rate > 0.0 && rng.gen_bool(self.config.corruption_rate) {
+            return Verdict::Corrupt;
+        }
+        if self.config.reorder_rate > 0.0 && rng.gen_bool(self.config.reorder_rate) {
+            let extra = rng.gen_range(1..=self.config.reorder_window.as_micros().max(1));
+            return Verdict::Reorder(SimDuration::from_micros(extra));
+        }
+        Verdict::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    fn empirical_loss(model: LossModel, n: usize) -> f64 {
+        let mut state = LossState::new(model);
+        let mut r = rng();
+        let lost = (0..n).filter(|_| state.is_lost(&mut r)).count();
+        lost as f64 / n as f64
+    }
+
+    #[test]
+    fn none_never_loses() {
+        assert_eq!(empirical_loss(LossModel::None, 10_000), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_hits_its_rate() {
+        let rate = empirical_loss(LossModel::Bernoulli { rate: 0.05 }, 200_000);
+        assert!((rate - 0.05).abs() < 0.005, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_hits_mean_rate() {
+        let model = LossModel::bursty(0.10, 5.0);
+        assert!((model.mean_rate() - 0.10).abs() < 1e-9);
+        let rate = empirical_loss(model, 400_000);
+        assert!((rate - 0.10).abs() < 0.01, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Mean run length of consecutive losses should approximate the
+        // configured burst length, far above the Bernoulli value (~1.1).
+        let mut state = LossState::new(LossModel::bursty(0.10, 8.0));
+        let mut r = rng();
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..400_000 {
+            if state.is_lost(&mut r) {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        let mean = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        assert!(mean > 4.0, "mean burst {mean} not bursty");
+    }
+
+    #[test]
+    fn bursty_zero_rate_is_lossless() {
+        assert!(matches!(LossModel::bursty(0.0, 4.0), LossModel::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate out of range")]
+    fn bursty_rejects_bad_rate() {
+        let _ = LossModel::bursty(1.5, 4.0);
+    }
+
+    #[test]
+    fn channel_verdicts_respect_rates() {
+        let cfg = ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 0.1 },
+            corruption_rate: 0.1,
+            reorder_rate: 0.1,
+            reorder_window: SimDuration::from_millis(5),
+        };
+        let mut ch = Channel::new(cfg);
+        let mut r = rng();
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            match ch.verdict(&mut r) {
+                Verdict::Deliver => counts[0] += 1,
+                Verdict::Lose => counts[1] += 1,
+                Verdict::Corrupt => counts[2] += 1,
+                Verdict::Reorder(extra) => {
+                    counts[3] += 1;
+                    assert!(extra.as_micros() <= 5_000);
+                    assert!(extra.as_micros() >= 1);
+                }
+            }
+        }
+        let f = |c: usize| c as f64 / n as f64;
+        assert!((f(counts[1]) - 0.10).abs() < 0.01); // loss
+        assert!((f(counts[2]) - 0.09).abs() < 0.01); // corrupt = 0.9*0.1
+        assert!((f(counts[3]) - 0.081).abs() < 0.01); // reorder = 0.81*0.1
+    }
+
+    #[test]
+    fn clean_channel_always_delivers() {
+        let mut ch = Channel::new(ChannelConfig::clean());
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(ch.verdict(&mut r), Verdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn lossy_constructor_sets_only_loss() {
+        let cfg = ChannelConfig::lossy(0.2);
+        assert!(matches!(cfg.loss, LossModel::Bernoulli { rate } if rate == 0.2));
+        assert_eq!(cfg.corruption_rate, 0.0);
+        assert_eq!(cfg.reorder_rate, 0.0);
+        assert!(matches!(ChannelConfig::lossy(0.0).loss, LossModel::None));
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_verdict_streams() {
+        let cfg = ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 0.3 },
+            corruption_rate: 0.2,
+            reorder_rate: 0.2,
+            reorder_window: SimDuration::from_millis(2),
+        };
+        let run = || {
+            let mut ch = Channel::new(cfg.clone());
+            let mut r = StdRng::seed_from_u64(99);
+            (0..1000).map(|_| ch.verdict(&mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,784 @@
+//! The event loop: queue, routing, links, and node dispatch.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+use bytecache_packet::Packet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::channel::Verdict;
+use crate::link::{LinkConfig, LinkId, LinkState};
+use crate::node::{Action, Context, Node, NodeId};
+use crate::stats::LinkStats;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
+
+/// Blanket helper granting `Any`-style downcasting to all nodes, so the
+/// harness can inspect endpoint state (e.g. download statistics) after a
+/// run via [`Simulator::node`].
+pub trait AsAny {
+    /// Upcast to `&dyn Any`.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcast to `&mut dyn Any`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Deliver { to: NodeId, packet: Packet },
+    Timer { node: NodeId, token: u64 },
+    RouteChange { node: NodeId, dst: Ipv4Addr, next: Option<NodeId> },
+}
+
+struct Queued {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// Construct with a seed, add nodes/links/routes, then run. See the
+/// [crate docs](crate) for the model and an end-to-end example in the
+/// `bytecache-experiments` crate.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Queued>>,
+    nodes: Vec<Box<dyn SimNode>>,
+    links: Vec<LinkState>,
+    link_index: HashMap<(NodeId, NodeId), LinkId>,
+    routes: Vec<HashMap<Ipv4Addr, NodeId>>,
+    rng: StdRng,
+    no_route_drops: u64,
+    trace: Option<Box<dyn TraceSink>>,
+    started: bool,
+    event_budget: u64,
+    events_processed: u64,
+}
+
+/// Object-safe supertrait combining [`Node`] and downcasting.
+pub(crate) trait SimNode: Node + AsAny {}
+impl<T: Node + AsAny> SimNode for T {}
+
+impl Simulator {
+    /// New simulator; all channel randomness derives from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            link_index: HashMap::new(),
+            routes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            no_route_drops: 0,
+            trace: None,
+            started: false,
+            event_budget: 200_000_000,
+            events_processed: 0,
+        }
+    }
+
+    /// Install a node; returns its id.
+    pub fn add_node(&mut self, node: impl Node + Any) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Box::new(node));
+        self.routes.push(HashMap::new());
+        id
+    }
+
+    /// Install a unidirectional link `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link already exists in that direction or either node
+    /// id is unknown.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
+        assert!(from.0 < self.nodes.len(), "unknown node {from}");
+        assert!(to.0 < self.nodes.len(), "unknown node {to}");
+        assert!(
+            !self.link_index.contains_key(&(from, to)),
+            "duplicate link {from} -> {to}"
+        );
+        let id = LinkId(self.links.len());
+        self.links.push(LinkState::new(config));
+        self.link_index.insert((from, to), id);
+        id
+    }
+
+    /// Install a pair of links `a → b` and `b → a` with the same
+    /// configuration (channel state is independent per direction).
+    pub fn add_duplex_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        config: LinkConfig,
+    ) -> (LinkId, LinkId) {
+        (
+            self.add_link(a, b, config.clone()),
+            self.add_link(b, a, config),
+        )
+    }
+
+    /// Add (or replace) a route: at `node`, packets destined to `dst`
+    /// are transmitted to `next_hop`.
+    pub fn add_route(&mut self, node: NodeId, dst: Ipv4Addr, next_hop: NodeId) {
+        self.routes[node.0].insert(dst, next_hop);
+    }
+
+    /// Remove a route; packets to `dst` at `node` are then dropped (and
+    /// counted in [`no_route_drops`](Self::no_route_drops)).
+    pub fn remove_route(&mut self, node: NodeId, dst: Ipv4Addr) {
+        self.routes[node.0].remove(&dst);
+    }
+
+    /// Schedule a route change at an absolute time (the mobility
+    /// handoff primitive). `next = None` removes the route.
+    pub fn schedule_route_change(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        dst: Ipv4Addr,
+        next: Option<NodeId>,
+    ) {
+        self.push(at, Event::RouteChange { node, dst, next });
+    }
+
+    /// Install a trace sink receiving every notable event.
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Abort the run (panic) if more than `budget` events are processed —
+    /// a guard against accidental infinite protocol loops.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Packets discarded because the emitting node had no route.
+    #[must_use]
+    pub fn no_route_drops(&self) -> u64 {
+        self.no_route_drops
+    }
+
+    /// Traffic counters of a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    #[must_use]
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.links[link.0].stats
+    }
+
+    /// Borrow a node downcast to its concrete type.
+    ///
+    /// Returns `None` if the node is not a `T`.
+    #[must_use]
+    pub fn node<T: Any>(&self, id: NodeId) -> Option<&T> {
+        // Deref through the Box so the call dispatches on `dyn SimNode`
+        // (the blanket AsAny impl would otherwise match the Box itself).
+        (*self.nodes[id.0]).as_any().downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a node downcast to its concrete type.
+    #[must_use]
+    pub fn node_mut<T: Any>(&mut self, id: NodeId) -> Option<&mut T> {
+        (*self.nodes[id.0]).as_any_mut().downcast_mut::<T>()
+    }
+
+    fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Queued { at, seq, event }));
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let mut actions = Vec::new();
+        for i in 0..self.nodes.len() {
+            let node = NodeId(i);
+            let mut ctx = Context {
+                now: self.now,
+                node,
+                actions: &mut actions,
+            };
+            self.nodes[i].on_start(&mut ctx);
+            let drained: Vec<Action> = std::mem::take(&mut actions);
+            self.apply_actions(node, drained);
+        }
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Forward(packet) => self.route_and_transmit(node, packet),
+                Action::Timer(delay, token) => {
+                    self.push(self.now + delay, Event::Timer { node, token });
+                }
+            }
+        }
+    }
+
+    fn route_and_transmit(&mut self, from: NodeId, packet: Packet) {
+        let Some(&next) = self.routes[from.0].get(&packet.ip.dst) else {
+            self.no_route_drops += 1;
+            if let Some(t) = self.trace.as_mut() {
+                t.event(&TraceEvent::NoRoute {
+                    at: self.now,
+                    from,
+                    packet: &packet,
+                });
+            }
+            return;
+        };
+        let link_id = *self
+            .link_index
+            .get(&(from, next))
+            .unwrap_or_else(|| panic!("route {from} -> {next} without a link"));
+        let link = &mut self.links[link_id.0];
+        let wire = packet.wire_len();
+        link.stats.packets_offered += 1;
+        link.stats.bytes_offered += wire as u64;
+        if let Some(t) = self.trace.as_mut() {
+            t.event(&TraceEvent::Transmit {
+                at: self.now,
+                from,
+                to: next,
+                packet: &packet,
+            });
+        }
+        let depart = self.now.max(link.busy_until);
+        let done = depart + link.config.serialization_time(wire);
+        link.busy_until = done;
+        match link.channel.verdict(&mut self.rng) {
+            Verdict::Lose => {
+                link.stats.packets_lost += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::Lost {
+                        at: self.now,
+                        from,
+                        to: next,
+                        packet: &packet,
+                    });
+                }
+            }
+            Verdict::Corrupt => {
+                // A corrupted packet is delivered on the wire but fails
+                // the IP/TCP (or byte caching shim) checksum at the
+                // receiver, which discards it. Both outcomes are a drop;
+                // we account it separately and do not dispatch it.
+                link.stats.packets_corrupted += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::Corrupted {
+                        at: self.now,
+                        from,
+                        to: next,
+                        packet: &packet,
+                    });
+                }
+            }
+            Verdict::Deliver => {
+                link.stats.packets_delivered += 1;
+                link.stats.bytes_delivered += wire as u64;
+                let arrive = done + link.config.propagation;
+                self.push(arrive, Event::Deliver { to: next, packet });
+            }
+            Verdict::Reorder(extra) => {
+                link.stats.packets_delivered += 1;
+                link.stats.bytes_delivered += wire as u64;
+                link.stats.packets_reordered += 1;
+                let arrive = done + link.config.propagation + extra;
+                self.push(arrive, Event::Deliver { to: next, packet });
+            }
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Deliver { to, packet } => {
+                if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::Deliver {
+                        at: self.now,
+                        to,
+                        packet: &packet,
+                    });
+                }
+                let mut actions = Vec::new();
+                let mut ctx = Context {
+                    now: self.now,
+                    node: to,
+                    actions: &mut actions,
+                };
+                self.nodes[to.0].on_packet(packet, &mut ctx);
+                self.apply_actions(to, actions);
+            }
+            Event::Timer { node, token } => {
+                let mut actions = Vec::new();
+                let mut ctx = Context {
+                    now: self.now,
+                    node,
+                    actions: &mut actions,
+                };
+                self.nodes[node.0].on_timer(token, &mut ctx);
+                self.apply_actions(node, actions);
+            }
+            Event::RouteChange { node, dst, next } => match next {
+                Some(n) => self.add_route(node, dst, n),
+                None => self.remove_route(node, dst),
+            },
+        }
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(Reverse(q)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(q.at >= self.now, "time went backwards");
+        self.now = q.at;
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.event_budget,
+            "event budget exhausted ({} events): likely a protocol loop",
+            self.event_budget
+        );
+        self.dispatch(q.event);
+        true
+    }
+
+    /// Run until no events remain; returns the final simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget is exhausted (see
+    /// [`set_event_budget`](Self::set_event_budget)).
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.start_if_needed();
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until the given absolute time (events at exactly `t` are
+    /// processed); later events stay queued.
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        self.start_if_needed();
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > t {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(t);
+        self.now
+    }
+
+    /// Run for a span of simulated time from now.
+    pub fn run_for(&mut self, d: SimDuration) -> SimTime {
+        let target = self.now + d;
+        self.run_until(target)
+    }
+}
+
+impl core::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelConfig;
+    use bytecache_packet::TcpFlags;
+    use std::net::Ipv4Addr;
+
+    const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pkt(src: Ipv4Addr, dst: Ipv4Addr, len: usize) -> Packet {
+        Packet::builder()
+            .src(src, 1)
+            .dst(dst, 2)
+            .flags(TcpFlags::ACK)
+            .payload(vec![0xAB; len])
+            .build()
+    }
+
+    /// Sends `count` packets at start; records arrival times of replies.
+    struct Sender {
+        dst: Ipv4Addr,
+        src: Ipv4Addr,
+        count: usize,
+        len: usize,
+    }
+    impl Node for Sender {
+        fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.count {
+                ctx.forward(pkt(self.src, self.dst, self.len));
+            }
+        }
+    }
+
+    /// Records arrival times and payload sizes.
+    #[derive(Default)]
+    struct Receiver {
+        arrivals: Vec<(SimTime, usize)>,
+    }
+    impl Node for Receiver {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            self.arrivals.push((ctx.now(), p.payload.len()));
+        }
+    }
+
+    /// Echoes every packet back to its source.
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            let reply = Packet::builder()
+                .src(p.ip.dst, p.tcp.dst_port)
+                .dst(p.ip.src, p.tcp.src_port)
+                .flags(TcpFlags::ACK)
+                .payload(p.payload.clone())
+                .build();
+            ctx.forward(reply);
+        }
+    }
+
+    #[test]
+    fn packets_flow_and_arrive_after_prop_delay() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 1,
+            len: 100,
+        });
+        let b = sim.add_node(Receiver::default());
+        sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: None,
+                propagation: SimDuration::from_millis(5),
+                channel: ChannelConfig::clean(),
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until_idle();
+        let rx = sim.node::<Receiver>(b).unwrap();
+        assert_eq!(rx.arrivals.len(), 1);
+        assert_eq!(rx.arrivals[0].0.as_micros(), 5_000);
+        assert_eq!(rx.arrivals[0].1, 100);
+    }
+
+    #[test]
+    fn rate_limit_spaces_arrivals_by_serialization_time() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 3,
+            len: 960, // wire = 1000 bytes
+        });
+        let b = sim.add_node(Receiver::default());
+        sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: Some(1_000_000), // 1000 bytes = 1 ms
+                propagation: SimDuration::from_millis(2),
+                channel: ChannelConfig::clean(),
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until_idle();
+        let rx = sim.node::<Receiver>(b).unwrap();
+        let times: Vec<u64> = rx.arrivals.iter().map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(times, vec![3_000, 4_000, 5_000]);
+    }
+
+    #[test]
+    fn echo_round_trip() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 1,
+            len: 10,
+        });
+        let b = sim.add_node(Echo);
+        let c = sim.add_node(Receiver::default());
+        // a -> b, b -> c (replies to A_IP are routed to the receiver node
+        // to observe them).
+        sim.add_duplex_link(a, b, LinkConfig::default());
+        sim.add_link(b, c, LinkConfig::default());
+        sim.add_route(a, B_IP, b);
+        sim.add_route(b, A_IP, c);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Receiver>(c).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn loss_counted_and_not_delivered() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 2000,
+            len: 10,
+        });
+        let b = sim.add_node(Receiver::default());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: None,
+                propagation: SimDuration::from_millis(1),
+                channel: ChannelConfig::lossy(0.25),
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until_idle();
+        let stats = sim.link_stats(l).clone();
+        assert_eq!(stats.packets_offered, 2000);
+        assert!(stats.packets_lost > 400 && stats.packets_lost < 600);
+        let rx = sim.node::<Receiver>(b).unwrap();
+        assert_eq!(rx.arrivals.len() as u64, stats.packets_delivered);
+    }
+
+    #[test]
+    fn no_route_is_counted() {
+        let mut sim = Simulator::new(1);
+        let _a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 4,
+            len: 10,
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.no_route_drops(), 4);
+    }
+
+    #[test]
+    fn scheduled_route_change_redirects_traffic() {
+        struct SlowSender;
+        impl Node for SlowSender {
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+                ctx.forward(pkt(A_IP, B_IP, 10));
+                if token < 9 {
+                    ctx.set_timer(SimDuration::from_millis(10), token + 1);
+                }
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(SlowSender);
+        let b1 = sim.add_node(Receiver::default());
+        let b2 = sim.add_node(Receiver::default());
+        sim.add_link(a, b1, LinkConfig::default());
+        sim.add_link(a, b2, LinkConfig::default());
+        sim.add_route(a, B_IP, b1);
+        // After 45 ms (between packet 5 and 6), hand off to b2.
+        sim.schedule_route_change(SimTime::from_micros(45_000), a, B_IP, Some(b2));
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Receiver>(b1).unwrap().arrivals.len(), 5);
+        assert_eq!(sim.node::<Receiver>(b2).unwrap().arrivals.len(), 5);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        #[derive(Default)]
+        struct TimerNode {
+            fired: Vec<(u64, SimTime)>,
+        }
+        impl Node for TimerNode {
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_millis(5), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+            }
+            fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+                self.fired.push((token, ctx.now()));
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let n = sim.add_node(TimerNode::default());
+        sim.run_until_idle();
+        let node = sim.node::<TimerNode>(n).unwrap();
+        assert_eq!(node.fired.len(), 2);
+        assert_eq!(node.fired[0].0, 1);
+        assert_eq!(node.fired[1].0, 2);
+        assert_eq!(node.fired[1].1.as_micros(), 5_000);
+    }
+
+    #[test]
+    fn run_until_stops_at_time() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 1,
+            len: 10,
+        });
+        let b = sim.add_node(Receiver::default());
+        sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: None,
+                propagation: SimDuration::from_millis(10),
+                channel: ChannelConfig::clean(),
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until(SimTime::from_micros(5_000));
+        assert_eq!(sim.node::<Receiver>(b).unwrap().arrivals.len(), 0);
+        sim.run_until_idle();
+        assert_eq!(sim.node::<Receiver>(b).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(Sender {
+                src: A_IP,
+                dst: B_IP,
+                count: 500,
+                len: 100,
+            });
+            let b = sim.add_node(Receiver::default());
+            let l = sim.add_link(
+                a,
+                b,
+                LinkConfig {
+                    rate_bytes_per_sec: Some(1_000_000),
+                    propagation: SimDuration::from_millis(3),
+                    channel: ChannelConfig::lossy(0.1),
+                },
+            );
+            sim.add_route(a, B_IP, b);
+            sim.run_until_idle();
+            (
+                sim.link_stats(l).clone(),
+                sim.node::<Receiver>(b).unwrap().arrivals.len(),
+            )
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0.packets_lost, run(8).0.packets_lost);
+    }
+
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn event_budget_catches_loops() {
+        struct Looper;
+        impl Node for Looper {
+            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+            }
+        }
+        let mut sim = Simulator::new(1);
+        sim.add_node(Looper);
+        sim.set_event_budget(1000);
+        sim.run_until_idle();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_link_rejected() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Echo);
+        let b = sim.add_node(Echo);
+        sim.add_link(a, b, LinkConfig::default());
+        sim.add_link(a, b, LinkConfig::default());
+    }
+
+    #[test]
+    fn reordering_delivers_late() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 2000,
+            len: 10,
+        });
+        let b = sim.add_node(Receiver::default());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: Some(10_000_000),
+                propagation: SimDuration::from_millis(1),
+                channel: ChannelConfig {
+                    reorder_rate: 0.2,
+                    reorder_window: SimDuration::from_millis(5),
+                    ..ChannelConfig::clean()
+                },
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until_idle();
+        let stats = sim.link_stats(l);
+        assert!(stats.packets_reordered > 200);
+        // All packets still arrive.
+        assert_eq!(stats.packets_delivered, 2000);
+        // Arrival times are NOT monotone in send order: find an inversion.
+        let rx = sim.node::<Receiver>(b).unwrap();
+        assert_eq!(rx.arrivals.len(), 2000);
+    }
+}

@@ -1,0 +1,233 @@
+//! Simulated time: microsecond-resolution instants and durations.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant of simulated time (microseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Instant from raw microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Raw microseconds since the epoch.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Later of two instants.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Duration from raw microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Duration from whole seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Duration from fractional seconds (rounded to the nearest µs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "invalid duration {s}");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    #[must_use]
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating multiplication by an integer factor (used for
+    /// exponential RTO backoff).
+    #[must_use]
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Elapsed time from `rhs` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "negative elapsed time");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimTime::from_micros(9).as_micros(), 9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_micros(100) + SimDuration::from_micros(50);
+        assert_eq!(t.as_micros(), 150);
+        assert_eq!((t - SimTime::from_micros(100)).as_micros(), 50);
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_secs(1);
+        assert_eq!(u.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn duration_sub_saturates() {
+        let a = SimDuration::from_micros(10);
+        let b = SimDuration::from_micros(30);
+        assert_eq!((a - b).as_micros(), 0);
+    }
+
+    #[test]
+    fn saturating_mul_never_overflows() {
+        let d = SimDuration::from_secs(1 << 40);
+        assert_eq!(d.saturating_mul(u64::MAX).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7µs");
+        assert_eq!(SimDuration::from_micros(2_500).to_string(), "2.500ms");
+        assert_eq!(SimDuration::from_secs(3).to_string(), "3.000s");
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "1.500000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_seconds_panic() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering_and_max_min() {
+        let a = SimDuration::from_micros(5);
+        let b = SimDuration::from_micros(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimTime::from_micros(3).max(SimTime::from_micros(8)),
+            SimTime::from_micros(8)
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Integration tests for simulator topologies: tracing, routing,
+//! queueing, and utilization accounting.
+
+use std::net::Ipv4Addr;
+use std::sync::{Arc, Mutex};
+
+use bytecache_netsim::channel::ChannelConfig;
+use bytecache_netsim::time::{SimDuration, SimTime};
+use bytecache_netsim::{Context, FnTrace, LinkConfig, Node, Simulator, TraceEvent};
+use bytecache_packet::{Packet, TcpFlags};
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+
+struct Burst {
+    dst: Ipv4Addr,
+    count: usize,
+    size: usize,
+}
+
+impl Node for Burst {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for i in 0..self.count {
+            let pkt = Packet::builder()
+                .src(A, 1)
+                .dst(self.dst, 2)
+                .ip_id(i as u16)
+                .flags(TcpFlags::PSH)
+                .payload(vec![0xEE; self.size])
+                .build();
+            ctx.forward(pkt);
+        }
+    }
+    fn on_packet(&mut self, _p: Packet, _ctx: &mut Context<'_>) {}
+}
+
+#[derive(Default)]
+struct Sink {
+    arrivals: Vec<SimTime>,
+}
+
+impl Node for Sink {
+    fn on_packet(&mut self, _p: Packet, ctx: &mut Context<'_>) {
+        self.arrivals.push(ctx.now());
+    }
+}
+
+/// Forwards by routing table (an IP router).
+struct Router;
+impl Node for Router {
+    fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+        ctx.forward(p);
+    }
+}
+
+#[test]
+fn trace_sink_sees_transmissions_losses_and_deliveries() {
+    let events: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink_events = events.clone();
+    let mut sim = Simulator::new(3);
+    let a = sim.add_node(Burst {
+        dst: B,
+        count: 200,
+        size: 100,
+    });
+    let b = sim.add_node(Sink::default());
+    sim.add_link(
+        a,
+        b,
+        LinkConfig {
+            rate_bytes_per_sec: None,
+            propagation: SimDuration::from_millis(1),
+            channel: ChannelConfig::lossy(0.2),
+        },
+    );
+    sim.add_route(a, B, b);
+    sim.set_trace(Box::new(FnTrace(move |e: &TraceEvent<'_>| {
+        let tag = match e {
+            TraceEvent::Transmit { .. } => "tx",
+            TraceEvent::Lost { .. } => "lost",
+            TraceEvent::Corrupted { .. } => "corrupt",
+            TraceEvent::Deliver { .. } => "rx",
+            TraceEvent::NoRoute { .. } => "noroute",
+        };
+        sink_events.lock().unwrap().push(tag.to_string());
+    })));
+    sim.run_until_idle();
+    let events = events.lock().unwrap();
+    let count = |t: &str| events.iter().filter(|e| e.as_str() == t).count();
+    assert_eq!(count("tx"), 200);
+    assert!(count("lost") > 20, "lost: {}", count("lost"));
+    assert_eq!(count("rx") + count("lost"), 200);
+    assert_eq!(count("noroute"), 0);
+}
+
+#[test]
+fn multi_hop_routing_chain() {
+    // A -> R1 -> R2 -> C, routes installed hop by hop.
+    let mut sim = Simulator::new(1);
+    let a = sim.add_node(Burst {
+        dst: C,
+        count: 10,
+        size: 50,
+    });
+    let r1 = sim.add_node(Router);
+    let r2 = sim.add_node(Router);
+    let c = sim.add_node(Sink::default());
+    for (x, y) in [(a, r1), (r1, r2), (r2, c)] {
+        sim.add_link(x, y, LinkConfig::default());
+    }
+    sim.add_route(a, C, r1);
+    sim.add_route(r1, C, r2);
+    sim.add_route(r2, C, c);
+    sim.run_until_idle();
+    let sink = sim.node::<Sink>(c).unwrap();
+    assert_eq!(sink.arrivals.len(), 10);
+    // Three 1 ms hops.
+    assert_eq!(sink.arrivals[0].as_micros(), 3_000);
+}
+
+#[test]
+fn queueing_delay_grows_linearly_under_a_burst() {
+    // 50 packets of 1000 bytes into a 1 MB/s link: the n-th arrives
+    // about n ms after the first.
+    let mut sim = Simulator::new(1);
+    let a = sim.add_node(Burst {
+        dst: B,
+        count: 50,
+        size: 960, // 1000-byte wire size
+    });
+    let b = sim.add_node(Sink::default());
+    sim.add_link(
+        a,
+        b,
+        LinkConfig {
+            rate_bytes_per_sec: Some(1_000_000),
+            propagation: SimDuration::from_millis(5),
+            channel: ChannelConfig::clean(),
+        },
+    );
+    sim.add_route(a, B, b);
+    sim.run_until_idle();
+    let t = &sim.node::<Sink>(b).unwrap().arrivals;
+    assert_eq!(t.len(), 50);
+    for i in 1..50 {
+        let gap = t[i].as_micros() - t[i - 1].as_micros();
+        assert_eq!(gap, 1_000, "serialization spacing at {i}");
+    }
+}
+
+#[test]
+fn per_direction_channels_are_independent() {
+    // Loss configured on one direction must not affect the reverse.
+    struct Echo;
+    impl Node for Echo {
+        fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+            let reply = Packet::builder()
+                .src(p.ip.dst, p.tcp.dst_port)
+                .dst(p.ip.src, p.tcp.src_port)
+                .flags(TcpFlags::ACK)
+                .payload(p.payload.clone())
+                .build();
+            ctx.forward(reply);
+        }
+    }
+    let mut sim = Simulator::new(9);
+    let a = sim.add_node(Burst {
+        dst: B,
+        count: 500,
+        size: 100,
+    });
+    let b = sim.add_node(Echo);
+    let sink = sim.add_node(Sink::default());
+    let fwd = sim.add_link(
+        a,
+        b,
+        LinkConfig {
+            channel: ChannelConfig::lossy(0.3),
+            ..LinkConfig::default()
+        },
+    );
+    let rev = sim.add_link(b, sink, LinkConfig::default());
+    sim.add_route(a, B, b);
+    sim.add_route(b, A, sink);
+    sim.run_until_idle();
+    let fwd_stats = sim.link_stats(fwd);
+    let rev_stats = sim.link_stats(rev);
+    assert!(fwd_stats.packets_lost > 100);
+    assert_eq!(rev_stats.packets_lost, 0);
+    // Echoes = exactly the delivered forward packets.
+    assert_eq!(rev_stats.packets_offered, fwd_stats.packets_delivered);
+}
+
+#[test]
+fn run_for_advances_by_a_relative_span() {
+    let mut sim = Simulator::new(1);
+    let a = sim.add_node(Burst {
+        dst: B,
+        count: 1,
+        size: 10,
+    });
+    let b = sim.add_node(Sink::default());
+    sim.add_link(
+        a,
+        b,
+        LinkConfig {
+            propagation: SimDuration::from_millis(10),
+            ..LinkConfig::default()
+        },
+    );
+    sim.add_route(a, B, b);
+    sim.run_for(SimDuration::from_millis(4));
+    assert_eq!(sim.now().as_micros(), 4_000);
+    assert!(sim.node::<Sink>(b).unwrap().arrivals.is_empty());
+    sim.run_for(SimDuration::from_millis(7));
+    assert_eq!(sim.node::<Sink>(b).unwrap().arrivals.len(), 1);
+}

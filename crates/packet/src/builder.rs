@@ -1,0 +1,189 @@
+//! Fluent construction of [`Packet`] values.
+
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use crate::{Ipv4Header, Packet, SackList, SeqNum, TcpFlags, TcpHeader};
+
+/// Builder for [`Packet`] (see [`Packet::builder`]).
+///
+/// Defaults: addresses `0.0.0.0:0`, sequence/ack 0, no flags, window
+/// 65535, TTL 64, IP id 0, empty payload.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_packet::{Packet, TcpFlags};
+/// use std::net::Ipv4Addr;
+///
+/// let syn = Packet::builder()
+///     .src(Ipv4Addr::new(10, 0, 0, 2), 40000)
+///     .dst(Ipv4Addr::new(10, 0, 0, 1), 80)
+///     .seq(0)
+///     .flags(TcpFlags::SYN)
+///     .build();
+/// assert!(syn.tcp.flags.contains(TcpFlags::SYN));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src: Ipv4Addr,
+    src_port: u16,
+    dst: Ipv4Addr,
+    dst_port: u16,
+    seq: SeqNum,
+    ack: SeqNum,
+    flags: TcpFlags,
+    window: u16,
+    ttl: u8,
+    ip_id: u16,
+    sack: SackList,
+    payload: Bytes,
+}
+
+impl PacketBuilder {
+    pub(crate) fn new() -> Self {
+        PacketBuilder {
+            src: Ipv4Addr::UNSPECIFIED,
+            src_port: 0,
+            dst: Ipv4Addr::UNSPECIFIED,
+            dst_port: 0,
+            seq: SeqNum::new(0),
+            ack: SeqNum::new(0),
+            flags: TcpFlags::EMPTY,
+            window: 65535,
+            ttl: 64,
+            ip_id: 0,
+            sack: SackList::new(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Source address and port.
+    #[must_use]
+    pub fn src(mut self, addr: Ipv4Addr, port: u16) -> Self {
+        self.src = addr;
+        self.src_port = port;
+        self
+    }
+
+    /// Destination address and port.
+    #[must_use]
+    pub fn dst(mut self, addr: Ipv4Addr, port: u16) -> Self {
+        self.dst = addr;
+        self.dst_port = port;
+        self
+    }
+
+    /// TCP sequence number.
+    #[must_use]
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seq = SeqNum::new(seq);
+        self
+    }
+
+    /// TCP acknowledgment number (also sets the ACK flag).
+    #[must_use]
+    pub fn ack_num(mut self, ack: u32) -> Self {
+        self.ack = SeqNum::new(ack);
+        self.flags = self.flags | TcpFlags::ACK;
+        self
+    }
+
+    /// TCP control flags (unioned with any flags already implied).
+    #[must_use]
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.flags = self.flags | flags;
+        self
+    }
+
+    /// Receive window advertisement.
+    #[must_use]
+    pub fn window(mut self, window: u16) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// IP TTL.
+    #[must_use]
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// IP identification field.
+    #[must_use]
+    pub fn ip_id(mut self, id: u16) -> Self {
+        self.ip_id = id;
+        self
+    }
+
+    /// SACK blocks to carry in the options area.
+    #[must_use]
+    pub fn sack(mut self, sack: SackList) -> Self {
+        self.sack = sack;
+        self
+    }
+
+    /// TCP payload.
+    #[must_use]
+    pub fn payload(mut self, payload: impl Into<Bytes>) -> Self {
+        self.payload = payload.into();
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> Packet {
+        Packet {
+            ip: Ipv4Header {
+                src: self.src,
+                dst: self.dst,
+                id: self.ip_id,
+                ttl: self.ttl,
+                protocol: 6,
+            },
+            tcp: TcpHeader {
+                src_port: self.src_port,
+                dst_port: self.dst_port,
+                seq: self.seq,
+                ack: self.ack,
+                flags: self.flags,
+                window: self.window,
+                sack: self.sack,
+            },
+            payload: self.payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = PacketBuilder::new().build();
+        assert_eq!(p.ip.src, Ipv4Addr::UNSPECIFIED);
+        assert_eq!(p.tcp.window, 65535);
+        assert_eq!(p.ip.ttl, 64);
+        assert_eq!(p.ip.protocol, 6);
+        assert!(p.payload.is_empty());
+    }
+
+    #[test]
+    fn ack_num_implies_ack_flag() {
+        let p = PacketBuilder::new().ack_num(5).build();
+        assert!(p.tcp.flags.contains(TcpFlags::ACK));
+        assert_eq!(p.tcp.ack.raw(), 5);
+    }
+
+    #[test]
+    fn flags_accumulate() {
+        let p = PacketBuilder::new()
+            .flags(TcpFlags::SYN)
+            .flags(TcpFlags::ACK)
+            .build();
+        assert!(p.tcp.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+    }
+}

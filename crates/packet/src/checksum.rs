@@ -1,0 +1,180 @@
+//! RFC 1071 Internet checksum.
+//!
+//! The ones'-complement sum used by IPv4 and TCP headers. The simulator
+//! verifies these checksums at every receiver, so payload corruption
+//! injected by the channel is detected exactly where a real stack would
+//! detect it.
+
+/// Incremental ones'-complement checksum accumulator.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_packet::checksum::Checksum;
+///
+/// let mut c = Checksum::new();
+/// c.add_bytes(&[0x45, 0x00, 0x00, 0x3c]);
+/// let sum = c.finish();
+/// // Feeding the complement back yields zero, the validity condition.
+/// let mut v = Checksum::new();
+/// v.add_bytes(&[0x45, 0x00, 0x00, 0x3c]);
+/// v.add_u16(sum);
+/// assert_eq!(v.finish(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+    /// Pending odd byte (high-order half of the next 16-bit word).
+    pending: Option<u8>,
+}
+
+impl Checksum {
+    /// New accumulator with an all-zero sum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold a 16-bit word into the sum.
+    pub fn add_u16(&mut self, word: u16) {
+        // Flush any pending odd byte first so word boundaries stay sane.
+        if let Some(hi) = self.pending.take() {
+            self.sum += u32::from(u16::from_be_bytes([hi, (word >> 8) as u8]));
+            self.pending = Some(word as u8);
+        } else {
+            self.sum += u32::from(word);
+        }
+    }
+
+    /// Fold a 32-bit value (as two big-endian 16-bit words).
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16(value as u16);
+    }
+
+    /// Fold a byte slice, padding a trailing odd byte with zero per RFC 1071.
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut iter = bytes.iter();
+        if self.pending.is_some() {
+            if let Some(&b) = iter.next() {
+                let hi = self.pending.take().expect("checked is_some");
+                self.sum += u32::from(u16::from_be_bytes([hi, b]));
+            }
+        }
+        let rest = iter.as_slice();
+        let mut chunks = rest.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.pending = Some(*last);
+        }
+    }
+
+    /// Final ones'-complement checksum value.
+    #[must_use]
+    pub fn finish(mut self) -> u16 {
+        if let Some(hi) = self.pending.take() {
+            self.sum += u32::from(u16::from_be_bytes([hi, 0]));
+        }
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// One-shot checksum of a byte slice.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// Verify a buffer that *includes* its checksum field: the total must
+/// fold to zero.
+#[must_use]
+pub fn verify(bytes: &[u8]) -> bool {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish() == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn empty_input_checksums_to_all_ones() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_is_zero_padded() {
+        assert_eq!(checksum(&[0xAB]), checksum(&[0xAB, 0x00]));
+    }
+
+    #[test]
+    fn inserting_checksum_makes_total_verify() {
+        let data = b"some arbitrary packet contents 12345";
+        let sum = checksum(data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&sum.to_be_bytes());
+        assert!(verify(&with));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let data = b"some arbitrary packet contents 12345";
+        let sum = checksum(data);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&sum.to_be_bytes());
+        with[3] ^= 0x40;
+        assert!(!verify(&with));
+    }
+
+    #[test]
+    fn byte_chunking_is_irrelevant() {
+        let data: Vec<u8> = (0..255).collect();
+        let whole = checksum(&data);
+        let mut c = Checksum::new();
+        for chunk in data.chunks(7) {
+            c.add_bytes(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+        let mut c = Checksum::new();
+        for chunk in data.chunks(1) {
+            c.add_bytes(chunk);
+        }
+        assert_eq!(c.finish(), whole);
+    }
+
+    #[test]
+    fn add_u16_and_bytes_agree() {
+        let mut a = Checksum::new();
+        a.add_u16(0x1234);
+        a.add_u16(0x5678);
+        let mut b = Checksum::new();
+        b.add_bytes(&[0x12, 0x34, 0x56, 0x78]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn add_u32_matches_two_u16() {
+        let mut a = Checksum::new();
+        a.add_u32(0xDEAD_BEEF);
+        let mut b = Checksum::new();
+        b.add_u16(0xDEAD);
+        b.add_u16(0xBEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,496 @@
+//! IPv4 and TCP header models with byte-exact serialization.
+
+use core::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::checksum::Checksum;
+use crate::{SeqNum, IPV4_HEADER_LEN, TCP_HEADER_LEN};
+
+/// Error parsing a packet from raw bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the headers require.
+    Truncated {
+        /// Bytes needed to continue parsing.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Unsupported IP version (only IPv4 is modelled).
+    BadVersion(u8),
+    /// IPv4 header checksum mismatch.
+    BadIpChecksum,
+    /// TCP checksum mismatch (covers pseudo-header, header and payload).
+    BadTcpChecksum,
+    /// The IPv4 `total_length` field disagrees with the buffer.
+    BadLength,
+    /// Protocol other than TCP (6); this stack only models TCP over IPv4.
+    UnsupportedProtocol(u8),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated { needed, available } => {
+                write!(f, "truncated packet: need {needed} bytes, have {available}")
+            }
+            ParseError::BadVersion(v) => write!(f, "unsupported IP version {v}"),
+            ParseError::BadIpChecksum => write!(f, "IPv4 header checksum mismatch"),
+            ParseError::BadTcpChecksum => write!(f, "TCP checksum mismatch"),
+            ParseError::BadLength => write!(f, "IPv4 total length disagrees with buffer"),
+            ParseError::UnsupportedProtocol(p) => write!(f, "unsupported IP protocol {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// TCP control flags (the subset this stack uses).
+///
+/// Modelled as a tiny flag set rather than a full `bitflags` dependency;
+/// bit positions match the real TCP header byte 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    bits: u8,
+}
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags { bits: 0 };
+    /// FIN — sender is finished sending.
+    pub const FIN: TcpFlags = TcpFlags { bits: 0x01 };
+    /// SYN — synchronize sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags { bits: 0x02 };
+    /// RST — reset the connection.
+    pub const RST: TcpFlags = TcpFlags { bits: 0x04 };
+    /// PSH — push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags { bits: 0x08 };
+    /// ACK — the acknowledgment field is valid.
+    pub const ACK: TcpFlags = TcpFlags { bits: 0x10 };
+
+    /// Construct from the raw header byte.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> TcpFlags {
+        TcpFlags { bits: bits & 0x1F }
+    }
+
+    /// The raw header byte.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    #[must_use]
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// Union of two flag sets.
+    #[must_use]
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags {
+            bits: self.bits | other.bits,
+        }
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "·")?;
+        }
+        Ok(())
+    }
+}
+
+/// IPv4 header (fixed 20-byte form, no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP identification field — in this stack, a per-sender counter, so
+    /// every emitted IP packet (including TCP retransmissions) is a
+    /// distinct IP-layer datagram, exactly the property the paper's
+    /// circular-dependency analysis relies on.
+    pub id: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (always 6 = TCP in this stack).
+    pub protocol: u8,
+}
+
+impl Ipv4Header {
+    /// Serialize into the canonical 20-byte form, computing the header
+    /// checksum. `total_len` is header + TCP header + payload.
+    pub(crate) fn write(&self, total_len: u16, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&total_len.to_be_bytes());
+        out.extend_from_slice(&self.id.to_be_bytes());
+        out.extend_from_slice(&[0x40, 0x00]); // flags: DF, fragment offset 0
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let sum = crate::checksum::checksum(&out[start..start + IPV4_HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    pub(crate) fn parse(buf: &[u8]) -> Result<(Ipv4Header, usize), ParseError> {
+        if buf.len() < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                needed: IPV4_HEADER_LEN,
+                available: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::BadVersion(version));
+        }
+        if !crate::checksum::verify(&buf[..IPV4_HEADER_LEN]) {
+            return Err(ParseError::BadIpChecksum);
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total_len < IPV4_HEADER_LEN + TCP_HEADER_LEN || total_len > buf.len() {
+            return Err(ParseError::BadLength);
+        }
+        let protocol = buf[9];
+        if protocol != 6 {
+            return Err(ParseError::UnsupportedProtocol(protocol));
+        }
+        Ok((
+            Ipv4Header {
+                src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+                dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+                id: u16::from_be_bytes([buf[4], buf[5]]),
+                ttl: buf[8],
+                protocol,
+            },
+            total_len,
+        ))
+    }
+}
+
+/// TCP header (20-byte fixed part plus an optional SACK option block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: SeqNum,
+    /// Acknowledgment number (valid when [`TcpFlags::ACK`] is set).
+    pub ack: SeqNum,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window advertisement.
+    pub window: u16,
+    /// Selective-acknowledgment blocks (RFC 2018), empty when unused.
+    pub sack: crate::SackList,
+}
+
+impl TcpHeader {
+    /// Total header length on the wire, options included.
+    #[must_use]
+    pub fn header_len(&self) -> usize {
+        TCP_HEADER_LEN + self.sack.wire_len()
+    }
+
+    /// Serialize including the TCP checksum over the IPv4 pseudo-header,
+    /// header (with options), and `payload`.
+    pub(crate) fn write(&self, ip: &Ipv4Header, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        let header_len = self.header_len();
+        debug_assert_eq!(header_len % 4, 0);
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.raw().to_be_bytes());
+        out.extend_from_slice(&self.ack.raw().to_be_bytes());
+        out.push(((header_len / 4) as u8) << 4);
+        out.push(self.flags.bits());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]); // urgent pointer
+        if !self.sack.is_empty() {
+            // NOP, NOP, kind 5, length, then 8 bytes per block.
+            out.push(1);
+            out.push(1);
+            out.push(5);
+            out.push((2 + 8 * self.sack.len()) as u8);
+            for (s, e) in self.sack.iter() {
+                out.extend_from_slice(&s.raw().to_be_bytes());
+                out.extend_from_slice(&e.raw().to_be_bytes());
+            }
+        }
+        let mut c = Checksum::new();
+        // Pseudo-header: src, dst, zero+protocol, TCP length.
+        c.add_bytes(&ip.src.octets());
+        c.add_bytes(&ip.dst.octets());
+        c.add_u16(u16::from(ip.protocol));
+        c.add_u16((header_len + payload.len()) as u16);
+        c.add_bytes(&out[start..start + header_len]);
+        c.add_bytes(payload);
+        let sum = c.finish();
+        out[start + 16..start + 18].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Parse from `buf` (which begins at the TCP header and contains at
+    /// least header + payload). Returns the header and its length.
+    pub(crate) fn parse(
+        ip: &Ipv4Header,
+        buf: &[u8],
+        tcp_total_len: usize,
+    ) -> Result<(TcpHeader, usize), ParseError> {
+        if buf.len() < TCP_HEADER_LEN || buf.len() < tcp_total_len {
+            return Err(ParseError::Truncated {
+                needed: tcp_total_len.max(TCP_HEADER_LEN),
+                available: buf.len(),
+            });
+        }
+        let header_len = usize::from(buf[12] >> 4) * 4;
+        if header_len < TCP_HEADER_LEN || header_len > tcp_total_len {
+            return Err(ParseError::BadLength);
+        }
+        let mut c = Checksum::new();
+        c.add_bytes(&ip.src.octets());
+        c.add_bytes(&ip.dst.octets());
+        c.add_u16(u16::from(ip.protocol));
+        c.add_u16(tcp_total_len as u16);
+        c.add_bytes(&buf[..tcp_total_len]);
+        if c.finish() != 0 {
+            return Err(ParseError::BadTcpChecksum);
+        }
+        let mut sack = crate::SackList::new();
+        let mut i = TCP_HEADER_LEN;
+        while i < header_len {
+            match buf[i] {
+                0 => break,    // end of options
+                1 => i += 1,   // NOP
+                5 => {
+                    if i + 2 > header_len {
+                        return Err(ParseError::BadLength);
+                    }
+                    let opt_len = usize::from(buf[i + 1]);
+                    if opt_len < 2 || i + opt_len > header_len || (opt_len - 2) % 8 != 0 {
+                        return Err(ParseError::BadLength);
+                    }
+                    let mut j = i + 2;
+                    while j + 8 <= i + opt_len {
+                        let s = u32::from_be_bytes([buf[j], buf[j + 1], buf[j + 2], buf[j + 3]]);
+                        let e =
+                            u32::from_be_bytes([buf[j + 4], buf[j + 5], buf[j + 6], buf[j + 7]]);
+                        sack.push(SeqNum::new(s), SeqNum::new(e));
+                        j += 8;
+                    }
+                    i += opt_len;
+                }
+                _ => {
+                    // Unknown option: kind, len, data.
+                    if i + 2 > header_len {
+                        return Err(ParseError::BadLength);
+                    }
+                    let opt_len = usize::from(buf[i + 1]);
+                    if opt_len < 2 || i + opt_len > header_len {
+                        return Err(ParseError::BadLength);
+                    }
+                    i += opt_len;
+                }
+            }
+        }
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: SeqNum::new(u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]])),
+                ack: SeqNum::new(u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]])),
+                flags: TcpFlags::from_bits(buf[13]),
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+                sack,
+            },
+            header_len,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip() -> Ipv4Header {
+        Ipv4Header {
+            src: Ipv4Addr::new(192, 168, 1, 1),
+            dst: Ipv4Addr::new(10, 0, 0, 7),
+            id: 42,
+            ttl: 64,
+            protocol: 6,
+        }
+    }
+
+    #[test]
+    fn flags_display_and_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert_eq!(f.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "·");
+    }
+
+    #[test]
+    fn flags_round_trip_bits() {
+        for bits in 0..=0x1F {
+            assert_eq!(TcpFlags::from_bits(bits).bits(), bits);
+        }
+        // Reserved high bits are masked away.
+        assert_eq!(TcpFlags::from_bits(0xFF).bits(), 0x1F);
+    }
+
+    #[test]
+    fn ipv4_header_round_trip() {
+        let hdr = ip();
+        let mut buf = Vec::new();
+        hdr.write(40, &mut buf);
+        assert_eq!(buf.len(), IPV4_HEADER_LEN);
+        // Pad to claimed total length so parse accepts it.
+        buf.resize(40, 0);
+        let (parsed, total) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn ipv4_checksum_detects_corruption() {
+        let hdr = ip();
+        let mut buf = Vec::new();
+        hdr.write(40, &mut buf);
+        buf.resize(40, 0);
+        buf[8] ^= 0x01; // flip a TTL bit
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::BadIpChecksum));
+    }
+
+    #[test]
+    fn ipv4_rejects_wrong_version() {
+        let hdr = ip();
+        let mut buf = Vec::new();
+        hdr.write(40, &mut buf);
+        buf.resize(40, 0);
+        buf[0] = 0x65; // version 6
+                       // Fix checksum so the version check is what fires.
+        buf[10] = 0;
+        buf[11] = 0;
+        let sum = crate::checksum::checksum(&buf[..IPV4_HEADER_LEN]);
+        buf[10..12].copy_from_slice(&sum.to_be_bytes());
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::BadVersion(6)));
+    }
+
+    #[test]
+    fn tcp_header_round_trip_with_payload() {
+        let ih = ip();
+        let th = TcpHeader {
+            src_port: 80,
+            dst_port: 50000,
+            seq: SeqNum::new(0xDEADBEEF),
+            ack: SeqNum::new(77),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 65535,
+            sack: crate::SackList::new(),
+        };
+        let payload = b"GET / HTTP/1.1\r\n";
+        let mut buf = Vec::new();
+        th.write(&ih, payload, &mut buf);
+        buf.extend_from_slice(payload);
+        let (parsed, hlen) = TcpHeader::parse(&ih, &buf, buf.len()).unwrap();
+        assert_eq!(parsed, th);
+        assert_eq!(hlen, TCP_HEADER_LEN);
+    }
+
+    #[test]
+    fn tcp_checksum_covers_payload() {
+        let ih = ip();
+        let th = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum::new(3),
+            ack: SeqNum::new(4),
+            flags: TcpFlags::ACK,
+            window: 100,
+            sack: crate::SackList::new(),
+        };
+        let payload = b"payload bytes";
+        let mut buf = Vec::new();
+        th.write(&ih, payload, &mut buf);
+        buf.extend_from_slice(payload);
+        buf[TCP_HEADER_LEN + 3] ^= 0x80; // corrupt payload
+        assert_eq!(
+            TcpHeader::parse(&ih, &buf, buf.len()),
+            Err(ParseError::BadTcpChecksum)
+        );
+    }
+
+    #[test]
+    fn tcp_checksum_covers_pseudo_header() {
+        // Same bytes parsed under a different src IP must fail: the
+        // pseudo-header binds the segment to its addresses.
+        let ih = ip();
+        let th = TcpHeader {
+            src_port: 1,
+            dst_port: 2,
+            seq: SeqNum::new(3),
+            ack: SeqNum::new(4),
+            flags: TcpFlags::ACK,
+            window: 100,
+            sack: crate::SackList::new(),
+        };
+        let mut buf = Vec::new();
+        th.write(&ih, b"", &mut buf);
+        let mut other = ih;
+        other.src = Ipv4Addr::new(1, 2, 3, 4);
+        assert_eq!(
+            TcpHeader::parse(&other, &buf, buf.len()),
+            Err(ParseError::BadTcpChecksum)
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_report_sizes() {
+        assert_eq!(
+            Ipv4Header::parse(&[0u8; 5]),
+            Err(ParseError::Truncated {
+                needed: IPV4_HEADER_LEN,
+                available: 5
+            })
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! IPv4/TCP packet model for the byte caching stack.
+//!
+//! Byte caching gateways operate at the IP layer: they intercept IP
+//! packets, compress the payload, and forward. To study their interaction
+//! with TCP they must also *read* (never modify) the TCP header — the
+//! Cache Flush and TCP Sequence Number policies key off the sequence
+//! number. This crate provides the packet representation shared by the
+//! simulator, the TCP implementation, and the byte caching core:
+//!
+//! * [`Ipv4Header`] and [`TcpHeader`] — faithful header models with
+//!   RFC 1071 checksums and byte-exact serialization, so that
+//!   bytes-on-the-wire accounting matches a real deployment.
+//! * [`Packet`] — an IP packet carrying a TCP segment and payload.
+//! * [`SeqNum`] — wrapping 32-bit TCP sequence-number arithmetic.
+//! * [`FlowId`] — the 4-tuple identifying a TCP flow at a middlebox.
+//!
+//! # Example
+//!
+//! ```
+//! use bytecache_packet::{Packet, TcpFlags};
+//! use std::net::Ipv4Addr;
+//!
+//! let pkt = Packet::builder()
+//!     .src(Ipv4Addr::new(10, 0, 0, 1), 80)
+//!     .dst(Ipv4Addr::new(10, 0, 0, 2), 5000)
+//!     .seq(1000)
+//!     .flags(TcpFlags::ACK)
+//!     .payload(b"hello".to_vec())
+//!     .build();
+//! let bytes = pkt.to_bytes();
+//! let back = Packet::from_bytes(&bytes).unwrap();
+//! assert_eq!(back, pkt);
+//! assert_eq!(pkt.wire_len(), 20 + 20 + 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+
+mod builder;
+mod flow;
+mod headers;
+mod packet;
+mod sack;
+mod seq;
+
+pub use builder::PacketBuilder;
+pub use flow::FlowId;
+pub use headers::{Ipv4Header, ParseError, TcpFlags, TcpHeader};
+pub use packet::Packet;
+pub use sack::SackList;
+pub use seq::SeqNum;
+
+/// Conventional Ethernet TCP maximum segment size used throughout the
+/// experiments (1500 MTU − 20 IP − 20 TCP), as in the paper.
+pub const MSS: usize = 1460;
+
+/// Length in bytes of the fixed IPv4 header (no options).
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Length in bytes of the fixed TCP header (no options).
+pub const TCP_HEADER_LEN: usize = 20;

@@ -1,0 +1,174 @@
+//! Wrapping 32-bit TCP sequence-number arithmetic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A TCP sequence number with RFC 793 wrapping comparison semantics.
+///
+/// Sequence numbers live on a 2³²-circle: `a < b` means "a precedes b"
+/// when their signed distance is positive and less than 2³¹. Plain
+/// integer comparison is wrong across the wrap point; every comparison in
+/// the TCP implementation and the byte caching policies goes through this
+/// type instead.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_packet::SeqNum;
+///
+/// let a = SeqNum::new(u32::MAX - 1);
+/// let b = a + 10u32; // wraps
+/// assert!(a.precedes(b));
+/// assert_eq!(b - a, 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SeqNum(u32);
+
+impl SeqNum {
+    /// Wrap a raw 32-bit sequence number.
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        SeqNum(raw)
+    }
+
+    /// The raw 32-bit value.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// `self` strictly precedes `other` on the sequence circle.
+    #[must_use]
+    pub fn precedes(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// `self` precedes or equals `other`.
+    #[must_use]
+    pub fn precedes_eq(self, other: SeqNum) -> bool {
+        self == other || self.precedes(other)
+    }
+
+    /// `self` strictly follows `other`.
+    #[must_use]
+    pub fn follows(self, other: SeqNum) -> bool {
+        other.precedes(self)
+    }
+
+    /// Signed distance from `earlier` to `self` (positive if `self`
+    /// follows `earlier`).
+    #[must_use]
+    pub fn distance_from(self, earlier: SeqNum) -> i64 {
+        i64::from(self.0.wrapping_sub(earlier.0) as i32)
+    }
+
+    /// The larger (later) of two sequence numbers.
+    #[must_use]
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.precedes(other) {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Add<usize> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: usize) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs as u32))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Unsigned forward distance from `rhs` to `self`.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl From<u32> for SeqNum {
+    fn from(raw: u32) -> Self {
+        SeqNum(raw)
+    }
+}
+
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seq({})", self.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_ordering() {
+        assert!(SeqNum::new(1).precedes(SeqNum::new(2)));
+        assert!(!SeqNum::new(2).precedes(SeqNum::new(1)));
+        assert!(!SeqNum::new(5).precedes(SeqNum::new(5)));
+        assert!(SeqNum::new(5).precedes_eq(SeqNum::new(5)));
+        assert!(SeqNum::new(9).follows(SeqNum::new(3)));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let near_max = SeqNum::new(u32::MAX - 10);
+        let wrapped = near_max + 100u32;
+        assert!(near_max.precedes(wrapped));
+        assert!(wrapped.follows(near_max));
+        assert_eq!(wrapped - near_max, 100);
+        assert_eq!(wrapped.distance_from(near_max), 100);
+        assert_eq!(near_max.distance_from(wrapped), -100);
+    }
+
+    #[test]
+    fn add_assign_and_usize_add() {
+        let mut s = SeqNum::new(u32::MAX);
+        s += 1;
+        assert_eq!(s.raw(), 0);
+        assert_eq!((SeqNum::new(10) + 5usize).raw(), 15);
+    }
+
+    #[test]
+    fn max_picks_the_later() {
+        let a = SeqNum::new(u32::MAX - 1);
+        let b = a + 5u32;
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn half_window_boundary() {
+        // Distances of exactly 2^31 are ambiguous; our convention makes
+        // `precedes` false in both directions (distance is negative i32 min).
+        let a = SeqNum::new(0);
+        let b = SeqNum::new(1 << 31);
+        assert!(!a.precedes(b));
+        assert!(!b.precedes(a));
+    }
+}

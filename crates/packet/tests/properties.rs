@@ -1,0 +1,66 @@
+//! Property-based tests for packet serialization.
+
+use bytecache_packet::{Packet, SeqNum, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u32>(),
+        0u8..=0x1F,
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(any::<u8>(), 0..1460),
+    )
+        .prop_map(|(s, sp, d, dp, seq, ack, fl, win, id, payload)| {
+            Packet::builder()
+                .src(Ipv4Addr::from(s), sp)
+                .dst(Ipv4Addr::from(d), dp)
+                .seq(seq)
+                .ack_num(ack)
+                .flags(TcpFlags::from_bits(fl))
+                .window(win)
+                .ip_id(id)
+                .payload(payload)
+                .build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn wire_round_trip(p in arb_packet()) {
+        let bytes = p.to_bytes();
+        prop_assert_eq!(bytes.len(), p.wire_len());
+        let back = Packet::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected(p in arb_packet(), pos in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let mut bytes = p.to_bytes();
+        let i = pos.index(bytes.len());
+        bytes[i] ^= 1 << bit;
+        prop_assert!(Packet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn seq_precedes_is_antisymmetric_for_small_gaps(a in any::<u32>(), gap in 1u32..(1 << 30)) {
+        let x = SeqNum::new(a);
+        let y = x + gap;
+        prop_assert!(x.precedes(y));
+        prop_assert!(!y.precedes(x));
+        prop_assert_eq!(y - x, gap);
+    }
+
+    #[test]
+    fn seq_distance_roundtrip(a in any::<u32>(), d in -(1i64 << 30)..(1i64 << 30)) {
+        let x = SeqNum::new(a);
+        let y = x + (d as u32);
+        prop_assert_eq!(y.distance_from(x), d);
+    }
+}

@@ -1,0 +1,378 @@
+//! Table-driven rolling Rabin fingerprint engine.
+
+use crate::gf2;
+use crate::Polynomial;
+use crate::FINGERPRINT_BITS;
+
+/// Table-driven Rabin fingerprint engine for a fixed modulus and window
+/// size.
+///
+/// Construction precomputes two 256-entry tables: one folding a new byte
+/// into a fingerprint in O(1), and one cancelling the contribution of the
+/// byte leaving a `window`-byte window. After that, fingerprinting a
+/// packet of `n` bytes yields all `n - window + 1` window fingerprints in
+/// O(n).
+///
+/// The engine is cheap to clone (two 2-KiB tables) and `Send + Sync`, so
+/// an encoder and decoder can share one by reference or own copies.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_rabin::{Fingerprinter, Polynomial};
+///
+/// let engine = Fingerprinter::new(Polynomial::default(), 4);
+/// let prints: Vec<_> = engine.windows(b"abcdef").collect();
+/// assert_eq!(prints.len(), 3); // "abcd", "bcde", "cdef"
+/// assert_eq!(prints[0].0, 0);
+/// assert_eq!(prints[2].0, 2);
+/// ```
+#[derive(Clone)]
+pub struct Fingerprinter {
+    poly: Polynomial,
+    window: usize,
+    /// `append[hi]` = `(hi · x^53) mod P` — folds the bits shifted out by
+    /// an 8-bit left shift back into the residue.
+    append: [u64; 256],
+    /// `remove[b]` = `(b · x^(8·window)) mod P` — the contribution of a
+    /// byte that is `window` positions old, ready to be XOR-cancelled.
+    remove: [u64; 256],
+}
+
+impl Fingerprinter {
+    /// Create an engine for the given modulus and window size (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(poly: Polynomial, window: usize) -> Self {
+        assert!(window > 0, "window size must be at least 1 byte");
+        let m = poly.bits();
+        let mut append = [0u64; 256];
+        let mut remove = [0u64; 256];
+        // x^(8*window) mod P, the weight of the oldest byte after a shift.
+        let x8w = gf2::x_pow_mod(8 * window as u32, m);
+        for b in 0..256u32 {
+            append[b as usize] = gf2::reduce((b as u128) << FINGERPRINT_BITS, m) as u64;
+            remove[b as usize] = gf2::mul_mod(b as u128, x8w, m) as u64;
+        }
+        Fingerprinter {
+            poly,
+            window,
+            append,
+            remove,
+        }
+    }
+
+    /// The modulus this engine reduces by.
+    #[must_use]
+    pub fn polynomial(&self) -> Polynomial {
+        self.poly
+    }
+
+    /// The window size in bytes.
+    #[must_use]
+    pub fn window_size(&self) -> usize {
+        self.window
+    }
+
+    /// Fold one byte into a running fingerprint.
+    #[inline]
+    #[must_use]
+    pub fn append(&self, fp: u64, byte: u8) -> u64 {
+        const LOW_MASK: u64 = (1 << (FINGERPRINT_BITS - 8)) - 1;
+        let hi = (fp >> (FINGERPRINT_BITS - 8)) as usize;
+        (((fp & LOW_MASK) << 8) | u64::from(byte)) ^ self.append[hi]
+    }
+
+    /// Slide the window: fold in `incoming` and cancel `outgoing`, the
+    /// byte that was `window` positions back.
+    #[inline]
+    #[must_use]
+    pub fn roll(&self, fp: u64, outgoing: u8, incoming: u8) -> u64 {
+        self.append(fp, incoming) ^ self.remove[outgoing as usize]
+    }
+
+    /// Fingerprint an entire byte slice from scratch (non-rolling).
+    ///
+    /// For slices of exactly [`window_size`](Self::window_size) bytes this
+    /// equals the value the rolling path produces for that window.
+    #[must_use]
+    pub fn fingerprint(&self, data: &[u8]) -> u64 {
+        data.iter().fold(0, |fp, &b| self.append(fp, b))
+    }
+
+    /// Iterate over `(start_offset, fingerprint)` for every window of
+    /// [`window_size`](Self::window_size) bytes in `data`.
+    ///
+    /// Yields nothing if `data` is shorter than the window.
+    #[must_use]
+    pub fn windows<'a>(&'a self, data: &'a [u8]) -> Windows<'a> {
+        Windows {
+            engine: self,
+            data,
+            next_start: 0,
+            fp: if data.len() >= self.window {
+                self.fingerprint(&data[..self.window])
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Create a stateful rolling hasher fed one byte at a time.
+    #[must_use]
+    pub fn rolling(&self) -> RollingHash<'_> {
+        RollingHash {
+            engine: self,
+            ring: vec![0; self.window],
+            filled: 0,
+            head: 0,
+            fp: 0,
+        }
+    }
+}
+
+impl core::fmt::Debug for Fingerprinter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Fingerprinter")
+            .field("poly", &self.poly)
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Iterator over the window fingerprints of a byte slice.
+///
+/// Produced by [`Fingerprinter::windows`]; yields
+/// `(window_start_offset, fingerprint)` pairs.
+#[derive(Debug)]
+pub struct Windows<'a> {
+    engine: &'a Fingerprinter,
+    data: &'a [u8],
+    next_start: usize,
+    fp: u64,
+}
+
+impl Iterator for Windows<'_> {
+    type Item = (usize, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let w = self.engine.window;
+        if self.next_start + w > self.data.len() {
+            return None;
+        }
+        let item = (self.next_start, self.fp);
+        // Pre-roll for the next call if there is a next window.
+        if self.next_start + w < self.data.len() {
+            self.fp = self.engine.roll(
+                self.fp,
+                self.data[self.next_start],
+                self.data[self.next_start + w],
+            );
+        }
+        self.next_start += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let w = self.engine.window;
+        let remaining = (self.data.len() + 1).saturating_sub(self.next_start + w);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Windows<'_> {}
+
+/// Stateful rolling hasher fed one byte at a time.
+///
+/// Produced by [`Fingerprinter::rolling`]. Useful when data arrives
+/// incrementally rather than as one slice.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_rabin::{Fingerprinter, Polynomial};
+///
+/// let engine = Fingerprinter::new(Polynomial::default(), 4);
+/// let mut roll = engine.rolling();
+/// let data = b"abcdef";
+/// let mut prints = Vec::new();
+/// for &b in data {
+///     if let Some(fp) = roll.update(b) {
+///         prints.push(fp);
+///     }
+/// }
+/// let direct: Vec<_> = engine.windows(data).map(|(_, fp)| fp).collect();
+/// assert_eq!(prints, direct);
+/// ```
+#[derive(Debug)]
+pub struct RollingHash<'a> {
+    engine: &'a Fingerprinter,
+    ring: Vec<u8>,
+    filled: usize,
+    head: usize,
+    fp: u64,
+}
+
+impl RollingHash<'_> {
+    /// Feed one byte; returns the fingerprint of the latest full window,
+    /// or `None` until `window_size` bytes have been fed.
+    pub fn update(&mut self, byte: u8) -> Option<u64> {
+        let w = self.engine.window;
+        if self.filled < w {
+            self.fp = self.engine.append(self.fp, byte);
+            self.ring[(self.head + self.filled) % w] = byte;
+            self.filled += 1;
+            if self.filled == w {
+                return Some(self.fp);
+            }
+            return None;
+        }
+        let outgoing = self.ring[self.head];
+        self.fp = self.engine.roll(self.fp, outgoing, byte);
+        self.ring[self.head] = byte;
+        self.head = (self.head + 1) % w;
+        Some(self.fp)
+    }
+
+    /// Number of bytes fed so far, saturating at the window size.
+    #[must_use]
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// Reset to the empty state, keeping the engine.
+    pub fn reset(&mut self) {
+        self.filled = 0;
+        self.head = 0;
+        self.fp = 0;
+        self.ring.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(window: usize) -> Fingerprinter {
+        Fingerprinter::new(Polynomial::default(), window)
+    }
+
+    #[test]
+    fn fingerprints_fit_in_53_bits() {
+        let e = engine(16);
+        let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        for (_, fp) in e.windows(&data) {
+            assert!(fp < (1 << FINGERPRINT_BITS));
+        }
+    }
+
+    #[test]
+    fn rolling_matches_direct() {
+        let e = engine(16);
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
+        for (start, fp) in e.windows(&data) {
+            assert_eq!(fp, e.fingerprint(&data[start..start + 16]), "at {start}");
+        }
+    }
+
+    #[test]
+    fn windows_count_and_offsets() {
+        let e = engine(4);
+        let data = b"0123456789";
+        let v: Vec<_> = e.windows(data).collect();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v.first().unwrap().0, 0);
+        assert_eq!(v.last().unwrap().0, 6);
+        let it = e.windows(data);
+        assert_eq!(it.len(), 7);
+    }
+
+    #[test]
+    fn short_input_yields_nothing() {
+        let e = engine(8);
+        assert_eq!(e.windows(b"short").count(), 0);
+        assert_eq!(e.windows(b"").count(), 0);
+        // Exactly one window at equality.
+        assert_eq!(e.windows(b"12345678").count(), 1);
+    }
+
+    #[test]
+    fn identical_content_has_identical_fingerprint() {
+        let e = engine(16);
+        let a = b"a repeated phrase appears here";
+        let b = b"prefix junk a repeated phrase appears here suffix";
+        let fa = e.fingerprint(&a[..16]);
+        let all: Vec<u64> = e.windows(b).map(|(_, fp)| fp).collect();
+        assert!(all.contains(&fa), "shifted copy must fingerprint equally");
+    }
+
+    #[test]
+    fn different_moduli_give_different_fingerprints() {
+        let e0 = Fingerprinter::new(Polynomial::generate(1), 16);
+        let e1 = Fingerprinter::new(Polynomial::generate(2), 16);
+        let data = b"some sixteen byt";
+        assert_ne!(e0.fingerprint(data), e1.fingerprint(data));
+    }
+
+    #[test]
+    fn rolling_hash_incremental_matches_windows() {
+        let e = engine(16);
+        let data: Vec<u8> = (0..500u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let mut roll = e.rolling();
+        let mut got = Vec::new();
+        for &b in &data {
+            if let Some(fp) = roll.update(b) {
+                got.push(fp);
+            }
+        }
+        let want: Vec<u64> = e.windows(&data).map(|(_, fp)| fp).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rolling_hash_reset_restarts_cleanly() {
+        let e = engine(4);
+        let mut roll = e.rolling();
+        for &b in b"abcdefg" {
+            let _ = roll.update(b);
+        }
+        roll.reset();
+        assert_eq!(roll.filled(), 0);
+        let mut got = Vec::new();
+        for &b in b"wxyz" {
+            if let Some(fp) = roll.update(b) {
+                got.push(fp);
+            }
+        }
+        assert_eq!(got, vec![e.fingerprint(b"wxyz")]);
+    }
+
+    #[test]
+    fn stability_snapshot() {
+        // Guards against accidental changes to the default modulus or the
+        // reduction logic: both ends of a deployment must agree.
+        let e = engine(16);
+        let fp = e.fingerprint(b"0123456789abcdef");
+        let again = engine(16).fingerprint(b"0123456789abcdef");
+        assert_eq!(fp, again);
+        assert!(fp != 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_panics() {
+        let _ = engine(0);
+    }
+
+    #[test]
+    fn single_byte_window_fingerprints_are_injective_on_bytes() {
+        let e = engine(1);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..=255u8 {
+            assert!(seen.insert(e.fingerprint(&[b])), "collision at byte {b}");
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Carry-less polynomial arithmetic over GF(2).
+//!
+//! A polynomial `b_n x^n + ... + b_1 x + b_0` with coefficients in GF(2)
+//! is represented by the integer whose bit `i` is `b_i`. Addition is XOR;
+//! multiplication is carry-less (shift-and-XOR) multiplication. These
+//! operations underpin Rabin fingerprinting: a byte string is interpreted
+//! as a polynomial and its fingerprint is the residue modulo a fixed
+//! irreducible polynomial.
+//!
+//! Everything here is deliberately scalar and portable — the hot path of
+//! fingerprinting uses the precomputed tables in
+//! [`Fingerprinter`](crate::Fingerprinter), not these primitives.
+
+/// Degree of a polynomial, i.e. the position of its highest set bit.
+///
+/// The zero polynomial is conventionally assigned degree `-1` here so that
+/// every reduction loop can compare degrees without special-casing zero.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_rabin::gf2::degree;
+/// assert_eq!(degree(0b1000), 3);
+/// assert_eq!(degree(1), 0);
+/// assert_eq!(degree(0), -1);
+/// ```
+#[must_use]
+pub fn degree(p: u128) -> i32 {
+    127 - p.leading_zeros() as i32
+}
+
+/// Reduce `value` modulo the polynomial `modulus` (bit-by-bit).
+///
+/// `modulus` must be non-zero. The result has degree strictly less than
+/// `degree(modulus)` and therefore fits in a `u64` whenever the modulus
+/// has degree ≤ 64.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+#[must_use]
+pub fn reduce(mut value: u128, modulus: u128) -> u128 {
+    assert!(modulus != 0, "reduction modulo the zero polynomial");
+    let md = degree(modulus);
+    while degree(value) >= md {
+        value ^= modulus << (degree(value) - md);
+    }
+    value
+}
+
+/// Multiply two polynomials (carry-less), without reduction.
+///
+/// Operands must have degrees that sum to less than 128 or the product
+/// wraps; callers in this crate only ever multiply residues of degree
+/// < 64, so the product always fits.
+#[must_use]
+pub fn mul(a: u128, b: u128) -> u128 {
+    let mut out = 0u128;
+    let mut a = a;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 == 1 {
+            out ^= a;
+        }
+        a <<= 1;
+        b >>= 1;
+    }
+    out
+}
+
+/// Multiply two residues and reduce modulo `modulus`.
+#[must_use]
+pub fn mul_mod(a: u128, b: u128, modulus: u128) -> u128 {
+    reduce(mul(a, b), modulus)
+}
+
+/// Compute `x^(2^squarings) mod modulus` by repeated squaring of `x`.
+///
+/// Used by Rabin's irreducibility test, which needs `x^(2^d) mod f`.
+#[must_use]
+pub fn x_pow_pow2_mod(squarings: u32, modulus: u128) -> u128 {
+    let mut r = reduce(0b10, modulus); // the polynomial `x`
+    for _ in 0..squarings {
+        r = mul_mod(r, r, modulus);
+    }
+    r
+}
+
+/// Compute `x^n mod modulus` by square-and-multiply.
+#[must_use]
+pub fn x_pow_mod(n: u32, modulus: u128) -> u128 {
+    let x = reduce(0b10, modulus);
+    let mut result = reduce(1, modulus);
+    let mut base = x;
+    let mut n = n;
+    while n != 0 {
+        if n & 1 == 1 {
+            result = mul_mod(result, base, modulus);
+        }
+        base = mul_mod(base, base, modulus);
+        n >>= 1;
+    }
+    result
+}
+
+/// Greatest common divisor of two polynomials (Euclid's algorithm).
+#[must_use]
+pub fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = reduce(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Rabin's irreducibility test for a polynomial `f` of degree `d`.
+///
+/// `f` is irreducible over GF(2) iff `x^(2^d) ≡ x (mod f)` and, for every
+/// prime divisor `q` of `d`, `gcd(x^(2^(d/q)) - x, f) = 1`.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_rabin::gf2::is_irreducible;
+/// // x^2 + x + 1 is the unique irreducible quadratic over GF(2).
+/// assert!(is_irreducible(0b111));
+/// // x^2 + 1 = (x + 1)^2 is reducible.
+/// assert!(!is_irreducible(0b101));
+/// ```
+#[must_use]
+pub fn is_irreducible(f: u128) -> bool {
+    let d = degree(f);
+    if d <= 0 {
+        return false;
+    }
+    let d = d as u32;
+    // x^(2^d) mod f must equal x.
+    if x_pow_pow2_mod(d, f) != reduce(0b10, f) {
+        return false;
+    }
+    for q in prime_divisors(d) {
+        let h = x_pow_pow2_mod(d / q, f) ^ reduce(0b10, f);
+        if gcd(h, f) != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Prime divisors of `n`, ascending, without multiplicity.
+#[must_use]
+pub fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n.is_multiple_of(p) {
+            out.push(p);
+            while n.is_multiple_of(p) {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_of_common_values() {
+        assert_eq!(degree(0), -1);
+        assert_eq!(degree(1), 0);
+        assert_eq!(degree(2), 1);
+        assert_eq!(degree(1 << 53), 53);
+        assert_eq!(degree(u128::MAX), 127);
+    }
+
+    #[test]
+    fn reduce_is_identity_below_modulus_degree() {
+        let m = 0b1011; // x^3 + x + 1
+        for v in 0..8u128 {
+            assert_eq!(reduce(v, m), v);
+        }
+    }
+
+    #[test]
+    fn reduce_examples() {
+        // x^3 mod (x^3 + x + 1) = x + 1
+        assert_eq!(reduce(0b1000, 0b1011), 0b011);
+        // x^4 mod (x^3 + x + 1) = x^2 + x
+        assert_eq!(reduce(0b10000, 0b1011), 0b110);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn reduce_by_zero_panics() {
+        let _ = reduce(5, 0);
+    }
+
+    #[test]
+    fn mul_matches_hand_examples() {
+        // (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert_eq!(mul(0b11, 0b11), 0b101);
+        // x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert_eq!(mul(0b10, 0b111), 0b1110);
+        assert_eq!(mul(0, 12345), 0);
+        assert_eq!(mul(1, 12345), 12345);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let cases = [0u128, 1, 2, 3, 0b1011, 0xdead, 0xbeef];
+        for &a in &cases {
+            for &b in &cases {
+                assert_eq!(mul(a, b), mul(b, a));
+                for &c in &cases {
+                    assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        // gcd(f, f) = f, gcd(f, 0) = f
+        assert_eq!(gcd(0b1011, 0b1011), 0b1011);
+        assert_eq!(gcd(0b1011, 0), 0b1011);
+        // x^2 + 1 = (x+1)^2; gcd with (x+1) is (x+1)
+        assert_eq!(gcd(0b101, 0b11), 0b11);
+    }
+
+    #[test]
+    fn small_irreducibles_are_exactly_the_known_ones() {
+        // Degree-3 irreducibles over GF(2): x^3+x+1 (0b1011), x^3+x^2+1 (0b1101).
+        let irr3: Vec<u128> = (0b1000..0b10000u128).filter(|&f| is_irreducible(f)).collect();
+        assert_eq!(irr3, vec![0b1011, 0b1101]);
+        // Degree-4: x^4+x+1, x^4+x^3+1, x^4+x^3+x^2+x+1.
+        let irr4: Vec<u128> = (0b10000..0b100000u128).filter(|&f| is_irreducible(f)).collect();
+        assert_eq!(irr4, vec![0b10011, 0b11001, 0b11111]);
+    }
+
+    #[test]
+    fn reducible_products_are_rejected() {
+        // Product of two irreducible cubics has degree 6 and is reducible.
+        let f = mul(0b1011, 0b1101);
+        assert!(!is_irreducible(f));
+        // A perfect square.
+        let g = mul(0b1011, 0b1011);
+        assert!(!is_irreducible(g));
+    }
+
+    #[test]
+    fn x_pow_mod_matches_naive() {
+        let m = 0b1011u128;
+        let x = 0b10u128;
+        let mut acc = 1u128;
+        for n in 0..32 {
+            assert_eq!(x_pow_mod(n, m), acc, "x^{n}");
+            acc = mul_mod(acc, x, m);
+        }
+    }
+
+    #[test]
+    fn prime_divisor_lists() {
+        assert_eq!(prime_divisors(53), vec![53]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(1), Vec::<u32>::new());
+        assert_eq!(prime_divisors(64), vec![2]);
+    }
+}

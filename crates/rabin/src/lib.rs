@@ -1,0 +1,54 @@
+//! Rabin fingerprinting over GF(2), built from scratch for byte caching.
+//!
+//! Byte caching (data redundancy elimination) identifies repeated regions
+//! of traffic by sliding a `w`-byte window over each packet and computing
+//! the [Rabin fingerprint] of every window — the residue of the window,
+//! interpreted as a polynomial over GF(2), modulo a fixed irreducible
+//! polynomial. Because the fingerprint *rolls* (the fingerprint of the
+//! next window is computed in O(1) from the previous one), fingerprinting
+//! a whole packet costs O(len).
+//!
+//! This crate provides:
+//!
+//! * [`gf2`] — carry-less polynomial arithmetic over GF(2) and an
+//!   irreducibility test (Rabin's test), used to construct and verify
+//!   fingerprinting moduli.
+//! * [`Polynomial`] — a validated irreducible modulus of degree
+//!   [`FINGERPRINT_BITS`].
+//! * [`Fingerprinter`] — table-driven rolling fingerprint engine.
+//! * [`sampler`] — the "last *k* bits zero" fingerprint-selection rule
+//!   used by Spring & Wetherall to subsample representative fingerprints.
+//!
+//! # Example
+//!
+//! ```
+//! use bytecache_rabin::{Fingerprinter, Polynomial};
+//!
+//! let fp = Fingerprinter::new(Polynomial::default(), 16);
+//! let data = b"the quick brown fox jumps over the lazy dog";
+//! // Rolling fingerprints agree with direct (from-scratch) ones.
+//! for (offset, print) in fp.windows(data) {
+//!     assert_eq!(print, fp.fingerprint(&data[offset..offset + 16]));
+//! }
+//! ```
+//!
+//! [Rabin fingerprint]: https://en.wikipedia.org/wiki/Rabin_fingerprint
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gf2;
+pub mod sampler;
+
+mod fingerprinter;
+mod polynomial;
+
+pub use fingerprinter::{Fingerprinter, RollingHash, Windows};
+pub use polynomial::{Polynomial, PolynomialError};
+
+/// Number of significant bits in every fingerprint produced by this crate.
+///
+/// The modulus has degree 53, so residues fit in 53 bits. A fingerprint is
+/// carried on the wire in an 8-byte field (as in the paper), but only the
+/// low [`FINGERPRINT_BITS`] bits are ever non-zero.
+pub const FINGERPRINT_BITS: u32 = 53;

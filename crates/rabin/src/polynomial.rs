@@ -1,0 +1,202 @@
+//! Validated irreducible moduli for Rabin fingerprinting.
+
+use core::fmt;
+
+use crate::gf2;
+use crate::FINGERPRINT_BITS;
+
+/// An irreducible polynomial of degree [`FINGERPRINT_BITS`] over GF(2),
+/// used as the modulus for Rabin fingerprinting.
+///
+/// Both endpoints of a byte caching deployment must agree on the modulus,
+/// otherwise their fingerprints (and therefore caches) never match. Use
+/// [`Polynomial::default`] unless you have a reason not to; use
+/// [`Polynomial::generate`] to derive an alternative deterministically
+/// from a seed (e.g. to re-key a deployment).
+///
+/// # Example
+///
+/// ```
+/// use bytecache_rabin::Polynomial;
+///
+/// let p = Polynomial::default();
+/// assert_eq!(p.degree(), 53);
+/// let q = Polynomial::generate(7);
+/// assert_ne!(p, q);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Polynomial(u128);
+
+/// Error returned when constructing a [`Polynomial`] from raw bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolynomialError {
+    /// The value does not have degree exactly [`FINGERPRINT_BITS`].
+    WrongDegree {
+        /// Degree of the rejected value (`-1` for zero).
+        found: i32,
+    },
+    /// The value has the right degree but is reducible.
+    Reducible,
+}
+
+impl fmt::Display for PolynomialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolynomialError::WrongDegree { found } => write!(
+                f,
+                "polynomial must have degree {FINGERPRINT_BITS}, found {found}"
+            ),
+            PolynomialError::Reducible => write!(f, "polynomial is reducible over GF(2)"),
+        }
+    }
+}
+
+impl std::error::Error for PolynomialError {}
+
+impl Polynomial {
+    /// Construct a modulus from raw bits, verifying degree and
+    /// irreducibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolynomialError::WrongDegree`] if the degree is not
+    /// [`FINGERPRINT_BITS`], and [`PolynomialError::Reducible`] if the
+    /// polynomial factors.
+    pub fn from_bits(bits: u128) -> Result<Self, PolynomialError> {
+        let d = gf2::degree(bits);
+        if d != FINGERPRINT_BITS as i32 {
+            return Err(PolynomialError::WrongDegree { found: d });
+        }
+        if !gf2::is_irreducible(bits) {
+            return Err(PolynomialError::Reducible);
+        }
+        Ok(Polynomial(bits))
+    }
+
+    /// Deterministically derive an irreducible modulus from a seed.
+    ///
+    /// Candidates are drawn from a simple xorshift sequence keyed by
+    /// `seed`; roughly one in `degree` candidates is irreducible, so the
+    /// search terminates quickly. The same seed always yields the same
+    /// polynomial.
+    #[must_use]
+    pub fn generate(seed: u64) -> Self {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        loop {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            // Force degree 53 and an odd constant term (x never divides it).
+            let candidate =
+                ((r as u128) & ((1u128 << FINGERPRINT_BITS) - 1)) | (1u128 << FINGERPRINT_BITS) | 1;
+            if gf2::is_irreducible(candidate) {
+                return Polynomial(candidate);
+            }
+        }
+    }
+
+    /// The raw coefficient bits of the modulus.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Degree of the modulus (always [`FINGERPRINT_BITS`]).
+    #[must_use]
+    pub fn degree(self) -> u32 {
+        gf2::degree(self.0) as u32
+    }
+}
+
+impl Default for Polynomial {
+    /// The crate's default modulus, generated from seed 0 and verified
+    /// irreducible at construction.
+    fn default() -> Self {
+        Polynomial::generate(0)
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_irreducible_degree_53() {
+        let p = Polynomial::default();
+        assert_eq!(p.degree(), 53);
+        assert!(gf2::is_irreducible(p.bits()));
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        assert_eq!(Polynomial::generate(42), Polynomial::generate(42));
+    }
+
+    #[test]
+    fn distinct_seeds_usually_give_distinct_moduli() {
+        let polys: Vec<_> = (0..8).map(Polynomial::generate).collect();
+        for i in 0..polys.len() {
+            for j in (i + 1)..polys.len() {
+                assert_ne!(polys[i], polys[j], "seeds {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        let p = Polynomial::generate(3);
+        assert_eq!(Polynomial::from_bits(p.bits()), Ok(p));
+    }
+
+    #[test]
+    fn from_bits_rejects_wrong_degree() {
+        assert_eq!(
+            Polynomial::from_bits(0b1011),
+            Err(PolynomialError::WrongDegree { found: 3 })
+        );
+        assert_eq!(
+            Polynomial::from_bits(0),
+            Err(PolynomialError::WrongDegree { found: -1 })
+        );
+        assert_eq!(
+            Polynomial::from_bits(1u128 << 60),
+            Err(PolynomialError::WrongDegree { found: 60 })
+        );
+    }
+
+    #[test]
+    fn from_bits_rejects_reducible() {
+        // x^53 alone is divisible by x.
+        assert_eq!(
+            Polynomial::from_bits(1u128 << 53),
+            Err(PolynomialError::Reducible)
+        );
+        // An even polynomial of degree 53 (constant term 0) is divisible by x.
+        assert_eq!(
+            Polynomial::from_bits((1u128 << 53) | 0b10),
+            Err(PolynomialError::Reducible)
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Polynomial::from_bits(0b1011).unwrap_err();
+        assert!(e.to_string().contains("degree"));
+        let e = Polynomial::from_bits(1u128 << 53).unwrap_err();
+        assert!(e.to_string().contains("reducible"));
+    }
+}

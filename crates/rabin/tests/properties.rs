@@ -1,0 +1,58 @@
+//! Property-based tests for the Rabin fingerprinting engine.
+
+use bytecache_rabin::{gf2, Fingerprinter, Polynomial};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rolling_equals_direct(data in proptest::collection::vec(any::<u8>(), 0..512), w in 1usize..40) {
+        let e = Fingerprinter::new(Polynomial::default(), w);
+        for (start, fp) in e.windows(&data) {
+            prop_assert_eq!(fp, e.fingerprint(&data[start..start + w]));
+        }
+    }
+
+    #[test]
+    fn append_is_linear_in_content(a in any::<u64>(), b in any::<u8>()) {
+        // append(fp, byte) = append(fp, 0) ^ byte  (GF(2) linearity)
+        let e = Fingerprinter::new(Polynomial::default(), 16);
+        let fp = a & ((1 << 53) - 1);
+        prop_assert_eq!(e.append(fp, b), e.append(fp, 0) ^ u64::from(b));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_every_byte(data in proptest::collection::vec(any::<u8>(), 16..64), idx in 0usize..16, delta in 1u8..=255) {
+        let e = Fingerprinter::new(Polynomial::default(), data_len_window());
+        let mut mutated = data.clone();
+        let i = idx % data.len();
+        mutated[i] ^= delta;
+        prop_assert_ne!(e.fingerprint(&data), e.fingerprint(&mutated));
+    }
+
+    #[test]
+    fn reduce_is_idempotent(v in any::<u128>()) {
+        let m = Polynomial::default().bits();
+        let r = gf2::reduce(v, m);
+        prop_assert_eq!(gf2::reduce(r, m), r);
+        prop_assert!(gf2::degree(r) < gf2::degree(m));
+    }
+
+    #[test]
+    fn mul_mod_is_associative(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let m = Polynomial::default().bits();
+        let (a, b, c) = (a as u128 & ((1 << 53) - 1), b as u128 & ((1 << 53) - 1), c as u128 & ((1 << 53) - 1));
+        let left = gf2::mul_mod(gf2::mul_mod(a, b, m), c, m);
+        let right = gf2::mul_mod(a, gf2::mul_mod(b, c, m), m);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn generated_polynomials_are_irreducible(seed in any::<u64>()) {
+        let p = Polynomial::generate(seed % 64); // bound the search cost
+        prop_assert!(gf2::is_irreducible(p.bits()));
+    }
+}
+
+fn data_len_window() -> usize {
+    16
+}

@@ -1,0 +1,73 @@
+//! TCP endpoint configuration.
+
+use bytecache_netsim::time::SimDuration;
+use bytecache_packet::MSS;
+use serde::{Deserialize, Serialize};
+
+/// Tunables shared by the TCP client and server endpoints.
+///
+/// Defaults follow RFC 6298 timer rules and a Reno sender with a 2-MSS
+/// initial window; `max_retries = 6` makes a stalled connection give up
+/// after roughly a minute of exponential backoff (the paper's aborted
+/// downloads in Figure 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size in bytes.
+    pub mss: usize,
+    /// Initial congestion window, in segments.
+    pub init_cwnd_segments: usize,
+    /// Initial slow-start threshold in bytes (effectively "unlimited").
+    pub init_ssthresh: usize,
+    /// Receive window advertised (and respected by the sender).
+    pub receive_window: usize,
+    /// Initial retransmission timeout before any RTT sample (RFC 6298: 1 s).
+    pub initial_rto: SimDuration,
+    /// Lower bound on the RTO.
+    pub min_rto: SimDuration,
+    /// Upper bound on the RTO.
+    pub max_rto: SimDuration,
+    /// Consecutive timeouts of the same data before the connection is
+    /// aborted (the "stall" outcome).
+    pub max_retries: u32,
+    /// Size in bytes of the client's request message.
+    pub request_len: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: MSS,
+            init_cwnd_segments: 2,
+            init_ssthresh: usize::MAX / 2,
+            receive_window: 65_535,
+            initial_rto: SimDuration::from_secs(1),
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+            max_retries: 6,
+            request_len: 64,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Initial congestion window in bytes.
+    #[must_use]
+    pub fn init_cwnd(&self) -> usize {
+        self.init_cwnd_segments * self.mss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_rfc_shaped() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1460);
+        assert_eq!(c.init_cwnd(), 2920);
+        assert_eq!(c.initial_rto.as_micros(), 1_000_000);
+        assert!(c.min_rto < c.max_rto);
+        assert!(c.max_retries >= 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Simplified TCP Reno endpoints for the network simulator.
+//!
+//! The paper's central finding is an *interaction* between IP-layer byte
+//! caching and TCP's reliability machinery: retransmissions create the
+//! circular encoding dependencies, the in-flight window determines how
+//! many packets a single loss poisons, and exponential backoff turns
+//! undecodable retransmissions into connection stalls. Reproducing those
+//! results therefore needs a TCP with the real mechanisms, not an
+//! abstract reliable stream. This crate implements them from scratch:
+//!
+//! * three-way handshake and FIN teardown,
+//! * cumulative ACKs with out-of-order reassembly and duplicate-ACK
+//!   generation,
+//! * slow start / congestion avoidance / fast retransmit / fast recovery
+//!   (TCP Reno),
+//! * RTT estimation and retransmission timeout per RFC 6298, with Karn's
+//!   algorithm and exponential backoff,
+//! * connection abort after a configurable number of consecutive
+//!   timeouts — the paper's "TCP connection stall".
+//!
+//! The endpoints are [`bytecache_netsim::Node`]s:
+//! [`TcpServerNode`] serves a byte object, [`TcpClientNode`] connects,
+//! sends a small request, and downloads it — the HTTP-retrieval shape of
+//! the paper's testbed (Figure 3).
+//!
+//! Every emitted IP packet gets a fresh IP identification number, so at
+//! the IP layer a TCP retransmission is a brand-new datagram — exactly
+//! the property that lets a naive byte cache encode a retransmission
+//! against itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod rtt;
+mod server;
+mod stats;
+
+pub use client::TcpClientNode;
+pub use config::TcpConfig;
+pub use rtt::RttEstimator;
+pub use server::TcpServerNode;
+pub use stats::{DownloadReport, ServerReport};

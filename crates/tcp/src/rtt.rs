@@ -1,0 +1,190 @@
+//! RFC 6298 round-trip-time estimation and retransmission timeout.
+
+use bytecache_netsim::time::SimDuration;
+
+/// SRTT/RTTVAR estimator with the RFC 6298 update rules.
+///
+/// `RTO = SRTT + max(G, 4·RTTVAR)` clamped to `[min_rto, max_rto]`; the
+/// first sample initializes `SRTT = R`, `RTTVAR = R/2`. Back-off doubling
+/// is applied by the caller ([`backoff`](RttEstimator::backoff)) and is
+/// cleared by the next valid sample, implementing Karn's algorithm
+/// together with the caller's rule of never sampling retransmitted
+/// segments.
+///
+/// # Example
+///
+/// ```
+/// use bytecache_netsim::time::SimDuration;
+/// use bytecache_tcp::RttEstimator;
+///
+/// let mut est = RttEstimator::new(
+///     SimDuration::from_secs(1),
+///     SimDuration::from_millis(200),
+///     SimDuration::from_secs(60),
+/// );
+/// assert_eq!(est.rto(), SimDuration::from_secs(1)); // pre-sample default
+/// est.sample(SimDuration::from_millis(100));
+/// assert!(est.rto() >= SimDuration::from_millis(200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    base_rto: SimDuration,
+    backoff_factor: u64,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// New estimator; `initial_rto` applies until the first sample.
+    #[must_use]
+    pub fn new(initial_rto: SimDuration, min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            base_rto: initial_rto,
+            backoff_factor: 1,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Incorporate a round-trip sample from a segment that was *not*
+    /// retransmitted (Karn's rule). Clears any backoff.
+    pub fn sample(&mut self, r: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = SimDuration::from_micros(r.as_micros() / 2);
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|
+                let err = if srtt > r { srtt - r } else { r - srtt };
+                self.rttvar =
+                    SimDuration::from_micros((3 * self.rttvar.as_micros() + err.as_micros()) / 4);
+                // SRTT = 7/8 SRTT + 1/8 R
+                self.srtt = Some(SimDuration::from_micros(
+                    (7 * srtt.as_micros() + r.as_micros()) / 8,
+                ));
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // Granularity G is our clock tick, 1 µs — negligible next to 4·RTTVAR.
+        let var_term = SimDuration::from_micros((4 * self.rttvar.as_micros()).max(1));
+        self.base_rto = srtt + var_term;
+        self.backoff_factor = 1;
+    }
+
+    /// Double the timeout after a retransmission timeout fires.
+    pub fn backoff(&mut self) {
+        self.backoff_factor = self.backoff_factor.saturating_mul(2);
+    }
+
+    /// Clear accumulated backoff. Called when the connection makes
+    /// forward progress (an ACK advances), matching the common
+    /// implementation behaviour that backoff applies to successive
+    /// retransmissions of the *same* data only.
+    pub fn reset_backoff(&mut self) {
+        self.backoff_factor = 1;
+    }
+
+    /// Current retransmission timeout (with backoff and clamping applied).
+    #[must_use]
+    pub fn rto(&self) -> SimDuration {
+        self.base_rto
+            .saturating_mul(self.backoff_factor)
+            .max(self.min_rto)
+            .min(self.max_rto)
+    }
+
+    /// Smoothed RTT, if at least one sample has been taken.
+    #[must_use]
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_millis(200),
+            SimDuration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn initial_rto_until_first_sample() {
+        let e = est();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert_eq!(e.srtt(), None);
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        assert_eq!(e.srtt(), Some(SimDuration::from_millis(100)));
+        // RTO = 100ms + 4*50ms = 300ms
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_shrink_variance() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.sample(SimDuration::from_millis(100));
+        }
+        // Variance decays toward zero; RTO floors at min_rto.
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+        let srtt = e.srtt().unwrap().as_micros();
+        assert!((99_000..=101_000).contains(&srtt));
+    }
+
+    #[test]
+    fn jittery_samples_raise_rto() {
+        let mut e = est();
+        for i in 0..50 {
+            let ms = if i % 2 == 0 { 50 } else { 250 };
+            e.sample(SimDuration::from_millis(ms));
+        }
+        assert!(e.rto() > SimDuration::from_millis(400), "rto={}", e.rto());
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100)); // rto 300ms
+        e.backoff();
+        assert_eq!(e.rto(), SimDuration::from_millis(600));
+        e.backoff();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        e.sample(SimDuration::from_millis(100));
+        assert!(e.rto() <= SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn reset_backoff_clears_doubling() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        e.backoff();
+        e.backoff();
+        assert_eq!(e.rto(), SimDuration::from_millis(1200));
+        e.reset_backoff();
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn rto_is_clamped_to_max() {
+        let mut e = est();
+        e.sample(SimDuration::from_millis(100));
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60));
+    }
+}

@@ -1,0 +1,96 @@
+//! Transfer outcome reports for the TCP endpoints.
+
+use bytecache_netsim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the client observed: the paper's per-run measurements (download
+/// time, fraction of the file retrieved before a stall) are read from
+/// this report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DownloadReport {
+    /// When the SYN was first sent.
+    pub started_at: Option<SimTime>,
+    /// When the first response byte was delivered in order.
+    pub first_byte_at: Option<SimTime>,
+    /// When the FIN was received (download complete).
+    pub completed_at: Option<SimTime>,
+    /// In-order bytes delivered to the application so far.
+    pub bytes_delivered: u64,
+    /// Data packets that arrived with a payload (including duplicates
+    /// and out-of-order arrivals).
+    pub data_packets_received: u64,
+    /// Duplicate ACKs the client emitted.
+    pub dup_acks_sent: u64,
+    /// True once the whole object (and FIN) arrived.
+    pub complete: bool,
+    /// True if the client itself gave up (handshake/request retries
+    /// exhausted).
+    pub aborted: bool,
+}
+
+impl DownloadReport {
+    /// Download duration (SYN to FIN), if the transfer completed.
+    #[must_use]
+    pub fn duration(&self) -> Option<bytecache_netsim::time::SimDuration> {
+        match (self.started_at, self.completed_at) {
+            (Some(s), Some(c)) => Some(c - s),
+            _ => None,
+        }
+    }
+
+    /// Fraction of an `object_len`-byte object retrieved.
+    #[must_use]
+    pub fn fraction_retrieved(&self, object_len: usize) -> f64 {
+        if object_len == 0 {
+            1.0
+        } else {
+            (self.bytes_delivered as f64 / object_len as f64).min(1.0)
+        }
+    }
+}
+
+/// What the server observed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServerReport {
+    /// Data segments transmitted (including retransmissions).
+    pub segments_sent: u64,
+    /// Data segments retransmitted.
+    pub retransmissions: u64,
+    /// Retransmission timeouts that fired.
+    pub timeouts: u64,
+    /// Fast retransmits triggered by triple duplicate ACKs.
+    pub fast_retransmits: u64,
+    /// True if the server aborted the connection after exhausting
+    /// retries — the paper's "TCP connection stall".
+    pub aborted: bool,
+    /// True once the FIN was acknowledged.
+    pub finished: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytecache_netsim::time::SimTime;
+
+    #[test]
+    fn duration_requires_completion() {
+        let mut r = DownloadReport {
+            started_at: Some(SimTime::from_micros(1_000)),
+            ..DownloadReport::default()
+        };
+        assert_eq!(r.duration(), None);
+        r.completed_at = Some(SimTime::from_micros(5_000));
+        assert_eq!(r.duration().unwrap().as_micros(), 4_000);
+    }
+
+    #[test]
+    fn fraction_is_clamped() {
+        let r = DownloadReport {
+            bytes_delivered: 150,
+            ..DownloadReport::default()
+        };
+        assert!((r.fraction_retrieved(100) - 1.0).abs() < 1e-12);
+        assert!((r.fraction_retrieved(300) - 0.5).abs() < 1e-12);
+        assert_eq!(r.fraction_retrieved(0), 1.0);
+    }
+}

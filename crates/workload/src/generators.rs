@@ -1,0 +1,294 @@
+//! Object generators mimicking the paper's web-object classes.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The classes of web object measured in the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Plain-text e-book: very low windowed redundancy (0.3–1 %),
+    /// repeats spaced far apart.
+    Ebook,
+    /// Compressed video: essentially incompressible (≈ 0.01 %).
+    Video,
+    /// Templated HTML page: high short-range redundancy (19–52 %).
+    WebPage,
+}
+
+impl ObjectKind {
+    /// All kinds, in Table I order.
+    pub const ALL: [ObjectKind; 3] = [ObjectKind::Ebook, ObjectKind::Video, ObjectKind::WebPage];
+
+    /// Stable label used in tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ObjectKind::Ebook => "ebook",
+            ObjectKind::Video => "video",
+            ObjectKind::WebPage => "web page",
+        }
+    }
+}
+
+impl core::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Generate an object of exactly `size` bytes, deterministically from
+/// `seed`.
+#[must_use]
+pub fn generate(kind: ObjectKind, size: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB17E_CACE);
+    let mut out = match kind {
+        ObjectKind::Ebook => ebook(size, &mut rng),
+        ObjectKind::Video => video(size, &mut rng),
+        ObjectKind::WebPage => webpage(size, &mut rng),
+    };
+    out.truncate(size);
+    out
+}
+
+/// Natural-language-like text from a Zipf-weighted vocabulary, with a
+/// small pool of long phrases (chapter epigraphs) re-quoted at long
+/// range — the source of an e-book's sub-1 % DRE redundancy.
+fn ebook(size: usize, rng: &mut StdRng) -> Vec<u8> {
+    // Synthesize a vocabulary: word lengths 2..12, letters weighted
+    // roughly like English. The vocabulary is large and only mildly
+    // skewed: with a heavy Zipf head, two-word sequences (a 16-byte DRE
+    // window spans about two words) repeat often enough to push windowed
+    // redundancy far above the 0.3–1 % the paper measures on real
+    // e-books; a flat-ish 20k-word vocabulary keeps exact ≥15-byte
+    // repeats rare, leaving the long-range epigraph quotes as the main
+    // redundancy source.
+    const LETTERS: &[u8] = b"etaoinshrdlucmfwypvbgkjqxz";
+    let vocab: Vec<Vec<u8>> = (0..20_000)
+        .map(|_| {
+            let len = rng.gen_range(2..=12);
+            (0..len)
+                .map(|_| {
+                    let idx = (rng.gen_range(0.0f64..1.0).powi(2) * LETTERS.len() as f64) as usize;
+                    LETTERS[idx.min(LETTERS.len() - 1)]
+                })
+                .collect()
+        })
+        .collect();
+    // Mildly skewed rank weights (much flatter than Zipf s = 1).
+    let weights: Vec<f64> = (1..=vocab.len())
+        .map(|r| 1.0 / ((r + 10) as f64).sqrt())
+        .collect();
+    let dist = WeightedIndex::new(&weights).expect("non-empty weights");
+
+    // A small pool of long phrases (epigraphs, recurring headers),
+    // re-quoted every ~20 KB: the sparse, long-range repeats that give a
+    // real e-book its 0.3-1 % windowed redundancy.
+    let epigraphs: Vec<Vec<u8>> = (0..4)
+        .map(|_| {
+            let mut p = Vec::new();
+            for _ in 0..rng.gen_range(25..40) {
+                p.extend_from_slice(&vocab[dist.sample(rng)]);
+                p.push(b' ');
+            }
+            p
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(size + 64);
+    let mut words_in_line = 0;
+    let mut words_in_paragraph = 0;
+    let mut since_epigraph = 0usize;
+    while out.len() < size {
+        // Roughly every 20 KB, quote one of the epigraphs.
+        if since_epigraph > 15_000 && rng.gen_bool(0.05) {
+            out.extend_from_slice(b"\n\n  \"");
+            out.extend_from_slice(&epigraphs[rng.gen_range(0..epigraphs.len())]);
+            out.extend_from_slice(b"\"\n\n");
+            since_epigraph = 0;
+            continue;
+        }
+        let word = &vocab[dist.sample(rng)];
+        since_epigraph += word.len() + 1;
+        out.extend_from_slice(word);
+        words_in_line += 1;
+        words_in_paragraph += 1;
+        if words_in_paragraph > rng.gen_range(80..200) {
+            out.extend_from_slice(b".\n\n");
+            words_in_paragraph = 0;
+            words_in_line = 0;
+        } else if words_in_line > 11 {
+            out.push(b'\n');
+            words_in_line = 0;
+        } else {
+            out.push(b' ');
+        }
+    }
+    out
+}
+
+/// Incompressible pseudo-random bytes with a 16-byte container header
+/// every 64 KiB (the only repeated content, ≈ 0.02 %).
+fn video(size: usize, rng: &mut StdRng) -> Vec<u8> {
+    const CHUNK: usize = 64 * 1024;
+    const HEADER: &[u8; 16] = b"\x00\x00\x01\xBAmoov\x00\x00\x01\xBBdat0";
+    let mut out = Vec::with_capacity(size + CHUNK);
+    while out.len() < size {
+        out.extend_from_slice(HEADER);
+        let body = CHUNK - HEADER.len();
+        let mut buf = vec![0u8; body];
+        rng.fill(&mut buf[..]);
+        out.extend_from_slice(&buf);
+    }
+    out
+}
+
+/// Templated HTML: repeated navigation blocks, CSS boilerplate, and
+/// list items stamped from a few templates with small per-item edits —
+/// the short-range redundancy that makes web pages compress 19–52 %.
+fn webpage(size: usize, rng: &mut StdRng) -> Vec<u8> {
+    let nav: Vec<u8> = {
+        let mut n = Vec::new();
+        n.extend_from_slice(b"<nav class=\"site-navigation\"><ul class=\"menu-items\">");
+        for item in ["home", "products", "solutions", "support", "company", "contact"] {
+            n.extend_from_slice(
+                format!(
+                    "<li class=\"menu-item menu-item-type-post_type\"><a href=\"/{item}/index.html\" \
+                     class=\"nav-link\">{item}</a></li>"
+                )
+                .as_bytes(),
+            );
+        }
+        n.extend_from_slice(b"</ul></nav>");
+        n
+    };
+    let css: Vec<u8> = (b"<style>.card{display:flex;flex-direction:column;border:1px solid #ddd;\
+        border-radius:8px;padding:16px;margin:8px;box-shadow:0 1px 3px rgba(0,0,0,0.12)}\
+        .card-title{font-size:18px;font-weight:600;color:#222;margin-bottom:8px}\
+        .card-body{font-size:14px;line-height:1.5;color:#555}</style>")
+        .to_vec();
+
+    let mut out = Vec::with_capacity(size + 1024);
+    out.extend_from_slice(b"<!DOCTYPE html><html lang=\"en\"><head><meta charset=\"utf-8\">");
+    out.extend_from_slice(&css);
+    out.extend_from_slice(b"</head><body>");
+    out.extend_from_slice(&nav);
+    let mut item_id = 0u32;
+    while out.len() < size {
+        // Re-stamp the nav/css periodically (headers, footers, sidebars).
+        if rng.gen_bool(0.02) {
+            out.extend_from_slice(&nav);
+        }
+        if rng.gen_bool(0.01) {
+            out.extend_from_slice(&css);
+        }
+        // A templated card with a small unique core.
+        item_id += 1;
+        // A substantial unique core per card keeps whole-page redundancy
+        // in the paper's 19-52 % band rather than approaching 100 %.
+        let unique: String = (0..rng.gen_range(150..420))
+            .map(|_| {
+                let c = rng.gen_range(0..28u8);
+                if c < 26 { (b'a' + c) as char } else if c == 26 { ' ' } else { '-' }
+            })
+            .collect();
+        out.extend_from_slice(
+            format!(
+                "<div class=\"card\" data-item-id=\"{item_id}\"><h2 class=\"card-title\">Item \
+                 {item_id}</h2><div class=\"card-body\"><p>{unique}</p><span class=\"price-tag \
+                 currency-usd\">$ {}.99</span><button class=\"add-to-cart-button btn \
+                 btn-primary\" aria-label=\"add to cart\">Add to cart</button></div></div>",
+                rng.gen_range(1..500)
+            )
+            .as_bytes(),
+        );
+    }
+    out.extend_from_slice(b"</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Fraction of 16-byte windows (sampled every 16 bytes) that repeat
+    /// an earlier window — a crude stand-in for DRE redundancy, good
+    /// enough to order the object kinds.
+    fn window_repeat_fraction(data: &[u8]) -> f64 {
+        let mut seen: HashMap<&[u8], u32> = HashMap::new();
+        let mut repeats = 0usize;
+        let mut total = 0usize;
+        let mut i = 0;
+        while i + 16 <= data.len() {
+            let w = &data[i..i + 16];
+            total += 1;
+            let c = seen.entry(w).or_insert(0);
+            if *c > 0 {
+                repeats += 1;
+            }
+            *c += 1;
+            i += 16;
+        }
+        repeats as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        for kind in ObjectKind::ALL {
+            for size in [1_000usize, 40_000, 587_567] {
+                assert_eq!(generate(kind, size, 1).len(), size, "{kind} {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for kind in ObjectKind::ALL {
+            assert_eq!(generate(kind, 50_000, 7), generate(kind, 50_000, 7));
+            assert_ne!(generate(kind, 50_000, 7), generate(kind, 50_000, 8));
+        }
+    }
+
+    #[test]
+    fn redundancy_ordering_matches_table_i() {
+        let ebook = window_repeat_fraction(&generate(ObjectKind::Ebook, 300_000, 3));
+        let video = window_repeat_fraction(&generate(ObjectKind::Video, 300_000, 3));
+        let web = window_repeat_fraction(&generate(ObjectKind::WebPage, 300_000, 3));
+        assert!(video < 0.005, "video should be incompressible: {video}");
+        assert!(ebook < 0.02, "ebook redundancy should be small: {ebook}");
+        assert!(web > 0.15, "web pages should be highly redundant: {web}");
+        // This 16-byte-stride proxy undersamples the ebook's sparse
+        // long-range repeats (it can read 0 here); the authoritative
+        // ordering check, using the real encoder, is the Table I test in
+        // the experiments crate.
+        assert!(ebook < web && video < web, "ordering: {video} {ebook} {web}");
+    }
+
+    #[test]
+    fn ebook_looks_like_text() {
+        let data = generate(ObjectKind::Ebook, 10_000, 1);
+        let printable = data
+            .iter()
+            .filter(|&&b| b == b' ' || b == b'\n' || b.is_ascii_graphic())
+            .count();
+        assert!(printable as f64 / data.len() as f64 > 0.99);
+    }
+
+    #[test]
+    fn webpage_contains_html_structure() {
+        let data = generate(ObjectKind::WebPage, 20_000, 1);
+        let text = String::from_utf8_lossy(&data);
+        assert!(text.starts_with("<!DOCTYPE html>"));
+        assert!(text.contains("card-title"));
+        assert!(text.matches("add-to-cart-button").count() > 3);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ObjectKind::Ebook.to_string(), "ebook");
+        assert_eq!(ObjectKind::Video.label(), "video");
+        assert_eq!(ObjectKind::WebPage.label(), "web page");
+    }
+}

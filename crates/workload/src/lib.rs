@@ -1,0 +1,35 @@
+//! Synthetic web-object workloads with calibrated redundancy.
+//!
+//! The paper evaluates byte caching on real web objects — an e-book in
+//! text form (587,567 bytes), video files, and web pages, 40 KB–6 MB —
+//! whose defining property for DRE is how much *windowed byte-level
+//! redundancy* they carry and how far apart the copies sit (Table I:
+//! ebooks 0.3–1 %, video ≈ 0.01 %, web pages 19–52 %, depending on the
+//! cache window). We cannot ship the authors' files, so this crate
+//! synthesizes objects with the same redundancy structure:
+//!
+//! * [`ObjectKind::Ebook`] — Zipf-weighted natural-language-like text
+//!   with sparse repeated phrases (headers, quotes) spaced far apart.
+//! * [`ObjectKind::Video`] — incompressible pseudo-random bytes with a
+//!   tiny periodic container header.
+//! * [`ObjectKind::WebPage`] — templated HTML: navigation blocks, CSS
+//!   boilerplate, and list items stamped from shared templates at short
+//!   range.
+//!
+//! For the delay/byte-savings experiments (Figures 10–13) the paper uses
+//! two files distinguished by their *dependency fan-out*: File 1 averages
+//! 4 distinct-packet dependencies per encoded packet, File 2 averages 7.
+//! [`StreamSpec`] builds objects with an explicit per-packet redundancy
+//! layout (how many snippets, copied from how far back), so that fan-out
+//! is a controlled parameter rather than an accident.
+//!
+//! All generation is deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+mod stream;
+
+pub use generators::{generate, ObjectKind};
+pub use stream::{FileSpec, StreamSpec};

@@ -1,0 +1,296 @@
+//! Objects with controlled per-packet redundancy structure (the paper's
+//! File 1 / File 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Layout of redundancy within an object, expressed per MSS-sized packet.
+///
+/// The object is generated packet-by-packet. A *redundant* packet is a
+/// mixture of fresh bytes and `fan` snippets copied verbatim from
+/// packets up to `max_distance` packets back; the DRE encoder will later
+/// rediscover each snippet as a match to a distinct earlier packet, so
+/// `fan` directly controls the paper's "average number of dependencies
+/// to distinct IP packets" (File 1 ≈ 4, File 2 ≈ 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// Packet granularity (the TCP MSS in the experiments).
+    pub packet_size: usize,
+    /// Fraction of packets that carry copied snippets at all.
+    pub redundant_packet_fraction: f64,
+    /// Fraction of a redundant packet's bytes that are copied.
+    pub copied_fraction: f64,
+    /// Number of snippets (⇒ distinct source packets) per redundant packet.
+    pub fan: usize,
+    /// How far back (in packets) snippet sources may be drawn from.
+    pub max_distance: usize,
+}
+
+impl StreamSpec {
+    /// Build an object of exactly `size` bytes, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero packet size or fan, or
+    /// fractions outside `[0, 1]`).
+    #[must_use]
+    pub fn build(&self, size: usize, seed: u64) -> Vec<u8> {
+        assert!(self.packet_size > 0, "packet_size must be positive");
+        assert!(self.fan > 0, "fan must be positive");
+        assert!((0.0..=1.0).contains(&self.redundant_packet_fraction));
+        assert!((0.0..=1.0).contains(&self.copied_fraction));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x57EA_4B10);
+        let mut packets: Vec<Vec<u8>> = Vec::new();
+        let mut total = 0usize;
+        while total < size {
+            let pkt = self.build_packet(&packets, &mut rng);
+            total += pkt.len();
+            packets.push(pkt);
+        }
+        let mut out: Vec<u8> = packets.concat();
+        out.truncate(size);
+        out
+    }
+
+    fn build_packet(&self, history: &[Vec<u8>], rng: &mut StdRng) -> Vec<u8> {
+        let n = self.packet_size;
+        let make_fresh = |rng: &mut StdRng, len: usize| -> Vec<u8> {
+            let mut buf = vec![0u8; len];
+            rng.fill(&mut buf[..]);
+            buf
+        };
+        // The first packets (no history) and the non-redundant share are
+        // fully fresh.
+        if history.is_empty() || !rng.gen_bool(self.redundant_packet_fraction) {
+            return make_fresh(rng, n);
+        }
+        // Pick `fan` distinct sources from the reachable history.
+        let lo = history.len().saturating_sub(self.max_distance);
+        let reachable = lo..history.len();
+        let mut sources: Vec<usize> = Vec::new();
+        for _ in 0..(self.fan * 3) {
+            let s = rng.gen_range(reachable.clone());
+            if !sources.contains(&s) {
+                sources.push(s);
+                if sources.len() == self.fan {
+                    break;
+                }
+            }
+        }
+        let copied_total = ((n as f64) * self.copied_fraction) as usize;
+        let snippet_len = (copied_total / sources.len().max(1)).max(24);
+        let mut out = Vec::with_capacity(n + snippet_len);
+        let fresh_gap =
+            (n.saturating_sub(snippet_len * sources.len())) / (sources.len() + 1).max(1);
+        for &src in &sources {
+            out.extend_from_slice(&make_fresh(rng, fresh_gap.max(4)));
+            let packet = &history[src];
+            let max_start = packet.len().saturating_sub(snippet_len);
+            let start = if max_start == 0 { 0 } else { rng.gen_range(0..max_start) };
+            let end = (start + snippet_len).min(packet.len());
+            out.extend_from_slice(&packet[start..end]);
+        }
+        out.resize(n, 0);
+        // Replace the zero padding with fresh bytes.
+        let tail_start = out.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+        let tail = make_fresh(rng, n - tail_start);
+        out.truncate(tail_start);
+        out.extend_from_slice(&tail);
+        out
+    }
+}
+
+/// Named workload presets used throughout the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileSpec {
+    /// The paper's File 1: ~45 % copied bytes, fan-out ≈ 4.
+    File1,
+    /// The paper's File 2: same redundancy budget, fan-out ≈ 7 — more
+    /// fragile under loss because each packet depends on more packets.
+    File2,
+}
+
+impl FileSpec {
+    /// The stream specification for this file.
+    #[must_use]
+    pub fn spec(self) -> StreamSpec {
+        match self {
+            // Roughly half the packets are fully fresh: fresh packets
+            // break dependency chains (bounding the undecodable cascade
+            // after a loss) and keep duplicate ACKs flowing so TCP can
+            // recover without timeouts — both properties the paper's
+            // real files exhibit. The redundant half is ~90 % copied, so
+            // overall ~45 % of bytes are redundant, matching the paper's
+            // 0 %-loss savings.
+            FileSpec::File1 => StreamSpec {
+                packet_size: 1460,
+                redundant_packet_fraction: 0.50,
+                copied_fraction: 0.90,
+                fan: 4,
+                max_distance: 5,
+            },
+            FileSpec::File2 => StreamSpec {
+                packet_size: 1460,
+                redundant_packet_fraction: 0.50,
+                copied_fraction: 0.90,
+                fan: 7,
+                max_distance: 8,
+            },
+        }
+    }
+
+    /// Stable label used in tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FileSpec::File1 => "File 1",
+            FileSpec::File2 => "File 2",
+        }
+    }
+
+    /// Build this file at the paper's e-book size (587,567 bytes) unless
+    /// another size is given.
+    #[must_use]
+    pub fn build(self, size: usize, seed: u64) -> Vec<u8> {
+        self.spec().build(size, seed)
+    }
+}
+
+impl core::fmt::Display for FileSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_size_and_determinism() {
+        let spec = FileSpec::File1.spec();
+        let a = spec.build(100_000, 3);
+        let b = spec.build(100_000, 3);
+        assert_eq!(a.len(), 100_000);
+        assert_eq!(a, b);
+        assert_ne!(a, spec.build(100_000, 4));
+    }
+
+    /// Count, per packet, how many *distinct earlier packets* share a
+    /// 32-byte window with it — a direct proxy for DRE dependencies.
+    fn mean_fan(data: &[u8], packet_size: usize) -> f64 {
+        let packets: Vec<&[u8]> = data.chunks(packet_size).collect();
+        // Map window -> most recent packet containing it (DRE's
+        // entry-replacement semantics).
+        let mut owner: HashMap<&[u8], usize> = HashMap::new();
+        let mut fans = Vec::new();
+        for (pi, pkt) in packets.iter().enumerate() {
+            let mut sources: Vec<usize> = Vec::new();
+            // Slide at byte granularity: copied snippets land at
+            // arbitrary alignment, so coarser strides miss them.
+            for w in pkt.windows(32) {
+                if let Some(&o) = owner.get(w) {
+                    if o != pi && !sources.contains(&o) {
+                        sources.push(o);
+                    }
+                }
+            }
+            for w in pkt.windows(32) {
+                owner.insert(w, pi);
+            }
+            if !sources.is_empty() {
+                fans.push(sources.len());
+            }
+        }
+        fans.iter().sum::<usize>() as f64 / fans.len().max(1) as f64
+    }
+
+    #[test]
+    fn file1_and_file2_fanout_differ_as_specified() {
+        // The byte-window proxy over-counts relative to the real DRE
+        // encoder (re-copied regions resolve to several "most recent"
+        // owners), so the exact ≈4 / ≈7 calibration is asserted against
+        // the real encoder in the experiments crate; here we check the
+        // structural ordering the presets exist for.
+        let f1 = FileSpec::File1.build(400_000, 11);
+        let f2 = FileSpec::File2.build(400_000, 11);
+        let fan1 = mean_fan(&f1, 1460);
+        let fan2 = mean_fan(&f2, 1460);
+        assert!(fan1 > 1.0, "File 1 must be cross-packet redundant: {fan1}");
+        assert!(
+            fan2 > fan1 * 1.2,
+            "File 2 ({fan2}) must fan out more than File 1 ({fan1})"
+        );
+    }
+
+    #[test]
+    fn zero_redundancy_stream_is_fresh() {
+        let spec = StreamSpec {
+            packet_size: 1000,
+            redundant_packet_fraction: 0.0,
+            copied_fraction: 0.5,
+            fan: 3,
+            max_distance: 10,
+        };
+        let data = spec.build(50_000, 1);
+        // No repeated 32-byte windows expected in pure random data.
+        let mut seen = std::collections::HashSet::new();
+        let mut i = 0;
+        let mut repeats = 0;
+        while i + 32 <= data.len() {
+            if !seen.insert(&data[i..i + 32]) {
+                repeats += 1;
+            }
+            i += 32;
+        }
+        assert_eq!(repeats, 0);
+    }
+
+    #[test]
+    fn copied_fraction_controls_redundancy_volume() {
+        let base = StreamSpec {
+            packet_size: 1460,
+            redundant_packet_fraction: 1.0,
+            copied_fraction: 0.3,
+            fan: 2,
+            max_distance: 8,
+        };
+        let heavy = StreamSpec {
+            copied_fraction: 0.7,
+            ..base.clone()
+        };
+        let repeat_volume = |data: &[u8]| {
+            let mut seen = std::collections::HashSet::new();
+            let mut repeats = 0usize;
+            let mut i = 0;
+            while i + 32 <= data.len() {
+                if !seen.insert(&data[i..i + 32]) {
+                    repeats += 1;
+                }
+                i += 8;
+            }
+            repeats
+        };
+        let light_r = repeat_volume(&base.build(300_000, 5));
+        let heavy_r = repeat_volume(&heavy.build(300_000, 5));
+        assert!(
+            heavy_r as f64 > light_r as f64 * 1.5,
+            "copied_fraction 0.7 ({heavy_r}) should repeat far more than 0.3 ({light_r})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fan must be positive")]
+    fn degenerate_spec_rejected() {
+        let spec = StreamSpec {
+            packet_size: 100,
+            redundant_packet_fraction: 0.5,
+            copied_fraction: 0.5,
+            fan: 0,
+            max_distance: 5,
+        };
+        let _ = spec.build(1000, 1);
+    }
+}
