@@ -10,7 +10,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use bytecache::PolicyKind;
-use bytecache_experiments::{fig6, insights, kdistance, mobility, perceived, stalltrace, sweep, table1, table2};
+use bytecache_experiments::{
+    fig6, insights, kdistance, mobility, perceived, stalltrace, sweep, table1, table2,
+};
 use bytecache_netsim::time::SimDuration;
 use bytecache_workload::FileSpec;
 

@@ -37,17 +37,21 @@ fn bench_fingerprinting(c: &mut Criterion) {
     for size in [MSS, 64 * 1024] {
         let buf = data(size);
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("roll_all_windows", size), &buf, |b, buf| {
-            b.iter(|| {
-                let mut selected = 0u64;
-                for (_, fp) in engine.windows(buf) {
-                    if sampler.selects(fp) {
-                        selected += 1;
+        group.bench_with_input(
+            BenchmarkId::new("roll_all_windows", size),
+            &buf,
+            |b, buf| {
+                b.iter(|| {
+                    let mut selected = 0u64;
+                    for (_, fp) in engine.windows(buf) {
+                        if sampler.selects(fp) {
+                            selected += 1;
+                        }
                     }
-                }
-                selected
-            })
-        });
+                    selected
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,85 @@
+//! Shard-scaling benchmark: multi-flow batch encode throughput as the
+//! engine shard count grows.
+//!
+//! The workload is the shardscale harness trace — many clients pulling
+//! the same object concurrently, packets interleaved round-robin — fed
+//! through [`ShardedEncoder::encode_batch`], which runs one scoped
+//! thread per non-empty shard. With 1 shard the batch path degenerates
+//! to the sequential engine; each doubling of shards splits the flows
+//! (and the fingerprint work) across another core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytecache::{DreConfig, PacketMeta, PolicyKind, ShardedEncoder};
+use bytecache_packet::{FlowId, SeqNum, MSS};
+use bytecache_workload::FileSpec;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+const FLOWS: usize = 16;
+const OBJECT: usize = 512 * 1024;
+const BATCH: usize = 128;
+
+fn flow(i: usize) -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 1, (i + 1) as u8),
+        dst_port: 4000,
+    }
+}
+
+/// The interleaved multi-flow trace: every flow carries the same object,
+/// segmented at MSS, round-robin across flows.
+fn build_trace() -> Vec<(PacketMeta, Bytes)> {
+    let object = FileSpec::File1.build(OBJECT, 42);
+    let mut items = Vec::new();
+    for (s, chunk) in object.chunks(MSS).enumerate() {
+        for f in 0..FLOWS {
+            items.push((
+                PacketMeta {
+                    flow: flow(f),
+                    seq: SeqNum::new(1 + (s * MSS) as u32),
+                    payload_len: chunk.len(),
+                    flow_index: 0,
+                },
+                Bytes::copy_from_slice(chunk),
+            ));
+        }
+    }
+    items
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let trace = build_trace();
+    let total_bytes: u64 = trace.iter().map(|(_, p)| p.len() as u64).sum();
+    let mut group = c.benchmark_group("sharded_encode");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let config = DreConfig {
+                        shards,
+                        ..DreConfig::default()
+                    };
+                    let mut enc = ShardedEncoder::new(config, PolicyKind::CacheFlush);
+                    let mut wire = 0usize;
+                    for batch in trace.chunks(BATCH) {
+                        for out in enc.encode_batch(batch) {
+                            wire += out.wire.len();
+                        }
+                    }
+                    wire
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

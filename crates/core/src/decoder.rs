@@ -3,10 +3,8 @@
 
 use bytes::Bytes;
 
-use bytecache_rabin::sampler::Sampler;
-use bytecache_rabin::{Fingerprinter, Polynomial};
-
 use crate::config::DreConfig;
+use crate::engine::EngineCore;
 use crate::policy::PacketMeta;
 use crate::stats::DecoderStats;
 use crate::store::{Cache, PacketId};
@@ -70,10 +68,7 @@ pub struct Feedback {
 /// payload — which is precisely why loss desynchronizes the two caches:
 /// the decoder misses the updates of packets it never received.
 pub struct Decoder {
-    config: DreConfig,
-    engine: Fingerprinter,
-    sampler: Sampler,
-    cache: Cache,
+    core: EngineCore,
     epoch: Option<u16>,
     next_expected_id: u32,
     stats: DecoderStats,
@@ -87,15 +82,8 @@ impl Decoder {
     /// Panics if the configuration is invalid.
     #[must_use]
     pub fn new(config: DreConfig) -> Self {
-        config.validate();
-        let engine = Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
-        let sampler = Sampler::new(config.sample_bits);
-        let cache = Cache::new(&config);
         Decoder {
-            config,
-            engine,
-            sampler,
-            cache,
+            core: EngineCore::new(config),
             epoch: None,
             next_expected_id: 0,
             stats: DecoderStats::default(),
@@ -111,13 +99,13 @@ impl Decoder {
     /// The configuration this decoder was built with.
     #[must_use]
     pub fn config(&self) -> &DreConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Borrow the cache (inspection / tests).
     #[must_use]
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        &self.core.cache
     }
 
     /// Decode one shim payload.
@@ -150,7 +138,7 @@ impl Decoder {
             Some(current) => {
                 let advanced = (parsed.header.epoch.wrapping_sub(current) as i16) > 0;
                 if advanced {
-                    self.cache.flush();
+                    self.core.cache.flush();
                     self.stats.epoch_flushes += 1;
                     self.epoch = Some(parsed.header.epoch);
                 }
@@ -177,9 +165,7 @@ impl Decoder {
                 }
                 // Mirror the encoder's cache update procedure.
                 let pid = PacketId(u64::from(id));
-                self.cache
-                    .insert_with_id(pid, payload.clone(), meta.flow, meta.seq);
-                self.cache.index_payload(&self.engine, &self.sampler, pid);
+                self.core.absorb(pid, payload.clone(), meta.flow, meta.seq);
             }
             Err(e) => {
                 match e {
@@ -221,7 +207,7 @@ impl Decoder {
                             "match token out of position",
                         )));
                     }
-                    let Some((_, _, stored)) = self.cache.lookup(*fingerprint) else {
+                    let Some((_, _, stored)) = self.core.cache.lookup(*fingerprint) else {
                         return Err(DecodeError::MissingReference {
                             fingerprint: *fingerprint,
                         });
@@ -250,7 +236,7 @@ impl core::fmt::Debug for Decoder {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Decoder")
             .field("epoch", &self.epoch)
-            .field("cache_packets", &self.cache.len())
+            .field("cache_packets", &self.core.cache.len())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }

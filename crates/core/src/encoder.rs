@@ -4,14 +4,31 @@
 use bytes::Bytes;
 
 use bytecache_packet::Packet;
-use bytecache_rabin::sampler::Sampler;
-use bytecache_rabin::{Fingerprinter, Polynomial};
 
 use crate::config::DreConfig;
+use crate::engine::EngineCore;
 use crate::policy::{PacketMeta, Policy};
 use crate::stats::EncoderStats;
 use crate::store::{Cache, PacketId};
 use crate::wire::{self, Token};
+
+/// Bookkeeping for one encoded packet, minus the wire bytes (which
+/// [`Encoder::encode_into`] writes into a caller-provided buffer).
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeInfo {
+    /// Cache id assigned to the packet.
+    pub id: PacketId,
+    /// Match tokens emitted.
+    pub matches: usize,
+    /// Original bytes covered by matches.
+    pub matched_bytes: usize,
+    /// Distinct cached packets referenced.
+    pub distinct_refs: usize,
+    /// The policy made this packet a raw reference.
+    pub was_reference: bool,
+    /// The policy flushed the cache before this packet.
+    pub flushed: bool,
+}
 
 /// What [`Encoder::encode`] produced for one packet.
 #[derive(Debug, Clone)]
@@ -58,13 +75,13 @@ pub struct EncodeOutcome {
 /// assert_eq!(restored.unwrap(), payload);
 /// ```
 pub struct Encoder {
-    config: DreConfig,
-    engine: Fingerprinter,
-    sampler: Sampler,
-    cache: Cache,
+    core: EngineCore,
     policy: Box<dyn Policy>,
     epoch: u16,
     stats: EncoderStats,
+    /// Token scratch space reused across packets by the hot path.
+    tokens: Vec<Token>,
+    refs: Vec<PacketId>,
 }
 
 impl Encoder {
@@ -76,18 +93,13 @@ impl Encoder {
     /// [`DreConfig::validate`]).
     #[must_use]
     pub fn new(config: DreConfig, policy: Box<dyn Policy>) -> Self {
-        config.validate();
-        let engine = Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
-        let sampler = Sampler::new(config.sample_bits);
-        let cache = Cache::new(&config);
         Encoder {
-            config,
-            engine,
-            sampler,
-            cache,
+            core: EngineCore::new(config),
             policy,
             epoch: 0,
             stats: EncoderStats::default(),
+            tokens: Vec::new(),
+            refs: Vec::new(),
         }
     }
 
@@ -100,7 +112,7 @@ impl Encoder {
     /// The configuration this encoder was built with.
     #[must_use]
     pub fn config(&self) -> &DreConfig {
-        &self.config
+        &self.core.config
     }
 
     /// The active policy's name.
@@ -118,7 +130,7 @@ impl Encoder {
     /// Borrow the cache (inspection / tests).
     #[must_use]
     pub fn cache(&self) -> &Cache {
-        &self.cache
+        &self.core.cache
     }
 
     /// Observe a reverse-direction packet (feeds ACK-gated policies).
@@ -130,7 +142,7 @@ impl Encoder {
     /// never use them as match sources again.
     pub fn handle_nack(&mut self, missing_ids: &[u32]) {
         for &id in missing_ids {
-            self.cache.mark_dead(PacketId(u64::from(id)));
+            self.core.cache.mark_dead(PacketId(u64::from(id)));
         }
     }
 
@@ -138,56 +150,83 @@ impl Encoder {
     ///
     /// `meta.flow_index` is recomputed internally; callers may pass 0.
     pub fn encode(&mut self, meta: &PacketMeta, payload: &Bytes) -> EncodeOutcome {
+        let mut wire = Vec::new();
+        let info = self.encode_into(meta, payload, &mut wire);
+        EncodeOutcome {
+            wire,
+            id: info.id,
+            matches: info.matches,
+            matched_bytes: info.matched_bytes,
+            distinct_refs: info.distinct_refs,
+            was_reference: info.was_reference,
+            flushed: info.flushed,
+        }
+    }
+
+    /// Encode one data packet, writing the shim payload into `out`
+    /// (cleared first). Buffer-reuse variant of [`encode`](Self::encode)
+    /// for gateways processing packet streams.
+    pub fn encode_into(
+        &mut self,
+        meta: &PacketMeta,
+        payload: &Bytes,
+        out: &mut Vec<u8>,
+    ) -> EncodeInfo {
         let meta = PacketMeta {
-            flow_index: self.cache.flow_index(&meta.flow),
+            flow_index: self.core.cache.flow_index(&meta.flow),
             ..*meta
         };
         let pre = self.policy.before_packet(&meta);
         if pre.flush {
-            self.cache.flush();
+            self.core.cache.flush();
             self.epoch = self.epoch.wrapping_add(1);
             self.stats.flushes += 1;
         }
-        let id = self.cache.next_id();
+        let id = self.core.cache.next_id();
         let shim_id = id.0 as u32;
 
-        let mut tokens: Vec<Token> = Vec::new();
+        let mut tokens = std::mem::take(&mut self.tokens);
+        let mut refs = std::mem::take(&mut self.refs);
+        tokens.clear();
+        refs.clear();
         let mut matched_bytes = 0usize;
-        let mut refs: Vec<PacketId> = Vec::new();
         if !pre.suppress_encoding {
-            self.identify_redundancy(&meta, payload, &mut tokens, &mut matched_bytes, &mut refs);
+            self.core.identify_redundancy(
+                self.policy.as_ref(),
+                &meta,
+                payload,
+                &mut tokens,
+                &mut matched_bytes,
+                &mut refs,
+            );
         }
 
         let matches = refs.len();
-        let wire = if tokens.iter().any(|t| matches!(t, Token::Match { .. })) {
-            wire::encode_tokens(
+        if tokens.iter().any(|t| matches!(t, Token::Match { .. })) {
+            wire::encode_tokens_into(
+                out,
                 self.epoch,
                 shim_id,
                 payload.len() as u16,
                 wire::payload_checksum(payload),
                 &tokens,
-            )
+            );
         } else {
-            wire::encode_raw(self.epoch, shim_id, payload)
-        };
+            wire::encode_raw_into(out, self.epoch, shim_id, payload);
+        }
 
         // Cache update procedure (paper Fig. 2 part C) on the ORIGINAL
         // payload — retransmissions included, which is exactly what makes
         // the naive policy self-referential.
-        self.cache
-            .insert_with_id(id, payload.clone(), meta.flow, meta.seq);
-        self.cache.index_payload(&self.engine, &self.sampler, id);
+        self.core.absorb(id, payload.clone(), meta.flow, meta.seq);
 
         // Bookkeeping.
-        let distinct_refs = {
-            let mut sorted = refs.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            sorted.len()
-        };
+        refs.sort_unstable();
+        refs.dedup();
+        let distinct_refs = refs.len();
         self.stats.packets += 1;
         self.stats.bytes_in += payload.len() as u64;
-        self.stats.bytes_out += wire.len() as u64;
+        self.stats.bytes_out += out.len() as u64;
         self.stats.matches += matches as u64;
         self.stats.matched_bytes += matched_bytes as u64;
         if pre.suppress_encoding {
@@ -199,103 +238,17 @@ impl Encoder {
         } else {
             self.stats.raw_packets += 1;
         }
+        tokens.clear(); // drop Bytes slices promptly; keep the capacity
+        self.tokens = tokens;
+        self.refs = refs;
 
-        EncodeOutcome {
-            wire,
+        EncodeInfo {
             id,
             matches,
             matched_bytes,
             distinct_refs,
             was_reference: pre.suppress_encoding,
             flushed: pre.flush,
-        }
-    }
-
-    /// The redundancy identification and elimination procedure
-    /// (paper Fig. 2 part B): slide the window, look up sampled
-    /// fingerprints, verify and extend matches, and emit tokens.
-    fn identify_redundancy(
-        &mut self,
-        meta: &PacketMeta,
-        payload: &Bytes,
-        tokens: &mut Vec<Token>,
-        matched_bytes: &mut usize,
-        refs: &mut Vec<PacketId>,
-    ) {
-        let w = self.config.window;
-        if payload.len() < w {
-            if !payload.is_empty() {
-                tokens.push(Token::Literal(payload.clone()));
-            }
-            return;
-        }
-        let mut emitted = 0usize; // payload bytes already covered by tokens
-        let mut pos = 0usize;
-        let mut fp = self.engine.fingerprint(&payload[..w]);
-        loop {
-            let mut jumped = false;
-            if self.sampler.selects(fp) {
-                if let Some((src_id, src_off, stored)) = self.cache.lookup(fp) {
-                    let entry_meta = stored.meta;
-                    let src_payload = stored.payload.clone();
-                    let src_off = src_off as usize;
-                    if !self.cache.is_dead(src_id)
-                        && self.policy.allow_match(meta, &entry_meta, src_id)
-                        && src_off + w <= src_payload.len()
-                        && src_payload[src_off..src_off + w] == payload[pos..pos + w]
-                    {
-                        // Determine the boundaries of the repeated area
-                        // around the window.
-                        let mut ns = pos;
-                        let mut ss = src_off;
-                        while ns > emitted && ss > 0 && src_payload[ss - 1] == payload[ns - 1] {
-                            ns -= 1;
-                            ss -= 1;
-                        }
-                        let mut ne = pos + w;
-                        let mut se = src_off + w;
-                        while ne < payload.len()
-                            && se < src_payload.len()
-                            && src_payload[se] == payload[ne]
-                        {
-                            ne += 1;
-                            se += 1;
-                        }
-                        let len = ne - ns;
-                        if len > self.config.min_match {
-                            if ns > emitted {
-                                tokens.push(Token::Literal(payload.slice(emitted..ns)));
-                            }
-                            tokens.push(Token::Match {
-                                fingerprint: fp,
-                                offset_new: ns as u16,
-                                offset_stored: ss as u16,
-                                len: len as u16,
-                            });
-                            *matched_bytes += len;
-                            refs.push(src_id);
-                            emitted = ne;
-                            // Resume scanning after the repeated area.
-                            if ne + w > payload.len() {
-                                break;
-                            }
-                            pos = ne;
-                            fp = self.engine.fingerprint(&payload[pos..pos + w]);
-                            jumped = true;
-                        }
-                    }
-                }
-            }
-            if !jumped {
-                if pos + w >= payload.len() {
-                    break;
-                }
-                fp = self.engine.roll(fp, payload[pos], payload[pos + w]);
-                pos += 1;
-            }
-        }
-        if emitted < payload.len() {
-            tokens.push(Token::Literal(payload.slice(emitted..)));
         }
     }
 }
@@ -305,7 +258,7 @@ impl core::fmt::Debug for Encoder {
         f.debug_struct("Encoder")
             .field("policy", &self.policy.name())
             .field("epoch", &self.epoch)
-            .field("cache_packets", &self.cache.len())
+            .field("cache_packets", &self.core.cache.len())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }

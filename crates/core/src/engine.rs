@@ -1,0 +1,161 @@
+//! The engine core shared by [`Encoder`](crate::Encoder) and
+//! [`Decoder`](crate::Decoder).
+//!
+//! Both endpoints of a byte caching deployment run the *same* machinery:
+//! a fingerprinting engine, a fingerprint sampler, and a packet cache
+//! kept in lock-step by mirroring the cache update procedure on every
+//! delivered packet. [`EngineCore`] owns that shared state so the two
+//! sides cannot drift apart structurally; the encoder adds policy and
+//! token emission on top, the decoder adds reconstruction.
+
+use bytes::Bytes;
+
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{Fingerprinter, Polynomial};
+
+use crate::config::DreConfig;
+use crate::policy::{PacketMeta, Policy};
+use crate::store::{Cache, PacketId};
+use crate::wire::Token;
+
+/// Shared DRE state: configuration, fingerprinting engine, sampler, and
+/// the packet cache. One per encoder, one per decoder — and when the
+/// engine is sharded, one per shard per side.
+pub(crate) struct EngineCore {
+    pub(crate) config: DreConfig,
+    pub(crate) engine: Fingerprinter,
+    pub(crate) sampler: Sampler,
+    pub(crate) cache: Cache,
+}
+
+impl EngineCore {
+    /// Build the core from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`DreConfig::validate`]).
+    pub(crate) fn new(config: DreConfig) -> Self {
+        config.validate();
+        let engine =
+            Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
+        let sampler = Sampler::new(config.sample_bits);
+        let cache = Cache::new(&config);
+        EngineCore {
+            config,
+            engine,
+            sampler,
+            cache,
+        }
+    }
+
+    /// The paper's cache update procedure (Fig. 2 part C): store the
+    /// packet under `id` and index its sampled fingerprints. Run by the
+    /// encoder on every packet it forwards and by the decoder on every
+    /// packet it successfully reconstructs.
+    pub(crate) fn absorb(&mut self, id: PacketId, payload: Bytes, flow: FlowId, seq: SeqNum) {
+        self.cache.insert_with_id(id, payload, flow, seq);
+        self.cache.index_payload(&self.engine, &self.sampler, id);
+    }
+
+    /// The redundancy identification and elimination procedure
+    /// (paper Fig. 2 part B): slide the window, look up sampled
+    /// fingerprints, verify and extend matches, and emit tokens.
+    ///
+    /// Reads the cache through shared borrows only — matched source
+    /// payloads are compared in place, never copied.
+    pub(crate) fn identify_redundancy(
+        &self,
+        policy: &dyn Policy,
+        meta: &PacketMeta,
+        payload: &Bytes,
+        tokens: &mut Vec<Token>,
+        matched_bytes: &mut usize,
+        refs: &mut Vec<PacketId>,
+    ) {
+        let w = self.config.window;
+        if payload.len() < w {
+            if !payload.is_empty() {
+                tokens.push(Token::Literal(payload.clone()));
+            }
+            return;
+        }
+        let mut emitted = 0usize; // payload bytes already covered by tokens
+        let mut pos = 0usize;
+        let mut fp = self.engine.fingerprint(&payload[..w]);
+        loop {
+            let mut jumped = false;
+            if self.sampler.selects(fp) {
+                if let Some((src_id, src_off, stored)) = self.cache.lookup(fp) {
+                    let src_payload = &stored.payload;
+                    let src_off = src_off as usize;
+                    if !self.cache.is_dead(src_id)
+                        && policy.allow_match(meta, &stored.meta, src_id)
+                        && src_off + w <= src_payload.len()
+                        && src_payload[src_off..src_off + w] == payload[pos..pos + w]
+                    {
+                        // Determine the boundaries of the repeated area
+                        // around the window.
+                        let mut ns = pos;
+                        let mut ss = src_off;
+                        while ns > emitted && ss > 0 && src_payload[ss - 1] == payload[ns - 1] {
+                            ns -= 1;
+                            ss -= 1;
+                        }
+                        let mut ne = pos + w;
+                        let mut se = src_off + w;
+                        while ne < payload.len()
+                            && se < src_payload.len()
+                            && src_payload[se] == payload[ne]
+                        {
+                            ne += 1;
+                            se += 1;
+                        }
+                        let len = ne - ns;
+                        if len > self.config.min_match {
+                            if ns > emitted {
+                                tokens.push(Token::Literal(payload.slice(emitted..ns)));
+                            }
+                            tokens.push(Token::Match {
+                                fingerprint: fp,
+                                offset_new: ns as u16,
+                                offset_stored: ss as u16,
+                                len: len as u16,
+                            });
+                            *matched_bytes += len;
+                            refs.push(src_id);
+                            emitted = ne;
+                            // Resume scanning after the repeated area.
+                            if ne + w > payload.len() {
+                                break;
+                            }
+                            pos = ne;
+                            fp = self.engine.fingerprint(&payload[pos..pos + w]);
+                            jumped = true;
+                        }
+                    }
+                }
+            }
+            if !jumped {
+                if pos + w >= payload.len() {
+                    break;
+                }
+                fp = self.engine.roll(fp, payload[pos], payload[pos + w]);
+                pos += 1;
+            }
+        }
+        if emitted < payload.len() {
+            tokens.push(Token::Literal(payload.slice(emitted..)));
+        }
+    }
+}
+
+impl core::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("config", &self.config)
+            .field("cache_packets", &self.cache.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,5 +1,5 @@
-//! Byte caching gateways: simulator middlebox nodes wrapping
-//! [`Encoder`] and [`Decoder`].
+//! Byte caching gateways: simulator middlebox nodes wrapping the
+//! sharded engine banks ([`ShardedEncoder`] / [`ShardedDecoder`]).
 //!
 //! This is the paper's deployment (Figure 1/Figure 3): two appliances on
 //! the path intercept IP packets, the upstream one encodes payloads
@@ -7,52 +7,88 @@
 //! TCP endpoints never learn the gateways exist — unless a packet
 //! becomes undecodable, in which case the decoder drops it and TCP sees
 //! loss.
+//!
+//! Inside the discrete-event simulator a gateway processes one packet
+//! per event, always on the shard its flow hashes to. For trace-driven
+//! multi-client workloads outside the event loop, the
+//! [`process_batch`](EncoderGateway::process_batch) entry points hand a
+//! whole batch to the engine bank, which drives its shards on
+//! concurrent scoped threads and returns the packets in input order.
+//!
+//! NACK control packets (informed marking) carry 6-byte records —
+//! `shard u16 BE, shim id u32 BE` — because each shard runs an
+//! independent id space; the decoder gateway tags every NACK with the
+//! shard that observed the loss and the encoder gateway routes it back
+//! to that shard's cache.
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
+use bytes::Bytes;
+
 use bytecache_netsim::{Context, Node};
 use bytecache_packet::{Packet, TcpFlags};
 
-use crate::decoder::{Decoder, Feedback};
+use crate::decoder::Decoder;
 use crate::encoder::Encoder;
 use crate::policy::PacketMeta;
+use crate::sharded::{ShardFeedback, ShardedDecoder, ShardedEncoder};
+use crate::stats::{DecoderStats, EncoderStats};
 
 /// TCP port used by gateway-to-gateway NACK control packets.
 pub const CONTROL_PORT: u16 = 7777;
+
+/// Bytes per NACK record on the control channel: shard (u16) + shim id
+/// (u32), both big-endian.
+pub const NACK_RECORD_LEN: usize = 6;
+
+fn packet_meta(packet: &Packet) -> PacketMeta {
+    PacketMeta {
+        flow: packet.flow(),
+        seq: packet.tcp.seq,
+        payload_len: packet.payload.len(),
+        flow_index: 0, // recomputed by the encoder
+    }
+}
 
 /// Encoder-side middlebox: compresses payloads of packets addressed to
 /// `encode_dst` (the client side of the constrained segment), passes
 /// everything else through, and feeds reverse traffic to the policy.
 pub struct EncoderGateway {
-    encoder: Encoder,
+    encoder: ShardedEncoder,
     encode_dsts: HashSet<Ipv4Addr>,
     control_addr: Option<Ipv4Addr>,
     nacks_received: u64,
+    /// Wire scratch buffer reused across packets (hot path).
+    scratch: Vec<u8>,
 }
 
 impl EncoderGateway {
     /// New encoder gateway compressing traffic addressed to `encode_dst`.
     #[must_use]
     pub fn new(encoder: Encoder, encode_dst: Ipv4Addr) -> Self {
-        EncoderGateway {
-            encoder,
-            encode_dsts: HashSet::from([encode_dst]),
-            control_addr: None,
-            nacks_received: 0,
-        }
+        Self::sharded(ShardedEncoder::from_encoder(encoder), [encode_dst])
     }
 
     /// Compress traffic addressed to any of `dsts` (multi-client
     /// deployments; the cache and fingerprint table are shared across
-    /// flows, so repeated content is eliminated *between* flows too).
+    /// the flows of a shard, so repeated content is eliminated *between*
+    /// flows too).
     #[must_use]
     pub fn for_destinations(encoder: Encoder, dsts: impl IntoIterator<Item = Ipv4Addr>) -> Self {
+        Self::sharded(ShardedEncoder::from_encoder(encoder), dsts)
+    }
+
+    /// New gateway around a sharded encoder bank: flows are partitioned
+    /// across the bank's shards, each with its own cache and policy.
+    #[must_use]
+    pub fn sharded(encoder: ShardedEncoder, dsts: impl IntoIterator<Item = Ipv4Addr>) -> Self {
         EncoderGateway {
             encoder,
             encode_dsts: dsts.into_iter().collect(),
             control_addr: None,
             nacks_received: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -65,9 +101,31 @@ impl EncoderGateway {
     }
 
     /// Borrow the wrapped encoder (stats, cache inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gateway runs more than one shard — inspect
+    /// individual shards via [`sharded_encoder`](Self::sharded_encoder).
     #[must_use]
     pub fn encoder(&self) -> &Encoder {
+        assert_eq!(
+            self.encoder.shard_count(),
+            1,
+            "encoder(): gateway has multiple shards; use sharded_encoder()"
+        );
+        self.encoder.shard(0)
+    }
+
+    /// Borrow the engine bank.
+    #[must_use]
+    pub fn sharded_encoder(&self) -> &ShardedEncoder {
         &self.encoder
+    }
+
+    /// Encoder counters merged across shards.
+    #[must_use]
+    pub fn stats(&self) -> EncoderStats {
+        self.encoder.stats()
     }
 
     /// NACK control packets processed.
@@ -77,34 +135,72 @@ impl EncoderGateway {
     }
 
     fn handle_control(&mut self, packet: &Packet) {
-        // Payload: sequence of big-endian u32 shim ids.
-        let ids: Vec<u32> = packet
-            .payload
-            .chunks_exact(4)
-            .map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
         self.nacks_received += 1;
-        self.encoder.handle_nack(&ids);
+        for record in packet.payload.chunks_exact(NACK_RECORD_LEN) {
+            let shard = u16::from_be_bytes([record[0], record[1]]);
+            let id = u32::from_be_bytes([record[2], record[3], record[4], record[5]]);
+            self.encoder.handle_nack(usize::from(shard), &[id]);
+        }
+    }
+
+    fn is_control(&self, packet: &Packet) -> bool {
+        self.control_addr
+            .is_some_and(|addr| packet.ip.dst == addr && packet.tcp.dst_port == CONTROL_PORT)
+    }
+
+    fn should_encode(&self, packet: &Packet) -> bool {
+        self.encode_dsts.contains(&packet.ip.dst) && packet.has_payload()
+    }
+
+    fn encode_packet(&mut self, packet: &Packet) -> Packet {
+        let meta = packet_meta(packet);
+        self.encoder
+            .encode_into(&meta, &packet.payload, &mut self.scratch);
+        packet.with_payload(Bytes::copy_from_slice(&self.scratch))
+    }
+
+    /// Process a trace-level batch outside the event loop: data packets
+    /// are encoded with the shards running concurrently, control and
+    /// reverse traffic is handled exactly as in [`Node::on_packet`], and
+    /// the resulting packets come back in input order (control packets
+    /// are consumed).
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<Packet> {
+        // Partition: indices to encode vs. pass through / consume.
+        let mut encode_items = Vec::new();
+        let mut encode_slots = Vec::new();
+        let mut out: Vec<Option<Packet>> = Vec::with_capacity(packets.len());
+        for packet in packets {
+            if self.is_control(&packet) {
+                self.handle_control(&packet);
+                out.push(None);
+            } else if self.should_encode(&packet) {
+                encode_items.push((packet_meta(&packet), packet.payload.clone()));
+                encode_slots.push((out.len(), packet));
+                out.push(None);
+            } else {
+                if self.encode_dsts.contains(&packet.ip.src) {
+                    self.encoder.observe_reverse(&packet);
+                }
+                out.push(Some(packet));
+            }
+        }
+        let outcomes = self.encoder.encode_batch(&encode_items);
+        for ((slot, packet), outcome) in encode_slots.into_iter().zip(outcomes) {
+            out[slot] = Some(packet.with_payload(outcome.wire));
+        }
+        out.into_iter().flatten().collect()
     }
 }
 
 impl Node for EncoderGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        if let Some(addr) = self.control_addr {
-            if packet.ip.dst == addr && packet.tcp.dst_port == CONTROL_PORT {
-                self.handle_control(&packet);
-                return; // consumed
-            }
+        if self.is_control(&packet) {
+            self.handle_control(&packet);
+            return; // consumed
         }
-        if self.encode_dsts.contains(&packet.ip.dst) && packet.has_payload() {
-            let meta = PacketMeta {
-                flow: packet.flow(),
-                seq: packet.tcp.seq,
-                payload_len: packet.payload.len(),
-                flow_index: 0, // recomputed by the encoder
-            };
-            let out = self.encoder.encode(&meta, &packet.payload);
-            ctx.forward(packet.with_payload(out.wire));
+        if self.should_encode(&packet) {
+            let encoded = self.encode_packet(&packet);
+            ctx.forward(encoded);
         } else {
             // Reverse direction (or control-plane) traffic: observe and
             // pass through untouched.
@@ -120,6 +216,7 @@ impl core::fmt::Debug for EncoderGateway {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("EncoderGateway")
             .field("encode_dsts", &self.encode_dsts)
+            .field("shards", &self.encoder.shard_count())
             .field("encoder", &self.encoder)
             .finish_non_exhaustive()
     }
@@ -130,7 +227,7 @@ impl core::fmt::Debug for EncoderGateway {
 /// Optionally reports lost/undecodable shim ids back to the encoder
 /// gateway (informed marking, after Lumezanu et al.).
 pub struct DecoderGateway {
-    decoder: Decoder,
+    decoder: ShardedDecoder,
     decode_dsts: HashSet<Ipv4Addr>,
     /// Where to send NACKs, if informed marking is on.
     nack_target: Option<(Ipv4Addr, u16)>,
@@ -147,15 +244,11 @@ impl DecoderGateway {
     /// the source of control packets).
     #[must_use]
     pub fn new(decoder: Decoder, decode_dst: Ipv4Addr, local_addr: Ipv4Addr) -> Self {
-        DecoderGateway {
-            decoder,
-            decode_dsts: HashSet::from([decode_dst]),
-            nack_target: None,
+        Self::sharded(
+            ShardedDecoder::from_decoder(decoder),
+            [decode_dst],
             local_addr,
-            nacks_sent: 0,
-            dropped: 0,
-            ip_id: 0,
-        }
+        )
     }
 
     /// Reconstruct traffic addressed to any of `dsts` (the reciprocal of
@@ -163,6 +256,18 @@ impl DecoderGateway {
     #[must_use]
     pub fn for_destinations(
         decoder: Decoder,
+        dsts: impl IntoIterator<Item = Ipv4Addr>,
+        local_addr: Ipv4Addr,
+    ) -> Self {
+        Self::sharded(ShardedDecoder::from_decoder(decoder), dsts, local_addr)
+    }
+
+    /// New gateway around a sharded decoder bank (the reciprocal of
+    /// [`EncoderGateway::sharded`]; both ends must configure the same
+    /// shard count).
+    #[must_use]
+    pub fn sharded(
+        decoder: ShardedDecoder,
         dsts: impl IntoIterator<Item = Ipv4Addr>,
         local_addr: Ipv4Addr,
     ) -> Self {
@@ -186,9 +291,31 @@ impl DecoderGateway {
     }
 
     /// Borrow the wrapped decoder (stats, cache inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gateway runs more than one shard — inspect
+    /// individual shards via [`sharded_decoder`](Self::sharded_decoder).
     #[must_use]
     pub fn decoder(&self) -> &Decoder {
+        assert_eq!(
+            self.decoder.shard_count(),
+            1,
+            "decoder(): gateway has multiple shards; use sharded_decoder()"
+        );
+        self.decoder.shard(0)
+    }
+
+    /// Borrow the engine bank.
+    #[must_use]
+    pub fn sharded_decoder(&self) -> &ShardedDecoder {
         &self.decoder
+    }
+
+    /// Decoder counters merged across shards.
+    #[must_use]
+    pub fn stats(&self) -> DecoderStats {
+        self.decoder.stats()
     }
 
     /// Packets dropped because they could not be reconstructed.
@@ -203,15 +330,14 @@ impl DecoderGateway {
         self.nacks_sent
     }
 
-    fn send_feedback(&mut self, feedback: &Feedback, ctx: &mut Context<'_>) {
-        let Some((addr, port)) = self.nack_target else {
-            return;
-        };
+    fn build_feedback_packet(&mut self, feedback: &ShardFeedback) -> Option<Packet> {
+        let (addr, port) = self.nack_target?;
         if feedback.nack_ids.is_empty() {
-            return;
+            return None;
         }
-        let mut payload = Vec::with_capacity(feedback.nack_ids.len() * 4);
+        let mut payload = Vec::with_capacity(feedback.nack_ids.len() * NACK_RECORD_LEN);
         for id in &feedback.nack_ids {
+            payload.extend_from_slice(&feedback.shard.to_be_bytes());
             payload.extend_from_slice(&id.to_be_bytes());
         }
         self.ip_id = self.ip_id.wrapping_add(1);
@@ -223,21 +349,55 @@ impl DecoderGateway {
             .payload(payload)
             .build();
         self.nacks_sent += 1;
-        ctx.forward(pkt);
+        Some(pkt)
+    }
+
+    fn should_decode(&self, packet: &Packet) -> bool {
+        self.decode_dsts.contains(&packet.ip.dst) && packet.has_payload()
+    }
+
+    /// Process a trace-level batch outside the event loop: decodable
+    /// packets run through the shards concurrently; reconstructed
+    /// packets and any NACK control packets come back in order, with
+    /// undecodable packets dropped (counted in
+    /// [`dropped`](Self::dropped)).
+    pub fn process_batch(&mut self, packets: Vec<Packet>) -> Vec<Packet> {
+        let mut decode_items = Vec::new();
+        let mut decode_slots = Vec::new();
+        let mut out: Vec<Vec<Packet>> = Vec::with_capacity(packets.len());
+        for packet in packets {
+            if self.should_decode(&packet) {
+                decode_items.push((packet_meta(&packet), packet.payload.clone()));
+                decode_slots.push((out.len(), packet));
+                out.push(Vec::new());
+            } else {
+                out.push(vec![packet]);
+            }
+        }
+        let results = self.decoder.decode_batch(&decode_items);
+        for ((slot, packet), (result, feedback)) in decode_slots.into_iter().zip(results) {
+            let mut produced = Vec::new();
+            if let Some(nack) = self.build_feedback_packet(&feedback) {
+                produced.push(nack);
+            }
+            match result {
+                Ok(original) => produced.push(packet.with_payload(original)),
+                Err(_) => self.dropped += 1,
+            }
+            out[slot] = produced;
+        }
+        out.into_iter().flatten().collect()
     }
 }
 
 impl Node for DecoderGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
-        if self.decode_dsts.contains(&packet.ip.dst) && packet.has_payload() {
-            let meta = PacketMeta {
-                flow: packet.flow(),
-                seq: packet.tcp.seq,
-                payload_len: packet.payload.len(),
-                flow_index: 0,
-            };
+        if self.should_decode(&packet) {
+            let meta = packet_meta(&packet);
             let (result, feedback) = self.decoder.decode(&packet.payload, &meta);
-            self.send_feedback(&feedback, ctx);
+            if let Some(nack) = self.build_feedback_packet(&feedback) {
+                ctx.forward(nack);
+            }
             match result {
                 Ok(original) => ctx.forward(packet.with_payload(original)),
                 Err(_) => {
@@ -255,6 +415,7 @@ impl core::fmt::Debug for DecoderGateway {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("DecoderGateway")
             .field("decode_dsts", &self.decode_dsts)
+            .field("shards", &self.decoder.shard_count())
             .field("dropped", &self.dropped)
             .field("decoder", &self.decoder)
             .finish_non_exhaustive()

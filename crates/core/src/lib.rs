@@ -25,15 +25,27 @@
 //! * [`Encoder`] / [`Decoder`] — the DRE engine: windowed Rabin
 //!   fingerprinting, fingerprint sampling, match extension, the 14-byte
 //!   encoding fields, and a self-describing wire format ([`wire`]).
-//! * [`Cache`] — packet store + fingerprint index with the paper's
-//!   entry-replacement semantics and FIFO eviction.
+//!   Both sides are thin layers over one shared engine core (store +
+//!   fingerprint index + cache update procedure), so the encoder and
+//!   decoder cannot drift apart structurally.
+//! * [`Cache`] — an arena-backed packet store plus open-addressing
+//!   fingerprint index with the paper's entry-replacement semantics and
+//!   FIFO eviction. Packets live in generational slots, so stale index
+//!   entries are detected by a generation check instead of a hash-map
+//!   lookup per fingerprint.
+//! * [`ShardedEncoder`] / [`ShardedDecoder`] — flow-partitioned engine
+//!   banks: `DreConfig::shards` independent engines, each owning its
+//!   cache, policy state, id space, and epoch. Batch entry points drive
+//!   the shards on concurrent scoped threads; `shards = 1` is
+//!   byte-identical to the plain engine.
 //! * [`policy`] — pluggable encoding policies: the unsafe [`policy::Naive`]
 //!   baseline, the paper's three fixes ([`policy::CacheFlush`],
 //!   [`policy::TcpSeq`], [`policy::KDistance`]), and the extensions it
 //!   sketches ([`policy::AckGated`], [`policy::Adaptive`], and informed
 //!   marking via decoder NACKs).
 //! * [`gateway`] — drop-in middlebox nodes for the
-//!   [`bytecache-netsim`](bytecache_netsim) simulator.
+//!   [`bytecache-netsim`](bytecache_netsim) simulator, wrapping the
+//!   sharded banks and merging per-shard statistics.
 //!
 //! # Quick start
 //!
@@ -78,12 +90,15 @@ pub mod wire;
 mod config;
 mod decoder;
 mod encoder;
+mod engine;
+mod sharded;
 mod stats;
 mod store;
 
 pub use config::DreConfig;
 pub use decoder::{DecodeError, Decoder, Feedback};
-pub use encoder::{EncodeOutcome, Encoder};
+pub use encoder::{EncodeInfo, EncodeOutcome, Encoder};
 pub use policy::{PacketMeta, Policy, PolicyKind};
+pub use sharded::{shard_for, ShardFeedback, ShardedDecoder, ShardedEncoder};
 pub use stats::{DecoderStats, EncoderStats};
 pub use store::{Cache, CacheStats, EntryMeta, PacketId, Stored};

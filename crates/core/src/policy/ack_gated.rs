@@ -21,6 +21,10 @@ use crate::store::{EntryMeta, PacketId};
 /// acknowledgment packets delays (never corrupts) eligibility, and the
 /// scheme cannot start compressing until the first ACKs flow back —
 /// roughly one RTT of lost opportunity per window.
+///
+/// A [`ShardedEncoder`](crate::ShardedEncoder) routes each reverse
+/// packet to the shard of the data-direction flow it acknowledges, so
+/// per-shard instances each see exactly the ACKs for their own flows.
 #[derive(Debug, Default)]
 pub struct AckGated {
     /// Highest cumulative ACK seen, keyed by the *data-direction* flow.
@@ -100,7 +104,10 @@ mod tests {
         assert!(p.allow_match(&m, &entry(1000, 0), PacketId(0)));
         // entry(2500) spans 2500..3500: tail not yet ACKed.
         assert!(!p.allow_match(&m, &entry(2500, 1), PacketId(1)));
-        assert_eq!(p.acked_up_to(&flow()), Some(bytecache_packet::SeqNum::new(3000)));
+        assert_eq!(
+            p.acked_up_to(&flow()),
+            Some(bytecache_packet::SeqNum::new(3000))
+        );
     }
 
     #[test]

@@ -20,6 +20,10 @@ use crate::store::{EntryMeta, PacketId};
 /// loss-matched spacing `k ≈ clamp(target/p)` — long dependency chains
 /// on clean channels, short chains on lossy ones (§VII shows chains
 /// longer than `1/p` are counterproductive).
+///
+/// Sharding narrows the estimator's view to the shard's own flows: each
+/// shard of a [`ShardedEncoder`](crate::ShardedEncoder) adapts `k` to
+/// the loss its flows actually experience rather than a global average.
 #[derive(Debug)]
 pub struct Adaptive {
     /// EWMA of the retransmission fraction.

@@ -16,6 +16,11 @@ use crate::store::{EntryMeta, PacketId};
 /// (Figure 8) — at the cost of forgoing matches against older history.
 /// The paper finds k ≈ 8 a reasonable byte-savings/delay trade-off
 /// (Figure 12, Table II).
+///
+/// Reference spacing is tracked per flow, and flows never migrate
+/// between shards of a [`ShardedEncoder`](crate::ShardedEncoder), so
+/// each shard's instance sees every packet of its flows — the k-spacing
+/// guarantee is unaffected by sharding.
 #[derive(Debug, Clone)]
 pub struct KDistance {
     k: u64,

@@ -68,6 +68,13 @@ pub struct PrePacket {
 
 /// An encoding policy. Implementations must be deterministic: the
 /// encoder's behaviour must be a pure function of the packet stream.
+///
+/// Policies are instantiated *per engine*: a
+/// [`ShardedEncoder`](crate::ShardedEncoder) builds one instance per
+/// shard from a [`PolicyKind`], so policy state (retransmission
+/// trackers, ACK horizons, loss estimates) is always shard-local and a
+/// decision in one shard can never affect another shard's cache. The
+/// `Send` bound is what lets shards run on scoped worker threads.
 pub trait Policy: fmt::Debug + Send {
     /// Short, stable name (used in reports and tables).
     fn name(&self) -> &'static str;

@@ -61,6 +61,22 @@ impl EncoderStats {
             self.matched_bytes as f64 / self.bytes_in as f64
         }
     }
+
+    /// Fold another shard's counters into this one. Every field is a
+    /// sum, so merging shard stats yields exactly the aggregate a single
+    /// engine would have reported over the union of the traffic.
+    pub fn merge(&mut self, other: &EncoderStats) {
+        self.packets += other.packets;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.encoded_packets += other.encoded_packets;
+        self.raw_packets += other.raw_packets;
+        self.references += other.references;
+        self.flushes += other.flushes;
+        self.matches += other.matches;
+        self.matched_bytes += other.matched_bytes;
+        self.sum_distinct_refs += other.sum_distinct_refs;
+    }
 }
 
 /// Counters maintained by [`Decoder`](crate::Decoder).
@@ -96,6 +112,20 @@ impl DecoderStats {
     pub fn undecodable(&self) -> u64 {
         self.missing_reference + self.checksum_mismatch + self.bad_region + self.malformed
     }
+
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &DecoderStats) {
+        self.packets += other.packets;
+        self.raw += other.raw;
+        self.decoded += other.decoded;
+        self.missing_reference += other.missing_reference;
+        self.checksum_mismatch += other.checksum_mismatch;
+        self.bad_region += other.bad_region;
+        self.malformed += other.malformed;
+        self.epoch_flushes += other.epoch_flushes;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +154,44 @@ mod tests {
         assert_eq!(s.avg_dependencies(), 0.0);
         assert_eq!(s.redundancy_fraction(), 0.0);
         assert_eq!(DecoderStats::default().undecodable(), 0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = EncoderStats {
+            packets: 1,
+            bytes_in: 2,
+            bytes_out: 3,
+            encoded_packets: 4,
+            raw_packets: 5,
+            references: 6,
+            flushes: 7,
+            matches: 8,
+            matched_bytes: 9,
+            sum_distinct_refs: 10,
+        };
+        let mut m = a.clone();
+        m.merge(&a);
+        assert_eq!(m.packets, 2);
+        assert_eq!(m.sum_distinct_refs, 20);
+        assert_eq!(m.byte_ratio(), a.byte_ratio(), "ratios are scale-free");
+
+        let d = DecoderStats {
+            packets: 1,
+            raw: 2,
+            decoded: 3,
+            missing_reference: 4,
+            checksum_mismatch: 5,
+            bad_region: 6,
+            malformed: 7,
+            epoch_flushes: 8,
+            bytes_in: 9,
+            bytes_out: 10,
+        };
+        let mut md = d.clone();
+        md.merge(&d);
+        assert_eq!(md.undecodable(), 2 * d.undecodable());
+        assert_eq!(md.bytes_out, 20);
     }
 
     #[test]

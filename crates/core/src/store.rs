@@ -8,8 +8,28 @@
 //! fingerprint *replaces* the previous entry. That replacement rule is
 //! load-bearing: it is what makes a naive encoder point a fingerprint at
 //! a packet the decoder never received.
+//!
+//! # Layout
+//!
+//! Packets live in a slab arena of generational slots: eviction bumps a
+//! slot's generation and recycles it through a free list, so a handle
+//! held by a stale index entry can never resolve to the wrong packet.
+//! Both indexes are open-addressing tables with linear probing:
+//!
+//! * the **fingerprint table** maps `fingerprint → (slot, generation,
+//!   offset)`. Entries are never individually deleted (matching the
+//!   paper's semantics, where an index entry simply stops resolving when
+//!   its packet leaves the store) — a lookup whose generation disagrees
+//!   with the slot's current generation is stale and reports a miss.
+//! * the **id table** maps `packet id → slot` and supports true deletion
+//!   (backward-shift, no tombstones) because ids are removed on every
+//!   eviction.
+//!
+//! Sampled fingerprints have `sample_bits` low zero bits by construction,
+//! so both tables mix keys with a Fibonacci multiply and take the *high*
+//! bits of the product for the bucket index.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
@@ -54,12 +74,6 @@ pub struct Stored {
     pub meta: EntryMeta,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct FpEntry {
-    packet: PacketId,
-    offset: u16,
-}
-
 /// Counters the cache maintains.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -73,20 +87,286 @@ pub struct CacheStats {
     pub flushes: u64,
 }
 
+impl CacheStats {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.replacements += other.replacements;
+        self.flushes += other.flushes;
+    }
+}
+
+/// Fibonacci multiplier (⌊2^64/φ⌋, odd): spreads keys whose low bits are
+/// constrained — sampled fingerprints always end in `sample_bits` zeros.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One resident packet in the arena.
+#[derive(Debug)]
+struct SlotData {
+    id: PacketId,
+    stored: Stored,
+    /// Informed marking: the peer reported this packet lost.
+    dead: bool,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Bumped every time the slot is freed; stale handles miss.
+    gen: u32,
+    data: Option<SlotData>,
+}
+
+/// Handle to a slot at a specific generation (what the FIFO queue and
+/// the fingerprint table hold instead of packet ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct SlotRef {
+    index: u32,
+    gen: u32,
+}
+
+/// Open-addressing `fingerprint → (slot, gen, offset)` table with linear
+/// probing and no per-entry deletion (cleared only on flush/grow).
+#[derive(Debug)]
+struct FpTable {
+    entries: Vec<FpEntry>,
+    /// log2 of the table size.
+    log2: u32,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FpEntry {
+    fp: u64,
+    slot: SlotRef,
+    offset: u16,
+    used: bool,
+}
+
+impl FpTable {
+    const INITIAL_LOG2: u32 = 10;
+
+    fn new() -> Self {
+        FpTable {
+            entries: vec![FpEntry::default(); 1 << Self::INITIAL_LOG2],
+            log2: Self::INITIAL_LOG2,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, fp: u64) -> usize {
+        (fp.wrapping_mul(FIB) >> (64 - self.log2)) as usize
+    }
+
+    /// Insert or overwrite; returns `true` when the key already existed
+    /// (the paper's replacement event).
+    fn insert(&mut self, fp: u64, slot: SlotRef, offset: u16) -> bool {
+        if (self.len + 1) * 4 > self.entries.len() * 3 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.bucket(fp);
+        loop {
+            let e = &mut self.entries[i];
+            if !e.used {
+                *e = FpEntry {
+                    fp,
+                    slot,
+                    offset,
+                    used: true,
+                };
+                self.len += 1;
+                return false;
+            }
+            if e.fp == fp {
+                e.slot = slot;
+                e.offset = offset;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, fp: u64) -> Option<(SlotRef, u16)> {
+        let mask = self.entries.len() - 1;
+        let mut i = self.bucket(fp);
+        loop {
+            let e = &self.entries[i];
+            if !e.used {
+                return None;
+            }
+            if e.fp == fp {
+                return Some((e.slot, e.offset));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![FpEntry::default(); 1 << (self.log2 + 1)],
+        );
+        self.log2 += 1;
+        self.len = 0;
+        for e in old {
+            if e.used {
+                self.insert(e.fp, e.slot, e.offset);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = FpTable::new();
+    }
+}
+
+/// Open-addressing `packet id → slot index` table with linear probing
+/// and backward-shift deletion (ids leave the table on every eviction,
+/// so tombstones would accumulate).
+#[derive(Debug)]
+struct IdTable {
+    entries: Vec<IdEntry>,
+    log2: u32,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct IdEntry {
+    key: u64,
+    slot: u32,
+    used: bool,
+}
+
+impl IdTable {
+    const INITIAL_LOG2: u32 = 6;
+
+    fn new() -> Self {
+        IdTable {
+            entries: vec![IdEntry::default(); 1 << Self::INITIAL_LOG2],
+            log2: Self::INITIAL_LOG2,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> (64 - self.log2)) as usize
+    }
+
+    fn insert(&mut self, key: u64, slot: u32) {
+        if (self.len + 1) * 4 > self.entries.len() * 3 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let e = &mut self.entries[i];
+            if !e.used {
+                *e = IdEntry {
+                    key,
+                    slot,
+                    used: true,
+                };
+                self.len += 1;
+                return;
+            }
+            if e.key == key {
+                e.slot = slot;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        let mask = self.entries.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let e = &self.entries[i];
+            if !e.used {
+                return None;
+            }
+            if e.key == key {
+                return Some(e.slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) {
+        let mask = self.entries.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            let e = &self.entries[i];
+            if !e.used {
+                return; // absent
+            }
+            if e.key == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        self.len -= 1;
+        // Backward-shift deletion: pull displaced entries into the hole
+        // so probe chains stay contiguous without tombstones.
+        let mut j = i;
+        loop {
+            self.entries[i].used = false;
+            loop {
+                j = (j + 1) & mask;
+                if !self.entries[j].used {
+                    return;
+                }
+                let home = self.bucket(self.entries[j].key);
+                // The entry at j may fill the hole at i only if its home
+                // bucket does not lie cyclically between i (exclusive)
+                // and j (inclusive).
+                if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                    self.entries[i] = self.entries[j];
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![IdEntry::default(); 1 << (self.log2 + 1)],
+        );
+        self.log2 += 1;
+        self.len = 0;
+        for e in old {
+            if e.used {
+                self.insert(e.key, e.slot);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        *self = IdTable::new();
+    }
+}
+
 /// Packet store + fingerprint index under one budget.
 #[derive(Debug)]
 pub struct Cache {
-    packets: HashMap<PacketId, Stored>,
-    order: VecDeque<PacketId>,
-    fingerprints: HashMap<u64, FpEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// FIFO of live insertions; stale refs (generation mismatch) are
+    /// skipped during eviction.
+    order: VecDeque<SlotRef>,
+    ids: IdTable,
+    fingerprints: FpTable,
     bytes_used: usize,
     byte_budget: usize,
     max_packets: Option<usize>,
+    live: usize,
     next_id: u64,
     flow_counters: HashMap<FlowId, u64>,
-    /// Packets reported lost by the peer (informed marking): never used
-    /// as match sources again.
-    dead: HashSet<PacketId>,
     stats: CacheStats,
 }
 
@@ -95,15 +375,17 @@ impl Cache {
     #[must_use]
     pub fn new(config: &DreConfig) -> Self {
         Cache {
-            packets: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             order: VecDeque::new(),
-            fingerprints: HashMap::new(),
+            ids: IdTable::new(),
+            fingerprints: FpTable::new(),
             bytes_used: 0,
             byte_budget: config.cache_bytes,
             max_packets: config.max_packets,
+            live: 0,
             next_id: 0,
             flow_counters: HashMap::new(),
-            dead: HashSet::new(),
             stats: CacheStats::default(),
         }
     }
@@ -117,13 +399,13 @@ impl Cache {
     /// Number of packets currently stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.packets.len()
+        self.live
     }
 
     /// Whether the store is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.live == 0
     }
 
     /// Payload bytes currently stored.
@@ -164,28 +446,67 @@ impl Cache {
             seq_end: seq + payload.len(),
             flow_index,
         };
+        // The protocol never reuses a live id, but if a caller does, the
+        // new copy wins and the old one is released (no byte leak).
+        if let Some(old_slot) = self.ids.get(id.0) {
+            self.release(old_slot);
+        }
         self.bytes_used += payload.len();
-        self.packets.insert(id, Stored { payload, meta });
-        self.order.push_back(id);
+        let index = self.alloc(SlotData {
+            id,
+            stored: Stored { payload, meta },
+            dead: false,
+        });
+        let gen = self.slots[index as usize].gen;
+        self.ids.insert(id.0, index);
+        self.order.push_back(SlotRef { index, gen });
+        self.live += 1;
         self.next_id = self.next_id.max(id.0 + 1);
         self.stats.inserts += 1;
         self.evict_to_budget();
     }
 
+    fn alloc(&mut self, data: SlotData) -> u32 {
+        if let Some(index) = self.free.pop() {
+            self.slots[index as usize].data = Some(data);
+            index
+        } else {
+            self.slots.push(Slot {
+                gen: 0,
+                data: Some(data),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Free a slot: drop its packet, bump its generation (invalidating
+    /// every outstanding handle) and recycle it.
+    fn release(&mut self, index: u32) {
+        let slot = &mut self.slots[index as usize];
+        let Some(data) = slot.data.take() else {
+            return;
+        };
+        slot.gen = slot.gen.wrapping_add(1);
+        self.bytes_used -= data.stored.payload.len();
+        self.live -= 1;
+        self.ids.remove(data.id.0);
+        self.free.push(index);
+    }
+
     fn evict_to_budget(&mut self) {
         while self.bytes_used > self.byte_budget
-            || self
-                .max_packets
-                .is_some_and(|cap| self.packets.len() > cap)
+            || self.max_packets.is_some_and(|cap| self.live > cap)
         {
-            let Some(old) = self.order.pop_front() else {
+            let Some(oldest) = self.order.pop_front() else {
                 break;
             };
-            if let Some(stored) = self.packets.remove(&old) {
-                self.bytes_used -= stored.payload.len();
+            let slot = &self.slots[oldest.index as usize];
+            if slot.gen == oldest.gen && slot.data.is_some() {
+                self.release(oldest.index);
                 self.stats.evictions += 1;
             }
-            self.dead.remove(&old);
+            // Stale refs (the slot was already released by an id
+            // overwrite) are simply discarded.
         }
     }
 
@@ -193,11 +514,19 @@ impl Cache {
     /// Replaces any existing entry for the fingerprint (the paper's
     /// update rule).
     pub fn index_fingerprint(&mut self, fingerprint: u64, id: PacketId, offset: u16) {
-        if self
-            .fingerprints
-            .insert(fingerprint, FpEntry { packet: id, offset })
-            .is_some()
-        {
+        // A non-resident id still shadows the previous entry (as the
+        // paper's index does): record a handle that can never resolve.
+        let slot = self.ids.get(id.0).map_or(
+            SlotRef {
+                index: u32::MAX,
+                gen: u32::MAX,
+            },
+            |index| SlotRef {
+                index,
+                gen: self.slots[index as usize].gen,
+            },
+        );
+        if self.fingerprints.insert(fingerprint, slot, offset) {
             self.stats.replacements += 1;
         }
     }
@@ -209,56 +538,83 @@ impl Cache {
     ///
     /// Panics if `id` is not currently stored (insert it first).
     pub fn index_payload(&mut self, engine: &Fingerprinter, sampler: &Sampler, id: PacketId) {
-        let payload = self
-            .packets
-            .get(&id)
-            .expect("index_payload: packet not stored")
-            .payload
-            .clone();
-        for (offset, fp) in engine.windows(&payload) {
-            if sampler.selects(fp) {
-                self.index_fingerprint(fp, id, offset as u16);
+        let index = self
+            .ids
+            .get(id.0)
+            .expect("index_payload: packet not stored");
+        let slot = SlotRef {
+            index,
+            gen: self.slots[index as usize].gen,
+        };
+        // Split borrows: read the payload out of the arena while writing
+        // the fingerprint table — no payload copy.
+        let (slots, fingerprints, stats) = (&self.slots, &mut self.fingerprints, &mut self.stats);
+        let payload = &slots[index as usize]
+            .data
+            .as_ref()
+            .expect("live slot")
+            .stored
+            .payload;
+        for (offset, fp) in engine.windows(payload) {
+            if sampler.selects(fp) && fingerprints.insert(fp, slot, offset as u16) {
+                stats.replacements += 1;
             }
         }
+    }
+
+    fn resolve(&self, slot: SlotRef) -> Option<&SlotData> {
+        let s = self.slots.get(slot.index as usize)?;
+        if s.gen != slot.gen {
+            return None; // stale: the packet left the store
+        }
+        s.data.as_ref()
     }
 
     /// Look up a fingerprint: the stored packet it points to (if that
     /// packet is still resident) and the window offset within it.
     #[must_use]
     pub fn lookup(&self, fingerprint: u64) -> Option<(PacketId, u16, &Stored)> {
-        let entry = self.fingerprints.get(&fingerprint)?;
-        let stored = self.packets.get(&entry.packet)?;
-        Some((entry.packet, entry.offset, stored))
+        let (slot, offset) = self.fingerprints.get(fingerprint)?;
+        let data = self.resolve(slot)?;
+        Some((data.id, offset, &data.stored))
     }
 
     /// Borrow a stored packet by id.
     #[must_use]
     pub fn packet(&self, id: PacketId) -> Option<&Stored> {
-        self.packets.get(&id)
+        let index = self.ids.get(id.0)?;
+        Some(&self.slots[index as usize].data.as_ref()?.stored)
     }
 
     /// Mark a packet as lost at the peer (informed marking): it will be
     /// reported by [`is_dead`](Self::is_dead) until evicted.
     pub fn mark_dead(&mut self, id: PacketId) {
-        if self.packets.contains_key(&id) {
-            self.dead.insert(id);
+        if let Some(index) = self.ids.get(id.0) {
+            if let Some(data) = self.slots[index as usize].data.as_mut() {
+                data.dead = true;
+            }
         }
     }
 
     /// Whether a packet was marked dead.
     #[must_use]
     pub fn is_dead(&self, id: PacketId) -> bool {
-        self.dead.contains(&id)
+        self.ids
+            .get(id.0)
+            .and_then(|index| self.slots[index as usize].data.as_ref())
+            .is_some_and(|data| data.dead)
     }
 
     /// Drop all packets and fingerprints (the Cache Flush policy's
     /// action). Ids and per-flow indices keep counting monotonically.
     pub fn flush(&mut self) {
-        self.packets.clear();
+        self.slots.clear();
+        self.free.clear();
         self.order.clear();
+        self.ids.clear();
         self.fingerprints.clear();
-        self.dead.clear();
         self.bytes_used = 0;
+        self.live = 0;
         self.stats.flushes += 1;
     }
 }
@@ -364,7 +720,10 @@ mod tests {
         let engine = Fingerprinter::new(Polynomial::default(), 8);
         let sampler = Sampler::new(2);
         let mut c = cache();
-        let data: Bytes = (0..300u32).map(|i| (i * 7 % 251) as u8).collect::<Vec<_>>().into();
+        let data: Bytes = (0..300u32)
+            .map(|i| (i * 7 % 251) as u8)
+            .collect::<Vec<_>>()
+            .into();
         let id = c.insert(data.clone(), flow(), SeqNum::new(0));
         c.index_payload(&engine, &sampler, id);
         // Every sampled window must resolve back to this packet at the
@@ -416,9 +775,74 @@ mod tests {
     #[test]
     fn insert_with_external_id_advances_next_id() {
         let mut c = cache();
-        c.insert_with_id(PacketId(10), Bytes::from_static(b"x"), flow(), SeqNum::new(0));
+        c.insert_with_id(
+            PacketId(10),
+            Bytes::from_static(b"x"),
+            flow(),
+            SeqNum::new(0),
+        );
         assert_eq!(c.next_id(), PacketId(11));
         let b = c.insert(Bytes::from_static(b"y"), flow(), SeqNum::new(1));
         assert_eq!(b, PacketId(11));
+    }
+
+    #[test]
+    fn slot_reuse_never_resolves_stale_fingerprints() {
+        // Evict a packet, insert a new one into the recycled slot, and
+        // verify the old fingerprint entry does not resolve to the new
+        // packet (the generation check).
+        let mut c = Cache::new(&DreConfig {
+            max_packets: Some(1),
+            ..DreConfig::default()
+        });
+        let a = c.insert(Bytes::from_static(b"old-old-old"), flow(), SeqNum::new(0));
+        c.index_fingerprint(0xAB, a, 2);
+        let b = c.insert(Bytes::from_static(b"new-new-new"), flow(), SeqNum::new(11));
+        assert!(c.packet(a).is_none());
+        assert!(c.packet(b).is_some(), "new packet resident in reused slot");
+        assert!(
+            c.lookup(0xAB).is_none(),
+            "stale entry must not alias the recycled slot"
+        );
+        // Re-pointing the fingerprint at the live packet works.
+        c.index_fingerprint(0xAB, b, 1);
+        let (id, off, _) = c.lookup(0xAB).unwrap();
+        assert_eq!((id, off), (b, 1));
+    }
+
+    #[test]
+    fn duplicate_id_insert_replaces_without_leaking() {
+        let mut c = cache();
+        let id = PacketId(5);
+        c.insert_with_id(id, Bytes::from_static(b"aaaaaaaa"), flow(), SeqNum::new(0));
+        c.insert_with_id(id, Bytes::from_static(b"bb"), flow(), SeqNum::new(8));
+        assert_eq!(c.len(), 1, "the newer copy wins");
+        assert_eq!(c.bytes_used(), 2);
+        assert_eq!(&c.packet(id).unwrap().payload[..], b"bb");
+    }
+
+    #[test]
+    fn tables_survive_many_inserts_and_evictions() {
+        // Stress growth + backward-shift deletion with a small window.
+        let mut c = Cache::new(&DreConfig {
+            max_packets: Some(64),
+            ..DreConfig::default()
+        });
+        for i in 0..5000u64 {
+            let payload: Bytes = vec![(i % 251) as u8; 32].into();
+            let id = c.insert(payload, flow(), SeqNum::new((i * 32) as u32));
+            c.index_fingerprint(i.wrapping_mul(0x1000) ^ 0xBEEF, id, 0);
+        }
+        assert_eq!(c.len(), 64);
+        assert_eq!(c.stats().evictions, 5000 - 64);
+        // Exactly the last 64 ids are resident.
+        for i in 0..5000u64 {
+            assert_eq!(c.packet(PacketId(i)).is_some(), i >= 5000 - 64, "id {i}");
+        }
+        // And their fingerprints resolve while older ones are stale.
+        for i in 0..5000u64 {
+            let hit = c.lookup(i.wrapping_mul(0x1000) ^ 0xBEEF).is_some();
+            assert_eq!(hit, i >= 5000 - 64, "fp of id {i}");
+        }
     }
 }

@@ -161,6 +161,18 @@ pub struct ShimPayload {
 /// Serialize a raw (unencoded) shim payload.
 #[must_use]
 pub fn encode_raw(epoch: u16, id: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_raw_into(&mut out, epoch, id, payload);
+    out
+}
+
+/// Serialize a raw shim payload into a caller-provided buffer, clearing
+/// it first. Hot-path variant of [`encode_raw`]: a gateway encoding a
+/// stream of packets reuses one scratch buffer instead of allocating a
+/// `Vec` per packet.
+pub fn encode_raw_into(out: &mut Vec<u8>, epoch: u16, id: u32, payload: &[u8]) {
+    out.clear();
+    out.reserve(HEADER_LEN + payload.len());
     let header = ShimHeader {
         encoded: false,
         epoch,
@@ -168,10 +180,8 @@ pub fn encode_raw(epoch: u16, id: u32, payload: &[u8]) -> Vec<u8> {
         orig_len: payload.len() as u16,
         checksum: payload_checksum(payload),
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    header.write(&mut out);
+    header.write(out);
     out.extend_from_slice(payload);
-    out
 }
 
 /// Serialize an encoded shim payload from tokens.
@@ -179,7 +189,29 @@ pub fn encode_raw(epoch: u16, id: u32, payload: &[u8]) -> Vec<u8> {
 /// `orig_len` and `checksum` describe the *original* payload the tokens
 /// reconstruct.
 #[must_use]
-pub fn encode_tokens(epoch: u16, id: u32, orig_len: u16, checksum: u32, tokens: &[Token]) -> Vec<u8> {
+pub fn encode_tokens(
+    epoch: u16,
+    id: u32,
+    orig_len: u16,
+    checksum: u32,
+    tokens: &[Token],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + orig_len as usize / 2);
+    encode_tokens_into(&mut out, epoch, id, orig_len, checksum, tokens);
+    out
+}
+
+/// Serialize an encoded shim payload into a caller-provided buffer,
+/// clearing it first (buffer-reuse variant of [`encode_tokens`]).
+pub fn encode_tokens_into(
+    out: &mut Vec<u8>,
+    epoch: u16,
+    id: u32,
+    orig_len: u16,
+    checksum: u32,
+    tokens: &[Token],
+) {
+    out.clear();
     let header = ShimHeader {
         encoded: true,
         epoch,
@@ -187,8 +219,7 @@ pub fn encode_tokens(epoch: u16, id: u32, orig_len: u16, checksum: u32, tokens: 
         orig_len,
         checksum,
     };
-    let mut out = Vec::with_capacity(HEADER_LEN + orig_len as usize / 2);
-    header.write(&mut out);
+    header.write(out);
     for t in tokens {
         match t {
             Token::Literal(bytes) => {
@@ -211,7 +242,6 @@ pub fn encode_tokens(epoch: u16, id: u32, orig_len: u16, checksum: u32, tokens: 
             }
         }
     }
-    out
 }
 
 /// Parse a shim payload (header + body).
@@ -244,7 +274,9 @@ pub fn parse(buf: &[u8]) -> Result<ShimPayload, WireError> {
                 if i + 3 + len > body.len() {
                     return Err(WireError::Malformed("literal overruns body"));
                 }
-                tokens.push(Token::Literal(Bytes::copy_from_slice(&body[i + 3..i + 3 + len])));
+                tokens.push(Token::Literal(Bytes::copy_from_slice(
+                    &body[i + 3..i + 3 + len],
+                )));
                 i += 3 + len;
             }
             0x01 => {
@@ -345,16 +377,40 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_clear_and_match_allocating_versions() {
+        let mut buf = vec![0xFFu8; 64]; // dirty scratch buffer
+        encode_raw_into(&mut buf, 7, 42, b"hello");
+        assert_eq!(buf, encode_raw(7, 42, b"hello"));
+        let tokens = [
+            Token::Literal(Bytes::from_static(b"ab")),
+            Token::Match {
+                fingerprint: 1,
+                offset_new: 2,
+                offset_stored: 9,
+                len: 20,
+            },
+        ];
+        encode_tokens_into(&mut buf, 2, 9, 22, 0xAB, &tokens);
+        assert_eq!(buf, encode_tokens(2, 9, 22, 0xAB, &tokens));
+    }
+
+    #[test]
     fn rejects_bad_magic_version_flags() {
         let mut buf = encode_raw(0, 0, b"x");
         buf[0] = 0x00;
-        assert!(matches!(parse(&buf), Err(WireError::Malformed("bad magic"))));
+        assert!(matches!(
+            parse(&buf),
+            Err(WireError::Malformed("bad magic"))
+        ));
         let mut buf = encode_raw(0, 0, b"x");
         buf[1] = 9;
         assert_eq!(parse(&buf), Err(WireError::BadVersion(9)));
         let mut buf = encode_raw(0, 0, b"x");
         buf[2] = 5;
-        assert!(matches!(parse(&buf), Err(WireError::Malformed("bad flags"))));
+        assert!(matches!(
+            parse(&buf),
+            Err(WireError::Malformed("bad flags"))
+        ));
     }
 
     #[test]

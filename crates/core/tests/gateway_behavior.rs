@@ -96,7 +96,11 @@ fn chain(
 #[test]
 fn data_packets_arrive_with_original_payloads() {
     let payloads: Vec<Vec<u8>> = (0..5)
-        .map(|i| (0..1000u32).map(|j| ((j * 31 + i * 7) % 251) as u8).collect())
+        .map(|i| {
+            (0..1000u32)
+                .map(|j| ((j * 31 + i * 7) % 251) as u8)
+                .collect()
+        })
         .collect();
     let packets: Vec<Packet> = payloads
         .iter()
@@ -177,8 +181,7 @@ fn undecodable_packets_are_dropped_and_counted() {
     let sender = sim.add_node(Script::new(vec![pkt]));
     let receiver = sim.add_node(Script::new(Vec::new()));
     let dec = sim.add_node(
-        DecoderGateway::new(Decoder::new(DreConfig::default()), CLIENT, DEC_GW)
-            .with_nacks(ENC_GW),
+        DecoderGateway::new(Decoder::new(DreConfig::default()), CLIENT, DEC_GW).with_nacks(ENC_GW),
     );
     let enc_sink = sim.add_node(Script::new(Vec::new()));
     sim.add_link(sender, dec, LinkConfig::default());
@@ -207,12 +210,15 @@ fn undecodable_packets_are_dropped_and_counted() {
 fn nack_control_packets_mark_encoder_entries_dead() {
     let shared: Vec<u8> = (0..1200u32).map(|i| ((i * 13) % 251) as u8).collect();
     // Sender sends the data packet AND (separately) a NACK for id 0.
+    // Control records are 6 bytes: shard u16 BE + shim id u32 BE.
     let data = data_packet(1, 1000, shared.clone());
+    let mut record = 0u16.to_be_bytes().to_vec();
+    record.extend_from_slice(&0u32.to_be_bytes());
     let nack = Packet::builder()
         .src(DEC_GW, CONTROL_PORT)
         .dst(ENC_GW, CONTROL_PORT)
         .flags(TcpFlags::PSH)
-        .payload(0u32.to_be_bytes().to_vec())
+        .payload(record)
         .build();
 
     let mut sim = Simulator::new(1);
@@ -280,11 +286,25 @@ fn multi_destination_gateways_serve_two_clients() {
     sim.run_until_idle();
 
     // Both clients got the exact payload...
-    assert_eq!(&sim.node::<Script>(rx1).unwrap().received[0].payload[..], &shared[..]);
-    assert_eq!(&sim.node::<Script>(rx2).unwrap().received[0].payload[..], &shared[..]);
+    assert_eq!(
+        &sim.node::<Script>(rx1).unwrap().received[0].payload[..],
+        &shared[..]
+    );
+    assert_eq!(
+        &sim.node::<Script>(rx2).unwrap().received[0].payload[..],
+        &shared[..]
+    );
     // ...and the second flow's packet was compressed against the first
     // flow's (inter-flow DRE through the shared cache).
-    let stats = sim.node::<EncoderGateway>(enc).unwrap().encoder().stats().clone();
+    let stats = sim
+        .node::<EncoderGateway>(enc)
+        .unwrap()
+        .encoder()
+        .stats()
+        .clone();
     assert_eq!(stats.packets, 2);
-    assert!(stats.matched_bytes as usize >= shared.len() / 2, "{stats:?}");
+    assert!(
+        stats.matched_bytes as usize >= shared.len() / 2,
+        "{stats:?}"
+    );
 }

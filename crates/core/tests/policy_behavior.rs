@@ -70,7 +70,11 @@ fn stall_length(kind: PolicyKind, max_attempts: usize) -> usize {
     let m2 = meta(2460);
     let w2 = enc.encode(&m2, &shared);
     assert!(
-        w2.matches > 0 || matches!(kind, PolicyKind::KDistance(_) | PolicyKind::Adaptive | PolicyKind::AckGated),
+        w2.matches > 0
+            || matches!(
+                kind,
+                PolicyKind::KDistance(_) | PolicyKind::Adaptive | PolicyKind::AckGated
+            ),
         "{kind:?}: expected the second packet to compress"
     );
     // The decoder drops it if it was encoded (missing reference).
@@ -139,7 +143,10 @@ fn ack_gated_never_references_unacked_data() {
 #[test]
 fn adaptive_recovers_quickly() {
     let failures = stall_length(PolicyKind::Adaptive, 64);
-    assert!(failures < 64, "adaptive must eventually recover: {failures}");
+    assert!(
+        failures < 64,
+        "adaptive must eventually recover: {failures}"
+    );
 }
 
 #[test]
@@ -228,9 +235,23 @@ fn naive_compresses_best_on_clean_streams() {
         }
         ratios.push(enc.stats().byte_ratio());
     }
-    assert!(ratios[0] <= ratios[1] + 1e-9, "naive {} vs tcp-seq {}", ratios[0], ratios[1]);
-    assert!(ratios[1] <= ratios[2] + 1e-9, "tcp-seq {} vs k-dist {}", ratios[1], ratios[2]);
-    assert!(ratios[0] < 0.25, "redundant stream should compress hard: {}", ratios[0]);
+    assert!(
+        ratios[0] <= ratios[1] + 1e-9,
+        "naive {} vs tcp-seq {}",
+        ratios[0],
+        ratios[1]
+    );
+    assert!(
+        ratios[1] <= ratios[2] + 1e-9,
+        "tcp-seq {} vs k-dist {}",
+        ratios[1],
+        ratios[2]
+    );
+    assert!(
+        ratios[0] < 0.25,
+        "redundant stream should compress hard: {}",
+        ratios[0]
+    );
 }
 
 #[test]
@@ -274,6 +295,10 @@ fn stats_track_dependencies() {
     enc.encode(&meta(1000), &a);
     enc.encode(&meta(1800), &b);
     let out = enc.encode(&meta(2600), &Bytes::from(c));
-    assert!(out.distinct_refs >= 2, "expected ≥2 deps, got {}", out.distinct_refs);
+    assert!(
+        out.distinct_refs >= 2,
+        "expected ≥2 deps, got {}",
+        out.distinct_refs
+    );
     assert!(enc.stats().avg_dependencies() >= 2.0);
 }

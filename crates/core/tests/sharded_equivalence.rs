@@ -1,0 +1,329 @@
+//! Sharded-engine equivalence and isolation properties.
+//!
+//! The contract of [`ShardedEncoder`]/[`ShardedDecoder`]:
+//!
+//! 1. with `shards = 1` the bank is *byte-identical* to a plain
+//!    [`Encoder`] — same wire bytes, same outcome metadata, same
+//!    counters — over arbitrary multi-flow traces;
+//! 2. with `shards = N` the parallel batch path produces exactly what
+//!    per-shard sequential encoding would;
+//! 3. loss never corrupts: every successfully decoded packet is exact,
+//!    and NACK feedback marks entries dead in the right shard only;
+//! 4. policy state is shard-local: a retransmission in one flow's shard
+//!    never flushes or epoch-bumps another shard.
+
+use bytecache::{
+    DreConfig, Encoder, PacketId, PacketMeta, PolicyKind, ShardedDecoder, ShardedEncoder,
+};
+use bytecache_packet::{FlowId, SeqNum};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const FLOWS: usize = 6;
+
+fn flow(i: usize) -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 1, (i + 1) as u8),
+        dst_port: 4000,
+    }
+}
+
+/// One packet of a synthetic multi-flow trace.
+#[derive(Debug, Clone)]
+struct TracePacket {
+    flow: usize,
+    payload: Vec<u8>,
+}
+
+/// Random interleaving of `FLOWS` flows; payload content repeats across
+/// packets (small seed space) so cross-packet matches actually occur.
+fn arb_trace() -> impl Strategy<Value = Vec<TracePacket>> {
+    proptest::collection::vec((0usize..FLOWS, 0u64..12, 300usize..900), 1..40).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(flow, seed, len)| TracePacket {
+                flow,
+                payload: (0..len)
+                    .map(|i| {
+                        let x = (i as u64 + seed * 104_729).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        (x >> 48) as u8
+                    })
+                    .collect(),
+            })
+            .collect()
+    })
+}
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Naive,
+        PolicyKind::CacheFlush,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(4),
+        PolicyKind::Adaptive,
+    ]
+}
+
+/// Per-flow metadata builder: advances sequence numbers independently
+/// per flow, like a real server socket would.
+struct MetaGen {
+    next_seq: [u32; FLOWS],
+}
+
+impl MetaGen {
+    fn new() -> Self {
+        MetaGen {
+            next_seq: [1000; FLOWS],
+        }
+    }
+
+    fn next(&mut self, p: &TracePacket) -> PacketMeta {
+        let seq = self.next_seq[p.flow];
+        self.next_seq[p.flow] = seq.wrapping_add(p.payload.len() as u32);
+        PacketMeta {
+            flow: flow(p.flow),
+            seq: SeqNum::new(seq),
+            payload_len: p.payload.len(),
+            flow_index: 0, // the engine recomputes per-flow indices
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 1: a one-shard bank is indistinguishable from a plain
+    /// encoder — wire bytes, outcome metadata, and every counter.
+    #[test]
+    fn single_shard_is_byte_identical_to_plain_encoder(
+        trace in arb_trace(),
+        policy_idx in 0usize..5,
+    ) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig::default();
+        let mut plain = Encoder::new(config.clone(), kind.build());
+        let mut bank = ShardedEncoder::new(DreConfig { shards: 1, ..config }, kind);
+
+        let mut gen_plain = MetaGen::new();
+        let mut gen_bank = MetaGen::new();
+        for (i, p) in trace.iter().enumerate() {
+            let payload = Bytes::from(p.payload.clone());
+            let a = plain.encode(&gen_plain.next(p), &payload);
+            let b = bank.encode(&gen_bank.next(p), &payload);
+            prop_assert_eq!(&a.wire, &b.wire, "wire diverged at packet {}", i);
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.matches, b.matches);
+            prop_assert_eq!(a.matched_bytes, b.matched_bytes);
+            prop_assert_eq!(a.flushed, b.flushed);
+        }
+        prop_assert_eq!(plain.stats(), &bank.stats());
+        prop_assert_eq!(plain.cache().stats(), &bank.cache_stats());
+    }
+
+    /// Property 2: the scoped-thread batch path equals sequential
+    /// per-packet encoding on the same bank state.
+    #[test]
+    fn parallel_batch_equals_sequential(
+        trace in arb_trace(),
+        policy_idx in 0usize..5,
+    ) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig { shards: 4, ..DreConfig::default() };
+        let mut sequential = ShardedEncoder::new(config.clone(), kind);
+        let mut batched = ShardedEncoder::new(config, kind);
+
+        let mut gen = MetaGen::new();
+        let items: Vec<(PacketMeta, Bytes)> = trace
+            .iter()
+            .map(|p| (gen.next(p), Bytes::from(p.payload.clone())))
+            .collect();
+
+        let seq_out: Vec<_> = items
+            .iter()
+            .map(|(m, payload)| sequential.encode(m, payload))
+            .collect();
+        let batch_out = batched.encode_batch(&items);
+
+        prop_assert_eq!(seq_out.len(), batch_out.len());
+        for (i, (a, b)) in seq_out.iter().zip(&batch_out).enumerate() {
+            prop_assert_eq!(&a.wire, &b.wire, "wire diverged at packet {}", i);
+            prop_assert_eq!(a.id, b.id);
+        }
+        prop_assert_eq!(sequential.stats(), batched.stats());
+        prop_assert_eq!(sequential.cache_stats(), batched.cache_stats());
+    }
+
+    /// Property 3: under loss, a sharded round trip never delivers wrong
+    /// bytes, and NACK feedback lands in (only) the right shard.
+    #[test]
+    fn lossy_sharded_round_trip_never_corrupts(
+        trace in arb_trace(),
+        drops in proptest::collection::vec(any::<bool>(), 1..40),
+        policy_idx in 0usize..5,
+    ) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig { shards: 4, ..DreConfig::default() };
+        let mut enc = ShardedEncoder::new(config.clone(), kind);
+        let mut dec = ShardedDecoder::new(config);
+
+        let mut gen = MetaGen::new();
+        for (i, p) in trace.iter().enumerate() {
+            let payload = Bytes::from(p.payload.clone());
+            let meta = gen.next(p);
+            let out = enc.encode(&meta, &payload);
+            if drops.get(i % drops.len()).copied().unwrap_or(false) {
+                continue; // channel ate it
+            }
+            let (result, feedback) = dec.decode(&out.wire, &meta);
+            prop_assert_eq!(usize::from(feedback.shard), enc.shard_of(&meta.flow));
+            match result {
+                Ok(decoded) => prop_assert_eq!(decoded, payload, "packet {} corrupted", i),
+                Err(_) => {
+                    // Reconstruction failed: the NACKs must mark the
+                    // referenced entries dead in the owning shard.
+                    let shard = usize::from(feedback.shard);
+                    enc.handle_nack(shard, &feedback.nack_ids);
+                    for id in &feedback.nack_ids {
+                        prop_assert!(
+                            enc.shard(shard).cache().is_dead(PacketId(u64::from(*id))),
+                            "NACKed id {} not marked dead in shard {}", id, shard
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Property 4: shard-local policy state. A retransmission storm in one
+/// flow must flush only that flow's shard under [`PolicyKind::CacheFlush`];
+/// every other shard keeps its cache, epoch, and counters untouched.
+#[test]
+fn retransmission_in_one_shard_never_flushes_another() {
+    let config = DreConfig {
+        shards: 4,
+        ..DreConfig::default()
+    };
+    let mut enc = ShardedEncoder::new(config, PolicyKind::CacheFlush);
+
+    // Pick two flows that land on different shards.
+    let victim = flow(0);
+    let bystander = (1..100)
+        .map(flow)
+        .find(|f| enc.shard_of(f) != enc.shard_of(&victim))
+        .expect("some flow must hash to a different shard");
+    let victim_shard = enc.shard_of(&victim);
+    let bystander_shard = enc.shard_of(&bystander);
+
+    // Varied content (not a constant byte) so Rabin sampling selects
+    // fingerprints and repeats actually match.
+    let payload = Bytes::from(
+        (0..600usize)
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as u8)
+            .collect::<Vec<u8>>(),
+    );
+    let meta = |f: FlowId, seq: u32| PacketMeta {
+        flow: f,
+        seq: SeqNum::new(seq),
+        payload_len: payload.len(),
+        flow_index: 0,
+    };
+
+    // Normal forward progress on both flows.
+    for i in 0..5u32 {
+        enc.encode(&meta(victim, 1000 + i * 600), &payload);
+        enc.encode(&meta(bystander, 1000 + i * 600), &payload);
+    }
+    let bystander_before_cache = enc.shard(bystander_shard).cache().stats().clone();
+    let bystander_before_len = enc.shard(bystander_shard).cache().len();
+    let bystander_before_stats = enc.shard(bystander_shard).stats().clone();
+    assert_eq!(bystander_before_cache.flushes, 0);
+
+    // Retransmission (sequence regression) on the victim flow: the
+    // CacheFlush policy flushes — but only the victim's shard.
+    let out = enc.encode(&meta(victim, 1000), &payload);
+    assert!(out.flushed, "victim shard should have flushed");
+    assert_eq!(enc.shard(victim_shard).cache().stats().flushes, 1);
+
+    assert_eq!(
+        enc.shard(bystander_shard).cache().stats(),
+        &bystander_before_cache,
+        "bystander cache counters changed"
+    );
+    assert_eq!(
+        enc.shard(bystander_shard).cache().len(),
+        bystander_before_len,
+        "bystander cache contents changed"
+    );
+    assert_eq!(
+        enc.shard(bystander_shard).stats(),
+        &bystander_before_stats,
+        "bystander encoder counters changed"
+    );
+
+    // The bystander flow continues to compress against its intact cache:
+    // an exact repeat of its last payload still finds matches.
+    let follow_up = enc.encode(&meta(bystander, 1000 + 5 * 600), &payload);
+    assert!(
+        follow_up.matched_bytes > 0,
+        "bystander lost its cache after a foreign flush"
+    );
+}
+
+/// The decoder mirror of property 4: a flush directive carried on one
+/// shard's wire (epoch bump) must not clear another decoder shard.
+#[test]
+fn decoder_flush_is_shard_local() {
+    let config = DreConfig {
+        shards: 4,
+        ..DreConfig::default()
+    };
+    let mut enc = ShardedEncoder::new(config.clone(), PolicyKind::CacheFlush);
+    let mut dec = ShardedDecoder::new(config);
+
+    let victim = flow(0);
+    let bystander = (1..100)
+        .map(flow)
+        .find(|f| enc.shard_of(f) != enc.shard_of(&victim))
+        .expect("some flow must hash to a different shard");
+    let bystander_shard = dec.shard_of(&bystander);
+
+    let payload = Bytes::from(
+        (0..600usize)
+            .map(|i| ((i as u64 + 9).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as u8)
+            .collect::<Vec<u8>>(),
+    );
+    let meta = |f: FlowId, seq: u32| PacketMeta {
+        flow: f,
+        seq: SeqNum::new(seq),
+        payload_len: payload.len(),
+        flow_index: 0,
+    };
+
+    for i in 0..5u32 {
+        for f in [victim, bystander] {
+            let m = meta(f, 1000 + i * 600);
+            let out = enc.encode(&m, &payload);
+            let (r, _) = dec.decode(&out.wire, &m);
+            assert!(r.is_ok());
+        }
+    }
+    let bystander_packets = dec.shard(bystander_shard).cache().len();
+    assert!(bystander_packets > 0);
+
+    // Trigger the victim-shard flush and ship the post-flush packet.
+    let m = meta(victim, 1000);
+    let out = enc.encode(&m, &payload);
+    assert!(out.flushed);
+    let (r, _) = dec.decode(&out.wire, &m);
+    assert!(r.is_ok());
+
+    assert_eq!(
+        dec.shard(bystander_shard).cache().len(),
+        bystander_packets,
+        "bystander decoder shard was flushed by a foreign epoch bump"
+    );
+}

@@ -100,7 +100,13 @@ pub fn render(points: &[AblationPoint], loss: f64) -> Table {
             "Ablation — Bernoulli vs bursty loss at equal mean rate ({:.0}%)",
             loss * 100.0
         ),
-        &["policy", "channel", "perceived %", "delay ratio", "bytes ratio"],
+        &[
+            "policy",
+            "channel",
+            "perceived %",
+            "delay ratio",
+            "bytes ratio",
+        ],
     );
     for p in points {
         t.row(&[

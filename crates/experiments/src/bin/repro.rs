@@ -17,6 +17,7 @@
 //!   interflow   §I/IV-C   — inter-flow savings through shared gateways
 //!   ablation    extension — Bernoulli vs bursty loss at equal mean rate
 //!   tuning      §III-B    — DRE parameter (w, k) trade-offs
+//!   shardscale  extension — multi-flow throughput scaling across engine shards
 //!   all         everything above
 //!
 //! --quick shrinks object sizes and seed counts (~10x faster).
@@ -24,8 +25,8 @@
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
-    ablation, fig6, insights, interflow, kdistance, mobility, perceived, stalltrace, sweep,
-    table1, table2, tuning,
+    ablation, fig6, insights, interflow, kdistance, mobility, perceived, shardscale, stalltrace,
+    sweep, table1, table2, tuning,
 };
 use bytecache_netsim::time::SimDuration;
 
@@ -67,8 +68,21 @@ fn main() {
     let scale = Scale::new(quick);
 
     let known = [
-        "table1", "fig6", "fig10", "fig11", "fig12", "fig13", "table2", "insights",
-        "stalltrace", "mobility", "interflow", "ablation", "tuning", "all",
+        "table1",
+        "fig6",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "table2",
+        "insights",
+        "stalltrace",
+        "mobility",
+        "interflow",
+        "ablation",
+        "tuning",
+        "shardscale",
+        "all",
     ];
     if !known.contains(&what.as_str()) {
         eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
@@ -81,7 +95,11 @@ fn main() {
         println!("{}", table1::render(&rows));
     }
     if run("fig6") {
-        let r = fig6::run(scale.fig6_runs, scale.object_size.min(fig6::EBOOK_SIZE), 0.01);
+        let r = fig6::run(
+            scale.fig6_runs,
+            scale.object_size.min(fig6::EBOOK_SIZE),
+            0.01,
+        );
         println!("{}", fig6::render(&r));
     }
     if run("fig10") || run("fig11") {
@@ -119,7 +137,10 @@ fn main() {
         println!("{}", table2::render(&r));
     }
     if run("insights") {
-        println!("{}", insights::render(&insights::run(scale.object_size, scale.seeds)));
+        println!(
+            "{}",
+            insights::render(&insights::run(scale.object_size, scale.seeds))
+        );
     }
     if run("stalltrace") {
         for policy in [
@@ -161,6 +182,14 @@ fn main() {
     if run("tuning") {
         let pts = tuning::run(scale.object_size, &[16, 32, 64], &[3, 4, 6]);
         println!("{}", tuning::render(&pts));
+    }
+    if run("shardscale") {
+        let base = shardscale::ShardScaleParams {
+            flows: 12,
+            object_size: if quick { 100_000 } else { 400_000 },
+            ..shardscale::ShardScaleParams::default()
+        };
+        println!("{}", shardscale::render_sweep(&[1, 2, 4, 8], &base));
     }
     if run("mobility") {
         let r = mobility::run(scale.object_size, SimDuration::from_millis(200), 3);

@@ -80,7 +80,12 @@ pub fn render(rows: &[InsightRow]) -> Table {
     let mut t = Table::new(
         "§VII insight — packet size vs packet count at 9% loss, File 1 \
          (paper: CF 835 B/≈390 pkts; k=8 920 B/≈390; k=50 634 B/430)",
-        &["scheme", "avg packet size (B)", "packets sent", "perceived loss %"],
+        &[
+            "scheme",
+            "avg packet size (B)",
+            "packets sent",
+            "perceived loss %",
+        ],
     );
     for r in rows {
         t.row(&[

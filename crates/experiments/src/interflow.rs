@@ -63,9 +63,25 @@ pub fn run(
     let tcp = TcpConfig::default();
     let mut sim = Simulator::new(seed);
 
-    let s1 = sim.add_node(TcpServerNode::new(SERVER1, PORT, object.clone(), tcp.clone()));
-    let s2 = sim.add_node(TcpServerNode::new(SERVER2, PORT, object.clone(), tcp.clone()));
-    let c1 = sim.add_node(TcpClientNode::new(CLIENT1, 40_001, SERVER1, PORT, tcp.clone()));
+    let s1 = sim.add_node(TcpServerNode::new(
+        SERVER1,
+        PORT,
+        object.clone(),
+        tcp.clone(),
+    ));
+    let s2 = sim.add_node(TcpServerNode::new(
+        SERVER2,
+        PORT,
+        object.clone(),
+        tcp.clone(),
+    ));
+    let c1 = sim.add_node(TcpClientNode::new(
+        CLIENT1,
+        40_001,
+        SERVER1,
+        PORT,
+        tcp.clone(),
+    ));
     let c2 = sim.add_node(
         TcpClientNode::new(CLIENT2, 40_002, SERVER2, PORT, tcp).with_start_delay(second_start),
     );

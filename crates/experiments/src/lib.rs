@@ -22,6 +22,7 @@
 //! | [`insights`] | §VII — packet-size/count numbers behind the analysis |
 //! | [`stalltrace`] | Figures 4 & 5 — the circular-dependency event trace |
 //! | [`mobility`] | §II — handoff survival at the IP layer |
+//! | [`shardscale`] | beyond the paper — multi-flow throughput scaling across engine shards |
 //!
 //! Run them all via the `repro` binary (`cargo run -p
 //! bytecache-experiments --bin repro -- all`); `EXPERIMENTS.md` in the
@@ -39,10 +40,11 @@ pub mod mobility;
 pub mod perceived;
 pub mod report;
 pub mod scenario;
+pub mod shardscale;
 pub mod stalltrace;
 pub mod sweep;
 pub mod table1;
-pub mod tuning;
 pub mod table2;
+pub mod tuning;
 
 pub use scenario::{run_scenario, PassThrough, RunResult, ScenarioConfig};

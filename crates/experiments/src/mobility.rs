@@ -48,12 +48,26 @@ pub fn run(object_size: usize, handoff: SimDuration, seed: u64) -> MobilityResul
     let mut sim = Simulator::new(seed);
     let tcp = TcpConfig::default();
 
-    let server = sim.add_node(TcpServerNode::new(SERVER, SERVER_PORT, object.clone(), tcp.clone()));
-    let client = sim.add_node(TcpClientNode::new(CLIENT, CLIENT_PORT, SERVER, SERVER_PORT, tcp));
+    let server = sim.add_node(TcpServerNode::new(
+        SERVER,
+        SERVER_PORT,
+        object.clone(),
+        tcp.clone(),
+    ));
+    let client = sim.add_node(TcpClientNode::new(
+        CLIENT,
+        CLIENT_PORT,
+        SERVER,
+        SERVER_PORT,
+        tcp,
+    ));
     let dre = DreConfig::default();
     let enc_gw = sim.add_node(
-        EncoderGateway::new(Encoder::new(dre.clone(), PolicyKind::CacheFlush.build()), CLIENT)
-            .with_control_addr(ENCODER_GW),
+        EncoderGateway::new(
+            Encoder::new(dre.clone(), PolicyKind::CacheFlush.build()),
+            CLIENT,
+        )
+        .with_control_addr(ENCODER_GW),
     );
     let dec_gw = sim.add_node(DecoderGateway::new(Decoder::new(dre), CLIENT, DECODER_GW));
     // The new access network the client moves to (no byte caching).
@@ -121,7 +135,10 @@ mod tests {
     #[test]
     fn download_survives_the_handoff() {
         let r = run(300_000, SimDuration::from_millis(150), 3);
-        assert!(r.completed, "IP-level byte caching must survive mobility: {r:?}");
+        assert!(
+            r.completed,
+            "IP-level byte caching must survive mobility: {r:?}"
+        );
         // The handoff happened mid-transfer...
         assert!(r.bytes_before_handoff > 0);
         assert!(r.bytes_before_handoff < r.bytes_total);

@@ -186,9 +186,8 @@ impl RunResult {
         if self.wireless.packets_offered == 0 {
             return 0.0;
         }
-        let lost = self.wireless.packets_lost
-            + self.wireless.packets_corrupted
-            + self.undecodable_drops;
+        let lost =
+            self.wireless.packets_lost + self.wireless.packets_corrupted + self.undecodable_drops;
         lost as f64 / self.wireless.packets_offered as f64
     }
 }

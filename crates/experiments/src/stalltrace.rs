@@ -63,7 +63,9 @@ pub fn trace(policy: PolicyKind, retransmissions: usize) -> Vec<String> {
     // t3: decoder cannot reconstruct IP_i.
     let (r2, _) = decoder.decode(&w2.wire, &meta(2460));
     match &r2 {
-        Ok(_) => log.push("t3  decoder reconstructed IP(i) (no dependency on the lost packet)".into()),
+        Ok(_) => {
+            log.push("t3  decoder reconstructed IP(i) (no dependency on the lost packet)".into())
+        }
         Err(e) => log.push(format!("t3  decoder DROPS IP(i): {e}")),
     }
 

@@ -126,17 +126,21 @@ fn point(file: FileSpec, policy: PolicyKind, loss: f64, size: usize, seeds: u64)
 /// Render the Figure 10 (bytes) view.
 #[must_use]
 pub fn render_fig10(points: &[SweepPoint]) -> Table {
-    render(points, "Figure 10 — bytes-sent ratio vs packet loss", |p| {
-        format!("{:.3}", p.bytes_ratio)
-    })
+    render(
+        points,
+        "Figure 10 — bytes-sent ratio vs packet loss",
+        |p| format!("{:.3}", p.bytes_ratio),
+    )
 }
 
 /// Render the Figure 11 (delay) view.
 #[must_use]
 pub fn render_fig11(points: &[SweepPoint]) -> Table {
-    render(points, "Figure 11 — download-time ratio vs packet loss", |p| {
-        format!("{:.2}", p.delay_ratio)
-    })
+    render(
+        points,
+        "Figure 11 — download-time ratio vs packet loss",
+        |p| format!("{:.2}", p.delay_ratio),
+    )
 }
 
 fn render(points: &[SweepPoint], title: &str, cell: impl Fn(&SweepPoint) -> String) -> Table {

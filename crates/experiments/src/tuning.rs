@@ -114,7 +114,11 @@ mod tests {
             w16.redundancy,
             w64.redundancy
         );
-        assert!(w16.redundancy > 0.25, "File 1 is ~45% redundant: {}", w16.redundancy);
+        assert!(
+            w16.redundancy > 0.25,
+            "File 1 is ~45% redundant: {}",
+            w16.redundancy
+        );
     }
 
     #[test]

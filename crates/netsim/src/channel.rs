@@ -132,7 +132,11 @@ impl LossState {
                 } else if rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
                     self.in_bad_state = true;
                 }
-                let p = if self.in_bad_state { bad_loss } else { good_loss };
+                let p = if self.in_bad_state {
+                    bad_loss
+                } else {
+                    good_loss
+                };
                 p > 0.0 && rng.gen_bool(p.clamp(0.0, 1.0))
             }
         }

@@ -45,7 +45,7 @@ mod trace;
 
 pub use link::{LinkConfig, LinkId};
 pub use node::{Action, Context, Node, NodeId};
+pub use sim::AsAny;
 pub use sim::Simulator;
 pub use stats::LinkStats;
-pub use sim::AsAny;
 pub use trace::{FnTrace, TraceEvent, TraceSink};

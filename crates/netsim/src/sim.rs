@@ -37,9 +37,19 @@ impl<T: Any> AsAny for T {
 
 #[derive(Debug)]
 enum Event {
-    Deliver { to: NodeId, packet: Packet },
-    Timer { node: NodeId, token: u64 },
-    RouteChange { node: NodeId, dst: Ipv4Addr, next: Option<NodeId> },
+    Deliver {
+        to: NodeId,
+        packet: Packet,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    RouteChange {
+        node: NodeId,
+        dst: Ipv4Addr,
+        next: Option<NodeId>,
+    },
 }
 
 struct Queued {

@@ -296,8 +296,8 @@ impl TcpHeader {
         let mut i = TCP_HEADER_LEN;
         while i < header_len {
             match buf[i] {
-                0 => break,    // end of options
-                1 => i += 1,   // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 5 => {
                     if i + 2 > header_len {
                         return Err(ParseError::BadLength);

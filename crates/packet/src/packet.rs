@@ -106,9 +106,7 @@ impl Packet {
         Ok(Packet {
             ip,
             tcp,
-            payload: Bytes::copy_from_slice(
-                &buf[IPV4_HEADER_LEN + tcp_header_len..total_len],
-            ),
+            payload: Bytes::copy_from_slice(&buf[IPV4_HEADER_LEN + tcp_header_len..total_len]),
         })
     }
 

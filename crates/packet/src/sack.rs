@@ -126,7 +126,9 @@ mod tests {
 
     #[test]
     fn from_ranges_takes_first_three() {
-        let s = SackList::from_ranges((0..10u32).map(|i| (SeqNum::new(i * 10), SeqNum::new(i * 10 + 5))));
+        let s = SackList::from_ranges(
+            (0..10u32).map(|i| (SeqNum::new(i * 10), SeqNum::new(i * 10 + 5))),
+        );
         assert_eq!(s.len(), 3);
     }
 

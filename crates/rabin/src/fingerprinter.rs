@@ -320,7 +320,9 @@ mod tests {
     #[test]
     fn rolling_hash_incremental_matches_windows() {
         let e = engine(16);
-        let data: Vec<u8> = (0..500u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..500u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         let mut roll = e.rolling();
         let mut got = Vec::new();
         for &b in &data {

@@ -238,10 +238,14 @@ mod tests {
     #[test]
     fn small_irreducibles_are_exactly_the_known_ones() {
         // Degree-3 irreducibles over GF(2): x^3+x+1 (0b1011), x^3+x^2+1 (0b1101).
-        let irr3: Vec<u128> = (0b1000..0b10000u128).filter(|&f| is_irreducible(f)).collect();
+        let irr3: Vec<u128> = (0b1000..0b10000u128)
+            .filter(|&f| is_irreducible(f))
+            .collect();
         assert_eq!(irr3, vec![0b1011, 0b1101]);
         // Degree-4: x^4+x+1, x^4+x^3+1, x^4+x^3+x^2+x+1.
-        let irr4: Vec<u128> = (0b10000..0b100000u128).filter(|&f| is_irreducible(f)).collect();
+        let irr4: Vec<u128> = (0b10000..0b100000u128)
+            .filter(|&f| is_irreducible(f))
+            .collect();
         assert_eq!(irr4, vec![0b10011, 0b11001, 0b11111]);
     }
 

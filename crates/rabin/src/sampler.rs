@@ -118,7 +118,10 @@ mod tests {
             .collect();
         let s = Sampler::new(4);
         let total = data.len() - 15;
-        let selected = engine.windows(&data).filter(|&(_, fp)| s.selects(fp)).count();
+        let selected = engine
+            .windows(&data)
+            .filter(|&(_, fp)| s.selects(fp))
+            .count();
         let rate = selected as f64 / total as f64;
         assert!(
             (rate - 0.0625).abs() < 0.01,
@@ -148,8 +151,12 @@ mod tests {
             .map(|(off, _)| off - 101)
             .collect();
         // Ignore windows straddling the junk/phrase boundary.
-        let interior =
-            |v: &[usize]| v.iter().copied().filter(|&o| o + 8 <= phrase.len()).collect::<Vec<_>>();
+        let interior = |v: &[usize]| {
+            v.iter()
+                .copied()
+                .filter(|&o| o + 8 <= phrase.len())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(interior(&sel_a), interior(&sel_b));
         assert!(!interior(&sel_a).is_empty());
     }

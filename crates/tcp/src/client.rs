@@ -159,7 +159,11 @@ impl TcpClientNode {
     }
 
     fn send_syn(&mut self, ctx: &mut Context<'_>) {
-        let pkt = self.base_packet().seq(self.iss.raw()).flags(TcpFlags::SYN).build();
+        let pkt = self
+            .base_packet()
+            .seq(self.iss.raw())
+            .flags(TcpFlags::SYN)
+            .build();
         ctx.forward(pkt);
     }
 
@@ -257,15 +261,16 @@ impl TcpClientNode {
                 if off <= expected && expected < off + packet.payload.len() as u64 {
                     // Extends the in-order prefix (possibly overlapping).
                     let skip = (expected - off) as usize;
-                    self.received
-                        .extend_from_slice(&packet.payload[skip..]);
+                    self.received.extend_from_slice(&packet.payload[skip..]);
                     if self.report.first_byte_at.is_none() {
                         self.report.first_byte_at = Some(ctx.now());
                     }
                     self.drain_reassembly();
                 } else if off > expected {
                     // Out of order: stash and emit a duplicate ACK.
-                    self.reassembly.entry(off).or_insert_with(|| packet.payload.clone());
+                    self.reassembly
+                        .entry(off)
+                        .or_insert_with(|| packet.payload.clone());
                     self.last_ooo = Some(off);
                     self.report.dup_acks_sent += 1;
                 }
@@ -367,8 +372,7 @@ impl Node for TcpClientNode {
                 }
                 // Server's ACK of our request?
                 if flags.contains(TcpFlags::ACK) && !self.request_acked {
-                    let req_end =
-                        self.iss + 1u32 + Self::request_payload(&self.config).len();
+                    let req_end = self.iss + 1u32 + Self::request_payload(&self.config).len();
                     if req_end.precedes_eq(packet.tcp.ack) {
                         self.request_acked = true;
                         self.armed_gen = None; // stop request retransmits

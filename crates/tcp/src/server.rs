@@ -182,7 +182,12 @@ impl TcpServerNode {
 
     /// Transmit the segment covering stream offset `off`; returns its
     /// length in stream bytes (payload bytes, or 1 for the FIN).
-    fn transmit_segment(&mut self, off: u64, is_retransmission: bool, ctx: &mut Context<'_>) -> u64 {
+    fn transmit_segment(
+        &mut self,
+        off: u64,
+        is_retransmission: bool,
+        ctx: &mut Context<'_>,
+    ) -> u64 {
         let obj_len = self.object.len() as u64;
         self.report.segments_sent += 1;
         if is_retransmission {
@@ -268,11 +273,7 @@ impl TcpServerNode {
     /// Drop scoreboard state at or below the cumulative ACK.
     fn prune_sacked(&mut self) {
         let una = self.snd_una;
-        let stale: Vec<u64> = self
-            .sacked
-            .range(..=una)
-            .map(|(&s, _)| s)
-            .collect();
+        let stale: Vec<u64> = self.sacked.range(..=una).map(|(&s, _)| s).collect();
         for s in stale {
             let e = self.sacked.remove(&s).expect("present");
             if e > una {
@@ -353,7 +354,13 @@ impl TcpServerNode {
         self.recovery_send(ctx);
     }
 
-    fn process_ack(&mut self, packet_ack: SeqNum, window: u16, sack: &bytecache_packet::SackList, ctx: &mut Context<'_>) {
+    fn process_ack(
+        &mut self,
+        packet_ack: SeqNum,
+        window: u16,
+        sack: &bytecache_packet::SackList,
+        ctx: &mut Context<'_>,
+    ) {
         if self.state != State::Established {
             return;
         }

@@ -1,24 +1,58 @@
-use std::net::Ipv4Addr;
 use bytecache_netsim::channel::ChannelConfig;
 use bytecache_netsim::time::SimDuration;
 use bytecache_netsim::{LinkConfig, Simulator};
 use bytecache_tcp::{TcpClientNode, TcpConfig, TcpServerNode};
+use std::net::Ipv4Addr;
 
 #[test]
 #[ignore]
 fn dbg() {
     for loss in [0.02, 0.08] {
-        let obj: Vec<u8> = (0..300_000).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[0]).collect();
+        let obj: Vec<u8> = (0..300_000)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[0])
+            .collect();
         let mut sim = Simulator::new(31);
-        let server = sim.add_node(TcpServerNode::new(Ipv4Addr::new(10,0,0,1), 80, obj.clone(), TcpConfig::default()));
-        let client = sim.add_node(TcpClientNode::new(Ipv4Addr::new(10,0,0,2), 40000, Ipv4Addr::new(10,0,0,1), 80, TcpConfig::default()));
-        sim.add_link(server, client, LinkConfig { rate_bytes_per_sec: Some(1_000_000), propagation: SimDuration::from_millis(10), channel: ChannelConfig::lossy(loss) });
-        sim.add_link(client, server, LinkConfig { rate_bytes_per_sec: Some(1_000_000), propagation: SimDuration::from_millis(10), channel: ChannelConfig::clean() });
-        sim.add_route(server, Ipv4Addr::new(10,0,0,2), client);
-        sim.add_route(client, Ipv4Addr::new(10,0,0,1), server);
+        let server = sim.add_node(TcpServerNode::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            obj.clone(),
+            TcpConfig::default(),
+        ));
+        let client = sim.add_node(TcpClientNode::new(
+            Ipv4Addr::new(10, 0, 0, 2),
+            40000,
+            Ipv4Addr::new(10, 0, 0, 1),
+            80,
+            TcpConfig::default(),
+        ));
+        sim.add_link(
+            server,
+            client,
+            LinkConfig {
+                rate_bytes_per_sec: Some(1_000_000),
+                propagation: SimDuration::from_millis(10),
+                channel: ChannelConfig::lossy(loss),
+            },
+        );
+        sim.add_link(
+            client,
+            server,
+            LinkConfig {
+                rate_bytes_per_sec: Some(1_000_000),
+                propagation: SimDuration::from_millis(10),
+                channel: ChannelConfig::clean(),
+            },
+        );
+        sim.add_route(server, Ipv4Addr::new(10, 0, 0, 2), client);
+        sim.add_route(client, Ipv4Addr::new(10, 0, 0, 1), server);
         sim.run_until_idle();
         let s = sim.node::<TcpServerNode>(server).unwrap().report().clone();
         let c = sim.node::<TcpClientNode>(client).unwrap().report().clone();
-        println!("loss={loss}: {:?} complete={} dur={:?}", s, c.complete, c.duration());
+        println!(
+            "loss={loss}: {:?} complete={} dur={:?}",
+            s,
+            c.complete,
+            c.duration()
+        );
     }
 }

@@ -11,7 +11,9 @@ const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 fn object(len: usize) -> Vec<u8> {
-    (0..len).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[0]).collect()
+    (0..len)
+        .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[0])
+        .collect()
 }
 
 struct Outcome {
@@ -51,7 +53,11 @@ fn run(obj: &[u8], data_channel: ChannelConfig, seed: u64, cfg: TcpConfig) -> Ou
     Outcome {
         client: sim.node::<TcpClientNode>(client).unwrap().report().clone(),
         server: sim.node::<TcpServerNode>(server).unwrap().report().clone(),
-        received: sim.node::<TcpClientNode>(client).unwrap().received().to_vec(),
+        received: sim
+            .node::<TcpClientNode>(client)
+            .unwrap()
+            .received()
+            .to_vec(),
         end,
     }
 }
@@ -208,7 +214,11 @@ fn total_blackout_aborts_with_partial_data() {
 fn rtt_estimator_keeps_timeouts_rare_on_clean_link() {
     let obj = object(400_000);
     let o = run(&obj, ChannelConfig::clean(), 23, TcpConfig::default());
-    assert_eq!(o.server.timeouts, 0, "no loss should mean no RTO: {:?}", o.server);
+    assert_eq!(
+        o.server.timeouts, 0,
+        "no loss should mean no RTO: {:?}",
+        o.server
+    );
 }
 
 #[test]

@@ -151,7 +151,14 @@ fn webpage(size: usize, rng: &mut StdRng) -> Vec<u8> {
     let nav: Vec<u8> = {
         let mut n = Vec::new();
         n.extend_from_slice(b"<nav class=\"site-navigation\"><ul class=\"menu-items\">");
-        for item in ["home", "products", "solutions", "support", "company", "contact"] {
+        for item in [
+            "home",
+            "products",
+            "solutions",
+            "support",
+            "company",
+            "contact",
+        ] {
             n.extend_from_slice(
                 format!(
                     "<li class=\"menu-item menu-item-type-post_type\"><a href=\"/{item}/index.html\" \
@@ -190,7 +197,13 @@ fn webpage(size: usize, rng: &mut StdRng) -> Vec<u8> {
         let unique: String = (0..rng.gen_range(150..420))
             .map(|_| {
                 let c = rng.gen_range(0..28u8);
-                if c < 26 { (b'a' + c) as char } else if c == 26 { ' ' } else { '-' }
+                if c < 26 {
+                    (b'a' + c) as char
+                } else if c == 26 {
+                    ' '
+                } else {
+                    '-'
+                }
             })
             .collect();
         out.extend_from_slice(
@@ -263,7 +276,10 @@ mod tests {
         // long-range repeats (it can read 0 here); the authoritative
         // ordering check, using the real encoder, is the Table I test in
         // the experiments crate.
-        assert!(ebook < web && video < web, "ordering: {video} {ebook} {web}");
+        assert!(
+            ebook < web && video < web,
+            "ordering: {video} {ebook} {web}"
+        );
     }
 
     #[test]

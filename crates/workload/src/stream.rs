@@ -87,7 +87,11 @@ impl StreamSpec {
             out.extend_from_slice(&make_fresh(rng, fresh_gap.max(4)));
             let packet = &history[src];
             let max_start = packet.len().saturating_sub(snippet_len);
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_start)
+            };
             let end = (start + snippet_len).min(packet.len());
             out.extend_from_slice(&packet[start..end]);
         }

@@ -35,7 +35,10 @@ fn main() {
         "{:<16} {:>12} {:>10} {:>12} {:>12}",
         "policy", "wire bytes", "time (s)", "bytes ratio", "delay ratio"
     );
-    println!("{:<16} {:>12} {:>10.2} {:>12} {:>12}", "none", b0, t0, "1.000", "1.00");
+    println!(
+        "{:<16} {:>12} {:>10.2} {:>12} {:>12}",
+        "none", b0, t0, "1.000", "1.00"
+    );
 
     for kind in [
         PolicyKind::Naive,
@@ -45,7 +48,12 @@ fn main() {
         PolicyKind::AckGated,
         PolicyKind::Adaptive,
     ] {
-        let r = run_scenario(&ScenarioConfig::new(object.clone()).policy(kind).loss(loss).seed(1));
+        let r = run_scenario(
+            &ScenarioConfig::new(object.clone())
+                .policy(kind)
+                .loss(loss)
+                .seed(1),
+        );
         let time = r
             .duration_secs()
             .map_or("stalled".to_string(), |t| format!("{t:.2}"));

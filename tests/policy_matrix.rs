@@ -64,7 +64,10 @@ fn perceived_loss_ordering_follows_the_paper() {
         ts > cf * 0.95,
         "tcp-seq ({ts}) must not perceive less loss than cache-flush ({cf})"
     );
-    assert!(cf > kd, "cache-flush ({cf}) should perceive more loss than k=8 ({kd})");
+    assert!(
+        cf > kd,
+        "cache-flush ({cf}) should perceive more loss than k=8 ({kd})"
+    );
     // And all exceed the actual rate (6 runs × 5%).
     assert!(kd > 0.30 * 0.9, "even k-distance amplifies loss: {kd}");
 }

@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness subset this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups with
+//! `throughput`/`sample_size`/`bench_function`/`bench_with_input`, and
+//! `Bencher::iter`. Timing is real (monotonic clock around the closure,
+//! warmup then `sample_size` samples) and results print as mean and
+//! minimum ns/iter plus MiB/s when a byte throughput is set — but there
+//! is no statistical analysis, no outlier rejection, no HTML report,
+//! and no saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declared by a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Bare id with no parameter part.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, recording wall-clock samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: one untimed call, then calibrate iterations per
+        // sample so very fast routines aren't clock-noise bound.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let target = Duration::from_millis(10);
+        self.iters_per_sample = if once >= target {
+            1
+        } else {
+            let per = once.as_nanos().max(50) as u64;
+            (target.as_nanos() as u64 / per).clamp(1, 100_000)
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare work-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Shorten/extend measurement; accepted for API compatibility (the
+    /// stand-in sizes measurement from `sample_size` alone).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        report(&label, &samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Accepts the label shapes criterion takes: strings and `BenchmarkId`.
+pub trait IntoBenchmarkId {
+    /// Render the label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mean_ns = samples.iter().map(|d| d.as_nanos()).sum::<u128>() as f64 / samples.len() as f64;
+    let min_ns = samples.iter().map(|d| d.as_nanos()).min().unwrap_or(0) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean_ns > 0.0 => {
+            let mib_s = b as f64 / (1024.0 * 1024.0) / (mean_ns / 1e9);
+            format!("  {mib_s:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(e)) if mean_ns > 0.0 => {
+            let elem_s = e as f64 / (mean_ns / 1e9);
+            format!("  {elem_s:>10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} mean {:>12.0} ns/iter  min {:>12.0} ns/iter{rate}",
+        mean_ns, min_ns
+    );
+}
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.into_benchmark_id();
+        let sample_size = self.default_sample_size;
+        let mut samples = Vec::with_capacity(sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size,
+            iters_per_sample: 1,
+        };
+        f(&mut bencher);
+        report(&label, &samples, None);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(1024));
+        let mut ran = 0u32;
+        g.bench_function("sum", |b| {
+            ran += 1;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam::scope` API, backed by
+//! `std::thread::scope` (stable since Rust 1.63, which makes the
+//! external dependency unnecessary for the subset this workspace uses).
+//!
+//! Divergence from real crossbeam: a panicking child thread propagates
+//! the panic out of [`scope`] instead of surfacing as `Err`; callers
+//! that `.expect()` the result observe the same overall abort.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Handle for spawning threads inside a [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope handle
+    /// (crossbeam's signature) so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope in which borrowing threads can be spawned; all are
+/// joined before this returns.
+///
+/// # Errors
+///
+/// Never returns `Err` in this stand-in (a child panic propagates as a
+/// panic instead); the `Result` exists for crossbeam API compatibility.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicU32::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

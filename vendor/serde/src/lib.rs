@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace uses serde only for `#[derive(Serialize, Deserialize)]`
+//! annotations on result/config structs; nothing actually serializes
+//! through serde at runtime (reports are rendered by hand). The real
+//! crate cannot be fetched in the offline build environment, so this
+//! stub supplies blanket-implemented marker traits and (via the `derive`
+//! feature) no-op derive macros, keeping every annotation compiling
+//! without pulling in a serializer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
