@@ -1,0 +1,91 @@
+//! Hot-path bench: fused scan-and-index vs the legacy two-pass encoder,
+//! swept over payload size × redundancy ratio × policy.
+//!
+//! The same grid as the `repro hotpath` harness (which writes
+//! `BENCH_hotpath.json`), expressed as criterion benchmarks for
+//! statistical timing. Throughput is original payload bytes per second
+//! through a single-shard encoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytecache::{DreConfig, Encoder, PacketMeta, PolicyKind, ScanMode};
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_workload::StreamSpec;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+fn traffic(payload_size: usize, redundancy: f64, total: usize) -> Vec<(PacketMeta, Bytes)> {
+    let spec = StreamSpec {
+        packet_size: payload_size,
+        redundant_packet_fraction: redundancy,
+        copied_fraction: 0.8,
+        fan: 4,
+        max_distance: 64,
+    };
+    let object = spec.build(total, 42);
+    let mut seq = 1u32;
+    object
+        .chunks(payload_size)
+        .map(|chunk| {
+            let meta = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(seq),
+                payload_len: chunk.len(),
+                flow_index: 0,
+            };
+            seq = seq.wrapping_add(chunk.len() as u32);
+            (meta, Bytes::copy_from_slice(chunk))
+        })
+        .collect()
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    const TOTAL: usize = 1 << 20;
+    let mut group = c.benchmark_group("hotpath");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(10);
+    for payload_size in [256usize, 1400] {
+        for redundancy in [0.0f64, 0.5, 0.95] {
+            for policy in [PolicyKind::CacheFlush, PolicyKind::KDistance(4)] {
+                let stream = traffic(payload_size, redundancy, TOTAL);
+                for mode in [ScanMode::Fused, ScanMode::TwoPass] {
+                    let label = format!(
+                        "{}B_r{:02}_{}_{}",
+                        payload_size,
+                        (redundancy * 100.0) as u32,
+                        policy.label(),
+                        mode.label()
+                    );
+                    group.bench_with_input(
+                        BenchmarkId::new("encode", label),
+                        &stream,
+                        |b, stream| {
+                            b.iter(|| {
+                                let mut enc = Encoder::new(DreConfig::default(), policy.build())
+                                    .with_scan_mode(mode);
+                                let mut out = 0usize;
+                                for (meta, payload) in stream {
+                                    out += enc.encode(meta, payload).wire.len();
+                                }
+                                out
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -163,9 +163,21 @@ impl Decoder {
                 } else {
                     self.stats.raw += 1;
                 }
-                // Mirror the encoder's cache update procedure.
+                // Mirror the encoder's cache update procedure: store the
+                // packet, then index it with the tight non-allocating
+                // rolling loop (the decoder never scans for matches, so
+                // this single pass is its whole per-byte cost).
                 let pid = PacketId(u64::from(id));
-                self.core.absorb(pid, payload.clone(), meta.flow, meta.seq);
+                self.core
+                    .cache
+                    .insert_with_id(pid, payload.clone(), meta.flow, meta.seq);
+                let indexed =
+                    self.core
+                        .cache
+                        .index_payload(&self.core.engine, &self.core.sampler, pid);
+                self.stats.scan_windows += indexed.windows;
+                self.stats.sampled_windows += indexed.sampled;
+                self.stats.index_insertions += indexed.insertions;
             }
             Err(e) => {
                 match e {

@@ -6,7 +6,7 @@ use bytes::Bytes;
 use bytecache_packet::Packet;
 
 use crate::config::DreConfig;
-use crate::engine::EngineCore;
+use crate::engine::{EngineCore, ScanMode, ScanOutput};
 use crate::policy::{PacketMeta, Policy};
 use crate::stats::EncoderStats;
 use crate::store::{Cache, PacketId};
@@ -79,13 +79,15 @@ pub struct Encoder {
     policy: Box<dyn Policy>,
     epoch: u16,
     stats: EncoderStats,
-    /// Token scratch space reused across packets by the hot path.
-    tokens: Vec<Token>,
-    refs: Vec<PacketId>,
+    /// Scan scratch (tokens, refs, sampled fingerprints) reused across
+    /// packets so the hot path does not allocate in steady state.
+    scratch: ScanOutput,
+    scan_mode: ScanMode,
 }
 
 impl Encoder {
-    /// New encoder with the given configuration and policy.
+    /// New encoder with the given configuration and policy, using the
+    /// fused single-pass scan (see [`ScanMode`]).
     ///
     /// # Panics
     ///
@@ -98,9 +100,30 @@ impl Encoder {
             policy,
             epoch: 0,
             stats: EncoderStats::default(),
-            tokens: Vec::new(),
-            refs: Vec::new(),
+            scratch: ScanOutput::default(),
+            scan_mode: ScanMode::default(),
         }
+    }
+
+    /// Select the scan implementation ([`ScanMode::Fused`] is the
+    /// default). [`ScanMode::TwoPass`] is the legacy baseline — wire
+    /// output is byte-identical either way; only CPU cost differs.
+    /// Builder-style variant of [`set_scan_mode`](Self::set_scan_mode).
+    #[must_use]
+    pub fn with_scan_mode(mut self, mode: ScanMode) -> Self {
+        self.scan_mode = mode;
+        self
+    }
+
+    /// Switch the scan implementation; takes effect from the next packet.
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan_mode = mode;
+    }
+
+    /// The active scan mode.
+    #[must_use]
+    pub fn scan_mode(&self) -> ScanMode {
+        self.scan_mode
     }
 
     /// Counters.
@@ -185,31 +208,40 @@ impl Encoder {
         let id = self.core.cache.next_id();
         let shim_id = id.0 as u32;
 
-        let mut tokens = std::mem::take(&mut self.tokens);
-        let mut refs = std::mem::take(&mut self.refs);
-        tokens.clear();
-        refs.clear();
-        let mut matched_bytes = 0usize;
+        self.scratch.clear();
         if !pre.suppress_encoding {
-            self.core.identify_redundancy(
-                self.policy.as_ref(),
-                &meta,
-                payload,
-                &mut tokens,
-                &mut matched_bytes,
-                &mut refs,
-            );
+            match self.scan_mode {
+                ScanMode::Fused => {
+                    self.core
+                        .scan_fused(self.policy.as_ref(), &meta, payload, &mut self.scratch);
+                }
+                ScanMode::TwoPass => {
+                    self.core.scan_two_pass(
+                        self.policy.as_ref(),
+                        &meta,
+                        payload,
+                        &mut self.scratch,
+                    );
+                }
+            }
         }
 
-        let matches = refs.len();
-        if tokens.iter().any(|t| matches!(t, Token::Match { .. })) {
+        let matches = self.scratch.refs.len();
+        let matched_bytes = self.scratch.matched_bytes;
+        let distinct_refs = self.scratch.distinct_refs;
+        if self
+            .scratch
+            .tokens
+            .iter()
+            .any(|t| matches!(t, Token::Match { .. }))
+        {
             wire::encode_tokens_into(
                 out,
                 self.epoch,
                 shim_id,
                 payload.len() as u16,
                 wire::payload_checksum(payload),
-                &tokens,
+                &self.scratch.tokens,
             );
         } else {
             wire::encode_raw_into(out, self.epoch, shim_id, payload);
@@ -217,18 +249,31 @@ impl Encoder {
 
         // Cache update procedure (paper Fig. 2 part C) on the ORIGINAL
         // payload — retransmissions included, which is exactly what makes
-        // the naive policy self-referential.
-        self.core.absorb(id, payload.clone(), meta.flow, meta.seq);
+        // the naive policy self-referential. In fused mode the sampled
+        // fingerprints were collected during the scan, so nothing is
+        // fingerprinted a second time; the two-pass baseline (and the
+        // policy-suppressed path, which skips the scan) re-fingerprints
+        // via the indexing loop.
+        self.core
+            .cache
+            .insert_with_id(id, payload.clone(), meta.flow, meta.seq);
+        let indexed = if self.scan_mode == ScanMode::Fused && !pre.suppress_encoding {
+            self.core.cache.index_sampled(id, &self.scratch.sampled)
+        } else {
+            self.core
+                .cache
+                .index_payload(&self.core.engine, &self.core.sampler, id)
+        };
 
         // Bookkeeping.
-        refs.sort_unstable();
-        refs.dedup();
-        let distinct_refs = refs.len();
         self.stats.packets += 1;
         self.stats.bytes_in += payload.len() as u64;
         self.stats.bytes_out += out.len() as u64;
         self.stats.matches += matches as u64;
         self.stats.matched_bytes += matched_bytes as u64;
+        self.stats.scan_windows += self.scratch.scan_windows + indexed.windows;
+        self.stats.sampled_windows += self.scratch.sampled_windows + indexed.sampled;
+        self.stats.index_insertions += indexed.insertions;
         if pre.suppress_encoding {
             self.stats.references += 1;
             self.stats.raw_packets += 1;
@@ -238,9 +283,7 @@ impl Encoder {
         } else {
             self.stats.raw_packets += 1;
         }
-        tokens.clear(); // drop Bytes slices promptly; keep the capacity
-        self.tokens = tokens;
-        self.refs = refs;
+        self.scratch.tokens.clear(); // drop Bytes slices promptly; keep capacity
 
         EncodeInfo {
             id,

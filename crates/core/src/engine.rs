@@ -7,17 +7,148 @@
 //! delivered packet. [`EngineCore`] owns that shared state so the two
 //! sides cannot drift apart structurally; the encoder adds policy and
 //! token emission on top, the decoder adds reconstruction.
+//!
+//! # The fused hot path
+//!
+//! The paper describes redundancy identification (Fig. 2 part B) and the
+//! cache update procedure (part C) as two separate window passes, and
+//! the original implementation here paid for both: one rolling pass to
+//! find matches, then a second full rolling pass over the *same* payload
+//! to index its sampled fingerprints. [`EngineCore::scan_fused`] fuses
+//! them: a single rolling pass visits **every** window once, pushes each
+//! sampled `(offset, fingerprint)` pair into a reusable scratch buffer
+//! (later handed to [`Cache::index_sampled`](crate::Cache::index_sampled)
+//! so the encoder never re-fingerprints), and performs match lookup and
+//! extension along the way. Match extension compares words
+//! (`u64` + XOR + `trailing_zeros`/`leading_zeros`) instead of bytes.
+//!
+//! The legacy two-pass scan is retained as
+//! [`EngineCore::scan_two_pass`] behind [`ScanMode::TwoPass`]: it is the
+//! baseline the `repro hotpath` harness measures against and the oracle
+//! the equivalence property tests compare with — fused and two-pass
+//! produce byte-identical wire output and an identical fingerprint-table
+//! state.
 
 use bytes::Bytes;
 
-use bytecache_packet::{FlowId, SeqNum};
 use bytecache_rabin::sampler::Sampler;
 use bytecache_rabin::{Fingerprinter, Polynomial};
 
 use crate::config::DreConfig;
 use crate::policy::{PacketMeta, Policy};
-use crate::store::{Cache, PacketId};
+use crate::store::PacketId;
 use crate::wire::Token;
+
+/// How the encoder performs redundancy identification and cache
+/// indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// Single fused window pass: scan, sample, match-extend, and collect
+    /// the index entries together; nothing is fingerprinted twice.
+    #[default]
+    Fused,
+    /// The original two-pass pipeline: scan for matches, then
+    /// re-fingerprint the whole payload to index it. Byte-at-a-time
+    /// match extension. Kept as the measurable baseline for the fused
+    /// path — wire output and fingerprint-table state are identical.
+    TwoPass,
+}
+
+impl ScanMode {
+    /// Stable label used in harness tables and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ScanMode::Fused => "fused",
+            ScanMode::TwoPass => "two-pass",
+        }
+    }
+}
+
+/// Reusable scratch filled by one redundancy scan: tokens and
+/// bookkeeping for the wire, plus (in fused mode) the sampled
+/// fingerprints destined for the index. Owned by the encoder and cleared
+/// between packets so the hot path never allocates in steady state.
+#[derive(Debug, Default)]
+pub(crate) struct ScanOutput {
+    /// Emitted tokens, in payload order.
+    pub(crate) tokens: Vec<Token>,
+    /// Source packet id of every match token, in emission order
+    /// (duplicates preserved — `len()` is the match count).
+    pub(crate) refs: Vec<PacketId>,
+    /// Sampled `(window_offset, fingerprint)` pairs in increasing offset
+    /// order — exactly what `Cache::index_payload` would have computed.
+    pub(crate) sampled: Vec<(u16, u64)>,
+    /// Original payload bytes covered by match tokens.
+    pub(crate) matched_bytes: usize,
+    /// Number of distinct entries in `refs`, counted during the scan.
+    pub(crate) distinct_refs: usize,
+    /// Windows the scan rolled the fingerprint over.
+    pub(crate) scan_windows: u64,
+    /// Windows that passed the sampler.
+    pub(crate) sampled_windows: u64,
+}
+
+impl ScanOutput {
+    /// Reset for the next packet, keeping all capacity.
+    pub(crate) fn clear(&mut self) {
+        self.tokens.clear();
+        self.refs.clear();
+        self.sampled.clear();
+        self.matched_bytes = 0;
+        self.distinct_refs = 0;
+        self.scan_windows = 0;
+        self.sampled_windows = 0;
+    }
+}
+
+/// Length of the longest common prefix of `a` and `b`, compared a word
+/// at a time: XOR eight-byte chunks and locate the first differing byte
+/// with `trailing_zeros` (bytes load little-endian, so the lowest byte
+/// of the word is the earliest byte of the slice). Falls back to byte
+/// comparison only for the sub-word tail.
+#[inline]
+pub(crate) fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    let m = a.len().min(b.len());
+    let mut i = 0usize;
+    while i + 8 <= m {
+        let x = u64::from_le_bytes(a[i..i + 8].try_into().expect("8-byte chunk"))
+            ^ u64::from_le_bytes(b[i..i + 8].try_into().expect("8-byte chunk"));
+        if x != 0 {
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < m && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// Length of the longest common suffix of `a` and `b`, compared a word
+/// at a time from the back: in a little-endian load the *last* byte of
+/// the chunk is the word's highest byte, so `leading_zeros` of the XOR
+/// counts matching trailing bytes.
+#[inline]
+pub(crate) fn common_suffix(a: &[u8], b: &[u8]) -> usize {
+    let m = a.len().min(b.len());
+    let a = &a[a.len() - m..];
+    let b = &b[b.len() - m..];
+    let mut i = 0usize;
+    while i + 8 <= m {
+        let end = m - i;
+        let x = u64::from_le_bytes(a[end - 8..end].try_into().expect("8-byte chunk"))
+            ^ u64::from_le_bytes(b[end - 8..end].try_into().expect("8-byte chunk"));
+        if x != 0 {
+            return i + (x.leading_zeros() / 8) as usize;
+        }
+        i += 8;
+    }
+    while i < m && a[m - 1 - i] == b[m - 1 - i] {
+        i += 1;
+    }
+    i
+}
 
 /// Shared DRE state: configuration, fingerprinting engine, sampler, and
 /// the packet cache. One per encoder, one per decoder — and when the
@@ -26,7 +157,7 @@ pub(crate) struct EngineCore {
     pub(crate) config: DreConfig,
     pub(crate) engine: Fingerprinter,
     pub(crate) sampler: Sampler,
-    pub(crate) cache: Cache,
+    pub(crate) cache: crate::store::Cache,
 }
 
 impl EngineCore {
@@ -41,7 +172,7 @@ impl EngineCore {
         let engine =
             Fingerprinter::new(Polynomial::generate(config.polynomial_seed), config.window);
         let sampler = Sampler::new(config.sample_bits);
-        let cache = Cache::new(&config);
+        let cache = crate::store::Cache::new(&config);
         EngineCore {
             config,
             engine,
@@ -50,34 +181,134 @@ impl EngineCore {
         }
     }
 
-    /// The paper's cache update procedure (Fig. 2 part C): store the
-    /// packet under `id` and index its sampled fingerprints. Run by the
-    /// encoder on every packet it forwards and by the decoder on every
-    /// packet it successfully reconstructs.
-    pub(crate) fn absorb(&mut self, id: PacketId, payload: Bytes, flow: FlowId, seq: SeqNum) {
-        self.cache.insert_with_id(id, payload, flow, seq);
-        self.cache.index_payload(&self.engine, &self.sampler, id);
-    }
-
-    /// The redundancy identification and elimination procedure
-    /// (paper Fig. 2 part B): slide the window, look up sampled
-    /// fingerprints, verify and extend matches, and emit tokens.
+    /// The fused redundancy identification *and* index collection pass:
+    /// one rolling-fingerprint sweep over every window of `payload`.
+    ///
+    /// Each window's fingerprint is tested against the sampler; sampled
+    /// windows are recorded in `out.sampled` for the later
+    /// `Cache::index_sampled` call, and — when not inside an
+    /// already-matched region — looked up in the cache to seed match
+    /// extension, exactly as the two-pass scan would. Matched regions are
+    /// *scanned through* (the fingerprint keeps rolling, feeding the
+    /// index) but skipped for lookups, which reproduces the two-pass
+    /// scan's jump-past-the-match behavior token for token.
     ///
     /// Reads the cache through shared borrows only — matched source
     /// payloads are compared in place, never copied.
-    pub(crate) fn identify_redundancy(
+    pub(crate) fn scan_fused(
         &self,
         policy: &dyn Policy,
         meta: &PacketMeta,
         payload: &Bytes,
-        tokens: &mut Vec<Token>,
-        matched_bytes: &mut usize,
-        refs: &mut Vec<PacketId>,
+        out: &mut ScanOutput,
+    ) {
+        let w = self.config.window;
+        let data: &[u8] = payload;
+        let n = data.len();
+        if n < w {
+            if n != 0 {
+                out.tokens.push(Token::Literal(payload.clone()));
+            }
+            return;
+        }
+        let sampled_before = out.sampled.len();
+        let mut emitted = 0usize; // payload bytes already covered by tokens
+        let mut resume = 0usize; // positions below this are match interior
+        let mut pos = 0usize;
+        let mut fp = self.engine.prime(data).expect("length checked");
+        // Iterator-driven roll: the zip hands out the (outgoing,
+        // incoming) byte pairs without per-step bounds checks, and the
+        // window counters fall out of arithmetic instead of per-position
+        // increments — the loop body is just roll + sampler on the
+        // non-sampled (15-in-16) path.
+        let mut roll_bytes = data.iter().zip(data[w..].iter());
+        loop {
+            if self.sampler.selects(fp) {
+                out.sampled.push((pos as u16, fp));
+                if pos >= resume {
+                    if let Some((src_id, src_off, stored, dead)) = self.cache.lookup_entry(fp) {
+                        let src_payload = &stored.payload;
+                        let src_off = src_off as usize;
+                        if !dead
+                            && policy.allow_match(meta, &stored.meta, src_id)
+                            && src_off + w <= src_payload.len()
+                        {
+                            // One word-wise pass both verifies the
+                            // window (first w bytes equal) and extends
+                            // the repeated area forward past it.
+                            let total = common_prefix(&data[pos..], &src_payload[src_off..]);
+                            if total >= w {
+                                // Backward extension, bounded below by
+                                // the already-emitted prefix.
+                                let back =
+                                    common_suffix(&data[emitted..pos], &src_payload[..src_off]);
+                                let ns = pos - back;
+                                let ss = src_off - back;
+                                let ne = pos + total;
+                                let len = ne - ns;
+                                if len > self.config.min_match {
+                                    if ns > emitted {
+                                        out.tokens.push(Token::Literal(payload.slice(emitted..ns)));
+                                    }
+                                    out.tokens.push(Token::Match {
+                                        fingerprint: fp,
+                                        offset_new: ns as u16,
+                                        offset_stored: ss as u16,
+                                        len: len as u16,
+                                    });
+                                    out.matched_bytes += len;
+                                    // O(matches) distinct counting:
+                                    // matches per packet are few (the
+                                    // paper's Table III averages 4-7),
+                                    // so a linear probe beats the old
+                                    // per-packet sort + dedup.
+                                    if !out.refs.contains(&src_id) {
+                                        out.distinct_refs += 1;
+                                    }
+                                    out.refs.push(src_id);
+                                    emitted = ne;
+                                    resume = ne;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            match roll_bytes.next() {
+                Some((&outgoing, &incoming)) => {
+                    fp = self.engine.roll(fp, outgoing, incoming);
+                    pos += 1;
+                }
+                None => break,
+            }
+        }
+        out.scan_windows += (n - w + 1) as u64;
+        out.sampled_windows += (out.sampled.len() - sampled_before) as u64;
+        if emitted < n {
+            out.tokens.push(Token::Literal(payload.slice(emitted..)));
+        }
+    }
+
+    /// The original two-pass redundancy identification (paper Fig. 2
+    /// part B as first implemented): rolling scan with byte-at-a-time
+    /// match extension, re-priming the fingerprint after every match
+    /// jump, and **no** index collection — callers must re-fingerprint
+    /// the payload with `Cache::index_payload` afterwards.
+    ///
+    /// Retained verbatim as the baseline for [`ScanMode::TwoPass`]; the
+    /// equivalence property tests assert its wire output and resulting
+    /// fingerprint-table state match [`scan_fused`](Self::scan_fused).
+    pub(crate) fn scan_two_pass(
+        &self,
+        policy: &dyn Policy,
+        meta: &PacketMeta,
+        payload: &Bytes,
+        out: &mut ScanOutput,
     ) {
         let w = self.config.window;
         if payload.len() < w {
             if !payload.is_empty() {
-                tokens.push(Token::Literal(payload.clone()));
+                out.tokens.push(Token::Literal(payload.clone()));
             }
             return;
         }
@@ -86,7 +317,9 @@ impl EngineCore {
         let mut fp = self.engine.fingerprint(&payload[..w]);
         loop {
             let mut jumped = false;
+            out.scan_windows += 1;
             if self.sampler.selects(fp) {
+                out.sampled_windows += 1;
                 if let Some((src_id, src_off, stored)) = self.cache.lookup(fp) {
                     let src_payload = &stored.payload;
                     let src_off = src_off as usize;
@@ -115,16 +348,19 @@ impl EngineCore {
                         let len = ne - ns;
                         if len > self.config.min_match {
                             if ns > emitted {
-                                tokens.push(Token::Literal(payload.slice(emitted..ns)));
+                                out.tokens.push(Token::Literal(payload.slice(emitted..ns)));
                             }
-                            tokens.push(Token::Match {
+                            out.tokens.push(Token::Match {
                                 fingerprint: fp,
                                 offset_new: ns as u16,
                                 offset_stored: ss as u16,
                                 len: len as u16,
                             });
-                            *matched_bytes += len;
-                            refs.push(src_id);
+                            out.matched_bytes += len;
+                            if !out.refs.contains(&src_id) {
+                                out.distinct_refs += 1;
+                            }
+                            out.refs.push(src_id);
                             emitted = ne;
                             // Resume scanning after the repeated area.
                             if ne + w > payload.len() {
@@ -146,7 +382,7 @@ impl EngineCore {
             }
         }
         if emitted < payload.len() {
-            tokens.push(Token::Literal(payload.slice(emitted..)));
+            out.tokens.push(Token::Literal(payload.slice(emitted..)));
         }
     }
 }
@@ -157,5 +393,92 @@ impl core::fmt::Debug for EngineCore {
             .field("config", &self.config)
             .field("cache_packets", &self.cache.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte-at-a-time reference implementations the word-wise versions
+    /// are pinned against.
+    fn prefix_bytewise(a: &[u8], b: &[u8]) -> usize {
+        a.iter().zip(b).take_while(|(x, y)| x == y).count()
+    }
+
+    fn suffix_bytewise(a: &[u8], b: &[u8]) -> usize {
+        a.iter()
+            .rev()
+            .zip(b.iter().rev())
+            .take_while(|(x, y)| x == y)
+            .count()
+    }
+
+    #[test]
+    fn wordwise_extension_equals_bytewise_on_adversarial_inputs() {
+        // Matches at buffer start/end, matches shorter than a word,
+        // non-aligned offsets, differing lengths, and empty slices.
+        let cases: Vec<(Vec<u8>, Vec<u8>)> = vec![
+            (vec![], vec![]),
+            (vec![1], vec![]),
+            (b"abc".to_vec(), b"abc".to_vec()), // < 8 bytes, all equal
+            (b"abc".to_vec(), b"abd".to_vec()), // < 8 bytes, late diff
+            (b"xbc".to_vec(), b"abc".to_vec()), // < 8 bytes, early diff
+            (b"0123456789abcdef".to_vec(), b"0123456789abcdef".to_vec()),
+            (b"0123456789abcdef".to_vec(), b"0123456789abcdeX".to_vec()),
+            (b"X123456789abcdef".to_vec(), b"0123456789abcdef".to_vec()),
+            (b"01234567".to_vec(), b"01234567".to_vec()), // exactly one word
+            (b"012345678".to_vec(), b"012345678".to_vec()), // word + 1
+            (
+                b"aaaaaaaaaaaaaaaaaaaaaaab".to_vec(),
+                b"aaaaaaaaaaaaaaaaaaaaaaac".to_vec(),
+            ),
+            (b"different".to_vec(), b"lengthsss and then some".to_vec()),
+        ];
+        for (a, b) in &cases {
+            assert_eq!(
+                common_prefix(a, b),
+                prefix_bytewise(a, b),
+                "prefix {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                common_suffix(a, b),
+                suffix_bytewise(a, b),
+                "suffix {a:?} vs {b:?}"
+            );
+        }
+        // Every difference position × every (non-aligned) slice start.
+        let base: Vec<u8> = (0..96u8).collect();
+        for diff_at in 0..base.len() {
+            let mut other = base.clone();
+            other[diff_at] ^= 0x80;
+            for start in 0..9 {
+                let a = &base[start..];
+                let b = &other[start..];
+                assert_eq!(
+                    common_prefix(a, b),
+                    prefix_bytewise(a, b),
+                    "prefix diff_at={diff_at} start={start}"
+                );
+                let a = &base[..base.len() - start];
+                let b = &other[..other.len() - start];
+                assert_eq!(
+                    common_suffix(a, b),
+                    suffix_bytewise(a, b),
+                    "suffix diff_at={diff_at} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extension_respects_unequal_slice_lengths() {
+        // The shorter slice bounds the extension; the suffix comparison
+        // aligns the *ends* of the slices.
+        assert_eq!(common_prefix(b"abcdefgh_tail", b"abcdefgh"), 8);
+        assert_eq!(common_suffix(b"head_abcdefgh", b"abcdefgh"), 8);
+        assert_eq!(common_suffix(b"zzzzabcdefgh", b"yyyyabcdefgh"), 8);
+        assert_eq!(common_prefix(b"", b"anything"), 0);
+        assert_eq!(common_suffix(b"", b"anything"), 0);
     }
 }

@@ -98,7 +98,8 @@ mod store;
 pub use config::DreConfig;
 pub use decoder::{DecodeError, Decoder, Feedback};
 pub use encoder::{EncodeInfo, EncodeOutcome, Encoder};
+pub use engine::ScanMode;
 pub use policy::{PacketMeta, Policy, PolicyKind};
 pub use sharded::{shard_for, ShardFeedback, ShardedDecoder, ShardedEncoder};
 pub use stats::{DecoderStats, EncoderStats};
-pub use store::{Cache, CacheStats, EntryMeta, PacketId, Stored};
+pub use store::{Cache, CacheStats, EntryMeta, IndexOutcome, PacketId, Stored};

@@ -27,6 +27,19 @@ pub struct EncoderStats {
     /// packets referenced — the paper's "dependencies to distinct IP
     /// packets" metric (File 1 averages 4, File 2 averages 7).
     pub sum_distinct_refs: u64,
+    /// Total windows a rolling fingerprint was computed for — the true
+    /// per-byte CPU cost of the hot path. In fused mode this is exactly
+    /// one window per payload position; in the legacy two-pass mode it
+    /// is the scan's visited positions *plus* a full indexing re-scan,
+    /// which is what the fused pass eliminates.
+    pub scan_windows: u64,
+    /// Fingerprinted windows that passed the sampler.
+    pub sampled_windows: u64,
+    /// Fingerprint-table insertions performed by the cache update
+    /// procedure. Together with `scan_windows` this exposes the
+    /// compression-vs-CPU trade-off: CPU cost tracks windows rolled,
+    /// savings track matches found.
+    pub index_insertions: u64,
 }
 
 impl EncoderStats {
@@ -76,6 +89,9 @@ impl EncoderStats {
         self.matches += other.matches;
         self.matched_bytes += other.matched_bytes;
         self.sum_distinct_refs += other.sum_distinct_refs;
+        self.scan_windows += other.scan_windows;
+        self.sampled_windows += other.sampled_windows;
+        self.index_insertions += other.index_insertions;
     }
 }
 
@@ -103,6 +119,14 @@ pub struct DecoderStats {
     pub bytes_in: u64,
     /// Reconstructed bytes out.
     pub bytes_out: u64,
+    /// Windows the cache-update indexing loop rolled a fingerprint over
+    /// (the decoder's only per-byte fingerprinting cost).
+    pub scan_windows: u64,
+    /// Indexed windows that passed the fingerprint sampler.
+    pub sampled_windows: u64,
+    /// Fingerprint-table insertions performed while mirroring the
+    /// encoder's cache update procedure.
+    pub index_insertions: u64,
 }
 
 impl DecoderStats {
@@ -125,6 +149,9 @@ impl DecoderStats {
         self.epoch_flushes += other.epoch_flushes;
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
+        self.scan_windows += other.scan_windows;
+        self.sampled_windows += other.sampled_windows;
+        self.index_insertions += other.index_insertions;
     }
 }
 
@@ -169,11 +196,17 @@ mod tests {
             matches: 8,
             matched_bytes: 9,
             sum_distinct_refs: 10,
+            scan_windows: 11,
+            sampled_windows: 12,
+            index_insertions: 13,
         };
         let mut m = a.clone();
         m.merge(&a);
         assert_eq!(m.packets, 2);
         assert_eq!(m.sum_distinct_refs, 20);
+        assert_eq!(m.scan_windows, 22);
+        assert_eq!(m.sampled_windows, 24);
+        assert_eq!(m.index_insertions, 26);
         assert_eq!(m.byte_ratio(), a.byte_ratio(), "ratios are scale-free");
 
         let d = DecoderStats {
@@ -187,11 +220,15 @@ mod tests {
             epoch_flushes: 8,
             bytes_in: 9,
             bytes_out: 10,
+            scan_windows: 11,
+            sampled_windows: 12,
+            index_insertions: 13,
         };
         let mut md = d.clone();
         md.merge(&d);
         assert_eq!(md.undecodable(), 2 * d.undecodable());
         assert_eq!(md.bytes_out, 20);
+        assert_eq!(md.index_insertions, 26);
     }
 
     #[test]

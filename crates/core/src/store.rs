@@ -97,6 +97,22 @@ impl CacheStats {
     }
 }
 
+/// Counters describing one indexing pass over a packet's payload.
+///
+/// Returned by [`Cache::index_payload`] and [`Cache::index_sampled`] so
+/// the encoder/decoder stats can report scan effort without touching the
+/// hot loop twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexOutcome {
+    /// Windows the pass rolled a fingerprint over (zero for
+    /// [`Cache::index_sampled`], whose windows were rolled by the scan).
+    pub windows: u64,
+    /// Windows that passed the sampler (zero for `index_sampled`).
+    pub sampled: u64,
+    /// Fingerprint-table insertions performed.
+    pub insertions: u64,
+}
+
 /// Fibonacci multiplier (⌊2^64/φ⌋, odd): spreads keys whose low bits are
 /// constrained — sampled fingerprints always end in `sample_bits` zeros.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -127,28 +143,42 @@ struct SlotRef {
 
 /// Open-addressing `fingerprint → (slot, gen, offset)` table with linear
 /// probing and no per-entry deletion (cleared only on flush/grow).
+///
+/// Keys and values live in *separate* arrays: a probe chain walks only
+/// the packed 8-byte key words (eight per cache line instead of two
+/// 24-byte entries), and the value array is touched exactly once, on a
+/// hit or at the insert position. The encoder's scan issues one lookup
+/// per sampled window — on fresh traffic almost all of them misses into
+/// a table far larger than L2 — so the probe path's cache footprint is
+/// what bounds single-shard encode throughput.
 #[derive(Debug)]
 struct FpTable {
-    entries: Vec<FpEntry>,
+    /// `fp | TAG` for occupied buckets, 0 for empty ones. Fingerprints
+    /// are 53-bit (see [`bytecache_rabin::FINGERPRINT_BITS`]), so the
+    /// tag bit cannot collide with a key, and a zero fingerprint is
+    /// still distinguishable from an empty bucket.
+    keys: Vec<u64>,
+    vals: Vec<FpValue>,
     /// log2 of the table size.
     log2: u32,
     len: usize,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct FpEntry {
-    fp: u64,
+struct FpValue {
     slot: SlotRef,
     offset: u16,
-    used: bool,
 }
 
 impl FpTable {
     const INITIAL_LOG2: u32 = 10;
+    /// Occupancy tag on key words (bit 63; fingerprints fit in 53 bits).
+    const TAG: u64 = 1 << 63;
 
     fn new() -> Self {
         FpTable {
-            entries: vec![FpEntry::default(); 1 << Self::INITIAL_LOG2],
+            keys: vec![0; 1 << Self::INITIAL_LOG2],
+            vals: vec![FpValue::default(); 1 << Self::INITIAL_LOG2],
             log2: Self::INITIAL_LOG2,
             len: 0,
         }
@@ -162,26 +192,23 @@ impl FpTable {
     /// Insert or overwrite; returns `true` when the key already existed
     /// (the paper's replacement event).
     fn insert(&mut self, fp: u64, slot: SlotRef, offset: u16) -> bool {
-        if (self.len + 1) * 4 > self.entries.len() * 3 {
+        debug_assert_eq!(fp & Self::TAG, 0, "fingerprints are 53-bit");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
             self.grow();
         }
-        let mask = self.entries.len() - 1;
+        let mask = self.keys.len() - 1;
+        let key = fp | Self::TAG;
         let mut i = self.bucket(fp);
         loop {
-            let e = &mut self.entries[i];
-            if !e.used {
-                *e = FpEntry {
-                    fp,
-                    slot,
-                    offset,
-                    used: true,
-                };
+            let k = self.keys[i];
+            if k == 0 {
+                self.keys[i] = key;
+                self.vals[i] = FpValue { slot, offset };
                 self.len += 1;
                 return false;
             }
-            if e.fp == fp {
-                e.slot = slot;
-                e.offset = offset;
+            if k == key {
+                self.vals[i] = FpValue { slot, offset };
                 return true;
             }
             i = (i + 1) & mask;
@@ -189,30 +216,33 @@ impl FpTable {
     }
 
     fn get(&self, fp: u64) -> Option<(SlotRef, u16)> {
-        let mask = self.entries.len() - 1;
+        let mask = self.keys.len() - 1;
+        let key = fp | Self::TAG;
         let mut i = self.bucket(fp);
         loop {
-            let e = &self.entries[i];
-            if !e.used {
+            let k = self.keys[i];
+            if k == 0 {
                 return None;
             }
-            if e.fp == fp {
-                return Some((e.slot, e.offset));
+            if k == key {
+                let v = self.vals[i];
+                return Some((v.slot, v.offset));
             }
             i = (i + 1) & mask;
         }
     }
 
     fn grow(&mut self) {
-        let old = std::mem::replace(
-            &mut self.entries,
-            vec![FpEntry::default(); 1 << (self.log2 + 1)],
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; 1 << (self.log2 + 1)]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            vec![FpValue::default(); 1 << (self.log2 + 1)],
         );
         self.log2 += 1;
         self.len = 0;
-        for e in old {
-            if e.used {
-                self.insert(e.fp, e.slot, e.offset);
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != 0 {
+                self.insert(k & !Self::TAG, v.slot, v.offset);
             }
         }
     }
@@ -534,10 +564,21 @@ impl Cache {
     /// Run the paper's *cache update procedure* for packet `id`: slide
     /// the window over its payload and index every sampled fingerprint.
     ///
+    /// This is the tight single-purpose indexing loop used by the
+    /// decoder (which never scans for matches) and by the encoder's
+    /// legacy two-pass mode; the encoder's fused path feeds
+    /// [`index_sampled`](Self::index_sampled) instead and skips the
+    /// re-fingerprinting entirely.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is not currently stored (insert it first).
-    pub fn index_payload(&mut self, engine: &Fingerprinter, sampler: &Sampler, id: PacketId) {
+    pub fn index_payload(
+        &mut self,
+        engine: &Fingerprinter,
+        sampler: &Sampler,
+        id: PacketId,
+    ) -> IndexOutcome {
         let index = self
             .ids
             .get(id.0)
@@ -547,7 +588,7 @@ impl Cache {
             gen: self.slots[index as usize].gen,
         };
         // Split borrows: read the payload out of the arena while writing
-        // the fingerprint table — no payload copy.
+        // the fingerprint table — no payload copy, no allocation.
         let (slots, fingerprints, stats) = (&self.slots, &mut self.fingerprints, &mut self.stats);
         let payload = &slots[index as usize]
             .data
@@ -555,10 +596,64 @@ impl Cache {
             .expect("live slot")
             .stored
             .payload;
-        for (offset, fp) in engine.windows(payload) {
-            if sampler.selects(fp) && fingerprints.insert(fp, slot, offset as u16) {
-                stats.replacements += 1;
+        let mut out = IndexOutcome::default();
+        let payload: &[u8] = payload;
+        let Some(mut fp) = engine.prime(payload) else {
+            return out;
+        };
+        let w = engine.window_size();
+        let mut pos = 0usize;
+        // Iterator-driven roll: the zip carries the (outgoing, incoming)
+        // byte pairs without per-step bounds checks.
+        let mut roll_bytes = payload.iter().zip(payload[w..].iter());
+        loop {
+            if sampler.selects(fp) {
+                out.sampled += 1;
+                out.insertions += 1;
+                if fingerprints.insert(fp, slot, pos as u16) {
+                    stats.replacements += 1;
+                }
             }
+            match roll_bytes.next() {
+                Some((&outgoing, &incoming)) => {
+                    fp = engine.roll(fp, outgoing, incoming);
+                    pos += 1;
+                }
+                None => break,
+            }
+        }
+        out.windows = (payload.len() - w + 1) as u64;
+        out
+    }
+
+    /// Index packet `id` from fingerprints already sampled by the
+    /// encoder's fused scan: insert each `(offset, fingerprint)` pair,
+    /// in order, under the packet's slot. Produces exactly the
+    /// fingerprint-table state [`index_payload`](Self::index_payload)
+    /// would — the pairs are the sampled windows of the payload in
+    /// increasing offset order — without touching the payload again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not currently stored (insert it first).
+    pub fn index_sampled(&mut self, id: PacketId, sampled: &[(u16, u64)]) -> IndexOutcome {
+        let index = self
+            .ids
+            .get(id.0)
+            .expect("index_sampled: packet not stored");
+        let slot = SlotRef {
+            index,
+            gen: self.slots[index as usize].gen,
+        };
+        for &(offset, fp) in sampled {
+            if self.fingerprints.insert(fp, slot, offset) {
+                self.stats.replacements += 1;
+            }
+        }
+        IndexOutcome {
+            windows: 0,
+            sampled: 0,
+            insertions: sampled.len() as u64,
         }
     }
 
@@ -574,9 +669,18 @@ impl Cache {
     /// packet is still resident) and the window offset within it.
     #[must_use]
     pub fn lookup(&self, fingerprint: u64) -> Option<(PacketId, u16, &Stored)> {
+        let (id, offset, stored, _) = self.lookup_entry(fingerprint)?;
+        Some((id, offset, stored))
+    }
+
+    /// Like [`lookup`](Self::lookup) but also reports the entry's
+    /// dead mark, saving the scan hot path a second id-table probe
+    /// (the mark lives in the slot the lookup already resolved).
+    #[must_use]
+    pub fn lookup_entry(&self, fingerprint: u64) -> Option<(PacketId, u16, &Stored, bool)> {
         let (slot, offset) = self.fingerprints.get(fingerprint)?;
         let data = self.resolve(slot)?;
-        Some((data.id, offset, &data.stored))
+        Some((data.id, offset, &data.stored, data.dead))
     }
 
     /// Borrow a stored packet by id.
@@ -738,6 +842,52 @@ mod tests {
                 assert_eq!(&data[so..so + 8], &data[off..off + 8]);
             }
         }
+    }
+
+    #[test]
+    fn index_sampled_equals_index_payload() {
+        let engine = Fingerprinter::new(Polynomial::default(), 8);
+        let sampler = Sampler::new(2);
+        let data: Bytes = (0..400u32)
+            .map(|i| (i * 13 % 251) as u8)
+            .collect::<Vec<_>>()
+            .into();
+        // Cache A: full indexing pass. Cache B: pre-sampled pairs.
+        let mut a = cache();
+        let ida = a.insert(data.clone(), flow(), SeqNum::new(0));
+        let outcome_a = a.index_payload(&engine, &sampler, ida);
+        let mut b = cache();
+        let idb = b.insert(data.clone(), flow(), SeqNum::new(0));
+        let pairs: Vec<(u16, u64)> = engine
+            .windows(&data)
+            .filter(|&(_, fp)| sampler.selects(fp))
+            .map(|(off, fp)| (off as u16, fp))
+            .collect();
+        let outcome_b = b.index_sampled(idb, &pairs);
+        assert_eq!(outcome_a.insertions, outcome_b.insertions);
+        assert_eq!(outcome_a.sampled, pairs.len() as u64);
+        assert_eq!(outcome_a.windows, (data.len() - 7) as u64);
+        assert_eq!(a.stats().replacements, b.stats().replacements);
+        // Identical lookup results for every sampled window.
+        for (off, fp) in &pairs {
+            let (pa, oa, _) = a.lookup(*fp).expect("indexed in A");
+            let (pb, ob, _) = b.lookup(*fp).expect("indexed in B");
+            assert_eq!((pa, oa), (ida, ob));
+            assert_eq!(pb, idb);
+            let _ = off;
+        }
+    }
+
+    #[test]
+    fn lookup_entry_reports_dead_mark() {
+        let mut c = cache();
+        let a = c.insert(Bytes::from_static(b"payload"), flow(), SeqNum::new(0));
+        c.index_fingerprint(0xAA0, a, 0);
+        let (_, _, _, dead) = c.lookup_entry(0xAA0).unwrap();
+        assert!(!dead);
+        c.mark_dead(a);
+        let (_, _, _, dead) = c.lookup_entry(0xAA0).unwrap();
+        assert!(dead);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Property tests proving the fused scan-and-index pass is
+//! *observationally identical* to the legacy two-pass pipeline it
+//! replaced: byte-identical wire output, an identical fingerprint-table
+//! state (every sampled window resolves to the same packet, offset, and
+//! bytes), and unchanged sharded encode/decode round-trips.
+//!
+//! The two-pass baseline is the original implementation, kept in-tree
+//! behind `ScanMode::TwoPass` precisely so these tests (and the
+//! `repro hotpath` harness) have a live oracle rather than a frozen
+//! snapshot.
+
+use bytecache::{DreConfig, Encoder, PacketMeta, PolicyKind, ScanMode, ShardedEncoder};
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{Fingerprinter, Polynomial};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn flow(port: u16) -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: port,
+    }
+}
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Naive,
+        PolicyKind::CacheFlush,
+        PolicyKind::TcpSeq,
+        PolicyKind::KDistance(4),
+        PolicyKind::Adaptive,
+    ]
+}
+
+/// Streams with controllable redundancy: fresh pseudo-random packets
+/// mixed with repeats of earlier seeds (which the encoder rediscovers as
+/// matches), in several payload sizes including shorter-than-window.
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![
+                (0u64..1000).prop_map(|seed| (seed, false)),
+                (0u64..6).prop_map(|seed| (seed, true)),
+            ],
+            // Sizes hit the edge cases: empty, shorter than the 16-byte
+            // window, exactly one window, and realistic segments.
+            prop_oneof![
+                Just(0usize),
+                1usize..16,
+                Just(16usize),
+                17usize..80,
+                500usize..900,
+            ],
+        )
+            .prop_map(|((seed, _), len)| {
+                (0..len)
+                    .map(|i| {
+                        let x = (i as u64 + seed * 104_729).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        (x >> 48) as u8
+                    })
+                    .collect::<Vec<u8>>()
+            }),
+        1..28,
+    )
+}
+
+/// Compare the two caches through the public lookup API for every
+/// sampled window of `payload`: same hit/miss, same (id, offset), same
+/// resolved bytes.
+fn assert_table_state_identical(
+    fused: &Encoder,
+    legacy: &Encoder,
+    engine: &Fingerprinter,
+    sampler: &Sampler,
+    payload: &[u8],
+) {
+    for (_, fp) in engine.windows(payload) {
+        if !sampler.selects(fp) {
+            continue;
+        }
+        match (fused.cache().lookup(fp), legacy.cache().lookup(fp)) {
+            (None, None) => {}
+            (Some((ida, offa, storeda)), Some((idb, offb, storedb))) => {
+                assert_eq!(ida, idb, "packet id for fp {fp:#x}");
+                assert_eq!(offa, offb, "offset for fp {fp:#x}");
+                assert_eq!(
+                    &storeda.payload[..],
+                    &storedb.payload[..],
+                    "stored bytes for fp {fp:#x}"
+                );
+            }
+            (a, b) => {
+                panic!(
+                    "lookup divergence for fp {fp:#x}: fused={} legacy={}",
+                    a.is_some(),
+                    b.is_some()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fused ≡ two-pass per packet: wire bytes, bookkeeping, stats, and
+    /// the fingerprint-table state seen through `Cache::lookup`.
+    #[test]
+    fn fused_equals_two_pass(stream in arb_stream(), policy_idx in 0usize..5) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig::default();
+        let engine = Fingerprinter::new(
+            Polynomial::generate(config.polynomial_seed),
+            config.window,
+        );
+        let sampler = Sampler::new(config.sample_bits);
+        let mut fused = Encoder::new(config.clone(), kind.build());
+        let mut legacy =
+            Encoder::new(config, kind.build()).with_scan_mode(ScanMode::TwoPass);
+        let mut seq = 1u32;
+        for (i, payload) in stream.iter().enumerate() {
+            let m = PacketMeta {
+                flow: flow(4000),
+                seq: SeqNum::new(seq),
+                payload_len: payload.len(),
+                flow_index: 0,
+            };
+            seq = seq.wrapping_add(payload.len().max(1) as u32);
+            let payload = Bytes::from(payload.clone());
+            let a = fused.encode(&m, &payload);
+            let b = legacy.encode(&m, &payload);
+            prop_assert_eq!(&a.wire, &b.wire, "wire bytes differ at packet {}", i);
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.matches, b.matches);
+            prop_assert_eq!(a.matched_bytes, b.matched_bytes);
+            prop_assert_eq!(a.distinct_refs, b.distinct_refs);
+            prop_assert_eq!(a.was_reference, b.was_reference);
+            prop_assert_eq!(a.flushed, b.flushed);
+            assert_table_state_identical(&fused, &legacy, &engine, &sampler, &payload);
+        }
+        // Every counter except the scan-effort ones must agree; the
+        // index insertions agree too (the fused scratch carries exactly
+        // the windows the indexing re-scan would have sampled).
+        let fs = fused.stats().clone();
+        let ls = legacy.stats().clone();
+        prop_assert_eq!(fs.packets, ls.packets);
+        prop_assert_eq!(fs.bytes_in, ls.bytes_in);
+        prop_assert_eq!(fs.bytes_out, ls.bytes_out);
+        prop_assert_eq!(fs.encoded_packets, ls.encoded_packets);
+        prop_assert_eq!(fs.raw_packets, ls.raw_packets);
+        prop_assert_eq!(fs.references, ls.references);
+        prop_assert_eq!(fs.flushes, ls.flushes);
+        prop_assert_eq!(fs.matches, ls.matches);
+        prop_assert_eq!(fs.matched_bytes, ls.matched_bytes);
+        prop_assert_eq!(fs.sum_distinct_refs, ls.sum_distinct_refs);
+        prop_assert_eq!(fs.index_insertions, ls.index_insertions);
+        // And the fused pass must do strictly less fingerprint rolling
+        // whenever there was anything to index.
+        if fs.index_insertions > 0 {
+            prop_assert!(fs.scan_windows < ls.scan_windows,
+                "fused rolled {} windows, two-pass {}", fs.scan_windows, ls.scan_windows);
+        }
+    }
+
+    /// Sharded (shards > 1) encode with the fused pass produces the same
+    /// wire bytes as two-pass, and the decoder round-trips both.
+    #[test]
+    fn sharded_round_trip_unchanged(stream in arb_stream(), policy_idx in 0usize..5) {
+        let kind = policies()[policy_idx];
+        let config = DreConfig { shards: 3, ..DreConfig::default() };
+        let mut fused = ShardedEncoder::new(config.clone(), kind);
+        let mut legacy = ShardedEncoder::new(config.clone(), kind);
+        legacy.set_scan_mode(ScanMode::TwoPass);
+        let mut dec = bytecache::ShardedDecoder::new(config);
+        let mut seq = 1u32;
+        for (i, payload) in stream.iter().enumerate() {
+            let m = PacketMeta {
+                flow: flow(4000 + (i % 5) as u16),
+                seq: SeqNum::new(seq),
+                payload_len: payload.len(),
+                flow_index: 0,
+            };
+            seq = seq.wrapping_add(payload.len().max(1) as u32);
+            let payload = Bytes::from(payload.clone());
+            let a = fused.encode(&m, &payload);
+            let b = legacy.encode(&m, &payload);
+            prop_assert_eq!(&a.wire, &b.wire, "sharded wire bytes differ at packet {}", i);
+            let (restored, _) = dec.decode(&a.wire, &m);
+            prop_assert_eq!(restored.expect("lossless sharded decode"), payload);
+        }
+        prop_assert_eq!(fused.stats().bytes_out, legacy.stats().bytes_out);
+    }
+}

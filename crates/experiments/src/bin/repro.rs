@@ -18,6 +18,8 @@
 //!   ablation    extension — Bernoulli vs bursty loss at equal mean rate
 //!   tuning      §III-B    — DRE parameter (w, k) trade-offs
 //!   shardscale  extension — multi-flow throughput scaling across engine shards
+//!   hotpath     extension — fused scan-and-index vs two-pass encode throughput
+//!               (writes BENCH_hotpath.json; asserts round-trip integrity)
 //!   all         everything above
 //!
 //! --quick shrinks object sizes and seed counts (~10x faster).
@@ -25,8 +27,8 @@
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
-    ablation, fig6, insights, interflow, kdistance, mobility, perceived, shardscale, stalltrace,
-    sweep, table1, table2, tuning,
+    ablation, fig6, hotpath, insights, interflow, kdistance, mobility, perceived, shardscale,
+    stalltrace, sweep, table1, table2, tuning,
 };
 use bytecache_netsim::time::SimDuration;
 
@@ -82,6 +84,7 @@ fn main() {
         "ablation",
         "tuning",
         "shardscale",
+        "hotpath",
         "all",
     ];
     if !known.contains(&what.as_str()) {
@@ -190,6 +193,27 @@ fn main() {
             ..shardscale::ShardScaleParams::default()
         };
         println!("{}", shardscale::render_sweep(&[1, 2, 4, 8], &base));
+    }
+    if run("hotpath") {
+        let cases = hotpath::sweep(quick);
+        println!("{}", hotpath::render(&cases));
+        // The harness doubles as an end-to-end smoke test: every cell
+        // must have produced two-pass-identical wire bytes that decode
+        // back to the original payloads.
+        for c in &cases {
+            assert!(
+                c.verified,
+                "hotpath round-trip integrity failed: {} B / {:.2} / {}",
+                c.payload_size, c.redundancy, c.policy
+            );
+        }
+        let json = hotpath::to_json(&cases);
+        std::fs::write("BENCH_hotpath.json", &json)
+            .expect("write BENCH_hotpath.json in the current directory");
+        println!(
+            "  wrote BENCH_hotpath.json (redundant-sweep geomean speedup {:.2}x)\n",
+            hotpath::redundant_geomean_speedup(&cases)
+        );
     }
     if run("mobility") {
         let r = mobility::run(scale.object_size, SimDuration::from_millis(200), 3);

@@ -1,0 +1,384 @@
+//! Hot-path throughput harness: fused scan-and-index vs the legacy
+//! two-pass encoder pipeline.
+//!
+//! The fused pass (see `DESIGN.md` §9) rolls exactly one fingerprint per
+//! payload position and feeds the sampled windows straight into the
+//! cache index; the two-pass baseline — kept in-tree behind
+//! [`ScanMode::TwoPass`] — scans for matches, then re-fingerprints the
+//! whole payload a second time to index it, and extends matches
+//! byte-at-a-time. This harness sweeps payload size × redundancy ratio ×
+//! policy, measures single-shard encode throughput for both modes over
+//! identical traffic, verifies every wire payload round-trips through a
+//! decoder byte-for-byte, and emits machine-readable results for
+//! `BENCH_hotpath.json`.
+//!
+//! The new [`EncoderStats`](bytecache::EncoderStats) scan counters
+//! (`scan_windows`, `sampled_windows`, `index_insertions`) are reported
+//! per cell, so the table shows *why* the fused pass is faster, not just
+//! that it is: identical insertions, roughly half the windows rolled.
+
+use std::time::Instant;
+
+use bytecache::{Decoder, DreConfig, Encoder, PacketMeta, PolicyKind, ScanMode};
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_workload::StreamSpec;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+use crate::report::Table;
+
+/// Parameters of one hot-path measurement cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathParams {
+    /// Payload bytes per packet.
+    pub payload_size: usize,
+    /// Fraction of packets carrying copied (redundant) snippets.
+    pub redundancy: f64,
+    /// Encoding policy under test.
+    pub policy: PolicyKind,
+    /// Total payload bytes pushed through the encoder.
+    pub total_bytes: usize,
+    /// Timed repetitions; the fastest is reported (noise floor).
+    pub reps: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// One scan mode's measurement over a cell's traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeMeasure {
+    /// Best-of-reps wall-clock seconds in the encode loop.
+    pub encode_secs: f64,
+    /// Encoder throughput over original bytes, MiB/s.
+    pub mib_per_sec: f64,
+    /// Wire bytes per original byte.
+    pub byte_ratio: f64,
+    /// Windows a rolling fingerprint was computed for.
+    pub scan_windows: u64,
+    /// Windows that passed the sampler.
+    pub sampled_windows: u64,
+    /// Fingerprint-table insertions performed.
+    pub index_insertions: u64,
+}
+
+/// Fused vs two-pass on identical traffic, with round-trip verification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathCase {
+    /// Payload bytes per packet.
+    pub payload_size: usize,
+    /// Redundant-packet fraction of the workload.
+    pub redundancy: f64,
+    /// Policy label.
+    pub policy: String,
+    /// Fused single-pass measurement.
+    pub fused: ModeMeasure,
+    /// Legacy two-pass measurement.
+    pub two_pass: ModeMeasure,
+    /// Fused throughput over two-pass throughput.
+    pub speedup: f64,
+    /// Both modes produced byte-identical wire output AND every wire
+    /// payload decoded back to the original bytes.
+    pub verified: bool,
+}
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+fn metas(chunks: &[&[u8]]) -> Vec<PacketMeta> {
+    let mut seq = 1u32;
+    chunks
+        .iter()
+        .map(|chunk| {
+            let m = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(seq),
+                payload_len: chunk.len(),
+                flow_index: 0,
+            };
+            seq = seq.wrapping_add(chunk.len() as u32);
+            m
+        })
+        .collect()
+}
+
+/// Time one scan mode over the prepared traffic; returns the measure and
+/// the final run's wire payloads (for verification).
+fn measure(
+    mode: ScanMode,
+    params: &HotpathParams,
+    payloads: &[Bytes],
+    metas: &[PacketMeta],
+) -> (ModeMeasure, Vec<Vec<u8>>) {
+    let mut best_secs = f64::INFINITY;
+    let mut wires: Vec<Vec<u8>> = Vec::new();
+    let mut stats = bytecache::EncoderStats::default();
+    for _ in 0..params.reps.max(1) {
+        let mut enc =
+            Encoder::new(DreConfig::default(), params.policy.build()).with_scan_mode(mode);
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(payloads.len());
+        let started = Instant::now();
+        for (payload, meta) in payloads.iter().zip(metas) {
+            out.push(enc.encode(meta, payload).wire);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        if elapsed < best_secs {
+            best_secs = elapsed;
+        }
+        wires = out;
+        stats = enc.stats().clone();
+    }
+    let measure = ModeMeasure {
+        encode_secs: best_secs,
+        mib_per_sec: stats.bytes_in as f64 / (1024.0 * 1024.0) / best_secs.max(1e-9),
+        byte_ratio: stats.byte_ratio(),
+        scan_windows: stats.scan_windows,
+        sampled_windows: stats.sampled_windows,
+        index_insertions: stats.index_insertions,
+    };
+    (measure, wires)
+}
+
+/// Run one cell: build the workload, measure both modes, verify wire
+/// equality and decoder round-trips.
+#[must_use]
+pub fn run_case(params: &HotpathParams) -> HotpathCase {
+    assert!(params.payload_size > 0, "payload_size must be positive");
+    let spec = StreamSpec {
+        packet_size: params.payload_size,
+        redundant_packet_fraction: params.redundancy,
+        copied_fraction: 0.8,
+        fan: 4,
+        max_distance: 64,
+    };
+    let object = spec.build(params.total_bytes, params.seed);
+    let chunks: Vec<&[u8]> = object.chunks(params.payload_size).collect();
+    let metas = metas(&chunks);
+    let payloads: Vec<Bytes> = chunks.iter().map(|c| Bytes::copy_from_slice(c)).collect();
+
+    let (fused, fused_wires) = measure(ScanMode::Fused, params, &payloads, &metas);
+    let (two_pass, legacy_wires) = measure(ScanMode::TwoPass, params, &payloads, &metas);
+
+    // Equivalence on live traffic, then full round-trip integrity.
+    let mut verified = fused_wires == legacy_wires;
+    let mut dec = Decoder::new(DreConfig::default());
+    for ((wire, meta), payload) in fused_wires.iter().zip(&metas).zip(&payloads) {
+        let (restored, _) = dec.decode(wire, meta);
+        if restored.as_ref().ok().map(|b| &b[..]) != Some(&payload[..]) {
+            verified = false;
+        }
+    }
+
+    HotpathCase {
+        payload_size: params.payload_size,
+        redundancy: params.redundancy,
+        policy: params.policy.label().to_string(),
+        speedup: fused.mib_per_sec / two_pass.mib_per_sec.max(1e-9),
+        fused,
+        two_pass,
+        verified,
+    }
+}
+
+/// The sweep grid: payload size × redundancy ratio × policy.
+#[must_use]
+pub fn sweep(quick: bool) -> Vec<HotpathCase> {
+    let (total_bytes, reps, sizes, redundancies, policies): (
+        usize,
+        usize,
+        Vec<usize>,
+        Vec<f64>,
+        Vec<PolicyKind>,
+    ) = if quick {
+        (
+            192 * 1024,
+            1,
+            vec![1400],
+            vec![0.0, 0.9],
+            vec![PolicyKind::CacheFlush],
+        )
+    } else {
+        (
+            4 << 20,
+            3,
+            vec![256, 1400],
+            vec![0.0, 0.5, 0.95],
+            vec![PolicyKind::CacheFlush, PolicyKind::KDistance(4)],
+        )
+    };
+    let mut cases = Vec::new();
+    for &payload_size in &sizes {
+        for &redundancy in &redundancies {
+            for &policy in &policies {
+                cases.push(run_case(&HotpathParams {
+                    payload_size,
+                    redundancy,
+                    policy,
+                    total_bytes,
+                    reps,
+                    seed: 42,
+                }));
+            }
+        }
+    }
+    cases
+}
+
+/// Geometric-mean fused/two-pass speedup over the redundant-traffic
+/// cells (`redundancy > 0`) — the acceptance metric.
+#[must_use]
+pub fn redundant_geomean_speedup(cases: &[HotpathCase]) -> f64 {
+    let redundant: Vec<f64> = cases
+        .iter()
+        .filter(|c| c.redundancy > 0.0)
+        .map(|c| c.speedup.max(1e-9).ln())
+        .collect();
+    if redundant.is_empty() {
+        return 0.0;
+    }
+    (redundant.iter().sum::<f64>() / redundant.len() as f64).exp()
+}
+
+/// Render the sweep as a table.
+#[must_use]
+pub fn render(cases: &[HotpathCase]) -> Table {
+    let mut t = Table::new(
+        "hot path — fused scan-and-index vs legacy two-pass (single shard)",
+        &[
+            "payload",
+            "redund",
+            "policy",
+            "fused MiB/s",
+            "2-pass MiB/s",
+            "speedup",
+            "windows f/2p",
+            "inserts",
+            "verified",
+        ],
+    );
+    for c in cases {
+        t.row(&[
+            c.payload_size.to_string(),
+            format!("{:.2}", c.redundancy),
+            c.policy.clone(),
+            format!("{:.1}", c.fused.mib_per_sec),
+            format!("{:.1}", c.two_pass.mib_per_sec),
+            format!("{:.2}x", c.speedup),
+            format!("{}/{}", c.fused.scan_windows, c.two_pass.scan_windows),
+            c.fused.index_insertions.to_string(),
+            c.verified.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serialize the sweep to the `BENCH_hotpath.json` document.
+///
+/// Hand-rolled JSON: the workspace deliberately carries no JSON
+/// dependency, and the schema is flat enough that formatting it directly
+/// is clearer than adding one.
+#[must_use]
+pub fn to_json(cases: &[HotpathCase]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"hotpath\",\n");
+    out.push_str("  \"unit\": \"MiB/s over original payload bytes, single-shard encode\",\n");
+    out.push_str(&format!(
+        "  \"redundant_geomean_speedup\": {:.3},\n  \"cases\": [\n",
+        redundant_geomean_speedup(cases)
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"payload_size\": {}, \"redundancy\": {:.2}, \"policy\": \"{}\", \
+             \"fused_mib_s\": {:.1}, \"two_pass_mib_s\": {:.1}, \"speedup\": {:.3}, \
+             \"byte_ratio\": {:.3}, \"fused_scan_windows\": {}, \"two_pass_scan_windows\": {}, \
+             \"index_insertions\": {}, \"verified\": {}}}{}\n",
+            c.payload_size,
+            c.redundancy,
+            c.policy,
+            c.fused.mib_per_sec,
+            c.two_pass.mib_per_sec,
+            c.speedup,
+            c.fused.byte_ratio,
+            c.fused.scan_windows,
+            c.two_pass.scan_windows,
+            c.fused.index_insertions,
+            c.verified,
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(redundancy: f64) -> HotpathCase {
+        run_case(&HotpathParams {
+            payload_size: 1400,
+            redundancy,
+            policy: PolicyKind::CacheFlush,
+            total_bytes: 96 * 1024,
+            reps: 1,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn redundant_case_verifies_and_counts_match() {
+        let c = tiny(0.9);
+        assert!(c.verified, "{c:?}");
+        // Identical traffic ⇒ identical index insertions in both modes.
+        assert_eq!(c.fused.index_insertions, c.two_pass.index_insertions);
+        // The fused pass rolls strictly fewer windows: no indexing
+        // re-scan of stored payloads.
+        assert!(
+            c.fused.scan_windows < c.two_pass.scan_windows,
+            "fused {} vs two-pass {}",
+            c.fused.scan_windows,
+            c.two_pass.scan_windows
+        );
+        assert!(c.fused.byte_ratio < 0.7, "workload is redundant: {c:?}");
+    }
+
+    #[test]
+    fn fresh_case_verifies() {
+        let c = tiny(0.0);
+        assert!(c.verified, "{c:?}");
+        assert_eq!(c.fused.index_insertions, c.two_pass.index_insertions);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let cases = vec![tiny(0.9)];
+        let json = to_json(&cases);
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"redundant_geomean_speedup\""));
+        assert!(json.contains("\"verified\": true"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+    }
+
+    #[test]
+    fn geomean_ignores_fresh_cells() {
+        let mut a = tiny(0.9);
+        a.speedup = 2.0;
+        let mut b = a.clone();
+        b.speedup = 8.0;
+        let mut fresh = a.clone();
+        fresh.redundancy = 0.0;
+        fresh.speedup = 100.0;
+        let g = redundant_geomean_speedup(&[a, b, fresh]);
+        assert!((g - 4.0).abs() < 1e-9, "geomean(2, 8) = 4, got {g}");
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`stalltrace`] | Figures 4 & 5 — the circular-dependency event trace |
 //! | [`mobility`] | §II — handoff survival at the IP layer |
 //! | [`shardscale`] | beyond the paper — multi-flow throughput scaling across engine shards |
+//! | [`hotpath`] | beyond the paper — fused scan-and-index vs two-pass encoder throughput |
 //!
 //! Run them all via the `repro` binary (`cargo run -p
 //! bytecache-experiments --bin repro -- all`); `EXPERIMENTS.md` in the
@@ -33,6 +34,7 @@
 
 pub mod ablation;
 pub mod fig6;
+pub mod hotpath;
 pub mod insights;
 pub mod interflow;
 pub mod kdistance;

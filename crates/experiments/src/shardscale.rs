@@ -87,6 +87,13 @@ pub struct ShardScaleResult {
     pub encode_secs: f64,
     /// Wall-clock seconds spent inside decoder `process_batch` calls.
     pub decode_secs: f64,
+    /// Windows the encoder shards rolled a fingerprint over (the fused
+    /// scan's per-byte CPU cost; see `EncoderStats::scan_windows`).
+    pub scan_windows: u64,
+    /// Encoder windows that passed the fingerprint sampler.
+    pub sampled_windows: u64,
+    /// Fingerprint-table insertions across the encoder shards.
+    pub index_insertions: u64,
 }
 
 impl ShardScaleResult {
@@ -212,6 +219,7 @@ pub fn run(params: &ShardScaleParams) -> ShardScaleResult {
         }
     }
 
+    let enc_stats = enc_gw.stats();
     ShardScaleResult {
         shards: params.shards,
         packets,
@@ -222,6 +230,9 @@ pub fn run(params: &ShardScaleParams) -> ShardScaleResult {
         verified,
         encode_secs,
         decode_secs,
+        scan_windows: enc_stats.scan_windows,
+        sampled_windows: enc_stats.sampled_windows,
+        index_insertions: enc_stats.index_insertions,
     }
 }
 
@@ -239,18 +250,24 @@ pub fn render_sweep(shard_counts: &[usize], base: &ShardScaleParams) -> String {
         base.loss,
         base.policy.label()
     ));
-    out.push_str("  shards |   MiB/s | byte ratio | lost | undecodable | verified\n");
-    out.push_str("  ------ | ------- | ---------- | ---- | ----------- | --------\n");
+    out.push_str(
+        "  shards |   MiB/s | byte ratio | Mwindows | inserts | lost | undecodable | verified\n",
+    );
+    out.push_str(
+        "  ------ | ------- | ---------- | -------- | ------- | ---- | ----------- | --------\n",
+    );
     for &shards in shard_counts {
         let r = run(&ShardScaleParams {
             shards,
             ..base.clone()
         });
         out.push_str(&format!(
-            "  {:>6} | {:>7.1} | {:>10.3} | {:>4} | {:>11} | {}\n",
+            "  {:>6} | {:>7.1} | {:>10.3} | {:>8.1} | {:>7} | {:>4} | {:>11} | {}\n",
             r.shards,
             r.encode_mib_per_sec(),
             r.byte_ratio(),
+            r.scan_windows as f64 / 1e6,
+            r.index_insertions,
             r.lost,
             r.undecodable,
             r.verified
@@ -273,6 +290,11 @@ mod tests {
         });
         assert!(r.verified, "{r:?}");
         assert_eq!(r.lost + r.undecodable, 0, "{r:?}");
+        // The scan-effort counters surface through the gateway merge:
+        // one fused pass ⇒ roughly one window per payload byte.
+        assert!(r.scan_windows > 0 && r.scan_windows <= r.bytes_in, "{r:?}");
+        assert!(r.index_insertions > 0, "{r:?}");
+        assert!(r.sampled_windows >= r.index_insertions, "{r:?}");
         // Eight identical flows: massive inter-flow redundancy within
         // each shard ⇒ strong compression even sharded.
         assert!(r.byte_ratio() < 0.6, "{r:?}");

@@ -98,9 +98,27 @@ impl Fingerprinter {
     ///
     /// For slices of exactly [`window_size`](Self::window_size) bytes this
     /// equals the value the rolling path produces for that window.
+    #[inline]
     #[must_use]
     pub fn fingerprint(&self, data: &[u8]) -> u64 {
         data.iter().fold(0, |fp, &b| self.append(fp, b))
+    }
+
+    /// Prime a rolling scan: the fingerprint of the *first* window of
+    /// `data`, ready to be advanced with [`roll`](Self::roll).
+    ///
+    /// This is the one shared startup path for every window scan —
+    /// [`windows`](Self::windows), the cache indexing loop, and the
+    /// encoder's fused scan all prime through here, so they cannot
+    /// disagree on the initial state. Returns `None` if `data` is
+    /// shorter than the window.
+    #[inline]
+    #[must_use]
+    pub fn prime(&self, data: &[u8]) -> Option<u64> {
+        if data.len() < self.window {
+            return None;
+        }
+        Some(self.fingerprint(&data[..self.window]))
     }
 
     /// Iterate over `(start_offset, fingerprint)` for every window of
@@ -113,11 +131,7 @@ impl Fingerprinter {
             engine: self,
             data,
             next_start: 0,
-            fp: if data.len() >= self.window {
-                self.fingerprint(&data[..self.window])
-            } else {
-                0
-            },
+            fp: self.prime(data).unwrap_or(0),
         }
     }
 
@@ -350,6 +364,25 @@ mod tests {
             }
         }
         assert_eq!(got, vec![e.fingerprint(b"wxyz")]);
+    }
+
+    #[test]
+    fn prime_matches_first_window_and_respects_length() {
+        let e = engine(8);
+        let data: Vec<u8> = (0..64u32).map(|i| (i * 13 % 251) as u8).collect();
+        assert_eq!(e.prime(&data), Some(e.fingerprint(&data[..8])));
+        assert_eq!(e.prime(&data[..8]), Some(e.fingerprint(&data[..8])));
+        assert_eq!(e.prime(&data[..7]), None);
+        assert_eq!(e.prime(b""), None);
+        // Priming then rolling reproduces the windows iterator exactly.
+        let mut fp = e.prime(&data).unwrap();
+        let mut rolled = vec![fp];
+        for pos in 0..data.len() - 8 {
+            fp = e.roll(fp, data[pos], data[pos + 8]);
+            rolled.push(fp);
+        }
+        let direct: Vec<u64> = e.windows(&data).map(|(_, f)| f).collect();
+        assert_eq!(rolled, direct);
     }
 
     #[test]
