@@ -1,0 +1,45 @@
+//! End-to-end packet-path benchmark: one clean-channel download through
+//! the full four-node chain (server → encoder GW → wireless → decoder
+//! GW → client) under both gateway payload modes.
+//!
+//! `shared` is the zero-copy path — encoder output frozen into a
+//! ref-counted buffer, forwarded and decoded as O(1) slices; `copied`
+//! keeps the legacy copy-per-hop behavior as a live baseline. The
+//! channel is clean, so both modes forward an identical packet sequence
+//! and the difference is pure payload-copy cost. `repro -- simthroughput`
+//! reports the same comparison as simulated packets per second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytecache::gateway::PayloadMode;
+use bytecache::PolicyKind;
+use bytecache_experiments::{run_scenario, ScenarioConfig};
+use bytecache_workload::FileSpec;
+
+/// Object size for the benched download.
+const SIZE: usize = 200_000;
+
+fn bench_simpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simpath");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("download_shared", PayloadMode::Shared),
+        ("download_copied", PayloadMode::Copied),
+    ] {
+        g.bench_function(label, |b| {
+            let object = FileSpec::File1.build(SIZE, 7);
+            let config = ScenarioConfig::new(object)
+                .policy(PolicyKind::CacheFlush)
+                .payload_mode(mode);
+            b.iter(|| {
+                let r = run_scenario(&config);
+                assert!(r.completed());
+                r.wireless.packets_offered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simpath);
+criterion_main!(benches);

@@ -108,7 +108,11 @@ impl Decoder {
         &self.core.cache
     }
 
-    /// Decode one shim payload.
+    /// Decode one shim payload from a plain byte slice.
+    ///
+    /// Copies the payload into fresh shared storage first; prefer
+    /// [`decode_shared`](Self::decode_shared) when the payload already
+    /// lives in a ref-counted [`Bytes`] buffer (the gateway path).
     ///
     /// On success the original payload is returned and cached (mirroring
     /// the encoder); on failure the packet must be dropped by the
@@ -119,9 +123,25 @@ impl Decoder {
         wire_payload: &[u8],
         meta: &PacketMeta,
     ) -> (Result<Bytes, DecodeError>, Feedback) {
+        self.decode_shared(&Bytes::copy_from_slice(wire_payload), meta)
+    }
+
+    /// Decode one shim payload without copying it: the common raw
+    /// (unencoded) body and all literal regions are returned — and
+    /// cached — as O(1) slices of `wire_payload`, so a packet traverses
+    /// the decode path with zero payload copies.
+    ///
+    /// Ownership note: those slices keep the *whole* arriving buffer
+    /// alive (shim header included, ~15 extra bytes per cached packet)
+    /// until the cache entry is evicted. See DESIGN.md §11.
+    pub fn decode_shared(
+        &mut self,
+        wire_payload: &Bytes,
+        meta: &PacketMeta,
+    ) -> (Result<Bytes, DecodeError>, Feedback) {
         self.stats.packets += 1;
         self.stats.bytes_in += wire_payload.len() as u64;
-        let parsed = match wire::parse(wire_payload) {
+        let parsed = match wire::parse_shared(wire_payload) {
             Ok(p) => p,
             Err(e) => {
                 self.stats.malformed += 1;

@@ -38,6 +38,28 @@ use crate::stats::{DecoderStats, EncoderStats};
 /// TCP port used by gateway-to-gateway NACK control packets.
 pub const CONTROL_PORT: u16 = 7777;
 
+/// How gateways hand payload bytes to the next hop.
+///
+/// [`Shared`](PayloadMode::Shared) is the production path: encoder
+/// output is frozen into a ref-counted [`Bytes`] handle with no byte
+/// copy, and the decoder reconstructs raw bodies and literals as O(1)
+/// slices of the arriving buffer, so one allocation travels the whole
+/// gateway → channel → gateway → endpoint path.
+///
+/// [`Copied`](PayloadMode::Copied) reproduces the pre-sharing behavior —
+/// a fresh buffer copy on every encode and decode — and is kept as a
+/// live measurable baseline for the `simpath` bench and the
+/// `simthroughput` harness, exactly like `ScanMode::TwoPass` for the
+/// scan. Results are byte-identical either way; only CPU cost differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadMode {
+    /// Zero-copy ref-counted payload handles (default).
+    #[default]
+    Shared,
+    /// Legacy per-hop buffer copies (measurement baseline).
+    Copied,
+}
+
 /// Bytes per NACK record on the control channel: shard (u16) + shim id
 /// (u32), both big-endian.
 pub const NACK_RECORD_LEN: usize = 6;
@@ -59,8 +81,11 @@ pub struct EncoderGateway {
     encode_dsts: HashSet<Ipv4Addr>,
     control_addr: Option<Ipv4Addr>,
     nacks_received: u64,
-    /// Wire scratch buffer reused across packets (hot path).
+    /// Wire scratch buffer reused across packets ([`PayloadMode::Copied`]
+    /// baseline only; the shared path freezes the encoder's output
+    /// buffer directly).
     scratch: Vec<u8>,
+    payload_mode: PayloadMode,
 }
 
 impl EncoderGateway {
@@ -89,6 +114,7 @@ impl EncoderGateway {
             control_addr: None,
             nacks_received: 0,
             scratch: Vec::new(),
+            payload_mode: PayloadMode::default(),
         }
     }
 
@@ -97,6 +123,14 @@ impl EncoderGateway {
     #[must_use]
     pub fn with_control_addr(mut self, addr: Ipv4Addr) -> Self {
         self.control_addr = Some(addr);
+        self
+    }
+
+    /// Select how encoded payloads are handed to the next hop (see
+    /// [`PayloadMode`]); wire output is identical either way.
+    #[must_use]
+    pub fn with_payload_mode(mut self, mode: PayloadMode) -> Self {
+        self.payload_mode = mode;
         self
     }
 
@@ -154,9 +188,22 @@ impl EncoderGateway {
 
     fn encode_packet(&mut self, packet: &Packet) -> Packet {
         let meta = packet_meta(packet);
-        self.encoder
-            .encode_into(&meta, &packet.payload, &mut self.scratch);
-        packet.with_payload(Bytes::copy_from_slice(&self.scratch))
+        match self.payload_mode {
+            PayloadMode::Shared => {
+                // Freeze the encoder's output buffer into a shared handle
+                // (O(1)); the same allocation rides the channel, the
+                // decoder, and any retransmit queue untouched.
+                let outcome = self.encoder.encode(&meta, &packet.payload);
+                packet.with_payload(outcome.wire)
+            }
+            PayloadMode::Copied => {
+                // Legacy baseline: write into the reused scratch buffer,
+                // then copy it out into a fresh per-packet allocation.
+                self.encoder
+                    .encode_into(&meta, &packet.payload, &mut self.scratch);
+                packet.with_payload(Bytes::copy_from_slice(&self.scratch))
+            }
+        }
     }
 
     /// Process a trace-level batch outside the event loop: data packets
@@ -186,7 +233,10 @@ impl EncoderGateway {
         }
         let outcomes = self.encoder.encode_batch(&encode_items);
         for ((slot, packet), outcome) in encode_slots.into_iter().zip(outcomes) {
-            out[slot] = Some(packet.with_payload(outcome.wire));
+            out[slot] = Some(match self.payload_mode {
+                PayloadMode::Shared => packet.with_payload(outcome.wire),
+                PayloadMode::Copied => packet.with_payload(Bytes::copy_from_slice(&outcome.wire)),
+            });
         }
         out.into_iter().flatten().collect()
     }
@@ -236,6 +286,7 @@ pub struct DecoderGateway {
     nacks_sent: u64,
     dropped: u64,
     ip_id: u16,
+    payload_mode: PayloadMode,
 }
 
 impl DecoderGateway {
@@ -279,6 +330,7 @@ impl DecoderGateway {
             nacks_sent: 0,
             dropped: 0,
             ip_id: 0,
+            payload_mode: PayloadMode::default(),
         }
     }
 
@@ -287,6 +339,14 @@ impl DecoderGateway {
     #[must_use]
     pub fn with_nacks(mut self, encoder_control: Ipv4Addr) -> Self {
         self.nack_target = Some((encoder_control, CONTROL_PORT));
+        self
+    }
+
+    /// Select how reconstructed payloads are produced (see
+    /// [`PayloadMode`]); results are byte-identical either way.
+    #[must_use]
+    pub fn with_payload_mode(mut self, mode: PayloadMode) -> Self {
+        self.payload_mode = mode;
         self
     }
 
@@ -367,7 +427,11 @@ impl DecoderGateway {
         let mut out: Vec<Vec<Packet>> = Vec::with_capacity(packets.len());
         for packet in packets {
             if self.should_decode(&packet) {
-                decode_items.push((packet_meta(&packet), packet.payload.clone()));
+                let wire = match self.payload_mode {
+                    PayloadMode::Shared => packet.payload.clone(),
+                    PayloadMode::Copied => Bytes::copy_from_slice(&packet.payload),
+                };
+                decode_items.push((packet_meta(&packet), wire));
                 decode_slots.push((out.len(), packet));
                 out.push(Vec::new());
             } else {
@@ -394,7 +458,13 @@ impl Node for DecoderGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         if self.should_decode(&packet) {
             let meta = packet_meta(&packet);
-            let (result, feedback) = self.decoder.decode(&packet.payload, &meta);
+            let (result, feedback) = match self.payload_mode {
+                // Zero-copy: raw bodies and literal regions come back as
+                // slices of the arriving packet's buffer.
+                PayloadMode::Shared => self.decoder.decode_shared(&packet.payload, &meta),
+                // Legacy baseline: copy the wire payload first.
+                PayloadMode::Copied => self.decoder.decode(&packet.payload, &meta),
+            };
             if let Some(nack) = self.build_feedback_packet(&feedback) {
                 ctx.forward(nack);
             }

@@ -303,6 +303,24 @@ impl ShardedDecoder {
         )
     }
 
+    /// Decode one shim payload on its flow's shard without copying it
+    /// (see [`Decoder::decode_shared`]).
+    pub fn decode_shared(
+        &mut self,
+        wire_payload: &Bytes,
+        meta: &PacketMeta,
+    ) -> (Result<Bytes, DecodeError>, ShardFeedback) {
+        let shard = self.shard_of(&meta.flow);
+        let (result, feedback) = self.shards[shard].decode_shared(wire_payload, meta);
+        (
+            result,
+            ShardFeedback {
+                shard: shard as u16,
+                nack_ids: feedback.nack_ids,
+            },
+        )
+    }
+
     /// Decode a batch concurrently (one scoped thread per non-empty
     /// shard; in-shard order preserved, results in input order).
     pub fn decode_batch(
@@ -314,7 +332,7 @@ impl ShardedDecoder {
             return items
                 .iter()
                 .map(|(meta, wire)| {
-                    let (result, feedback) = self.shards[0].decode(wire, meta);
+                    let (result, feedback) = self.shards[0].decode_shared(wire, meta);
                     (
                         result,
                         ShardFeedback {
@@ -343,7 +361,7 @@ impl ShardedDecoder {
                         .iter()
                         .map(|&i| {
                             let (meta, wire) = &items[i];
-                            let (result, feedback) = decoder.decode(wire, meta);
+                            let (result, feedback) = decoder.decode_shared(wire, meta);
                             (
                                 i,
                                 (

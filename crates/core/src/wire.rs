@@ -256,12 +256,30 @@ pub fn encode_tokens_into(
     }
 }
 
-/// Parse a shim payload (header + body).
+/// Parse a shim payload (header + body) from a plain byte slice.
+///
+/// Copies the body into fresh storage; prefer [`parse_shared`] when the
+/// payload already lives in a ref-counted [`Bytes`] buffer.
 ///
 /// # Errors
 ///
 /// [`WireError`] on truncation, bad magic/version, or malformed tokens.
 pub fn parse(buf: &[u8]) -> Result<ShimPayload, WireError> {
+    // Validate the header before copying so malformed input stays cheap.
+    ShimHeader::parse(buf)?;
+    parse_shared(&Bytes::copy_from_slice(buf))
+}
+
+/// Parse a shim payload without copying the body: the raw bytes and every
+/// literal token are O(1) [`Bytes::slice`] views into `payload`, so the
+/// reconstruction (and the decoder cache it feeds) shares the arriving
+/// packet's buffer instead of duplicating it per hop.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, bad magic/version, or malformed tokens.
+pub fn parse_shared(payload: &Bytes) -> Result<ShimPayload, WireError> {
+    let buf: &[u8] = payload;
     let header = ShimHeader::parse(buf)?;
     let body = &buf[HEADER_LEN..];
     if !header.encoded {
@@ -270,7 +288,7 @@ pub fn parse(buf: &[u8]) -> Result<ShimPayload, WireError> {
         }
         return Ok(ShimPayload {
             header,
-            raw: Some(Bytes::copy_from_slice(body)),
+            raw: Some(payload.slice(HEADER_LEN..)),
             tokens: Vec::new(),
         });
     }
@@ -286,9 +304,9 @@ pub fn parse(buf: &[u8]) -> Result<ShimPayload, WireError> {
                 if i + 3 + len > body.len() {
                     return Err(WireError::Malformed("literal overruns body"));
                 }
-                tokens.push(Token::Literal(Bytes::copy_from_slice(
-                    &body[i + 3..i + 3 + len],
-                )));
+                tokens.push(Token::Literal(
+                    payload.slice(HEADER_LEN + i + 3..HEADER_LEN + i + 3 + len),
+                ));
                 i += 3 + len;
             }
             0x01 => {
@@ -367,6 +385,34 @@ mod tests {
         assert!(p.header.encoded);
         assert_eq!(p.header.checksum, 0xDEADBEEF);
         assert_eq!(p.tokens, tokens);
+    }
+
+    #[test]
+    fn parse_shared_is_zero_copy_and_agrees_with_parse() {
+        let raw: Bytes = encode_raw(7, 42, b"hello world").into();
+        let p = parse_shared(&raw).unwrap();
+        assert_eq!(p, parse(&raw).unwrap());
+        // The raw body must alias the input buffer, not a copy of it.
+        let body = p.raw.expect("raw body");
+        assert_eq!(body.as_slice().as_ptr(), raw[HEADER_LEN..].as_ptr());
+
+        let tokens = vec![
+            Token::Literal(Bytes::from_static(b"abc")),
+            Token::Match {
+                fingerprint: 9,
+                offset_new: 3,
+                offset_stored: 0,
+                len: 40,
+            },
+        ];
+        let enc: Bytes = encode_tokens(1, 2, 43, 5, &tokens).into();
+        let p = parse_shared(&enc).unwrap();
+        assert_eq!(p, parse(&enc).unwrap());
+        let Token::Literal(lit) = &p.tokens[0] else {
+            panic!("expected literal");
+        };
+        // Literal tokens alias the input too (tag + len framing skipped).
+        assert_eq!(lit.as_slice().as_ptr(), enc[HEADER_LEN + 3..].as_ptr());
     }
 
     #[test]

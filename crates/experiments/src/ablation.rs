@@ -19,7 +19,8 @@ use bytecache::PolicyKind;
 use bytecache_workload::FileSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::report::{parallel_map, Table};
+use crate::campaign::Campaign;
+use crate::report::Table;
 use crate::scenario::{run_scenario, ScenarioConfig};
 
 /// One (policy, channel-kind) measurement.
@@ -45,6 +46,19 @@ pub struct AblationPoint {
 /// burst lengths.
 #[must_use]
 pub fn run(object_size: usize, loss: f64, bursts: &[f64], seeds: u64) -> Vec<AblationPoint> {
+    run_with(&Campaign::default(), object_size, loss, bursts, seeds)
+}
+
+/// Run the ablation on an explicit [`Campaign`]; results are identical
+/// for every thread count.
+#[must_use]
+pub fn run_with(
+    campaign: &Campaign,
+    object_size: usize,
+    loss: f64,
+    bursts: &[f64],
+    seeds: u64,
+) -> Vec<AblationPoint> {
     let object = FileSpec::File1.build(object_size, 42);
     let mut cells: Vec<(PolicyKind, Option<f64>)> = Vec::new();
     for policy in [PolicyKind::CacheFlush, PolicyKind::TcpSeq] {
@@ -53,13 +67,15 @@ pub fn run(object_size: usize, loss: f64, bursts: &[f64], seeds: u64) -> Vec<Abl
             cells.push((policy, Some(b)));
         }
     }
-    parallel_map(cells, move |(policy, burst_len)| {
+    campaign.run_cells("ablation", cells, move |cell, (policy, burst_len)| {
         let mut perceived = 0.0;
         let mut delay = 0.0;
         let mut bytes = 0.0;
         let mut runs = 0usize;
         let mut failures = 0usize;
-        for seed in 0..seeds {
+        for run in 0..seeds {
+            // Baseline and DRE share the seed (same channel realization).
+            let seed = campaign.seed(cell as u64, run);
             let mut base_cfg = ScenarioConfig::new(object.clone()).loss(loss).seed(seed);
             base_cfg.burst_len = burst_len;
             let baseline = run_scenario(&base_cfg);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick] [--threads N]
 //!
 //! experiments:
 //!   table1      Table I   — redundancy of web objects vs cache window
@@ -20,15 +20,20 @@
 //!   shardscale  extension — multi-flow throughput scaling across engine shards
 //!   hotpath     extension — fused scan-and-index vs two-pass encode throughput
 //!               (writes BENCH_hotpath.json; asserts round-trip integrity)
+//!   simthroughput extension — campaign wall-clock (serial vs parallel,
+//!               byte-identical or exit 1) and zero-copy payload path
+//!               (writes BENCH_simthroughput.json)
 //!   all         everything above
 //!
 //! --quick shrinks object sizes and seed counts (~10x faster).
+//! --threads N runs experiment grids on N campaign workers (default:
+//!   one per available CPU); output is byte-identical for every N.
 //! ```
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
     ablation, fig6, hotpath, insights, interflow, kdistance, mobility, perceived, shardscale,
-    stalltrace, sweep, table1, table2, tuning,
+    simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
 };
 use bytecache_netsim::time::SimDuration;
 
@@ -62,12 +67,28 @@ impl Scale {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map_or("all", String::as_str)
-        .to_string();
+    let mut threads = 0usize; // 0 = one worker per available CPU
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--threads" {
+            threads = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                });
+        } else if !arg.starts_with("--") {
+            positional.push(arg);
+        }
+    }
+    let what = positional.first().copied().unwrap_or("all").to_string();
     let scale = Scale::new(quick);
+    let campaign = Campaign::default()
+        .with_threads(threads)
+        .with_progress(true);
 
     let known = [
         "table1",
@@ -85,6 +106,7 @@ fn main() {
         "tuning",
         "shardscale",
         "hotpath",
+        "simthroughput",
         "all",
     ];
     if !known.contains(&what.as_str()) {
@@ -94,11 +116,12 @@ fn main() {
     let run = |name: &str| what == name || what == "all";
 
     if run("table1") {
-        let rows = table1::run(scale.table1_size, 42);
+        let rows = table1::run_with(&campaign, scale.table1_size, 42);
         println!("{}", table1::render(&rows));
     }
     if run("fig6") {
-        let r = fig6::run(
+        let r = fig6::run_with(
+            &campaign,
             scale.fig6_runs,
             scale.object_size.min(fig6::EBOOK_SIZE),
             0.01,
@@ -111,7 +134,7 @@ fn main() {
             seeds: scale.seeds,
             ..sweep::SweepParams::default()
         };
-        let pts = sweep::run(&params);
+        let pts = sweep::run_with(&campaign, &params);
         if run("fig10") {
             println!("{}", sweep::render_fig10(&pts));
         }
@@ -133,10 +156,13 @@ fn main() {
             seeds: scale.seeds,
             ..perceived::PerceivedParams::default()
         };
-        println!("{}", perceived::render(&perceived::run(&params)));
+        println!(
+            "{}",
+            perceived::render(&perceived::run_with(&campaign, &params))
+        );
     }
     if run("table2") {
-        let r = table2::run(scale.object_size, scale.seeds);
+        let r = table2::run_with(&campaign, scale.object_size, scale.seeds);
         println!("{}", table2::render(&r));
     }
     if run("insights") {
@@ -179,7 +205,7 @@ fn main() {
         println!();
     }
     if run("ablation") {
-        let pts = ablation::run(scale.object_size, 0.05, &[4.0, 8.0], scale.seeds);
+        let pts = ablation::run_with(&campaign, scale.object_size, 0.05, &[4.0, 8.0], scale.seeds);
         println!("{}", ablation::render(&pts, 0.05));
     }
     if run("tuning") {
@@ -213,6 +239,25 @@ fn main() {
         println!(
             "  wrote BENCH_hotpath.json (redundant-sweep geomean speedup {:.2}x)\n",
             hotpath::redundant_geomean_speedup(&cases)
+        );
+    }
+    if run("simthroughput") {
+        let params = simthroughput::SimThroughputParams::new(quick).threads(threads);
+        let result = simthroughput::run(&params);
+        println!("{}", simthroughput::render(&result));
+        // The harness doubles as the campaign-determinism smoke test:
+        // parallel output must match the serial reference byte-for-byte.
+        if !result.campaign.identical {
+            eprintln!("simthroughput: parallel campaign output diverged from the serial reference");
+            std::process::exit(1);
+        }
+        let json = simthroughput::to_json(&result);
+        std::fs::write("BENCH_simthroughput.json", &json)
+            .expect("write BENCH_simthroughput.json in the current directory");
+        println!(
+            "  wrote BENCH_simthroughput.json (campaign {:.2}x on {} threads, \
+             payload sharing {:.2}x)\n",
+            result.campaign.speedup, result.campaign.threads, result.payload_gain
         );
     }
     if run("mobility") {

@@ -12,7 +12,8 @@ use bytecache::PolicyKind;
 use bytecache_workload::{generate, ObjectKind};
 use serde::{Deserialize, Serialize};
 
-use crate::report::{parallel_map, Table};
+use crate::campaign::Campaign;
+use crate::report::Table;
 use crate::scenario::{run_scenario, ScenarioConfig};
 
 /// The paper's e-book size.
@@ -35,13 +36,27 @@ pub struct Fig6Result {
 /// `loss_rate` and record how far each got.
 #[must_use]
 pub fn run(runs: usize, object_size: usize, loss_rate: f64) -> Fig6Result {
+    run_with(&Campaign::default(), runs, object_size, loss_rate)
+}
+
+/// Run the stall-frequency experiment on an explicit [`Campaign`]; one
+/// cell per download, seeded by the cell index (identical for every
+/// thread count).
+#[must_use]
+pub fn run_with(
+    campaign: &Campaign,
+    runs: usize,
+    object_size: usize,
+    loss_rate: f64,
+) -> Fig6Result {
     let object = generate(ObjectKind::Ebook, object_size, 42);
-    let fractions = parallel_map((0..runs as u64).collect::<Vec<_>>(), |seed| {
+    let cells: Vec<u64> = (0..runs as u64).collect();
+    let fractions = campaign.run_cells("fig6", cells, |cell, run| {
         let r = run_scenario(
             &ScenarioConfig::new(object.clone())
                 .policy(PolicyKind::Naive)
                 .loss(loss_rate)
-                .seed(seed),
+                .seed(campaign.seed(cell as u64, run)),
         );
         (r.fraction_retrieved(), r.completed())
     });
@@ -53,6 +68,21 @@ pub fn run(runs: usize, object_size: usize, loss_rate: f64) -> Fig6Result {
         mean_fraction,
         loss_rate,
     }
+}
+
+/// Serialize the result as a JSON object. Same byte-for-byte contract
+/// as [`crate::sweep::to_json`]: used by the campaign determinism
+/// checks to compare serial and parallel output.
+#[must_use]
+pub fn to_json(result: &Fig6Result) -> String {
+    let fractions: Vec<String> = result.fractions.iter().map(|f| format!("{f}")).collect();
+    format!(
+        "{{\"loss_rate\": {}, \"successes\": {}, \"mean_fraction\": {}, \"fractions\": [{}]}}",
+        result.loss_rate,
+        result.successes,
+        result.mean_fraction,
+        fractions.join(", ")
+    )
 }
 
 /// Render per-run retrieval fractions plus the summary line.
@@ -108,6 +138,22 @@ mod tests {
         let r = run(3, 100_000, 0.0);
         assert_eq!(r.successes, 3);
         assert!((r.mean_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_exact_and_balanced() {
+        let r = Fig6Result {
+            fractions: vec![0.25, 1.0],
+            successes: 1,
+            mean_fraction: 0.625,
+            loss_rate: 0.01,
+        };
+        let json = to_json(&r);
+        assert_eq!(
+            json,
+            "{\"loss_rate\": 0.01, \"successes\": 1, \"mean_fraction\": 0.625, \
+             \"fractions\": [0.25, 1]}"
+        );
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! | [`mobility`] | §II — handoff survival at the IP layer |
 //! | [`shardscale`] | beyond the paper — multi-flow throughput scaling across engine shards |
 //! | [`hotpath`] | beyond the paper — fused scan-and-index vs two-pass encoder throughput |
+//! | [`simthroughput`] | beyond the paper — parallel campaign wall-clock and zero-copy payload path |
+//!
+//! Experiment grids execute on the [`campaign`] executor: deterministic
+//! parallel fan-out whose output is byte-identical for every thread
+//! count (the `repro` binary's `--threads` flag).
 //!
 //! Run them all via the `repro` binary (`cargo run -p
 //! bytecache-experiments --bin repro -- all`); `EXPERIMENTS.md` in the
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod campaign;
 pub mod fig6;
 pub mod hotpath;
 pub mod insights;
@@ -43,10 +49,12 @@ pub mod perceived;
 pub mod report;
 pub mod scenario;
 pub mod shardscale;
+pub mod simthroughput;
 pub mod stalltrace;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod tuning;
 
+pub use campaign::Campaign;
 pub use scenario::{run_scenario, PassThrough, RunResult, ScenarioConfig};

@@ -9,7 +9,8 @@ use bytecache::PolicyKind;
 use bytecache_workload::FileSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::report::{parallel_map, Table};
+use crate::campaign::Campaign;
+use crate::report::Table;
 use crate::scenario::{run_scenario, ScenarioConfig};
 
 /// One (policy, actual-loss) measurement.
@@ -59,6 +60,13 @@ pub fn policies() -> Vec<PolicyKind> {
 /// Run the Figure 13 sweep on File 1.
 #[must_use]
 pub fn run(params: &PerceivedParams) -> Vec<PerceivedPoint> {
+    run_with(&Campaign::default(), params)
+}
+
+/// Run the Figure 13 sweep on an explicit [`Campaign`]; results are
+/// identical for every thread count.
+#[must_use]
+pub fn run_with(campaign: &Campaign, params: &PerceivedParams) -> Vec<PerceivedPoint> {
     let object = FileSpec::File1.build(params.object_size, 42);
     let mut cells = Vec::new();
     for policy in policies() {
@@ -67,15 +75,15 @@ pub fn run(params: &PerceivedParams) -> Vec<PerceivedPoint> {
         }
     }
     let seeds = params.seeds;
-    parallel_map(cells, move |(policy, actual)| {
+    campaign.run_cells("perceived", cells, move |cell, (policy, actual)| {
         let mut sum = 0.0;
         let mut runs = 0usize;
-        for seed in 0..seeds {
+        for run in 0..seeds {
             let r = run_scenario(
                 &ScenarioConfig::new(object.clone())
                     .policy(policy)
                     .loss(actual)
-                    .seed(seed),
+                    .seed(campaign.seed(cell as u64, run)),
             );
             // Perceived loss is meaningful even for aborted runs.
             sum += r.perceived_loss();

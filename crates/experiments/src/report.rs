@@ -1,7 +1,5 @@
 //! ASCII table rendering and a small parallel sweep runner.
 
-use parking_lot::Mutex;
-
 /// A printable experiment table (monospace, padded columns).
 ///
 /// # Example
@@ -87,34 +85,15 @@ impl core::fmt::Display for Table {
 ///
 /// The experiment sweeps are embarrassingly parallel (independent
 /// seeded simulations); this keeps the `repro` binary and the Criterion
-/// benches wall-clock friendly.
+/// benches wall-clock friendly. Thin wrapper over the campaign executor
+/// (see [`crate::campaign::Campaign`]) at its default thread count.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = Mutex::new(work);
-    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                let Some((idx, item)) = item else { break };
-                let out = f(item);
-                results.lock().push((idx, out));
-            });
-        }
-    })
-    .expect("worker panicked");
-    let mut results = results.into_inner();
-    results.sort_by_key(|(i, _)| *i);
-    results.into_iter().map(|(_, u)| u).collect()
+    crate::campaign::Campaign::default().run_cells("map", items, |_, item| f(item))
 }
 
 #[cfg(test)]

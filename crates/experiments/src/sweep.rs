@@ -16,7 +16,8 @@ use bytecache::PolicyKind;
 use bytecache_workload::FileSpec;
 use serde::{Deserialize, Serialize};
 
-use crate::report::{parallel_map, Table};
+use crate::campaign::Campaign;
+use crate::report::Table;
 use crate::scenario::{run_scenario, ScenarioConfig};
 
 /// One point of the Figure 10/11 curves.
@@ -72,6 +73,13 @@ impl Default for SweepParams {
 /// Run the sweep; one [`SweepPoint`] per (file, policy, loss).
 #[must_use]
 pub fn run(params: &SweepParams) -> Vec<SweepPoint> {
+    run_with(&Campaign::default(), params)
+}
+
+/// Run the sweep on an explicit [`Campaign`] (thread count, seed
+/// derivation, progress); results are identical for every thread count.
+#[must_use]
+pub fn run_with(campaign: &Campaign, params: &SweepParams) -> Vec<SweepPoint> {
     let mut cells = Vec::new();
     for &file in &params.files {
         for &policy in &params.policies {
@@ -80,19 +88,38 @@ pub fn run(params: &SweepParams) -> Vec<SweepPoint> {
             }
         }
     }
-    parallel_map(cells, |(file, policy, loss)| {
-        point(file, policy, loss, params.object_size, params.seeds)
+    campaign.run_cells("sweep", cells, |cell, (file, policy, loss)| {
+        point(
+            campaign,
+            cell as u64,
+            file,
+            policy,
+            loss,
+            params.object_size,
+            params.seeds,
+        )
     })
 }
 
-fn point(file: FileSpec, policy: PolicyKind, loss: f64, size: usize, seeds: u64) -> SweepPoint {
+fn point(
+    campaign: &Campaign,
+    cell: u64,
+    file: FileSpec,
+    policy: PolicyKind,
+    loss: f64,
+    size: usize,
+    seeds: u64,
+) -> SweepPoint {
     let object = file.build(size, 42);
     let mut bytes_sum = 0.0;
     let mut delay_sum = 0.0;
     let mut perceived_sum = 0.0;
     let mut runs = 0usize;
     let mut failures = 0usize;
-    for seed in 0..seeds {
+    for run in 0..seeds {
+        // The baseline and DRE runs share the seed — and so the channel
+        // realization — which is what makes their ratios meaningful.
+        let seed = campaign.seed(cell, run);
         let baseline = run_scenario(&ScenarioConfig::new(object.clone()).loss(loss).seed(seed));
         let dre = run_scenario(
             &ScenarioConfig::new(object.clone())
@@ -121,6 +148,32 @@ fn point(file: FileSpec, policy: PolicyKind, loss: f64, size: usize, seeds: u64)
         runs,
         failures,
     }
+}
+
+/// Serialize sweep points as a JSON array. Floats use Rust's shortest
+/// round-trip formatting, so two runs agree byte-for-byte iff every
+/// number is bit-identical — the campaign determinism checks compare
+/// these strings directly.
+#[must_use]
+pub fn to_json(points: &[SweepPoint]) -> String {
+    let mut s = String::from("[\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"file\": \"{}\", \"policy\": \"{}\", \"loss\": {}, \"bytes_ratio\": {}, \
+             \"delay_ratio\": {}, \"perceived_loss\": {}, \"runs\": {}, \"failures\": {}}}{}\n",
+            p.file.label(),
+            p.policy.label(),
+            p.loss,
+            p.bytes_ratio,
+            p.delay_ratio,
+            p.perceived_loss,
+            p.runs,
+            p.failures,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
 }
 
 /// Render the Figure 10 (bytes) view.
@@ -201,6 +254,38 @@ mod tests {
         assert!(at3.bytes_ratio > at0.bytes_ratio);
         assert!(at3.delay_ratio > 1.0, "delay {:?}", at3.delay_ratio);
         assert!(at3.perceived_loss > 0.03);
+    }
+
+    #[test]
+    fn json_is_exact_and_balanced() {
+        let pts = vec![
+            SweepPoint {
+                file: FileSpec::File1,
+                policy: PolicyKind::CacheFlush,
+                loss: 0.05,
+                bytes_ratio: 0.5,
+                delay_ratio: 1.25,
+                perceived_loss: 0.0625,
+                runs: 2,
+                failures: 0,
+            },
+            SweepPoint {
+                file: FileSpec::File2,
+                policy: PolicyKind::TcpSeq,
+                loss: 0.1,
+                bytes_ratio: 0.75,
+                delay_ratio: 2.0,
+                perceived_loss: 0.125,
+                runs: 1,
+                failures: 1,
+            },
+        ];
+        let json = to_json(&pts);
+        assert_eq!(json, to_json(&pts), "serialization must be a pure function");
+        assert!(json.contains("\"loss\": 0.05"));
+        assert!(json.contains("\"bytes_ratio\": 0.75"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
+use crate::campaign::Campaign;
 use crate::report::Table;
 
 /// The cache windows of the paper's Table I, in packets.
@@ -59,13 +60,33 @@ pub fn measure_redundancy(object: &[u8], window_packets: usize) -> f64 {
 /// Run the Table I measurement for all object kinds.
 #[must_use]
 pub fn run(object_size: usize, seed: u64) -> Vec<Row> {
+    run_with(&Campaign::default(), object_size, seed)
+}
+
+/// Run the Table I measurement on an explicit [`Campaign`]: one cell per
+/// (object kind, window) pair, results identical for every thread count.
+#[must_use]
+pub fn run_with(campaign: &Campaign, object_size: usize, seed: u64) -> Vec<Row> {
+    let mut cells = Vec::new();
+    for &kind in ObjectKind::ALL.iter() {
+        for &k in WINDOWS.iter() {
+            cells.push((kind, k));
+        }
+    }
+    let measured = campaign.run_cells("table1", cells, |_, (kind, k)| {
+        // The workload generator is seeded directly (this experiment
+        // runs no channel), so the campaign's seed derivation is not
+        // involved; determinism is per-cell purity alone.
+        let object = generate(kind, object_size, seed);
+        measure_redundancy(&object, k)
+    });
     ObjectKind::ALL
         .iter()
-        .map(|&kind| {
-            let object = generate(kind, object_size, seed);
+        .enumerate()
+        .map(|(row, &kind)| {
             let mut redundancy = [0.0; 3];
-            for (i, &k) in WINDOWS.iter().enumerate() {
-                redundancy[i] = measure_redundancy(&object, k);
+            for (i, r) in redundancy.iter_mut().enumerate() {
+                *r = measured[row * WINDOWS.len() + i];
             }
             Row { kind, redundancy }
         })

@@ -14,8 +14,9 @@ use bytecache::PolicyKind;
 use bytecache_workload::FileSpec;
 use serde::{Deserialize, Serialize};
 
+use crate::campaign::Campaign;
 use crate::report::Table;
-use crate::sweep::{run as run_sweep, SweepParams, SweepPoint};
+use crate::sweep::{run_with as run_sweep_with, SweepParams, SweepPoint};
 
 /// The measured Table II cells.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,6 +38,12 @@ pub fn schemes() -> Vec<PolicyKind> {
 /// Run the Table II measurements.
 #[must_use]
 pub fn run(object_size: usize, seeds: u64) -> Table2Result {
+    run_with(&Campaign::default(), object_size, seeds)
+}
+
+/// Run the Table II measurements on an explicit [`Campaign`].
+#[must_use]
+pub fn run_with(campaign: &Campaign, object_size: usize, seeds: u64) -> Table2Result {
     let params = SweepParams {
         object_size,
         losses: vec![0.05, 0.10],
@@ -45,7 +52,7 @@ pub fn run(object_size: usize, seeds: u64) -> Table2Result {
         policies: schemes(),
     };
     Table2Result {
-        points: run_sweep(&params),
+        points: run_sweep_with(campaign, &params),
     }
 }
 

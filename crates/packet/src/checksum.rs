@@ -53,6 +53,12 @@ impl Checksum {
     }
 
     /// Fold a byte slice, padding a trailing odd byte with zero per RFC 1071.
+    ///
+    /// Internally folds four bytes per step into a 64-bit accumulator —
+    /// ones'-complement addition is associative and commutative, so wide
+    /// partial sums collapse to the same 16-bit result. This keeps the
+    /// serialize-and-checksum path (headers + payload on every emitted
+    /// packet) from being byte-at-a-time.
     pub fn add_bytes(&mut self, bytes: &[u8]) {
         let mut iter = bytes.iter();
         if self.pending.is_some() {
@@ -62,7 +68,18 @@ impl Checksum {
             }
         }
         let rest = iter.as_slice();
-        let mut chunks = rest.chunks_exact(2);
+        let mut wide: u64 = 0;
+        let mut words = rest.chunks_exact(4);
+        for chunk in &mut words {
+            wide += u64::from(u32::from_be_bytes(chunk.try_into().expect("4-byte chunk")));
+        }
+        // Collapse the wide accumulator to a sum of 16-bit words, then
+        // pre-fold `sum` so repeated calls cannot overflow 32 bits.
+        self.sum +=
+            ((wide >> 48) + ((wide >> 32) & 0xFFFF) + ((wide >> 16) & 0xFFFF) + (wide & 0xFFFF))
+                as u32;
+        self.sum = (self.sum & 0xFFFF) + (self.sum >> 16);
+        let mut chunks = words.remainder().chunks_exact(2);
         for chunk in &mut chunks {
             self.sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
         }

@@ -84,12 +84,22 @@ impl Packet {
     /// checksums.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
-        let total = self.wire_len();
-        let mut out = Vec::with_capacity(total);
-        self.ip.write(total as u16, &mut out);
-        self.tcp.write(&self.ip, &self.payload, &mut out);
-        out.extend_from_slice(&self.payload);
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.write_bytes(&mut out);
         out
+    }
+
+    /// Serialize into a caller-provided buffer (cleared first), the
+    /// buffer-reuse variant of [`to_bytes`](Packet::to_bytes): callers
+    /// serializing a packet stream keep one `Vec<u8>` and amortize the
+    /// allocation away.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let total = self.wire_len();
+        out.reserve(total);
+        self.ip.write(total as u16, out);
+        self.tcp.write(&self.ip, &self.payload, out);
+        out.extend_from_slice(&self.payload);
     }
 
     /// Parse from wire bytes, verifying both checksums.
@@ -184,6 +194,23 @@ mod tests {
         assert_eq!(bytes.len(), p.wire_len());
         let back = Packet::from_bytes(&bytes).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn write_bytes_reuses_buffer_and_matches_to_bytes() {
+        let mut buf = Vec::new();
+        let big = sample(&[0xA5u8; 600]);
+        big.write_bytes(&mut buf);
+        assert_eq!(buf, big.to_bytes());
+        let cap = buf.capacity();
+        // A run of smaller packets must reuse the same allocation and
+        // still produce byte-exact output each time.
+        for i in 0..8u8 {
+            let p = sample(&vec![i; 100 + usize::from(i)]);
+            p.write_bytes(&mut buf);
+            assert_eq!(buf, p.to_bytes());
+            assert_eq!(buf.capacity(), cap);
+        }
     }
 
     #[test]

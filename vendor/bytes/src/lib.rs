@@ -2,9 +2,12 @@
 //! API this workspace uses: [`Bytes`], a cheaply cloneable, sliceable,
 //! reference-counted byte buffer.
 //!
-//! Clones and `slice()` are O(1): they share one `Arc<[u8]>` allocation
-//! and adjust a `(start, end)` view. Semantics match the real crate for
-//! the operations exposed here.
+//! Clones and `slice()` are O(1): they share one `Arc<Vec<u8>>`
+//! allocation and adjust a `(start, end)` view. `From<Vec<u8>>` is also
+//! O(1) — the vector is moved behind the `Arc` without copying its
+//! contents — so producers can build a buffer in a plain `Vec<u8>` and
+//! freeze it into a shareable handle for free. Semantics match the real
+//! crate for the operations exposed here.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -12,47 +15,47 @@
 use std::borrow::Borrow;
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply cloneable, immutable, sliceable byte buffer.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
 
+/// Shared storage for empty buffers so `Bytes::new()` never allocates
+/// byte storage (only clones one process-wide `Arc`).
+static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+
 impl Bytes {
-    /// An empty buffer (no allocation).
+    /// An empty buffer (no byte-storage allocation).
     #[must_use]
     pub fn new() -> Self {
-        Bytes::from_vec(Vec::new())
+        Bytes {
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new()))),
+            start: 0,
+            end: 0,
+        }
     }
 
     /// Buffer wrapping a static slice (copied once into shared storage).
     #[must_use]
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-            start: 0,
-            end: data.len(),
-        }
+        Bytes::from_vec(data.to_vec())
     }
 
     /// Buffer holding a copy of `data`.
     #[must_use]
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-            start: 0,
-            end: data.len(),
-        }
+        Bytes::from_vec(data.to_vec())
     }
 
     fn from_vec(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Arc::from(v),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -134,6 +137,7 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// O(1): moves the vector behind the `Arc`; no byte copy.
     fn from(v: Vec<u8>) -> Self {
         Bytes::from_vec(v)
     }
@@ -285,6 +289,26 @@ mod tests {
     #[should_panic(expected = "slice out of bounds")]
     fn out_of_bounds_slice_panics() {
         let _ = Bytes::from_static(b"abc").slice(1..9);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![9u8; 64];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        // The view must alias the original vector's storage: freezing a
+        // Vec into Bytes moves it behind the Arc without copying.
+        assert_eq!(b.as_slice().as_ptr(), p);
+        let s = b.slice(8..16);
+        assert_eq!(s.as_slice().as_ptr(), b.as_slice()[8..].as_ptr());
+    }
+
+    #[test]
+    fn empty_buffers_share_storage() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.is_empty());
     }
 
     #[test]
