@@ -1,0 +1,94 @@
+//! Telemetry overhead bench: the hot-path encode/decode sweep with the
+//! recorder disabled (the default), enabled, and absent-by-construction
+//! (baseline identical to the pre-telemetry encoder).
+//!
+//! The disabled path is the one that ships in every experiment run, so
+//! it must be indistinguishable from the baseline — the acceptance bar
+//! is within 3% wall-clock. The enabled path quantifies what a
+//! `--metrics-out` run actually pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bytecache::{Decoder, DreConfig, Encoder, PacketMeta, PolicyKind};
+use bytecache_packet::{FlowId, SeqNum};
+use bytecache_workload::StreamSpec;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 4000,
+    }
+}
+
+fn traffic(payload_size: usize, redundancy: f64, total: usize) -> Vec<(PacketMeta, Bytes)> {
+    let spec = StreamSpec {
+        packet_size: payload_size,
+        redundant_packet_fraction: redundancy,
+        copied_fraction: 0.8,
+        fan: 4,
+        max_distance: 64,
+    };
+    let object = spec.build(total, 42);
+    let mut seq = 1u32;
+    object
+        .chunks(payload_size)
+        .map(|chunk| {
+            let meta = PacketMeta {
+                flow: flow(),
+                seq: SeqNum::new(seq),
+                payload_len: chunk.len(),
+                flow_index: 0,
+            };
+            seq = seq.wrapping_add(chunk.len() as u32);
+            (meta, Bytes::copy_from_slice(chunk))
+        })
+        .collect()
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    const TOTAL: usize = 1 << 20;
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Bytes(TOTAL as u64));
+    group.sample_size(10);
+    let stream = traffic(1400, 0.9, TOTAL);
+    for (label, telemetry) in [("off", false), ("on", true)] {
+        group.bench_with_input(BenchmarkId::new("encode", label), &stream, |b, stream| {
+            b.iter(|| {
+                let mut enc = Encoder::new(DreConfig::default(), PolicyKind::CacheFlush.build())
+                    .with_telemetry(telemetry);
+                let mut out = 0usize;
+                for (meta, payload) in stream {
+                    out += enc.encode(meta, payload).wire.len();
+                }
+                out
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip", label),
+            &stream,
+            |b, stream| {
+                b.iter(|| {
+                    let mut enc =
+                        Encoder::new(DreConfig::default(), PolicyKind::CacheFlush.build())
+                            .with_telemetry(telemetry);
+                    let mut dec = Decoder::new(DreConfig::default()).with_telemetry(telemetry);
+                    let mut out = 0usize;
+                    for (meta, payload) in stream {
+                        let wire = enc.encode(meta, payload).wire;
+                        let (restored, _) = dec.decode(&wire, meta);
+                        out += restored.map(|b| b.len()).unwrap_or(0);
+                    }
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

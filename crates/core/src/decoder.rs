@@ -3,6 +3,8 @@
 
 use bytes::Bytes;
 
+use bytecache_telemetry::{Event, EventKind, Recorder};
+
 use crate::config::DreConfig;
 use crate::engine::EngineCore;
 use crate::policy::PacketMeta;
@@ -72,6 +74,23 @@ pub struct Decoder {
     epoch: Option<u16>,
     next_expected_id: u32,
     stats: DecoderStats,
+    /// Decode-failure / NACK / epoch-flush events and per-packet
+    /// distributions; disabled by default.
+    telemetry: Recorder,
+}
+
+impl DecodeError {
+    /// Numeric failure class carried in [`EventKind::DecodeFailure`]
+    /// events (see that variant's docs for the mapping).
+    #[must_use]
+    pub fn class(&self) -> u64 {
+        match self {
+            DecodeError::MissingReference { .. } => 1,
+            DecodeError::ChecksumMismatch => 2,
+            DecodeError::BadRegion { .. } => 3,
+            DecodeError::Malformed(_) => 4,
+        }
+    }
 }
 
 impl Decoder {
@@ -87,6 +106,7 @@ impl Decoder {
             epoch: None,
             next_expected_id: 0,
             stats: DecoderStats::default(),
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -94,6 +114,58 @@ impl Decoder {
     #[must_use]
     pub fn stats(&self) -> &DecoderStats {
         &self.stats
+    }
+
+    /// Enable or disable telemetry on this decoder and its cache
+    /// (builder style). Never changes decode results.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.set_telemetry_enabled(enabled);
+        self
+    }
+
+    /// Enable or disable telemetry on this decoder and its cache.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+        self.core.cache.set_telemetry_enabled(enabled);
+    }
+
+    /// Tag this decoder's telemetry (and its cache's) with a shard
+    /// index; [`crate::ShardedDecoder`] sets one per shard.
+    pub fn set_telemetry_shard(&mut self, shard: u32) {
+        self.telemetry.set_shard(shard);
+        self.core.cache.set_telemetry_shard(shard);
+    }
+
+    /// The live telemetry recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// A merged telemetry snapshot: live decoder events, the cache's
+    /// snapshot, and every [`DecoderStats`] counter under `decoder.*`.
+    /// Empty when telemetry is disabled.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        if !self.telemetry.is_enabled() {
+            return Recorder::disabled();
+        }
+        let mut rec = self.telemetry.clone();
+        rec.merge(&self.core.cache.telemetry_snapshot());
+        let s = &self.stats;
+        rec.count("decoder.packets", s.packets);
+        rec.count("decoder.raw", s.raw);
+        rec.count("decoder.decoded", s.decoded);
+        rec.count("decoder.missing_reference", s.missing_reference);
+        rec.count("decoder.checksum_mismatch", s.checksum_mismatch);
+        rec.count("decoder.bad_region", s.bad_region);
+        rec.count("decoder.malformed", s.malformed);
+        rec.count("decoder.epoch_flushes", s.epoch_flushes);
+        rec.count("decoder.undecodable", s.undecodable());
+        rec.count("decoder.bytes_in", s.bytes_in);
+        rec.count("decoder.bytes_out", s.bytes_out);
+        rec
     }
 
     /// The configuration this decoder was built with.
@@ -139,13 +211,21 @@ impl Decoder {
         wire_payload: &Bytes,
         meta: &PacketMeta,
     ) -> (Result<Bytes, DecodeError>, Feedback) {
+        let span = self.telemetry.span_start();
         self.stats.packets += 1;
         self.stats.bytes_in += wire_payload.len() as u64;
         let parsed = match wire::parse_shared(wire_payload) {
             Ok(p) => p,
             Err(e) => {
                 self.stats.malformed += 1;
-                return (Err(DecodeError::Malformed(e)), Feedback::default());
+                let err = DecodeError::Malformed(e);
+                self.telemetry.event(
+                    Event::new(EventKind::DecodeFailure)
+                        .flow(meta.flow.stable_hash())
+                        .details(err.class(), u64::from(meta.seq.raw())),
+                );
+                self.telemetry.span_end("span.decode_ns", span);
+                return (Err(err), Feedback::default());
             }
         };
         let mut feedback = Feedback::default();
@@ -161,6 +241,11 @@ impl Decoder {
                     self.core.cache.flush();
                     self.stats.epoch_flushes += 1;
                     self.epoch = Some(parsed.header.epoch);
+                    self.telemetry.event(
+                        Event::new(EventKind::EpochFlush)
+                            .flow(meta.flow.stable_hash())
+                            .details(u64::from(parsed.header.epoch), 0),
+                    );
                 }
             }
         }
@@ -206,11 +291,24 @@ impl Decoder {
                     DecodeError::ChecksumMismatch => self.stats.checksum_mismatch += 1,
                     DecodeError::Malformed(_) => self.stats.malformed += 1,
                 }
+                self.telemetry.event(
+                    Event::new(EventKind::DecodeFailure)
+                        .flow(meta.flow.stable_hash())
+                        .details(e.class(), u64::from(meta.seq.raw())),
+                );
                 // This packet never made it into our cache either; tell
                 // the encoder not to use it.
                 feedback.nack_ids.push(id);
             }
         }
+        if !feedback.nack_ids.is_empty() {
+            self.telemetry.event(
+                Event::new(EventKind::Nack)
+                    .flow(meta.flow.stable_hash())
+                    .details(feedback.nack_ids.len() as u64, 0),
+            );
+        }
+        self.telemetry.span_end("span.decode_ns", span);
         (result, feedback)
     }
 

@@ -4,6 +4,7 @@
 use bytes::Bytes;
 
 use bytecache_packet::Packet;
+use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::DreConfig;
 use crate::engine::{EngineCore, ScanMode, ScanOutput};
@@ -83,6 +84,9 @@ pub struct Encoder {
     /// packets so the hot path does not allocate in steady state.
     scratch: ScanOutput,
     scan_mode: ScanMode,
+    /// Per-packet distributions and flush events; disabled by default
+    /// (one branch per recording site on the hot path).
+    telemetry: Recorder,
 }
 
 impl Encoder {
@@ -102,7 +106,62 @@ impl Encoder {
             stats: EncoderStats::default(),
             scratch: ScanOutput::default(),
             scan_mode: ScanMode::default(),
+            telemetry: Recorder::disabled(),
         }
+    }
+
+    /// Enable or disable telemetry on this encoder and its cache
+    /// (builder style). Enabled telemetry never changes wire output —
+    /// only the recorder's contents.
+    #[must_use]
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.set_telemetry_enabled(enabled);
+        self
+    }
+
+    /// Enable or disable telemetry on this encoder and its cache.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+        self.core.cache.set_telemetry_enabled(enabled);
+    }
+
+    /// Tag this encoder's telemetry (and its cache's) with a shard
+    /// index; [`crate::ShardedEncoder`] sets one per shard.
+    pub fn set_telemetry_shard(&mut self, shard: u32) {
+        self.telemetry.set_shard(shard);
+        self.core.cache.set_telemetry_shard(shard);
+    }
+
+    /// The live telemetry recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// A merged telemetry snapshot: live encoder distributions and
+    /// events, the cache's snapshot, and every [`EncoderStats`] counter
+    /// under `encoder.*`. Empty when telemetry is disabled.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        if !self.telemetry.is_enabled() {
+            return Recorder::disabled();
+        }
+        let mut rec = self.telemetry.clone();
+        rec.merge(&self.core.cache.telemetry_snapshot());
+        let s = &self.stats;
+        rec.count("encoder.packets", s.packets);
+        rec.count("encoder.bytes_in", s.bytes_in);
+        rec.count("encoder.bytes_out", s.bytes_out);
+        rec.count("encoder.encoded_packets", s.encoded_packets);
+        rec.count("encoder.raw_packets", s.raw_packets);
+        rec.count("encoder.references", s.references);
+        rec.count("encoder.flushes", s.flushes);
+        rec.count("encoder.matches", s.matches);
+        rec.count("encoder.matched_bytes", s.matched_bytes);
+        rec.count("encoder.scan_windows", s.scan_windows);
+        rec.count("encoder.sampled_windows", s.sampled_windows);
+        rec.count("encoder.index_insertions", s.index_insertions);
+        rec
     }
 
     /// Select the scan implementation ([`ScanMode::Fused`] is the
@@ -195,6 +254,7 @@ impl Encoder {
         payload: &Bytes,
         out: &mut Vec<u8>,
     ) -> EncodeInfo {
+        let span = self.telemetry.span_start();
         let meta = PacketMeta {
             flow_index: self.core.cache.flow_index(&meta.flow),
             ..*meta
@@ -204,6 +264,11 @@ impl Encoder {
             self.core.cache.flush();
             self.epoch = self.epoch.wrapping_add(1);
             self.stats.flushes += 1;
+            self.telemetry.event(
+                Event::new(EventKind::PolicyFlush)
+                    .flow(meta.flow.stable_hash())
+                    .details(u64::from(self.epoch), 0),
+            );
         }
         let id = self.core.cache.next_id();
         let shim_id = id.0 as u32;
@@ -284,6 +349,14 @@ impl Encoder {
             self.stats.raw_packets += 1;
         }
         self.scratch.tokens.clear(); // drop Bytes slices promptly; keep capacity
+        if self.telemetry.is_enabled() {
+            self.telemetry.record("encode.wire_bytes", out.len() as u64);
+            self.telemetry
+                .record("encode.matched_bytes", matched_bytes as u64);
+            self.telemetry
+                .record("encode.distinct_refs", distinct_refs as u64);
+        }
+        self.telemetry.span_end("span.encode_ns", span);
 
         EncodeInfo {
             id,

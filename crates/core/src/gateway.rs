@@ -168,6 +168,22 @@ impl EncoderGateway {
         self.nacks_received
     }
 
+    /// Enable or disable telemetry on the whole encoder bank.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.encoder.set_telemetry_enabled(enabled);
+    }
+
+    /// Merged telemetry snapshot: the bank's per-shard snapshots plus
+    /// the gateway-level `gateway.nacks_received` counter.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> bytecache_telemetry::Recorder {
+        let mut merged = self.encoder.telemetry_snapshot();
+        if merged.is_enabled() {
+            merged.count("gateway.nacks_received", self.nacks_received);
+        }
+        merged
+    }
+
     fn handle_control(&mut self, packet: &Packet) {
         self.nacks_received += 1;
         for record in packet.payload.chunks_exact(NACK_RECORD_LEN) {
@@ -388,6 +404,23 @@ impl DecoderGateway {
     #[must_use]
     pub fn nacks_sent(&self) -> u64 {
         self.nacks_sent
+    }
+
+    /// Enable or disable telemetry on the whole decoder bank.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.decoder.set_telemetry_enabled(enabled);
+    }
+
+    /// Merged telemetry snapshot: the bank's per-shard snapshots plus
+    /// gateway-level `gateway.nacks_sent` / `gateway.dropped` counters.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> bytecache_telemetry::Recorder {
+        let mut merged = self.decoder.telemetry_snapshot();
+        if merged.is_enabled() {
+            merged.count("gateway.nacks_sent", self.nacks_sent);
+            merged.count("gateway.dropped", self.dropped);
+        }
+        merged
     }
 
     fn build_feedback_packet(&mut self, feedback: &ShardFeedback) -> Option<Packet> {

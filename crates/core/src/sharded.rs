@@ -21,6 +21,7 @@
 use bytes::Bytes;
 
 use bytecache_packet::FlowId;
+use bytecache_telemetry::Recorder;
 
 use crate::config::DreConfig;
 use crate::decoder::{DecodeError, Decoder, Feedback};
@@ -221,6 +222,44 @@ impl ShardedEncoder {
         }
         total
     }
+
+    /// Enable or disable telemetry on every shard, tagging each shard's
+    /// recorder with its index so merged snapshots keep per-shard
+    /// labelled series apart.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_telemetry_enabled(enabled);
+            shard.set_telemetry_shard(i as u32);
+        }
+    }
+
+    /// Merged telemetry snapshot: every shard's recorder folded into
+    /// one, plus a `shard.hit_rate_pct` histogram with one sample per
+    /// shard (the shard's cache-hit percentage over encoded packets) and
+    /// per-shard labelled `shard.packets` counters for load-balance
+    /// inspection.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        let mut merged = Recorder::enabled();
+        let mut any = false;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.telemetry().is_enabled() {
+                continue;
+            }
+            any = true;
+            merged.merge(&shard.telemetry_snapshot());
+            let stats = shard.stats();
+            let packets = stats.packets;
+            let hits = stats.encoded_packets;
+            let rate = hits.saturating_mul(100).checked_div(packets).unwrap_or(0);
+            merged.record("shard.hit_rate_pct", rate);
+            merged.count_l("shard.packets", Some(i as u64), packets);
+        }
+        if !any {
+            return Recorder::disabled();
+        }
+        merged
+    }
 }
 
 /// Feedback from a sharded decode: the shard that produced it plus the
@@ -406,6 +445,40 @@ impl ShardedDecoder {
             total.merge(shard.cache().stats());
         }
         total
+    }
+
+    /// Enable or disable telemetry on every shard, tagging each shard's
+    /// recorder with its index (mirrors
+    /// [`ShardedEncoder::set_telemetry_enabled`]).
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_telemetry_enabled(enabled);
+            shard.set_telemetry_shard(i as u32);
+        }
+    }
+
+    /// Merged telemetry snapshot across shards, with per-shard labelled
+    /// `shard.decode_packets` counters for load-balance inspection.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        let mut merged = Recorder::enabled();
+        let mut any = false;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if !shard.telemetry().is_enabled() {
+                continue;
+            }
+            any = true;
+            merged.merge(&shard.telemetry_snapshot());
+            merged.count_l(
+                "shard.decode_packets",
+                Some(i as u64),
+                shard.stats().packets,
+            );
+        }
+        if !any {
+            return Recorder::disabled();
+        }
+        merged
     }
 }
 

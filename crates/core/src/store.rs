@@ -36,6 +36,7 @@ use bytes::Bytes;
 use bytecache_packet::{FlowId, SeqNum};
 use bytecache_rabin::sampler::Sampler;
 use bytecache_rabin::Fingerprinter;
+use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::DreConfig;
 
@@ -398,6 +399,7 @@ pub struct Cache {
     next_id: u64,
     flow_counters: HashMap<FlowId, u64>,
     stats: CacheStats,
+    telemetry: Recorder,
 }
 
 impl Cache {
@@ -417,6 +419,7 @@ impl Cache {
             next_id: 0,
             flow_counters: HashMap::new(),
             stats: CacheStats::default(),
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -424,6 +427,42 @@ impl Cache {
     #[must_use]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Enable or disable telemetry (eviction events, evicted-byte
+    /// histogram). Disabled — the default — costs one branch per
+    /// eviction.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+    }
+
+    /// Tag this cache's telemetry with a shard index.
+    pub fn set_telemetry_shard(&mut self, shard: u32) {
+        self.telemetry.set_shard(shard);
+    }
+
+    /// The live telemetry recorder (events recorded so far).
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// A telemetry snapshot: the live event data plus the cache's
+    /// counters (`cache.*`) and occupancy gauges at snapshot time.
+    /// Empty when telemetry is disabled.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        if !self.telemetry.is_enabled() {
+            return Recorder::disabled();
+        }
+        let mut rec = self.telemetry.clone();
+        rec.count("cache.inserts", self.stats.inserts);
+        rec.count("cache.evictions", self.stats.evictions);
+        rec.count("cache.replacements", self.stats.replacements);
+        rec.count("cache.flushes", self.stats.flushes);
+        rec.gauge("cache.bytes_used", self.bytes_used as u64);
+        rec.gauge("cache.entries", self.live as u64);
+        rec
     }
 
     /// Number of packets currently stored.
@@ -531,9 +570,18 @@ impl Cache {
                 break;
             };
             let slot = &self.slots[oldest.index as usize];
-            if slot.gen == oldest.gen && slot.data.is_some() {
-                self.release(oldest.index);
-                self.stats.evictions += 1;
+            if slot.gen == oldest.gen {
+                if let Some(data) = &slot.data {
+                    if self.telemetry.is_enabled() {
+                        let bytes = data.stored.payload.len() as u64;
+                        let id = data.id.0;
+                        self.telemetry
+                            .event(Event::new(EventKind::Eviction).details(id, bytes));
+                        self.telemetry.record("cache.evicted_bytes", bytes);
+                    }
+                    self.release(oldest.index);
+                    self.stats.evictions += 1;
+                }
             }
             // Stale refs (the slot was already released by an id
             // overwrite) are simply discarded.

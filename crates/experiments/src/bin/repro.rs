@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--threads N]
+//! repro <experiment> [--quick] [--threads N] [--metrics-out PATH]
+//! repro verify-metrics PATH [--require key1,key2,...]
 //!
 //! experiments:
 //!   table1      Table I   — redundancy of web objects vs cache window
@@ -23,11 +24,18 @@
 //!   simthroughput extension — campaign wall-clock (serial vs parallel,
 //!               byte-identical or exit 1) and zero-copy payload path
 //!               (writes BENCH_simthroughput.json)
+//!   sweep       alias for fig10 + fig11
 //!   all         everything above
 //!
 //! --quick shrinks object sizes and seed counts (~10x faster).
 //! --threads N runs experiment grids on N campaign workers (default:
 //!   one per available CPU); output is byte-identical for every N.
+//! --metrics-out PATH writes a telemetry snapshot (JSONL) merged across
+//!   the instrumented harnesses that ran (fig6, fig10/fig11, stalltrace,
+//!   hotpath). Tables on stdout are byte-identical with or without it.
+//!
+//! `verify-metrics` parses a snapshot back (exit 1 on malformed input or
+//! a missing required counter/histogram key) — the CI telemetry smoke.
 //! ```
 
 use bytecache::PolicyKind;
@@ -64,10 +72,49 @@ impl Scale {
     }
 }
 
+/// Parse and check a metrics snapshot; exits non-zero on malformed
+/// input or a missing required key (counter or histogram name).
+fn verify_metrics(path: &str, require: &[String]) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("verify-metrics: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let (rec, meta) = bytecache_telemetry::export::parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("verify-metrics: {path}: {e}");
+        std::process::exit(1);
+    });
+    let counters = rec.counters().count();
+    let hists = rec.hists().count();
+    if counters == 0 || hists == 0 {
+        eprintln!(
+            "verify-metrics: {path}: expected at least one counter and one histogram \
+             (got {counters} counters, {hists} histograms)"
+        );
+        std::process::exit(1);
+    }
+    for key in require {
+        let found = rec.counters().any(|((name, _), _)| name == key)
+            || rec.hists().any(|((name, _), _)| name == key);
+        if !found {
+            eprintln!("verify-metrics: {path}: required key '{key}' not present");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "verify-metrics: {path} OK ({} meta, {counters} counters, {hists} histograms, \
+         {} events)",
+        meta.len(),
+        rec.event_count()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut threads = 0usize; // 0 = one worker per available CPU
+    let mut metrics_out: Option<String> = None;
+    let mut require: Vec<String> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -80,11 +127,31 @@ fn main() {
                     eprintln!("--threads needs a positive integer");
                     std::process::exit(2);
                 });
+        } else if arg == "--metrics-out" {
+            metrics_out = Some(it.next().cloned().unwrap_or_else(|| {
+                eprintln!("--metrics-out needs a path");
+                std::process::exit(2);
+            }));
+        } else if arg == "--require" {
+            require = it
+                .next()
+                .map(|v| v.split(',').map(str::to_string).collect())
+                .unwrap_or_else(|| {
+                    eprintln!("--require needs a comma-separated key list");
+                    std::process::exit(2);
+                });
         } else if !arg.starts_with("--") {
             positional.push(arg);
         }
     }
     let what = positional.first().copied().unwrap_or("all").to_string();
+    if what == "verify-metrics" {
+        let Some(path) = positional.get(1) else {
+            eprintln!("verify-metrics needs a snapshot path");
+            std::process::exit(2);
+        };
+        verify_metrics(path, &require);
+    }
     let scale = Scale::new(quick);
     let campaign = Campaign::default()
         .with_threads(threads)
@@ -107,25 +174,34 @@ fn main() {
         "shardscale",
         "hotpath",
         "simthroughput",
+        "sweep",
         "all",
     ];
     if !known.contains(&what.as_str()) {
         eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
         std::process::exit(2);
     }
-    let run = |name: &str| what == name || what == "all";
+    let run = |name: &str| {
+        what == name || what == "all" || (what == "sweep" && (name == "fig10" || name == "fig11"))
+    };
+    // Snapshot merged across every instrumented harness that runs;
+    // written at the end when --metrics-out was given.
+    let mut metrics = bytecache_telemetry::Recorder::enabled();
+    let want_metrics = metrics_out.is_some();
 
     if run("table1") {
         let rows = table1::run_with(&campaign, scale.table1_size, 42);
         println!("{}", table1::render(&rows));
     }
     if run("fig6") {
-        let r = fig6::run_with(
-            &campaign,
-            scale.fig6_runs,
-            scale.object_size.min(fig6::EBOOK_SIZE),
-            0.01,
-        );
+        let size = scale.object_size.min(fig6::EBOOK_SIZE);
+        let r = if want_metrics {
+            let (r, rec) = fig6::run_with_metrics(&campaign, scale.fig6_runs, size, 0.01);
+            metrics.merge(&rec);
+            r
+        } else {
+            fig6::run_with(&campaign, scale.fig6_runs, size, 0.01)
+        };
         println!("{}", fig6::render(&r));
     }
     if run("fig10") || run("fig11") {
@@ -134,7 +210,13 @@ fn main() {
             seeds: scale.seeds,
             ..sweep::SweepParams::default()
         };
-        let pts = sweep::run_with(&campaign, &params);
+        let pts = if want_metrics {
+            let (pts, rec) = sweep::run_with_metrics(&campaign, &params);
+            metrics.merge(&rec);
+            pts
+        } else {
+            sweep::run_with(&campaign, &params)
+        };
         if run("fig10") {
             println!("{}", sweep::render_fig10(&pts));
         }
@@ -179,7 +261,11 @@ fn main() {
             PolicyKind::KDistance(4),
         ] {
             println!("## Figures 4/5 — stall trace");
-            for line in stalltrace::trace(policy, 6) {
+            let (log, rec) = stalltrace::trace_with_metrics(policy, 6);
+            if want_metrics {
+                metrics.merge(&rec);
+            }
+            for line in log {
                 println!("  {line}");
             }
             println!();
@@ -240,6 +326,10 @@ fn main() {
             "  wrote BENCH_hotpath.json (redundant-sweep geomean speedup {:.2}x)\n",
             hotpath::redundant_geomean_speedup(&cases)
         );
+        if want_metrics {
+            // Untimed instrumented pass, separate from the timed loops.
+            metrics.merge(&hotpath::metrics(quick));
+        }
     }
     if run("simthroughput") {
         let params = simthroughput::SimThroughputParams::new(quick).threads(threads);
@@ -273,5 +363,15 @@ fn main() {
             r.duration_secs.unwrap_or(f64::NAN)
         );
         println!();
+    }
+    if let Some(path) = metrics_out {
+        let quick_str = if quick { "true" } else { "false" };
+        let meta: &[(&str, &str)] = &[("experiment", &what), ("quick", quick_str)];
+        std::fs::write(&path, bytecache_telemetry::export::to_jsonl(&metrics, meta))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write metrics snapshot {path}: {e}");
+                std::process::exit(1);
+            });
+        println!("  wrote metrics snapshot {path}");
     }
 }

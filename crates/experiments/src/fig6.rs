@@ -9,6 +9,7 @@
 //! retrieved.
 
 use bytecache::PolicyKind;
+use bytecache_telemetry::Recorder;
 use bytecache_workload::{generate, ObjectKind};
 use serde::{Deserialize, Serialize};
 
@@ -49,6 +50,29 @@ pub fn run_with(
     object_size: usize,
     loss_rate: f64,
 ) -> Fig6Result {
+    grid(campaign, runs, object_size, loss_rate, false).0
+}
+
+/// Like [`run_with`], but with telemetry enabled on every run; returns
+/// the result plus a recorder merged across runs in input order. The
+/// result itself is byte-identical to [`run_with`]'s.
+#[must_use]
+pub fn run_with_metrics(
+    campaign: &Campaign,
+    runs: usize,
+    object_size: usize,
+    loss_rate: f64,
+) -> (Fig6Result, Recorder) {
+    grid(campaign, runs, object_size, loss_rate, true)
+}
+
+fn grid(
+    campaign: &Campaign,
+    runs: usize,
+    object_size: usize,
+    loss_rate: f64,
+    telemetry: bool,
+) -> (Fig6Result, Recorder) {
     let object = generate(ObjectKind::Ebook, object_size, 42);
     let cells: Vec<u64> = (0..runs as u64).collect();
     let fractions = campaign.run_cells("fig6", cells, |cell, run| {
@@ -56,18 +80,32 @@ pub fn run_with(
             &ScenarioConfig::new(object.clone())
                 .policy(PolicyKind::Naive)
                 .loss(loss_rate)
-                .seed(campaign.seed(cell as u64, run)),
+                .seed(campaign.seed(cell as u64, run))
+                .telemetry(telemetry),
         );
-        (r.fraction_retrieved(), r.completed())
+        (r.fraction_retrieved(), r.completed(), r.telemetry)
     });
-    let successes = fractions.iter().filter(|(_, done)| *done).count();
-    let mean_fraction = fractions.iter().map(|(f, _)| f).sum::<f64>() / runs.max(1) as f64;
-    Fig6Result {
-        fractions: fractions.into_iter().map(|(f, _)| f).collect(),
-        successes,
-        mean_fraction,
-        loss_rate,
+    let mut merged = if telemetry {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    for (_, _, snapshot) in &fractions {
+        if let Some(snapshot) = snapshot {
+            merged.merge(snapshot);
+        }
     }
+    let successes = fractions.iter().filter(|(_, done, _)| *done).count();
+    let mean_fraction = fractions.iter().map(|(f, _, _)| f).sum::<f64>() / runs.max(1) as f64;
+    (
+        Fig6Result {
+            fractions: fractions.into_iter().map(|(f, _, _)| f).collect(),
+            successes,
+            mean_fraction,
+            loss_rate,
+        },
+        merged,
+    )
 }
 
 /// Serialize the result as a JSON object. Same byte-for-byte contract

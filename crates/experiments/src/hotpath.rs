@@ -230,6 +230,47 @@ pub fn sweep(quick: bool) -> Vec<HotpathCase> {
     cases
 }
 
+/// An untimed, fully instrumented pass over the sweep's workload shape:
+/// encode and decode every packet with telemetry enabled and return the
+/// merged encoder + decoder snapshot. Kept separate from the timed
+/// loops in [`measure`] so enabling `--metrics-out` cannot perturb the
+/// benchmark numbers.
+#[must_use]
+pub fn metrics(quick: bool) -> bytecache_telemetry::Recorder {
+    let (total_bytes, payload_size, redundancy) = if quick {
+        (192 * 1024, 1400, 0.9)
+    } else {
+        (1 << 20, 1400, 0.9)
+    };
+    let spec = StreamSpec {
+        packet_size: payload_size,
+        redundant_packet_fraction: redundancy,
+        copied_fraction: 0.8,
+        fan: 4,
+        max_distance: 64,
+    };
+    let object = spec.build(total_bytes, 42);
+    let chunks: Vec<&[u8]> = object.chunks(payload_size).collect();
+    let metas = metas(&chunks);
+    let payloads: Vec<Bytes> = chunks.iter().map(|c| Bytes::copy_from_slice(c)).collect();
+
+    let mut enc =
+        Encoder::new(DreConfig::default(), PolicyKind::CacheFlush.build()).with_telemetry(true);
+    let mut dec = Decoder::new(DreConfig::default()).with_telemetry(true);
+    for (payload, meta) in payloads.iter().zip(&metas) {
+        let wire = enc.encode(meta, payload).wire;
+        let (restored, _) = dec.decode(&wire, meta);
+        assert_eq!(
+            restored.as_deref().ok(),
+            Some(&payload[..]),
+            "hotpath metrics pass must round-trip"
+        );
+    }
+    let mut merged = enc.telemetry_snapshot();
+    merged.merge(&dec.telemetry_snapshot());
+    merged
+}
+
 /// Geometric-mean fused/two-pass speedup over the redundant-traffic
 /// cells (`redundancy > 0`) — the acceptance metric.
 #[must_use]

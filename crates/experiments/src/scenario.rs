@@ -5,8 +5,9 @@ use bytecache::{Decoder, DecoderStats, DreConfig, Encoder, EncoderStats, PolicyK
 use bytecache_netsim::channel::{ChannelConfig, LossModel};
 use bytecache_netsim::time::{SimDuration, SimTime};
 use bytecache_netsim::{Context, LinkConfig, LinkStats, Node, Simulator};
-use bytecache_packet::Packet;
+use bytecache_packet::{FlowId, Packet};
 use bytecache_tcp::{DownloadReport, ServerReport, TcpClientNode, TcpConfig, TcpServerNode};
+use bytecache_telemetry::Recorder;
 
 /// Fixed addresses of the four-node chain.
 pub mod addrs {
@@ -67,6 +68,9 @@ pub struct ScenarioConfig {
     pub payload_mode: PayloadMode,
     /// Simulation seed (channel randomness).
     pub seed: u64,
+    /// Collect a telemetry snapshot ([`RunResult::telemetry`]). Off by
+    /// default; the run's outputs are byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl ScenarioConfig {
@@ -95,6 +99,7 @@ impl ScenarioConfig {
             },
             payload_mode: PayloadMode::default(),
             seed: 1,
+            telemetry: false,
         }
     }
 
@@ -123,6 +128,13 @@ impl ScenarioConfig {
     #[must_use]
     pub fn payload_mode(mut self, mode: PayloadMode) -> Self {
         self.payload_mode = mode;
+        self
+    }
+
+    /// Enable telemetry collection (builder style).
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
         self
     }
 
@@ -162,6 +174,9 @@ pub struct RunResult {
     pub data_intact: bool,
     /// Object length (denominator for retrieval fractions).
     pub object_len: usize,
+    /// Merged telemetry snapshot (server, gateways, simulator), present
+    /// when [`ScenarioConfig::telemetry`] was set.
+    pub telemetry: Option<Recorder>,
 }
 
 impl RunResult {
@@ -217,12 +232,20 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     let object_len = config.object.len();
     let mut sim = Simulator::new(config.seed);
 
-    let server = sim.add_node(TcpServerNode::new(
+    if config.telemetry {
+        sim.set_telemetry_enabled(true);
+    }
+
+    let mut server_node = TcpServerNode::new(
         SERVER,
         SERVER_PORT,
         config.object.clone(),
         config.tcp.clone(),
-    ));
+    );
+    if config.telemetry {
+        server_node.set_telemetry_enabled(true);
+    }
+    let server = sim.add_node(server_node);
     let client = sim.add_node(TcpClientNode::new(
         CLIENT,
         CLIENT_PORT,
@@ -234,13 +257,17 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         Some(kind) => {
             let encoder = Encoder::new(config.dre.clone(), kind.build());
             let decoder = Decoder::new(config.dre.clone());
-            let enc = EncoderGateway::new(encoder, CLIENT)
+            let mut enc = EncoderGateway::new(encoder, CLIENT)
                 .with_control_addr(ENCODER_GW)
                 .with_payload_mode(config.payload_mode);
             let mut dec = DecoderGateway::new(decoder, CLIENT, DECODER_GW)
                 .with_payload_mode(config.payload_mode);
             if config.nacks {
                 dec = dec.with_nacks(ENCODER_GW);
+            }
+            if config.telemetry {
+                enc.set_telemetry_enabled(true);
+                dec.set_telemetry_enabled(true);
             }
             (sim.add_node(enc), sim.add_node(dec))
         }
@@ -309,16 +336,62 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         None => (None, None, 0),
     };
 
+    let wireless = sim.link_stats(wireless_data).clone();
+    let telemetry = if config.telemetry {
+        let mut merged = sim
+            .node::<TcpServerNode>(server)
+            .expect("server")
+            .telemetry_snapshot();
+        if !merged.is_enabled() {
+            merged = Recorder::enabled();
+        }
+        if config.policy.is_some() {
+            let e = sim.node::<EncoderGateway>(enc_gw).expect("encoder gw");
+            let d = sim.node::<DecoderGateway>(dec_gw).expect("decoder gw");
+            merged.merge(&e.telemetry_snapshot());
+            merged.merge(&d.telemetry_snapshot());
+        }
+        merged.merge(&sim.telemetry_snapshot());
+        // The paper's headline per-flow measure: perceived loss (channel
+        // losses + undecodable drops over packets offered) in basis
+        // points, one sample per data-direction flow.
+        let flow = FlowId {
+            src: SERVER,
+            src_port: SERVER_PORT,
+            dst: CLIENT,
+            dst_port: CLIENT_PORT,
+        };
+        let perceived = if wireless.packets_offered == 0 {
+            0.0
+        } else {
+            let lost = wireless.packets_lost + wireless.packets_corrupted + undecodable;
+            lost as f64 / wireless.packets_offered as f64
+        };
+        merged.record_l(
+            "flow.perceived_loss_bp",
+            Some(flow.stable_hash()),
+            (perceived * 10_000.0).round() as u64,
+        );
+        merged.record(
+            "flow.perceived_loss_bp",
+            (perceived * 10_000.0).round() as u64,
+        );
+        Some(merged)
+    } else {
+        None
+    };
+
     RunResult {
         client: client_node.report().clone(),
         server: server_node.report().clone(),
         encoder,
         decoder,
         undecodable_drops: undecodable,
-        wireless: sim.link_stats(wireless_data).clone(),
+        wireless,
         end_time,
         data_intact,
         object_len,
+        telemetry,
     }
 }
 

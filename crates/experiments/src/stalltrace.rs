@@ -15,9 +15,21 @@ use std::net::Ipv4Addr;
 /// the lost segment are attempted.
 #[must_use]
 pub fn trace(policy: PolicyKind, retransmissions: usize) -> Vec<String> {
+    trace_with_metrics(policy, retransmissions).0
+}
+
+/// Like [`trace`], but also returns the merged encoder + decoder
+/// telemetry snapshot — decode failures and policy flushes land on the
+/// event ring, so the annotated log and the metrics snapshot describe
+/// the same replay. The log itself is byte-identical to [`trace`]'s.
+#[must_use]
+pub fn trace_with_metrics(
+    policy: PolicyKind,
+    retransmissions: usize,
+) -> (Vec<String>, bytecache_telemetry::Recorder) {
     let config = DreConfig::default();
-    let mut encoder = Encoder::new(config.clone(), policy.build());
-    let mut decoder = Decoder::new(config);
+    let mut encoder = Encoder::new(config.clone(), policy.build()).with_telemetry(true);
+    let mut decoder = Decoder::new(config).with_telemetry(true);
     let flow = FlowId {
         src: Ipv4Addr::new(10, 0, 0, 1),
         src_port: 80,
@@ -89,7 +101,9 @@ pub fn trace(policy: PolicyKind, retransmissions: usize) -> Vec<String> {
                     "t{}  retransmission #{attempt}: {kind} — decoder RECOVERS; stall broken",
                     attempt + 3
                 ));
-                return log;
+                let mut merged = encoder.telemetry_snapshot();
+                merged.merge(&decoder.telemetry_snapshot());
+                return (log, merged);
             }
             Err(e) => log.push(format!(
                 "t{}  retransmission #{attempt}: {kind} — decoder DROPS it: {e}",
@@ -101,7 +115,9 @@ pub fn trace(policy: PolicyKind, retransmissions: usize) -> Vec<String> {
         "…  after {retransmissions} retransmissions the segment still cannot be \
          decoded: circular dependency (Figure 5), TCP backs off exponentially and stalls"
     ));
-    log
+    let mut merged = encoder.telemetry_snapshot();
+    merged.merge(&decoder.telemetry_snapshot());
+    (log, merged)
 }
 
 #[cfg(test)]

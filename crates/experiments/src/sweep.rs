@@ -13,6 +13,7 @@
 //! shares the seed).
 
 use bytecache::PolicyKind;
+use bytecache_telemetry::Recorder;
 use bytecache_workload::FileSpec;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +81,29 @@ pub fn run(params: &SweepParams) -> Vec<SweepPoint> {
 /// derivation, progress); results are identical for every thread count.
 #[must_use]
 pub fn run_with(campaign: &Campaign, params: &SweepParams) -> Vec<SweepPoint> {
+    grid(campaign, params, false)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+}
+
+/// Like [`run_with`], but with telemetry enabled on every DRE run;
+/// returns the points plus a single recorder merged across all cells in
+/// input order (so the snapshot is identical for every thread count).
+/// The points themselves are byte-identical to [`run_with`]'s.
+#[must_use]
+pub fn run_with_metrics(campaign: &Campaign, params: &SweepParams) -> (Vec<SweepPoint>, Recorder) {
+    let results = grid(campaign, params, true);
+    let mut merged = Recorder::enabled();
+    let mut points = Vec::with_capacity(results.len());
+    for (p, rec) in results {
+        merged.merge(&rec);
+        points.push(p);
+    }
+    (points, merged)
+}
+
+fn grid(campaign: &Campaign, params: &SweepParams, telemetry: bool) -> Vec<(SweepPoint, Recorder)> {
     let mut cells = Vec::new();
     for &file in &params.files {
         for &policy in &params.policies {
@@ -97,10 +121,12 @@ pub fn run_with(campaign: &Campaign, params: &SweepParams) -> Vec<SweepPoint> {
             loss,
             params.object_size,
             params.seeds,
+            telemetry,
         )
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn point(
     campaign: &Campaign,
     cell: u64,
@@ -109,13 +135,19 @@ fn point(
     loss: f64,
     size: usize,
     seeds: u64,
-) -> SweepPoint {
+    telemetry: bool,
+) -> (SweepPoint, Recorder) {
     let object = file.build(size, 42);
     let mut bytes_sum = 0.0;
     let mut delay_sum = 0.0;
     let mut perceived_sum = 0.0;
     let mut runs = 0usize;
     let mut failures = 0usize;
+    let mut recorder = if telemetry {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
     for run in 0..seeds {
         // The baseline and DRE runs share the seed — and so the channel
         // realization — which is what makes their ratios meaningful.
@@ -125,8 +157,12 @@ fn point(
             &ScenarioConfig::new(object.clone())
                 .policy(policy)
                 .loss(loss)
-                .seed(seed),
+                .seed(seed)
+                .telemetry(telemetry),
         );
+        if let Some(snapshot) = &dre.telemetry {
+            recorder.merge(snapshot);
+        }
         match (baseline.duration_secs(), dre.duration_secs()) {
             (Some(tb), Some(td)) if baseline.completed() && dre.completed() => {
                 bytes_sum += dre.wire_bytes() as f64 / baseline.wire_bytes() as f64;
@@ -138,16 +174,19 @@ fn point(
         }
     }
     let n = runs.max(1) as f64;
-    SweepPoint {
-        file,
-        policy,
-        loss,
-        bytes_ratio: bytes_sum / n,
-        delay_ratio: delay_sum / n,
-        perceived_loss: perceived_sum / n,
-        runs,
-        failures,
-    }
+    (
+        SweepPoint {
+            file,
+            policy,
+            loss,
+            bytes_ratio: bytes_sum / n,
+            delay_ratio: delay_sum / n,
+            perceived_loss: perceived_sum / n,
+            runs,
+            failures,
+        },
+        recorder,
+    )
 }
 
 /// Serialize sweep points as a JSON array. Floats use Rust's shortest

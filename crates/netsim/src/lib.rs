@@ -48,4 +48,4 @@ pub use node::{Action, Context, Node, NodeId};
 pub use sim::AsAny;
 pub use sim::Simulator;
 pub use stats::LinkStats;
-pub use trace::{FnTrace, TraceEvent, TraceSink};
+pub use trace::{FnTrace, TelemetrySink, TraceEvent, TraceSink};

@@ -6,6 +6,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 use bytecache_packet::Packet;
+use bytecache_telemetry::{Event as TelemetryEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -91,6 +92,7 @@ pub struct Simulator {
     rng: StdRng,
     no_route_drops: u64,
     trace: Option<Box<dyn TraceSink>>,
+    telemetry: Recorder,
     started: bool,
     event_budget: u64,
     events_processed: u64,
@@ -115,6 +117,7 @@ impl Simulator {
             rng: StdRng::seed_from_u64(seed),
             no_route_drops: 0,
             trace: None,
+            telemetry: Recorder::disabled(),
             started: false,
             event_budget: 200_000_000,
             events_processed: 0,
@@ -189,6 +192,34 @@ impl Simulator {
     /// Install a trace sink receiving every notable event.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
+    }
+
+    /// Enable or disable the simulator's own telemetry recorder (queue
+    /// depth and per-hop latency histograms, channel-drop events).
+    /// Disabled by default; when off, instrumentation is a single branch
+    /// per event.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+    }
+
+    /// Borrow the simulator's telemetry recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Snapshot of the simulator's telemetry (empty-disabled when
+    /// telemetry is off). Adds the `sim.events_processed` and
+    /// `sim.no_route_drops` counters on top of the live series.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        if !self.telemetry.is_enabled() {
+            return Recorder::disabled();
+        }
+        let mut snap = self.telemetry.clone();
+        snap.count("sim.events_processed", self.events_processed);
+        snap.count("sim.no_route_drops", self.no_route_drops);
+        snap
     }
 
     /// Abort the run (panic) if more than `budget` events are processed —
@@ -274,6 +305,14 @@ impl Simulator {
     fn route_and_transmit(&mut self, from: NodeId, packet: Packet) {
         let Some(&next) = self.routes[from.0].get(&packet.ip.dst) else {
             self.no_route_drops += 1;
+            if self.telemetry.is_enabled() {
+                self.telemetry.event(
+                    TelemetryEvent::new(EventKind::NoRoute)
+                        .at_us(self.now.as_micros())
+                        .flow(packet.flow().stable_hash())
+                        .details(from.0 as u64, 0),
+                );
+            }
             if let Some(t) = self.trace.as_mut() {
                 t.event(&TraceEvent::NoRoute {
                     at: self.now,
@@ -291,6 +330,9 @@ impl Simulator {
         let wire = packet.wire_len();
         link.stats.packets_offered += 1;
         link.stats.bytes_offered += wire as u64;
+        if self.telemetry.is_enabled() {
+            self.telemetry.count("sim.transmits", 1);
+        }
         if let Some(t) = self.trace.as_mut() {
             t.event(&TraceEvent::Transmit {
                 at: self.now,
@@ -305,6 +347,14 @@ impl Simulator {
         match link.channel.verdict(&mut self.rng) {
             Verdict::Lose => {
                 link.stats.packets_lost += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        TelemetryEvent::new(EventKind::PacketLost)
+                            .at_us(self.now.as_micros())
+                            .flow(packet.flow().stable_hash())
+                            .details(from.0 as u64, wire as u64),
+                    );
+                }
                 if let Some(t) = self.trace.as_mut() {
                     t.event(&TraceEvent::Lost {
                         at: self.now,
@@ -320,6 +370,14 @@ impl Simulator {
                 // receiver, which discards it. Both outcomes are a drop;
                 // we account it separately and do not dispatch it.
                 link.stats.packets_corrupted += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.event(
+                        TelemetryEvent::new(EventKind::PacketCorrupted)
+                            .at_us(self.now.as_micros())
+                            .flow(packet.flow().stable_hash())
+                            .details(from.0 as u64, wire as u64),
+                    );
+                }
                 if let Some(t) = self.trace.as_mut() {
                     t.event(&TraceEvent::Corrupted {
                         at: self.now,
@@ -333,6 +391,10 @@ impl Simulator {
                 link.stats.packets_delivered += 1;
                 link.stats.bytes_delivered += wire as u64;
                 let arrive = done + link.config.propagation;
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
+                }
                 self.push(arrive, Event::Deliver { to: next, packet });
             }
             Verdict::Reorder(extra) => {
@@ -340,6 +402,10 @@ impl Simulator {
                 link.stats.bytes_delivered += wire as u64;
                 link.stats.packets_reordered += 1;
                 let arrive = done + link.config.propagation + extra;
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
+                }
                 self.push(arrive, Event::Deliver { to: next, packet });
             }
         }
@@ -348,6 +414,9 @@ impl Simulator {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Deliver { to, packet } => {
+                if self.telemetry.is_enabled() {
+                    self.telemetry.count("sim.delivers", 1);
+                }
                 if let Some(t) = self.trace.as_mut() {
                     t.event(&TraceEvent::Deliver {
                         at: self.now,
@@ -388,6 +457,10 @@ impl Simulator {
         debug_assert!(q.at >= self.now, "time went backwards");
         self.now = q.at;
         self.events_processed += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .record("sim.queue_depth", self.queue.len() as u64);
+        }
         assert!(
             self.events_processed <= self.event_budget,
             "event budget exhausted ({} events): likely a protocol loop",

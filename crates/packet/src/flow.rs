@@ -34,6 +34,26 @@ impl FlowId {
             dst_port: self.src_port,
         }
     }
+
+    /// A stable 64-bit FNV-1a hash of the 4-tuple, independent of the
+    /// process and of `std`'s randomized hasher. Shard selection and
+    /// telemetry flow tags both use this, so a flow's tag in a metrics
+    /// snapshot identifies its shard (`stable_hash % shards`).
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(&self.src.octets());
+        eat(&self.src_port.to_be_bytes());
+        eat(&self.dst.octets());
+        eat(&self.dst_port.to_be_bytes());
+        h
+    }
 }
 
 impl fmt::Display for FlowId {

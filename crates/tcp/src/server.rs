@@ -7,7 +7,8 @@ use bytes::Bytes;
 
 use bytecache_netsim::time::SimTime;
 use bytecache_netsim::{Context, Node};
-use bytecache_packet::{Packet, SeqNum, TcpFlags};
+use bytecache_packet::{FlowId, Packet, SeqNum, TcpFlags};
+use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::TcpConfig;
 use crate::rtt::RttEstimator;
@@ -72,6 +73,7 @@ pub struct TcpServerNode {
 
     ip_id: u16,
     report: ServerReport,
+    telemetry: Recorder,
 }
 
 impl TcpServerNode {
@@ -106,6 +108,51 @@ impl TcpServerNode {
             rtt_probe: None,
             ip_id: 0,
             report: ServerReport::default(),
+            telemetry: Recorder::disabled(),
+        }
+    }
+
+    /// Enable or disable telemetry (RTT/RTO sample histograms,
+    /// retransmit and timeout events). Disabled by default.
+    pub fn set_telemetry_enabled(&mut self, enabled: bool) {
+        self.telemetry.set_enabled(enabled);
+    }
+
+    /// Borrow the server's telemetry recorder.
+    #[must_use]
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Snapshot of the server's telemetry: live RTT/RTO series and
+    /// events plus the [`ServerReport`] counters as `tcp.*` counters.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Recorder {
+        if !self.telemetry.is_enabled() {
+            return Recorder::disabled();
+        }
+        let mut snap = self.telemetry.clone();
+        snap.count("tcp.segments_sent", self.report.segments_sent);
+        snap.count("tcp.retransmissions", self.report.retransmissions);
+        snap.count("tcp.timeouts", self.report.timeouts);
+        snap.count("tcp.fast_retransmits", self.report.fast_retransmits);
+        snap.count("tcp.aborted", u64::from(self.report.aborted));
+        snap.count("tcp.finished", u64::from(self.report.finished));
+        snap
+    }
+
+    /// The data-direction flow (server → client), used to tag telemetry
+    /// events.
+    fn flow_tag(&self) -> u64 {
+        match self.peer {
+            Some((peer_ip, peer_port)) => FlowId {
+                src: self.addr,
+                src_port: self.port,
+                dst: peer_ip,
+                dst_port: peer_port,
+            }
+            .stable_hash(),
+            None => 0,
         }
     }
 
@@ -192,6 +239,15 @@ impl TcpServerNode {
         self.report.segments_sent += 1;
         if is_retransmission {
             self.report.retransmissions += 1;
+            if self.telemetry.is_enabled() {
+                let flow = self.flow_tag();
+                self.telemetry.event(
+                    Event::new(EventKind::Retransmit)
+                        .at_us(ctx.now().as_micros())
+                        .flow(flow)
+                        .details(off, u64::from(self.retries)),
+                );
+            }
             // Karn: drop any RTT probe that a retransmission could alias.
             if let Some((probe_end, _)) = self.rtt_probe {
                 if off < probe_end {
@@ -384,6 +440,10 @@ impl TcpServerNode {
             // New data acknowledged: forward progress.
             if let Some((probe_end, sent_at)) = self.rtt_probe {
                 if ack_off >= probe_end {
+                    if self.telemetry.is_enabled() {
+                        self.telemetry
+                            .record("tcp.rtt_us", (ctx.now() - sent_at).as_micros());
+                    }
                     self.rtt.sample(ctx.now() - sent_at);
                     self.rtt_probe = None;
                 }
@@ -440,6 +500,17 @@ impl TcpServerNode {
     fn handle_timeout(&mut self, ctx: &mut Context<'_>) {
         self.report.timeouts += 1;
         self.retries += 1;
+        if self.telemetry.is_enabled() {
+            let flow = self.flow_tag();
+            self.telemetry
+                .record("tcp.rto_us", self.rtt.rto().as_micros());
+            self.telemetry.event(
+                Event::new(EventKind::Timeout)
+                    .at_us(ctx.now().as_micros())
+                    .flow(flow)
+                    .details(self.snd_una, u64::from(self.retries)),
+            );
+        }
         if self.retries > self.config.max_retries {
             self.state = State::Aborted;
             self.report.aborted = true;

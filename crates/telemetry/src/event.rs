@@ -1,0 +1,255 @@
+//! Bounded structured event ring.
+//!
+//! Events are small fixed-size records — no allocation per event — and
+//! the ring drops the *oldest* events once full, counting what it
+//! dropped. This keeps the hot path bounded: a pathological run can
+//! never grow the ring past its capacity, and the exporter reports the
+//! drop count so a truncated ring is visible in the snapshot.
+
+/// Default ring capacity (events kept per recorder).
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// What happened. Each variant documents how the generic `a`/`b`
+/// detail fields of [`Event`] are used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Decoder could not reconstruct a packet. `a` = failure class
+    /// (1 missing reference, 2 checksum mismatch, 3 bad region,
+    /// 4 malformed, 5 epoch flush), `b` = TCP sequence number.
+    DecodeFailure,
+    /// Decoder emitted NACK feedback. `a` = ids in the batch.
+    Nack,
+    /// Encoder-side policy flushed the cache. `a` = new epoch.
+    PolicyFlush,
+    /// Decoder flushed its cache on an epoch bump. `a` = new epoch.
+    EpochFlush,
+    /// Cache evicted an entry to meet its byte budget. `a` = packet
+    /// id, `b` = payload bytes freed.
+    Eviction,
+    /// TCP sender retransmitted a segment. `a` = stream offset.
+    Retransmit,
+    /// TCP retransmission timer fired. `a` = stream offset,
+    /// `b` = RTO in microseconds.
+    Timeout,
+    /// Channel dropped a packet. `a` = serialized size in bytes.
+    PacketLost,
+    /// Channel corrupted a packet. `a` = serialized size in bytes.
+    PacketCorrupted,
+    /// Simulator had no route for a packet.
+    NoRoute,
+}
+
+impl EventKind {
+    /// Stable snake_case name used by the JSONL exporter.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::DecodeFailure => "decode_failure",
+            EventKind::Nack => "nack",
+            EventKind::PolicyFlush => "policy_flush",
+            EventKind::EpochFlush => "epoch_flush",
+            EventKind::Eviction => "eviction",
+            EventKind::Retransmit => "retransmit",
+            EventKind::Timeout => "timeout",
+            EventKind::PacketLost => "packet_lost",
+            EventKind::PacketCorrupted => "packet_corrupted",
+            EventKind::NoRoute => "no_route",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`].
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "decode_failure" => EventKind::DecodeFailure,
+            "nack" => EventKind::Nack,
+            "policy_flush" => EventKind::PolicyFlush,
+            "epoch_flush" => EventKind::EpochFlush,
+            "eviction" => EventKind::Eviction,
+            "retransmit" => EventKind::Retransmit,
+            "timeout" => EventKind::Timeout,
+            "packet_lost" => EventKind::PacketLost,
+            "packet_corrupted" => EventKind::PacketCorrupted,
+            "no_route" => EventKind::NoRoute,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured event. Fixed-size and `Copy` so recording never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Simulated time in microseconds (0 outside a simulation).
+    pub at_us: u64,
+    /// Compact flow tag ([`FlowId` FNV hash](https://en.wikipedia.org/wiki/FNV);
+    /// 0 when the event is not flow-specific).
+    pub flow: u64,
+    /// Shard index of the recorder that produced the event.
+    pub shard: u32,
+    /// Kind-specific detail (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific detail (see [`EventKind`]).
+    pub b: u64,
+}
+
+impl Event {
+    /// A bare event of `kind` with every other field zeroed.
+    #[must_use]
+    pub fn new(kind: EventKind) -> Event {
+        Event {
+            kind,
+            at_us: 0,
+            flow: 0,
+            shard: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// Set the simulated timestamp (builder style).
+    #[must_use]
+    pub fn at_us(mut self, at_us: u64) -> Event {
+        self.at_us = at_us;
+        self
+    }
+
+    /// Set the flow tag (builder style).
+    #[must_use]
+    pub fn flow(mut self, flow: u64) -> Event {
+        self.flow = flow;
+        self
+    }
+
+    /// Set the detail fields (builder style).
+    #[must_use]
+    pub fn details(mut self, a: u64, b: u64) -> Event {
+        self.a = a;
+        self.b = b;
+        self
+    }
+}
+
+/// Bounded drop-oldest ring of [`Event`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        EventRing::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events. The buffer is
+    /// grown lazily, so an unused ring costs nothing.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            capacity: capacity.max(1),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, dropping the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in arrival order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events discarded because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append every event of `other` (oldest first), respecting this
+    /// ring's own bound.
+    pub fn merge(&mut self, other: &EventRing) {
+        for e in other.iter() {
+            self.push(*e);
+        }
+        self.dropped += other.dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = EventRing::with_capacity(3);
+        for i in 0..5u64 {
+            r.push(Event::new(EventKind::Eviction).details(i, 0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let mut a = EventRing::with_capacity(10);
+        let mut b = EventRing::with_capacity(10);
+        a.push(Event::new(EventKind::Nack).details(1, 0));
+        b.push(Event::new(EventKind::Nack).details(2, 0));
+        b.push(Event::new(EventKind::Nack).details(3, 0));
+        a.merge(&b);
+        let got: Vec<u64> = a.iter().map(|e| e.a).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            EventKind::DecodeFailure,
+            EventKind::Nack,
+            EventKind::PolicyFlush,
+            EventKind::EpochFlush,
+            EventKind::Eviction,
+            EventKind::Retransmit,
+            EventKind::Timeout,
+            EventKind::PacketLost,
+            EventKind::PacketCorrupted,
+            EventKind::NoRoute,
+        ] {
+            assert_eq!(EventKind::from_name(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,564 @@
+//! JSONL + summary exporters, and a small exact parser for round-trip
+//! verification.
+//!
+//! The workspace deliberately carries no JSON dependency (the same
+//! stance as the experiment harnesses' hand-rolled `to_json`), so this
+//! module writes — and parses back — a line-oriented subset: one JSON
+//! object per line, string/unsigned-integer/array values only.
+//!
+//! Line shapes:
+//!
+//! ```text
+//! {"type":"meta","key":"experiment","value":"sweep"}
+//! {"type":"counter","key":"encoder.packets","value":42}
+//! {"type":"counter","key":"shard.packets","label":3,"value":17}
+//! {"type":"gauge","key":"cache.bytes_used","value":123456}
+//! {"type":"hist","key":"tcp.rtt_us","count":9,"sum":..,"min":..,"max":..,
+//!  "buckets":[[lo,hi,count],...]}
+//! {"type":"event","kind":"eviction","at_us":0,"flow":0,"shard":1,"a":7,"b":1400}
+//! {"type":"events_dropped","value":0}
+//! ```
+//!
+//! Histogram buckets carry their `[lo, hi]` bounds explicitly; the
+//! parser validates them against the fixed layout, which is what the
+//! "bucket boundaries round-trip" property test exercises.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::hist::Histogram;
+use crate::recorder::Recorder;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn key_fields(out: &mut String, key: &(Cow<'static, str>, Option<u64>)) {
+    let _ = write!(out, "\"key\":\"{}\"", escape(&key.0));
+    if let Some(label) = key.1 {
+        let _ = write!(out, ",\"label\":{label}");
+    }
+}
+
+/// Serialize a recorder as JSONL. `meta` lines come first (experiment
+/// name, scale flags, …), then counters, gauges and histograms in
+/// deterministic key order, then events in arrival order.
+#[must_use]
+pub fn to_jsonl(rec: &Recorder, meta: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (k, v) in meta {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"key\":\"{}\",\"value\":\"{}\"}}",
+            escape(k),
+            escape(v)
+        );
+    }
+    for (key, value) in rec.counters() {
+        out.push_str("{\"type\":\"counter\",");
+        key_fields(&mut out, key);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (key, value) in rec.gauges() {
+        out.push_str("{\"type\":\"gauge\",");
+        key_fields(&mut out, key);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (key, hist) in rec.hists() {
+        if hist.count() == 0 {
+            continue;
+        }
+        out.push_str("{\"type\":\"hist\",");
+        key_fields(&mut out, key);
+        let _ = write!(
+            out,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            hist.count(),
+            hist.sum(),
+            hist.min().unwrap_or(0),
+            hist.max().unwrap_or(0)
+        );
+        for (i, (lo, hi, n)) in hist.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{lo},{hi},{n}]");
+        }
+        out.push_str("]}\n");
+    }
+    for e in rec.events() {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"event\",\"kind\":\"{}\",\"at_us\":{},\"flow\":{},\
+             \"shard\":{},\"a\":{},\"b\":{}}}",
+            e.kind.as_str(),
+            e.at_us,
+            e.flow,
+            e.shard,
+            e.a,
+            e.b
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"events_dropped\",\"value\":{}}}",
+        rec.events_dropped()
+    );
+    out
+}
+
+/// Human-readable snapshot summary: counters and gauges as a list,
+/// histograms with count/mean/p50/p99/max, events tallied by kind.
+#[must_use]
+pub fn summary(rec: &Recorder) -> String {
+    fn label(key: &(Cow<'static, str>, Option<u64>)) -> String {
+        match key.1 {
+            Some(l) => format!("{}[{}]", key.0, l),
+            None => key.0.to_string(),
+        }
+    }
+    let mut out = String::new();
+    out.push_str("telemetry summary\n");
+    for (key, v) in rec.counters() {
+        let _ = writeln!(out, "  counter {:<36} {v}", label(key));
+    }
+    for (key, v) in rec.gauges() {
+        let _ = writeln!(out, "  gauge   {:<36} {v}", label(key));
+    }
+    for (key, h) in rec.hists() {
+        if h.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  hist    {:<36} n={} mean={:.1} p50={} p99={} max={}",
+            label(key),
+            h.count(),
+            h.mean(),
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max().unwrap_or(0)
+        );
+    }
+    let mut kinds: Vec<(&'static str, usize)> = Vec::new();
+    for e in rec.events() {
+        match kinds.iter_mut().find(|(k, _)| *k == e.kind.as_str()) {
+            Some((_, n)) => *n += 1,
+            None => kinds.push((e.kind.as_str(), 1)),
+        }
+    }
+    kinds.sort_unstable();
+    for (kind, n) in kinds {
+        let _ = writeln!(out, "  events  {kind:<36} {n}");
+    }
+    if rec.events_dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "  events  (dropped, ring full)              {}",
+            rec.events_dropped()
+        );
+    }
+    out
+}
+
+// ---- minimal JSON value parser ----------------------------------------
+
+/// A parsed JSON value (the subset the exporter emits).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    /// Unsigned integer (the exporter never emits signs or fractions).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object as ordered pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && self.s[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.s
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .s
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .s
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .s
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "short \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?,
+                            );
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                c => {
+                    // Re-scan multi-byte UTF-8 sequences whole.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let bytes = self
+                            .s
+                            .get(start..start + width)
+                            .ok_or_else(|| "truncated UTF-8".to_string())?;
+                        out.push_str(std::str::from_utf8(bytes).map_err(|e| e.to_string())?);
+                        self.pos = start + width;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.s.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn field_num(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::num)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+/// Parse a snapshot written by [`to_jsonl`] back into a [`Recorder`]
+/// (and the meta lines). Histogram bucket bounds are validated against
+/// the fixed layout; any malformed line fails the whole parse.
+pub fn parse_jsonl(text: &str) -> Result<(Recorder, Vec<(String, String)>), String> {
+    let mut rec = Recorder::enabled();
+    let mut meta = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = (|| -> Result<(), String> {
+            let mut p = Parser::new(line);
+            let obj = p.value()?;
+            p.skip_ws();
+            if p.pos != p.s.len() {
+                return Err("trailing bytes after object".into());
+            }
+            let typ = obj
+                .get("type")
+                .and_then(Json::str)
+                .ok_or("missing 'type'")?;
+            let key = || -> Result<(Cow<'static, str>, Option<u64>), String> {
+                let name = obj
+                    .get("key")
+                    .and_then(Json::str)
+                    .ok_or("missing 'key'")?
+                    .to_string();
+                Ok((Cow::Owned(name), obj.get("label").and_then(Json::num)))
+            };
+            match typ {
+                "meta" => {
+                    meta.push((
+                        obj.get("key")
+                            .and_then(Json::str)
+                            .ok_or("missing 'key'")?
+                            .to_string(),
+                        obj.get("value")
+                            .and_then(Json::str)
+                            .ok_or("missing 'value'")?
+                            .to_string(),
+                    ));
+                }
+                "counter" => rec.insert_counter(key()?, field_num(&obj, "value")?),
+                "gauge" => rec.insert_gauge(key()?, field_num(&obj, "value")?),
+                "hist" => {
+                    let buckets = match obj.get("buckets") {
+                        Some(Json::Arr(items)) => items
+                            .iter()
+                            .map(|b| match b {
+                                Json::Arr(t) if t.len() == 3 => {
+                                    match (t[0].num(), t[1].num(), t[2].num()) {
+                                        (Some(lo), Some(hi), Some(n)) => Ok((lo, hi, n)),
+                                        _ => Err("non-numeric bucket triple".to_string()),
+                                    }
+                                }
+                                _ => Err("bucket is not a [lo,hi,count] triple".to_string()),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                        _ => return Err("missing 'buckets' array".into()),
+                    };
+                    let h = Histogram::from_parts(
+                        field_num(&obj, "count")?,
+                        field_num(&obj, "sum")?,
+                        field_num(&obj, "min")?,
+                        field_num(&obj, "max")?,
+                        &buckets,
+                    )?;
+                    rec.insert_hist(key()?, h);
+                }
+                "event" => {
+                    let kind_name = obj
+                        .get("kind")
+                        .and_then(Json::str)
+                        .ok_or("missing 'kind'")?;
+                    let kind = EventKind::from_name(kind_name)
+                        .ok_or_else(|| format!("unknown event kind '{kind_name}'"))?;
+                    rec.insert_event(Event {
+                        kind,
+                        at_us: field_num(&obj, "at_us")?,
+                        flow: field_num(&obj, "flow")?,
+                        shard: u32::try_from(field_num(&obj, "shard")?)
+                            .map_err(|e| e.to_string())?,
+                        a: field_num(&obj, "a")?,
+                        b: field_num(&obj, "b")?,
+                    });
+                }
+                "events_dropped" => {
+                    // Informational; drops are re-counted on re-export
+                    // only if this ring overflows again.
+                    let _ = field_num(&obj, "value")?;
+                }
+                other => return Err(format!("unknown line type '{other}'")),
+            }
+            Ok(())
+        })();
+        parsed.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+    }
+    Ok((rec, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::enabled();
+        r.set_shard(2);
+        r.count("encoder.packets", 10);
+        r.count_l("shard.packets", Some(2), 10);
+        r.gauge("cache.bytes_used", 12345);
+        r.record("encode.wire_bytes", 0);
+        r.record("encode.wire_bytes", 700);
+        r.record("encode.wire_bytes", 1 << 50);
+        r.event(
+            Event::new(EventKind::Eviction)
+                .at_us(99)
+                .flow(7)
+                .details(3, 1400),
+        );
+        r.event(Event::new(EventKind::PolicyFlush).details(1, 0));
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let r = sample_recorder();
+        let meta = [("experiment", "unit \"quoted\"\n"), ("quick", "true")];
+        let text = to_jsonl(&r, &meta);
+        let (back, got_meta) = parse_jsonl(&text).unwrap();
+        assert_eq!(got_meta.len(), 2);
+        assert_eq!(got_meta[0].1, "unit \"quoted\"\n");
+        // Re-export must be byte-identical: same counters, gauges,
+        // histogram buckets (bounds included) and events.
+        assert_eq!(to_jsonl(&back, &meta), text);
+        assert_eq!(back.counter("encoder.packets"), 10);
+        assert_eq!(back.hist("encode.wire_bytes").unwrap().count(), 3);
+        assert_eq!(back.events().count(), 2);
+        assert_eq!(back.events().next().unwrap().shard, 2);
+    }
+
+    #[test]
+    fn corrupt_bounds_fail_parse() {
+        let r = sample_recorder();
+        let text = to_jsonl(&r, &[]).replace("[513,1024,", "[513,1025,");
+        // If the replace found nothing the test is vacuous — build a
+        // hist line by hand instead.
+        let bad = if text.contains("1025") {
+            text
+        } else {
+            "{\"type\":\"hist\",\"key\":\"x\",\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\
+             \"buckets\":[[5,6,1]]}"
+                .to_string()
+        };
+        assert!(parse_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_all_sections() {
+        let s = summary(&sample_recorder());
+        assert!(s.contains("counter encoder.packets"));
+        assert!(s.contains("gauge   cache.bytes_used"));
+        assert!(s.contains("hist    encode.wire_bytes"));
+        assert!(s.contains("events  eviction"));
+        assert!(s.contains("shard.packets[2]"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_jsonl("{\"type\":\"counter\"}").is_err());
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl(
+            "{\"type\":\"event\",\"kind\":\"zap\",\"at_us\":0,\
+                             \"flow\":0,\"shard\":0,\"a\":0,\"b\":0}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the telemetry recorder: histogram merges
+//! must be exact (associative and commutative), shard-local recorders
+//! merged upward must equal one global recorder, and the fixed bucket
+//! layout must survive a JSONL export/parse round trip.
+
+use bytecache_telemetry::export::{parse_jsonl, to_jsonl};
+use bytecache_telemetry::hist::{bucket_bounds, bucket_index, Histogram, BUCKETS};
+use bytecache_telemetry::{Event, EventKind, Recorder};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in proptest::collection::vec(any::<u64>(), 0..64),
+                            b in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(a in proptest::collection::vec(any::<u64>(), 0..48),
+                            b in proptest::collection::vec(any::<u64>(), 0..48),
+                            c in proptest::collection::vec(any::<u64>(), 0..48)) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..64),
+        b in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&both));
+    }
+
+    #[test]
+    fn shard_local_recorders_merge_to_the_global_recorder(
+        samples in proptest::collection::vec((0usize..4, any::<u64>()), 0..128),
+    ) {
+        // One recorder per shard, fed only that shard's samples…
+        let mut shards: Vec<Recorder> = (0..4).map(|_| Recorder::enabled()).collect();
+        // …versus one global recorder fed the whole stream.
+        let mut global = Recorder::enabled();
+        for &(shard, value) in &samples {
+            shards[shard].record("latency_us", value);
+            shards[shard].count("packets", 1);
+            shards[shard].count_l("shard.packets", Some(shard as u64), 1);
+            global.record("latency_us", value);
+            global.count("packets", 1);
+            global.count_l("shard.packets", Some(shard as u64), 1);
+        }
+        let mut merged = Recorder::enabled();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.hist("latency_us"), global.hist("latency_us"));
+        prop_assert_eq!(merged.counter("packets"), global.counter("packets"));
+        for shard in 0..4u64 {
+            prop_assert_eq!(
+                merged.counter_l("shard.packets", Some(shard)),
+                global.counter_l("shard.packets", Some(shard))
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip_through_jsonl(
+        values in proptest::collection::vec(any::<u64>(), 1..128),
+        count in 1u64..1000,
+        flow in any::<u64>(),
+    ) {
+        let mut rec = Recorder::enabled();
+        for &v in &values {
+            rec.record("hist", v);
+            rec.record_l("hist.labelled", Some(7), v);
+        }
+        rec.count("counter", count);
+        rec.gauge("gauge", count);
+        rec.event(Event::new(EventKind::Eviction).at_us(count).flow(flow).details(1, 2));
+        let text = to_jsonl(&rec, &[("experiment", "proptest")]);
+        let (back, meta) = parse_jsonl(&text).expect("exporter output must parse");
+        prop_assert_eq!(&meta[..], &[("experiment".to_string(), "proptest".to_string())][..]);
+        // The parsed histogram must be bucket-for-bucket identical —
+        // same fixed layout, same counts, same summary stats.
+        prop_assert_eq!(back.hist("hist"), rec.hist("hist"));
+        prop_assert_eq!(back.hist_l("hist.labelled", Some(7)), rec.hist_l("hist.labelled", Some(7)));
+        prop_assert_eq!(back.counter("counter"), count);
+        prop_assert_eq!(back.gauge_value("gauge"), Some(count));
+        prop_assert_eq!(back.event_count(), 1);
+    }
+
+    #[test]
+    fn bucket_index_maps_into_its_own_bounds(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}] (bucket {i})");
+    }
+}
+
+#[test]
+fn from_parts_rejects_foreign_bucket_layouts() {
+    // A bucket whose bounds don't sit on the fixed power-of-two grid
+    // must be refused — otherwise merges would silently misalign.
+    let err = Histogram::from_parts(1, 5, 5, 5, &[(3, 9, 1)]);
+    assert!(err.is_err());
+}
