@@ -36,6 +36,14 @@ pub enum DecodeError {
     /// Reconstruction succeeded structurally but the checksum disagrees —
     /// a stale cache entry supplied wrong bytes.
     ChecksumMismatch,
+    /// The shim was encoded against a cache generation this decoder is
+    /// resynchronizing away from (it was wiped and has requested a
+    /// resync). Dropped without attempting reconstruction — and without
+    /// a per-shim NACK, which is the point of the generation scheme.
+    StaleGeneration {
+        /// The generation the shim was encoded against.
+        gen: u32,
+    },
 }
 
 impl core::fmt::Display for DecodeError {
@@ -49,6 +57,9 @@ impl core::fmt::Display for DecodeError {
                 write!(f, "stale region for fingerprint {fingerprint:#x}")
             }
             DecodeError::ChecksumMismatch => write!(f, "reconstruction checksum mismatch"),
+            DecodeError::StaleGeneration { gen } => {
+                write!(f, "shim from stale cache generation {gen} during resync")
+            }
         }
     }
 }
@@ -61,6 +72,19 @@ pub struct Feedback {
     /// Shim ids the decoder believes were lost (id gaps) or failed to
     /// decode; the encoder should mark them dead.
     pub nack_ids: Vec<u32>,
+    /// Id of the shim this call successfully decoded, if any. The
+    /// gateway uses it to retire a pending recovery request.
+    pub decoded_id: Option<u32>,
+    /// Id of the shim this call failed to reconstruct because a cache
+    /// reference diverged (missing / stale / wrong bytes) — a candidate
+    /// for a per-entry recovery request. `None` for malformed payloads
+    /// (no trustworthy id) and for stale-generation drops (the resync
+    /// supersedes per-entry repair).
+    pub failed_id: Option<u32>,
+    /// Set while the decoder is waiting out a post-wipe resync: the
+    /// generation it observed and wants the encoder to move past. The
+    /// gateway should (re)send a resync request upstream.
+    pub resync_gen: Option<u32>,
 }
 
 /// The byte caching decoder.
@@ -73,6 +97,19 @@ pub struct Decoder {
     core: EngineCore,
     epoch: Option<u16>,
     next_expected_id: u32,
+    /// Cache generation last seen in a version-2 shim header; `None`
+    /// until the first generation-stamped shim arrives (or after a
+    /// wipe, when any previously synced generation is forgotten).
+    sync_gen: Option<u32>,
+    /// True between a cache wipe and the first shim proving the encoder
+    /// flushed too (its generation moved past [`Self::resync_base`]).
+    need_resync: bool,
+    /// The generation observed while waiting for a resync; shims still
+    /// stamped with it are dropped as [`DecodeError::StaleGeneration`].
+    resync_base: Option<u32>,
+    /// After a wipe, adopt the next shim id as-is instead of NACKing the
+    /// (possibly huge) id gap the restart left behind.
+    adopt_next_id: bool,
     stats: DecoderStats,
     /// Decode-failure / NACK / epoch-flush events and per-packet
     /// distributions; disabled by default.
@@ -89,6 +126,7 @@ impl DecodeError {
             DecodeError::ChecksumMismatch => 2,
             DecodeError::BadRegion { .. } => 3,
             DecodeError::Malformed(_) => 4,
+            DecodeError::StaleGeneration { .. } => 6,
         }
     }
 }
@@ -105,9 +143,38 @@ impl Decoder {
             core: EngineCore::new(config),
             epoch: None,
             next_expected_id: 0,
+            sync_gen: None,
+            need_resync: false,
+            resync_base: None,
+            adopt_next_id: false,
             stats: DecoderStats::default(),
             telemetry: Recorder::disabled(),
         }
+    }
+
+    /// Simulate a decoder restart: drop every cached packet and all
+    /// synchronization state. The next generation-stamped shim triggers
+    /// a resync request; on a version-1 wire the decoder falls back to
+    /// the legacy behavior (per-shim NACKs until the caches re-converge).
+    pub fn wipe(&mut self) {
+        let entries = self.core.cache.len() as u64;
+        let bytes = self.core.cache.bytes_used() as u64;
+        self.core.cache.flush();
+        self.epoch = None;
+        self.sync_gen = None;
+        self.need_resync = true;
+        self.resync_base = None;
+        self.adopt_next_id = true;
+        self.stats.wipes += 1;
+        self.telemetry
+            .event(Event::new(EventKind::CacheWipe).details(entries, bytes));
+    }
+
+    /// Whether the decoder is still waiting for the encoder to confirm
+    /// a post-wipe resync (generation bump).
+    #[must_use]
+    pub fn needs_resync(&self) -> bool {
+        self.need_resync
     }
 
     /// Counters.
@@ -162,6 +229,9 @@ impl Decoder {
         rec.count("decoder.bad_region", s.bad_region);
         rec.count("decoder.malformed", s.malformed);
         rec.count("decoder.epoch_flushes", s.epoch_flushes);
+        rec.count("decoder.stale_gen", s.stale_gen);
+        rec.count("decoder.wipes", s.wipes);
+        rec.count("decoder.resyncs", s.resyncs);
         rec.count("decoder.undecodable", s.undecodable());
         rec.count("decoder.bytes_in", s.bytes_in);
         rec.count("decoder.bytes_out", s.bytes_out);
@@ -250,13 +320,95 @@ impl Decoder {
             }
         }
 
+        // Cache-generation tracking (version-2 shims). A wiped decoder
+        // asks for a generation bump; until the bump shows up in shim
+        // headers, encoded shims are dropped *silently* — no per-shim
+        // NACK storm — while raw shims still repopulate the cache.
+        match parsed.header.gen {
+            None => {
+                // Version-1 wire: no generation mechanism. Fall back to
+                // the legacy divergence behavior (per-shim NACKs).
+                if self.need_resync {
+                    self.need_resync = false;
+                    self.resync_base = None;
+                }
+            }
+            Some(gen) => {
+                if self.need_resync {
+                    match self.resync_base {
+                        None => self.resync_base = Some(gen),
+                        Some(base) if gen != base => {
+                            // The encoder flushed and bumped: resync done.
+                            // Drop whatever the raw shims of the old
+                            // generation repopulated — the encoder
+                            // flushed those entries too, so they will
+                            // never be referenced again. Adopting the
+                            // generation here also keeps the unrequested-
+                            // change arm below from double-counting.
+                            self.need_resync = false;
+                            self.resync_base = None;
+                            self.core.cache.flush();
+                            self.sync_gen = Some(gen);
+                            self.stats.resyncs += 1;
+                            self.telemetry.event(
+                                Event::new(EventKind::Resync)
+                                    .flow(meta.flow.stable_hash())
+                                    .details(u64::from(gen), 0),
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                    if self.need_resync {
+                        feedback.resync_gen = self.resync_base;
+                    }
+                }
+                match self.sync_gen {
+                    None => self.sync_gen = Some(gen),
+                    Some(current) if current != gen => {
+                        // Unrequested generation change: the *encoder*
+                        // restarted or answered someone else's resync.
+                        // Its cache is empty; ours must follow.
+                        self.core.cache.flush();
+                        self.sync_gen = Some(gen);
+                        self.stats.resyncs += 1;
+                        self.telemetry.event(
+                            Event::new(EventKind::Resync)
+                                .flow(meta.flow.stable_hash())
+                                .details(u64::from(gen), 0),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
         // Loss detection by id gap (informed marking feedback).
         let id = parsed.header.id;
-        if id >= self.next_expected_id {
+        if self.adopt_next_id {
+            // First shim after a wipe: the gap is an artifact of the
+            // restart, not of loss — adopt rather than NACK it.
+            self.adopt_next_id = false;
+            self.next_expected_id = id.wrapping_add(1);
+        } else if id >= self.next_expected_id {
             for missing in self.next_expected_id..id {
                 feedback.nack_ids.push(missing);
             }
             self.next_expected_id = id + 1;
+        }
+
+        // Encoded shims from the pre-resync generation reference a cache
+        // we no longer have; drop them without NACK or repair traffic.
+        if self.need_resync && parsed.header.encoded {
+            let gen = parsed.header.gen.unwrap_or_default();
+            self.stats.stale_gen += 1;
+            let err = DecodeError::StaleGeneration { gen };
+            self.telemetry.event(
+                Event::new(EventKind::DecodeFailure)
+                    .flow(meta.flow.stable_hash())
+                    .details(err.class(), u64::from(meta.seq.raw())),
+            );
+            self.telemetry.span_end("span.decode_ns", span);
+            return (Err(err), feedback);
         }
 
         let result = self.reconstruct(&parsed);
@@ -283,6 +435,7 @@ impl Decoder {
                 self.stats.scan_windows += indexed.windows;
                 self.stats.sampled_windows += indexed.sampled;
                 self.stats.index_insertions += indexed.insertions;
+                feedback.decoded_id = Some(id);
             }
             Err(e) => {
                 match e {
@@ -290,6 +443,17 @@ impl Decoder {
                     DecodeError::BadRegion { .. } => self.stats.bad_region += 1,
                     DecodeError::ChecksumMismatch => self.stats.checksum_mismatch += 1,
                     DecodeError::Malformed(_) => self.stats.malformed += 1,
+                    DecodeError::StaleGeneration { .. } => self.stats.stale_gen += 1,
+                }
+                // Cache divergence (as opposed to a garbled payload) is
+                // repairable: surface the id for a recovery request.
+                if matches!(
+                    e,
+                    DecodeError::MissingReference { .. }
+                        | DecodeError::BadRegion { .. }
+                        | DecodeError::ChecksumMismatch
+                ) {
+                    feedback.failed_id = Some(id);
                 }
                 self.telemetry.event(
                     Event::new(EventKind::DecodeFailure)

@@ -3,7 +3,7 @@
 
 use bytes::Bytes;
 
-use bytecache_packet::Packet;
+use bytecache_packet::{FlowId, Packet, SeqNum};
 use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::DreConfig;
@@ -79,6 +79,13 @@ pub struct Encoder {
     core: EngineCore,
     policy: Box<dyn Policy>,
     epoch: u16,
+    /// Cache generation, stamped into version-2 shim headers when
+    /// [`Self::set_wire_gen`] enables them; bumped on every honored
+    /// resync so a wiped decoder can tell old shims from new.
+    gen: u32,
+    /// Emit version-2 (generation-stamped) shim headers. Off by
+    /// default: the version-1 wire stays the live baseline.
+    wire_gen: bool,
     stats: EncoderStats,
     /// Scan scratch (tokens, refs, sampled fingerprints) reused across
     /// packets so the hot path does not allocate in steady state.
@@ -103,6 +110,8 @@ impl Encoder {
             core: EngineCore::new(config),
             policy,
             epoch: 0,
+            gen: 0,
+            wire_gen: false,
             stats: EncoderStats::default(),
             scratch: ScanOutput::default(),
             scan_mode: ScanMode::default(),
@@ -161,6 +170,9 @@ impl Encoder {
         rec.count("encoder.scan_windows", s.scan_windows);
         rec.count("encoder.sampled_windows", s.sampled_windows);
         rec.count("encoder.index_insertions", s.index_insertions);
+        rec.count("encoder.resyncs", s.resyncs);
+        rec.count("encoder.repairs", s.repairs);
+        rec.count("encoder.repair_misses", s.repair_misses);
         rec
     }
 
@@ -207,6 +219,81 @@ impl Encoder {
     #[must_use]
     pub fn epoch(&self) -> u16 {
         self.epoch
+    }
+
+    /// Emit version-2 (generation-stamped) shim headers (builder style).
+    /// The version-1 wire remains the default baseline.
+    #[must_use]
+    pub fn with_wire_gen(mut self, enabled: bool) -> Self {
+        self.wire_gen = enabled;
+        self
+    }
+
+    /// Enable or disable generation-stamped (version-2) shim headers.
+    pub fn set_wire_gen(&mut self, enabled: bool) {
+        self.wire_gen = enabled;
+    }
+
+    /// Current cache generation (stamped in version-2 shim headers).
+    #[must_use]
+    pub fn gen(&self) -> u32 {
+        self.gen
+    }
+
+    /// Honor a decoder resync request: if `requested` still names the
+    /// current generation, flush the cache and bump the generation so
+    /// every subsequent shim proves the flush to the decoder. Returns
+    /// whether the flush happened — a stale/duplicate request (the
+    /// generation already moved past `requested`) is a no-op, which is
+    /// what makes retried and duplicated resync requests idempotent.
+    pub fn resync(&mut self, requested: u32) -> bool {
+        if requested != self.gen {
+            return false;
+        }
+        self.core.cache.flush();
+        self.gen = self.gen.wrapping_add(1);
+        self.stats.resyncs += 1;
+        self.telemetry
+            .event(Event::new(EventKind::Resync).details(u64::from(self.gen), 1));
+        true
+    }
+
+    /// Serve a recovery request for shim id `id`: re-emit the stored
+    /// region as a raw shim carrying the *same* id (so the decoder's
+    /// insert replaces its diverged entry) and tombstone the entry so no
+    /// future shim references it. Returns the stored flow, its TCP
+    /// sequence number, and the wire bytes for the gateway to send, or
+    /// `None` (counting a miss) when the entry is gone or already
+    /// tombstoned — the decoder's retries give up via backoff.
+    pub fn repair(&mut self, id: u32) -> Option<(FlowId, SeqNum, Vec<u8>)> {
+        let pid = PacketId(u64::from(id));
+        if self.core.cache.is_dead(pid) {
+            self.stats.repair_misses += 1;
+            return None;
+        }
+        let Some(stored) = self.core.cache.packet(pid) else {
+            self.stats.repair_misses += 1;
+            return None;
+        };
+        let flow = stored.meta.flow;
+        let seq = stored.meta.seq;
+        let payload = stored.payload.clone();
+        self.core.cache.mark_dead(pid);
+        let mut out = Vec::new();
+        wire::encode_raw_gen_into(
+            &mut out,
+            self.epoch,
+            id,
+            self.wire_gen.then_some(self.gen),
+            &payload,
+        );
+        self.stats.repairs += 1;
+        self.telemetry.event(
+            Event::new(EventKind::RecoveryRepair)
+                .flow(flow.stable_hash())
+                .details(u64::from(id), payload.len() as u64),
+        );
+        Some((flow, seq, out))
     }
 
     /// Borrow the cache (inspection / tests).
@@ -260,6 +347,13 @@ impl Encoder {
             ..*meta
         };
         let pre = self.policy.before_packet(&meta);
+        if let Some(entered) = self.policy.poll_transition() {
+            self.telemetry.event(
+                Event::new(EventKind::Degrade)
+                    .flow(meta.flow.stable_hash())
+                    .details(u64::from(entered), 0),
+            );
+        }
         if pre.flush {
             self.core.cache.flush();
             self.epoch = self.epoch.wrapping_add(1);
@@ -300,16 +394,23 @@ impl Encoder {
             .iter()
             .any(|t| matches!(t, Token::Match { .. }))
         {
-            wire::encode_tokens_into(
+            wire::encode_tokens_gen_into(
                 out,
                 self.epoch,
                 shim_id,
+                self.wire_gen.then_some(self.gen),
                 payload.len() as u16,
                 wire::payload_checksum(payload),
                 &self.scratch.tokens,
             );
         } else {
-            wire::encode_raw_into(out, self.epoch, shim_id, payload);
+            wire::encode_raw_gen_into(
+                out,
+                self.epoch,
+                shim_id,
+                self.wire_gen.then_some(self.gen),
+                payload,
+            );
         }
 
         // Cache update procedure (paper Fig. 2 part C) on the ORIGINAL

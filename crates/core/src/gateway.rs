@@ -20,14 +20,25 @@
 //! independent id space; the decoder gateway tags every NACK with the
 //! shard that observed the loss and the encoder gateway routes it back
 //! to that shard's cache.
+//!
+//! The same control channel also carries the cache-divergence recovery
+//! protocol (when [`DecoderGateway::with_recovery`] enables it):
+//! 8-byte structured messages opening with [`CONTROL_MSG_MAGIC`] —
+//! a resync request (the decoder was wiped; flush and bump the wire
+//! generation) or a recovery request (re-emit one diverged cache entry
+//! raw and tombstone it). NACK records open with the shard index's
+//! high byte, which is zero for any realistic shard count, so the two
+//! framings cannot collide.
 
 use std::collections::HashSet;
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
+use bytecache_netsim::time::SimDuration;
 use bytecache_netsim::{Context, Node};
-use bytecache_packet::{Packet, TcpFlags};
+use bytecache_packet::{FlowId, Packet, TcpFlags};
+use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::decoder::Decoder;
 use crate::encoder::Encoder;
@@ -37,6 +48,44 @@ use crate::stats::{DecoderStats, EncoderStats};
 
 /// TCP port used by gateway-to-gateway NACK control packets.
 pub const CONTROL_PORT: u16 = 7777;
+
+/// First byte of structured (resync / recovery) control messages.
+pub const CONTROL_MSG_MAGIC: u8 = 0xBD;
+
+/// Bytes per structured control message: magic u8, kind u8,
+/// shard u16 BE, value u32 BE.
+pub const CONTROL_MSG_LEN: usize = 8;
+
+/// Structured message kind: resync request; value = the stale cache
+/// generation the decoder observed.
+const MSG_RESYNC: u8 = 0x01;
+
+/// Structured message kind: recovery request; value = the shim id whose
+/// cache entry diverged.
+const MSG_RECOVER: u8 = 0x02;
+
+/// Initial recovery/resync retry timeout (doubles per retry).
+const RECOVERY_TIMEOUT_US: u64 = 100_000;
+
+/// Repair requests are abandoned after this many retries; resync
+/// requests keep retrying (their backoff just stops growing) because
+/// nothing else can re-converge a wiped decoder.
+const RECOVERY_MAX_RETRIES: u32 = 5;
+
+/// Outstanding repair requests per flow.
+const RECOVERY_MAX_PER_FLOW: usize = 8;
+
+/// Outstanding repair requests across all flows.
+const RECOVERY_MAX_PENDING: usize = 64;
+
+/// Timer token used by the decoder gateway's retry timers.
+const RECOVERY_TIMER_TOKEN: u64 = 0x5EC0;
+
+/// Exponential backoff, capped so the delay stops growing after
+/// [`RECOVERY_MAX_RETRIES`] doublings.
+fn backoff_us(retries: u32) -> u64 {
+    RECOVERY_TIMEOUT_US << retries.min(RECOVERY_MAX_RETRIES)
+}
 
 /// How gateways hand payload bytes to the next hop.
 ///
@@ -81,11 +130,21 @@ pub struct EncoderGateway {
     encode_dsts: HashSet<Ipv4Addr>,
     control_addr: Option<Ipv4Addr>,
     nacks_received: u64,
+    /// Control payloads that failed to parse cleanly (truncated trailing
+    /// NACK record, bad structured message).
+    nacks_malformed: u64,
+    /// Repair packets synthesized in answer to recovery requests.
+    repairs_sent: u64,
+    /// IP id counter for synthesized repair packets.
+    ip_id: u16,
     /// Wire scratch buffer reused across packets ([`PayloadMode::Copied`]
     /// baseline only; the shared path freezes the encoder's output
     /// buffer directly).
     scratch: Vec<u8>,
     payload_mode: PayloadMode,
+    /// Gateway-level events (malformed control payloads); disabled by
+    /// default like the bank's recorders.
+    telemetry: Recorder,
 }
 
 impl EncoderGateway {
@@ -113,9 +172,22 @@ impl EncoderGateway {
             encode_dsts: dsts.into_iter().collect(),
             control_addr: None,
             nacks_received: 0,
+            nacks_malformed: 0,
+            repairs_sent: 0,
+            ip_id: 0,
             scratch: Vec::new(),
             payload_mode: PayloadMode::default(),
+            telemetry: Recorder::disabled(),
         }
+    }
+
+    /// Emit generation-stamped (version-2) shim headers on every shard
+    /// (builder style). Required for the divergence-recovery protocol;
+    /// off by default so the version-1 wire stays the live baseline.
+    #[must_use]
+    pub fn with_wire_gen(mut self, enabled: bool) -> Self {
+        self.encoder.set_wire_gen(enabled);
+        self
     }
 
     /// Give the gateway a control address so it can receive informed-
@@ -168,29 +240,109 @@ impl EncoderGateway {
         self.nacks_received
     }
 
-    /// Enable or disable telemetry on the whole encoder bank.
+    /// Control payloads rejected or truncated (see
+    /// [`handle_control`](Self::handle_control)'s framing rules).
+    #[must_use]
+    pub fn nacks_malformed(&self) -> u64 {
+        self.nacks_malformed
+    }
+
+    /// Repair packets synthesized in answer to recovery requests.
+    #[must_use]
+    pub fn repairs_sent(&self) -> u64 {
+        self.repairs_sent
+    }
+
+    /// Enable or disable telemetry on the whole encoder bank and the
+    /// gateway's own recorder.
     pub fn set_telemetry_enabled(&mut self, enabled: bool) {
         self.encoder.set_telemetry_enabled(enabled);
+        self.telemetry.set_enabled(enabled);
     }
 
     /// Merged telemetry snapshot: the bank's per-shard snapshots plus
-    /// the gateway-level `gateway.nacks_received` counter.
+    /// gateway-level counters and events.
     #[must_use]
     pub fn telemetry_snapshot(&self) -> bytecache_telemetry::Recorder {
         let mut merged = self.encoder.telemetry_snapshot();
         if merged.is_enabled() {
+            merged.merge(&self.telemetry);
             merged.count("gateway.nacks_received", self.nacks_received);
+            merged.count("gateway.nacks_malformed", self.nacks_malformed);
+            merged.count("gateway.repairs_sent", self.repairs_sent);
         }
         merged
     }
 
-    fn handle_control(&mut self, packet: &Packet) {
-        self.nacks_received += 1;
-        for record in packet.payload.chunks_exact(NACK_RECORD_LEN) {
+    /// Parse one control payload. NACK payloads are a sequence of
+    /// complete 6-byte records; a truncated trailing record marks the
+    /// payload malformed (counted + telemetry event) while the complete
+    /// records before it are still honored — better a few extra dead
+    /// entries than ignoring real loss reports. Structured messages
+    /// (first byte [`CONTROL_MSG_MAGIC`]) must be exactly
+    /// [`CONTROL_MSG_LEN`] bytes; a recovery request may synthesize a
+    /// repair packet, which the caller forwards toward the decoder.
+    fn handle_control(&mut self, packet: &Packet) -> Option<Packet> {
+        let payload = &packet.payload;
+        if payload.first() == Some(&CONTROL_MSG_MAGIC) {
+            if payload.len() != CONTROL_MSG_LEN {
+                self.note_malformed(payload.len(), payload.len());
+                return None;
+            }
+            let shard = usize::from(u16::from_be_bytes([payload[2], payload[3]]));
+            let value = u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]);
+            return match payload[1] {
+                MSG_RESYNC => {
+                    self.encoder.resync(shard, value);
+                    None
+                }
+                MSG_RECOVER => self.build_repair_packet(shard, value),
+                _ => {
+                    self.note_malformed(payload.len(), payload.len());
+                    None
+                }
+            };
+        }
+        let tail = payload.len() % NACK_RECORD_LEN;
+        if tail != 0 {
+            self.note_malformed(payload.len(), tail);
+        }
+        if payload.len() >= NACK_RECORD_LEN {
+            self.nacks_received += 1;
+        }
+        for record in payload.chunks_exact(NACK_RECORD_LEN) {
             let shard = u16::from_be_bytes([record[0], record[1]]);
             let id = u32::from_be_bytes([record[2], record[3], record[4], record[5]]);
             self.encoder.handle_nack(usize::from(shard), &[id]);
         }
+        None
+    }
+
+    fn note_malformed(&mut self, len: usize, rejected: usize) {
+        self.nacks_malformed += 1;
+        self.telemetry
+            .event(Event::new(EventKind::ControlMalformed).details(len as u64, rejected as u64));
+    }
+
+    /// Answer a recovery request: have the shard re-emit the entry as a
+    /// raw shim under its original id, and wrap it in a TCP packet that
+    /// retraces the original data path (same flow tuple, same sequence
+    /// number — the client's reassembly dedups it if the original data
+    /// already arrived another way).
+    fn build_repair_packet(&mut self, shard: usize, id: u32) -> Option<Packet> {
+        let (flow, seq, wire) = self.encoder.repair(shard, id)?;
+        self.repairs_sent += 1;
+        self.ip_id = self.ip_id.wrapping_add(1);
+        Some(
+            Packet::builder()
+                .src(flow.src, flow.src_port)
+                .dst(flow.dst, flow.dst_port)
+                .seq(seq.raw())
+                .ip_id(self.ip_id)
+                .flags(TcpFlags::PSH)
+                .payload(wire)
+                .build(),
+        )
     }
 
     fn is_control(&self, packet: &Packet) -> bool {
@@ -234,8 +386,8 @@ impl EncoderGateway {
         let mut out: Vec<Option<Packet>> = Vec::with_capacity(packets.len());
         for packet in packets {
             if self.is_control(&packet) {
-                self.handle_control(&packet);
-                out.push(None);
+                let repair = self.handle_control(&packet);
+                out.push(repair);
             } else if self.should_encode(&packet) {
                 encode_items.push((packet_meta(&packet), packet.payload.clone()));
                 encode_slots.push((out.len(), packet));
@@ -261,7 +413,9 @@ impl EncoderGateway {
 impl Node for EncoderGateway {
     fn on_packet(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         if self.is_control(&packet) {
-            self.handle_control(&packet);
+            if let Some(repair) = self.handle_control(&packet) {
+                ctx.forward(repair);
+            }
             return; // consumed
         }
         if self.should_encode(&packet) {
@@ -303,6 +457,39 @@ pub struct DecoderGateway {
     dropped: u64,
     ip_id: u16,
     payload_mode: PayloadMode,
+    /// Divergence recovery on/off (see [`with_recovery`](Self::with_recovery)).
+    recovery: bool,
+    /// Outstanding per-entry repair requests, bounded per flow and
+    /// globally; `Vec` (not a map) so retry order is deterministic.
+    pending_repairs: Vec<PendingRepair>,
+    /// Outstanding resync requests, at most one per shard.
+    pending_resyncs: Vec<PendingResync>,
+    recovery_requests: u64,
+    resyncs_sent: u64,
+    recovery_retries: u64,
+    recovery_abandoned: u64,
+    /// Gateway-level recovery events; disabled by default.
+    telemetry: Recorder,
+}
+
+/// One outstanding per-entry recovery request.
+#[derive(Debug, Clone, Copy)]
+struct PendingRepair {
+    shard: u16,
+    id: u32,
+    flow: FlowId,
+    retries: u32,
+    /// Absolute retry deadline in simulated microseconds.
+    next_at_us: u64,
+}
+
+/// One outstanding post-wipe resync request.
+#[derive(Debug, Clone, Copy)]
+struct PendingResync {
+    shard: u16,
+    gen: u32,
+    retries: u32,
+    next_at_us: u64,
 }
 
 impl DecoderGateway {
@@ -347,6 +534,14 @@ impl DecoderGateway {
             dropped: 0,
             ip_id: 0,
             payload_mode: PayloadMode::default(),
+            recovery: false,
+            pending_repairs: Vec::new(),
+            pending_resyncs: Vec::new(),
+            recovery_requests: 0,
+            resyncs_sent: 0,
+            recovery_retries: 0,
+            recovery_abandoned: 0,
+            telemetry: Recorder::disabled(),
         }
     }
 
@@ -356,6 +551,31 @@ impl DecoderGateway {
     pub fn with_nacks(mut self, encoder_control: Ipv4Addr) -> Self {
         self.nack_target = Some((encoder_control, CONTROL_PORT));
         self
+    }
+
+    /// Enable divergence recovery: on a shim that fails against a
+    /// diverged cache entry, request a raw re-emission over the control
+    /// channel (bounded per flow, retried with exponential backoff,
+    /// abandoned after [`RECOVERY_MAX_RETRIES`] tries); after a cache
+    /// wipe, request a generation resync instead of NACK-storming.
+    /// Requires [`with_nacks`](Self::with_nacks) (the control channel)
+    /// and an encoder gateway running generation-stamped headers.
+    /// Recovery is driven by the simulator event loop
+    /// ([`Node::on_packet`] / [`Node::on_timer`]); the trace-level
+    /// [`process_batch`](Self::process_batch) path does not retry.
+    #[must_use]
+    pub fn with_recovery(mut self, enabled: bool) -> Self {
+        self.recovery = enabled;
+        self
+    }
+
+    /// Simulated decoder restart: wipe every shard's cache and all
+    /// synchronization state, and drop any outstanding repair requests
+    /// (their entries died with the cache; the resync supersedes them).
+    pub fn wipe_cache(&mut self) {
+        self.decoder.wipe();
+        self.pending_repairs.clear();
+        self.pending_resyncs.clear();
     }
 
     /// Select how reconstructed payloads are produced (see
@@ -406,21 +626,157 @@ impl DecoderGateway {
         self.nacks_sent
     }
 
-    /// Enable or disable telemetry on the whole decoder bank.
+    /// Recovery (repair) requests sent, initial sends only.
+    #[must_use]
+    pub fn recovery_requests(&self) -> u64 {
+        self.recovery_requests
+    }
+
+    /// Resync requests sent, initial sends only.
+    #[must_use]
+    pub fn resyncs_sent(&self) -> u64 {
+        self.resyncs_sent
+    }
+
+    /// Recovery/resync retransmissions (timer-driven resends).
+    #[must_use]
+    pub fn recovery_retries(&self) -> u64 {
+        self.recovery_retries
+    }
+
+    /// Repair requests given up on after exhausting their retries.
+    #[must_use]
+    pub fn recovery_abandoned(&self) -> u64 {
+        self.recovery_abandoned
+    }
+
+    /// Enable or disable telemetry on the whole decoder bank and the
+    /// gateway's own recorder.
     pub fn set_telemetry_enabled(&mut self, enabled: bool) {
         self.decoder.set_telemetry_enabled(enabled);
+        self.telemetry.set_enabled(enabled);
     }
 
     /// Merged telemetry snapshot: the bank's per-shard snapshots plus
-    /// gateway-level `gateway.nacks_sent` / `gateway.dropped` counters.
+    /// gateway-level counters and recovery events.
     #[must_use]
     pub fn telemetry_snapshot(&self) -> bytecache_telemetry::Recorder {
         let mut merged = self.decoder.telemetry_snapshot();
         if merged.is_enabled() {
+            merged.merge(&self.telemetry);
             merged.count("gateway.nacks_sent", self.nacks_sent);
             merged.count("gateway.dropped", self.dropped);
+            merged.count("gateway.recovery_requests", self.recovery_requests);
+            merged.count("gateway.resyncs_sent", self.resyncs_sent);
+            merged.count("gateway.recovery_retries", self.recovery_retries);
+            merged.count("gateway.recovery_abandoned", self.recovery_abandoned);
         }
         merged
+    }
+
+    /// Build one structured control message packet (resync / recover).
+    fn build_control_msg(&mut self, kind: u8, shard: u16, value: u32) -> Option<Packet> {
+        let (addr, port) = self.nack_target?;
+        let mut payload = Vec::with_capacity(CONTROL_MSG_LEN);
+        payload.push(CONTROL_MSG_MAGIC);
+        payload.push(kind);
+        payload.extend_from_slice(&shard.to_be_bytes());
+        payload.extend_from_slice(&value.to_be_bytes());
+        self.ip_id = self.ip_id.wrapping_add(1);
+        Some(
+            Packet::builder()
+                .src(self.local_addr, CONTROL_PORT)
+                .dst(addr, port)
+                .ip_id(self.ip_id)
+                .flags(TcpFlags::PSH)
+                .payload(payload)
+                .build(),
+        )
+    }
+
+    /// Act on the recovery-relevant parts of one decode's feedback:
+    /// retire satisfied repairs, open resync/repair requests, arm retry
+    /// timers.
+    fn update_recovery(&mut self, flow: FlowId, feedback: &ShardFeedback, ctx: &mut Context<'_>) {
+        if !self.recovery {
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        let shard = feedback.shard;
+        if let Some(id) = feedback.decoded_id {
+            self.pending_repairs
+                .retain(|p| p.shard != shard || p.id != id);
+        }
+        match feedback.resync_gen {
+            Some(gen) => {
+                if !self.pending_resyncs.iter().any(|r| r.shard == shard) {
+                    if let Some(msg) = self.build_control_msg(MSG_RESYNC, shard, gen) {
+                        ctx.forward(msg);
+                        self.resyncs_sent += 1;
+                        self.telemetry.event(
+                            Event::new(EventKind::Resync)
+                                .at_us(now_us)
+                                .details(u64::from(gen), 0),
+                        );
+                        self.pending_resyncs.push(PendingResync {
+                            shard,
+                            gen,
+                            retries: 0,
+                            next_at_us: now_us + RECOVERY_TIMEOUT_US,
+                        });
+                        ctx.set_timer(
+                            SimDuration::from_micros(RECOVERY_TIMEOUT_US),
+                            RECOVERY_TIMER_TOKEN,
+                        );
+                    }
+                }
+            }
+            None => {
+                // This shard no longer asks for a resync: if it also
+                // reports converged, retire its pending request.
+                let converged = !self.decoder.needs_resync(usize::from(shard));
+                if converged {
+                    self.pending_resyncs.retain(|r| r.shard != shard);
+                }
+            }
+        }
+        if let Some(id) = feedback.failed_id {
+            let exists = self
+                .pending_repairs
+                .iter()
+                .any(|p| p.shard == shard && p.id == id);
+            let flow_load = self
+                .pending_repairs
+                .iter()
+                .filter(|p| p.flow == flow)
+                .count();
+            if !exists
+                && flow_load < RECOVERY_MAX_PER_FLOW
+                && self.pending_repairs.len() < RECOVERY_MAX_PENDING
+            {
+                if let Some(msg) = self.build_control_msg(MSG_RECOVER, shard, id) {
+                    ctx.forward(msg);
+                    self.recovery_requests += 1;
+                    self.telemetry.event(
+                        Event::new(EventKind::RecoveryRequest)
+                            .at_us(now_us)
+                            .flow(flow.stable_hash())
+                            .details(u64::from(id), 0),
+                    );
+                    self.pending_repairs.push(PendingRepair {
+                        shard,
+                        id,
+                        flow,
+                        retries: 0,
+                        next_at_us: now_us + RECOVERY_TIMEOUT_US,
+                    });
+                    ctx.set_timer(
+                        SimDuration::from_micros(RECOVERY_TIMEOUT_US),
+                        RECOVERY_TIMER_TOKEN,
+                    );
+                }
+            }
+        }
     }
 
     fn build_feedback_packet(&mut self, feedback: &ShardFeedback) -> Option<Packet> {
@@ -501,6 +857,7 @@ impl Node for DecoderGateway {
             if let Some(nack) = self.build_feedback_packet(&feedback) {
                 ctx.forward(nack);
             }
+            self.update_recovery(meta.flow, &feedback, ctx);
             match result {
                 Ok(original) => ctx.forward(packet.with_payload(original)),
                 Err(_) => {
@@ -510,6 +867,69 @@ impl Node for DecoderGateway {
             }
         } else {
             ctx.forward(packet);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        if token != RECOVERY_TIMER_TOKEN || !self.recovery {
+            return;
+        }
+        let now_us = ctx.now().as_micros();
+        // Resync retries: keep asking (capped backoff, never abandoned)
+        // until the decoder observes the generation bump — nothing else
+        // can re-converge a wiped decoder under an encoding policy.
+        let mut resyncs = std::mem::take(&mut self.pending_resyncs);
+        resyncs.retain(|r| self.decoder.needs_resync(usize::from(r.shard)));
+        for r in &mut resyncs {
+            if now_us < r.next_at_us {
+                continue;
+            }
+            r.retries += 1;
+            self.recovery_retries += 1;
+            let delay = backoff_us(r.retries);
+            r.next_at_us = now_us + delay;
+            if let Some(msg) = self.build_control_msg(MSG_RESYNC, r.shard, r.gen) {
+                ctx.forward(msg);
+            }
+            self.telemetry.event(
+                Event::new(EventKind::Resync)
+                    .at_us(now_us)
+                    .details(u64::from(r.gen), 0),
+            );
+            ctx.set_timer(SimDuration::from_micros(delay), RECOVERY_TIMER_TOKEN);
+        }
+        self.pending_resyncs = resyncs;
+        // Repair retries: exponential backoff, abandoned after the cap
+        // (the entry may be gone at the encoder too; TCP's own
+        // retransmission is the correctness backstop).
+        let mut repairs = std::mem::take(&mut self.pending_repairs);
+        let mut resend: Vec<(u16, u32, u64)> = Vec::new();
+        repairs.retain_mut(|p| {
+            if now_us < p.next_at_us {
+                return true;
+            }
+            if p.retries >= RECOVERY_MAX_RETRIES {
+                self.recovery_abandoned += 1;
+                return false;
+            }
+            p.retries += 1;
+            let delay = backoff_us(p.retries);
+            p.next_at_us = now_us + delay;
+            resend.push((p.shard, p.id, delay));
+            true
+        });
+        self.pending_repairs = repairs;
+        for (shard, id, delay) in resend {
+            self.recovery_retries += 1;
+            if let Some(msg) = self.build_control_msg(MSG_RECOVER, shard, id) {
+                ctx.forward(msg);
+            }
+            self.telemetry.event(
+                Event::new(EventKind::RecoveryRequest)
+                    .at_us(now_us)
+                    .details(u64::from(id), 1),
+            );
+            ctx.set_timer(SimDuration::from_micros(delay), RECOVERY_TIMER_TOKEN);
         }
     }
 }

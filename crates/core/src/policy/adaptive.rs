@@ -113,6 +113,114 @@ impl Policy for Adaptive {
     }
 }
 
+/// Graceful degradation: tcp-seq matching that downshifts to
+/// pass-through when the estimated loss rate crosses a threshold.
+///
+/// §VII of the paper shows compression is counterproductive once the
+/// loss rate climbs — every encoded packet gambles that its references
+/// survived, and on a bad channel they mostly did not. This policy
+/// watches the same retransmission echo as [`Adaptive`] but instead of
+/// shortening dependency chains it *abandons* them: when the EWMA loss
+/// estimate exceeds `enter`, the cache is flushed once and every packet
+/// goes out raw (still cached, so matching can resume instantly); when
+/// the estimate falls back under `exit`, normal tcp-seq encoding
+/// resumes. The hysteresis gap keeps a channel hovering near the
+/// threshold from thrashing the cache.
+#[derive(Debug)]
+pub struct Degrading {
+    /// EWMA of the retransmission fraction.
+    p_est: f64,
+    /// EWMA smoothing factor.
+    alpha: f64,
+    /// Enter degraded (pass-through) mode above this estimate.
+    enter: f64,
+    /// Leave degraded mode below this estimate (hysteresis).
+    exit: f64,
+    degraded: bool,
+    /// Set by `before_packet` on a state change; drained by
+    /// [`Policy::poll_transition`].
+    transition: Option<bool>,
+    highest_seq: HashMap<FlowId, SeqNum>,
+}
+
+impl Default for Degrading {
+    fn default() -> Self {
+        Degrading {
+            p_est: 0.0,
+            alpha: 0.05,
+            enter: 0.15,
+            exit: 0.05,
+            degraded: false,
+            transition: None,
+            highest_seq: HashMap::new(),
+        }
+    }
+}
+
+impl Degrading {
+    /// New degrading policy with default thresholds (enter at an
+    /// estimated 15% loss, recover below 5%, EWMA 0.05).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current retransmission-rate estimate.
+    #[must_use]
+    pub fn estimated_loss(&self) -> f64 {
+        self.p_est
+    }
+
+    /// Whether the policy is currently in pass-through mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+}
+
+impl Policy for Degrading {
+    fn name(&self) -> &'static str {
+        "degrading"
+    }
+
+    fn before_packet(&mut self, meta: &PacketMeta) -> PrePacket {
+        let retrans = is_retransmission(&mut self.highest_seq, meta.flow, meta.seq);
+        self.p_est = (1.0 - self.alpha) * self.p_est + self.alpha * f64::from(u8::from(retrans));
+        if !self.degraded && self.p_est > self.enter {
+            self.degraded = true;
+            self.transition = Some(true);
+            // Flush once on entry: pending dependency chains are exactly
+            // the bytes at risk on a channel this bad.
+            return PrePacket {
+                flush: true,
+                suppress_encoding: true,
+            };
+        }
+        if self.degraded && self.p_est < self.exit {
+            self.degraded = false;
+            self.transition = Some(false);
+        }
+        if self.degraded {
+            PrePacket {
+                flush: false,
+                suppress_encoding: true,
+            }
+        } else {
+            PrePacket::default()
+        }
+    }
+
+    fn allow_match(&self, meta: &PacketMeta, entry: &EntryMeta, _id: PacketId) -> bool {
+        // tcp-seq rule: only encode against strictly earlier data of the
+        // same flow — safe under loss without any flushing.
+        entry.flow == meta.flow && entry.seq.precedes(meta.seq)
+    }
+
+    fn poll_transition(&mut self) -> Option<bool> {
+        self.transition.take()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +267,54 @@ mod tests {
         let m = meta(1000 + 3 * 1460, 3);
         assert!(p.allow_match(&m, &entry(1000, 0), PacketId(0)));
         assert!(p.allow_match(&m, &entry(2460, 2), PacketId(2)));
+    }
+
+    #[test]
+    fn degrading_enters_and_exits_with_hysteresis() {
+        let mut p = Degrading::default();
+        assert!(!p.is_degraded());
+        assert_eq!(p.poll_transition(), None);
+        // Hammer with retransmissions until the estimate crosses `enter`.
+        let mut entered_at = None;
+        for i in 0..200u64 {
+            let pre = p.before_packet(&meta(1000, i));
+            if p.is_degraded() && entered_at.is_none() {
+                entered_at = Some(i);
+                assert!(pre.flush, "entry flushes once");
+                assert!(pre.suppress_encoding);
+                assert_eq!(p.poll_transition(), Some(true));
+                assert_eq!(p.poll_transition(), None, "transition drains");
+            }
+        }
+        assert!(entered_at.is_some(), "est={}", p.estimated_loss());
+        // While degraded every packet is suppressed but none flush.
+        let pre = p.before_packet(&meta(1000, 201));
+        assert!(pre.suppress_encoding && !pre.flush);
+        // A clean stream heals the estimate and re-enables encoding.
+        let mut seq = 10_000u32;
+        let mut exited = false;
+        for i in 0..500u64 {
+            seq += 1460;
+            p.before_packet(&meta(seq, 300 + i));
+            if !p.is_degraded() && !exited {
+                exited = true;
+                assert_eq!(p.poll_transition(), Some(false));
+            }
+        }
+        assert!(exited, "est={}", p.estimated_loss());
+        assert!(!p.before_packet(&meta(seq + 1460, 900)).suppress_encoding);
+    }
+
+    #[test]
+    fn degrading_matches_use_tcp_seq_rule() {
+        let p = Degrading::default();
+        let m = meta(5000, 10);
+        assert!(p.allow_match(&m, &entry(1000, 0), PacketId(0)));
+        assert!(
+            !p.allow_match(&m, &entry(5000, 9), PacketId(9)),
+            "equal seq"
+        );
+        assert!(!p.allow_match(&m, &entry(9000, 11), PacketId(11)), "later");
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! k-distance encoding (paper §V-C, Figure 9).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bytecache_packet::FlowId;
 
 use crate::policy::{PacketMeta, Policy, PrePacket};
 use crate::store::{EntryMeta, PacketId};
+
+/// Default bound on flows with a tracked reference. Far above any
+/// experiment's flow count (so behavior there is unchanged), but a
+/// long-lived gateway over millions of flows no longer leaks one map
+/// entry per flow forever.
+pub const DEFAULT_MAX_TRACKED_FLOWS: usize = 65_536;
 
 /// MPEG-inspired reference scheme: every k-th packet of a flow is sent
 /// raw (a *reference*), and the following k−1 packets may be encoded
@@ -24,7 +30,11 @@ use crate::store::{EntryMeta, PacketId};
 #[derive(Debug, Clone)]
 pub struct KDistance {
     k: u64,
+    max_flows: usize,
     last_reference: HashMap<FlowId, u64>,
+    /// Flows in first-reference order; evicting its front when the map
+    /// overflows is deterministic, unlike iterating the `HashMap`.
+    insertion_order: VecDeque<FlowId>,
 }
 
 impl KDistance {
@@ -38,14 +48,53 @@ impl KDistance {
         assert!(k > 0, "k must be positive");
         KDistance {
             k,
+            max_flows: DEFAULT_MAX_TRACKED_FLOWS,
             last_reference: HashMap::new(),
+            insertion_order: VecDeque::new(),
         }
+    }
+
+    /// Bound the per-flow reference map to `max_flows` entries, evicting
+    /// the longest-tracked flow first (builder style). An evicted flow's
+    /// next packets refuse matches until its next reference — safe, just
+    /// briefly conservative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_flows == 0`.
+    #[must_use]
+    pub fn with_max_flows(mut self, max_flows: usize) -> Self {
+        assert!(max_flows > 0, "max_flows must be positive");
+        self.max_flows = max_flows;
+        self
     }
 
     /// The configured distance.
     #[must_use]
     pub fn k(&self) -> u64 {
         self.k
+    }
+
+    /// Flows currently holding a tracked reference (bounded by
+    /// [`with_max_flows`](Self::with_max_flows)).
+    #[must_use]
+    pub fn tracked_flows(&self) -> usize {
+        self.last_reference.len()
+    }
+
+    /// Record `index` as `flow`'s latest reference, evicting the
+    /// longest-tracked flow if the map would exceed its bound.
+    fn note_reference(&mut self, flow: FlowId, index: u64) {
+        if self.last_reference.insert(flow, index).is_none() {
+            self.insertion_order.push_back(flow);
+            while self.last_reference.len() > self.max_flows {
+                if let Some(oldest) = self.insertion_order.pop_front() {
+                    self.last_reference.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
     }
 }
 
@@ -56,7 +105,7 @@ impl Policy for KDistance {
 
     fn before_packet(&mut self, meta: &PacketMeta) -> PrePacket {
         if meta.flow_index.is_multiple_of(self.k) {
-            self.last_reference.insert(meta.flow, meta.flow_index);
+            self.note_reference(meta.flow, meta.flow_index);
             PrePacket {
                 flush: false,
                 suppress_encoding: true,
@@ -152,6 +201,42 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let _ = KDistance::new(0);
+    }
+
+    #[test]
+    fn flow_map_is_bounded_and_evicts_oldest_first() {
+        use bytecache_packet::{FlowId, SeqNum};
+        let mk_flow = |port: u16| FlowId {
+            src_port: port,
+            ..crate::policy::test_util::flow()
+        };
+        let mk_meta = |port: u16, index: u64| PacketMeta {
+            flow: mk_flow(port),
+            ..meta(1000, index)
+        };
+        let mut p = KDistance::new(4).with_max_flows(3);
+        // Five flows each open with a reference (flow_index 0).
+        for port in 0..5u16 {
+            p.before_packet(&mk_meta(port, 0));
+        }
+        assert_eq!(p.tracked_flows(), 3, "map stays at its bound");
+        // The two longest-tracked flows (ports 0, 1) were evicted: their
+        // matches are refused until the next reference...
+        assert!(!p.allow_match(&mk_meta(0, 1), &entry(999, 0), PacketId(0)));
+        // ...while a surviving flow still matches within its group.
+        let m = mk_meta(4, 1);
+        let e = EntryMeta {
+            flow: mk_flow(4),
+            seq: SeqNum::new(999),
+            seq_end: SeqNum::new(1000),
+            flow_index: 0,
+        };
+        assert!(p.allow_match(&m, &e, PacketId(0)));
+        // An evicted flow's next reference re-admits it (evicting the
+        // now-oldest survivor, port 2).
+        p.before_packet(&mk_meta(0, 4));
+        assert_eq!(p.tracked_flows(), 3);
+        assert!(!p.allow_match(&mk_meta(2, 1), &entry(999, 0), PacketId(0)));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`KDistance`] | §V-C | every k-th packet is a raw reference; encode only against packets since the last reference |
 //! | [`AckGated`] | §VIII (2nd alternative) | only encode against data the receiver has ACKed |
 //! | [`Adaptive`] | §IX (future work) | k-distance with k driven by the observed retransmission rate |
+//! | [`Degrading`] | §VII (operationalized) | tcp-seq matching that downshifts to pass-through when the estimated loss rate crosses a threshold, recovering when the channel heals |
 //!
 //! Informed marking (§VIII, after Lumezanu et al.) is not a match-time
 //! rule but a feedback loop: the decoder NACKs lost packet ids and the
@@ -37,7 +38,7 @@ mod naive;
 mod tcp_seq;
 
 pub use ack_gated::AckGated;
-pub use adaptive::Adaptive;
+pub use adaptive::{Adaptive, Degrading};
 pub use cache_flush::CacheFlush;
 pub use k_distance::KDistance;
 pub use naive::Naive;
@@ -92,6 +93,16 @@ pub trait Policy: fmt::Debug + Send {
     fn on_reverse_packet(&mut self, packet: &Packet) {
         let _ = packet;
     }
+
+    /// Poll for a degradation state change caused by the last
+    /// [`before_packet`](Self::before_packet) call: `Some(true)` when
+    /// the policy just entered degraded (pass-through) mode,
+    /// `Some(false)` when it just recovered, `None` otherwise. The
+    /// encoder turns this into a telemetry event; most policies never
+    /// transition and keep this default.
+    fn poll_transition(&mut self) -> Option<bool> {
+        None
+    }
 }
 
 /// Serializable policy selector, for experiment configuration tables.
@@ -109,6 +120,8 @@ pub enum PolicyKind {
     AckGated,
     /// [`Adaptive`] with default tuning.
     Adaptive,
+    /// [`Degrading`] with default thresholds.
+    Degrading,
 }
 
 impl PolicyKind {
@@ -122,6 +135,7 @@ impl PolicyKind {
             PolicyKind::KDistance(k) => Box::new(KDistance::new(k)),
             PolicyKind::AckGated => Box::new(AckGated::new()),
             PolicyKind::Adaptive => Box::new(Adaptive::default()),
+            PolicyKind::Degrading => Box::new(Degrading::default()),
         }
     }
 
@@ -231,6 +245,7 @@ mod tests {
             PolicyKind::KDistance(8),
             PolicyKind::AckGated,
             PolicyKind::Adaptive,
+            PolicyKind::Degrading,
         ] {
             let p = kind.build();
             assert!(!p.name().is_empty());

@@ -203,6 +203,30 @@ impl ShardedEncoder {
         }
     }
 
+    /// Emit generation-stamped (version-2) shim headers on every shard.
+    pub fn set_wire_gen(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.set_wire_gen(enabled);
+        }
+    }
+
+    /// Honor a decoder resync request on one shard (see
+    /// [`Encoder::resync`]). Returns whether the shard flushed.
+    pub fn resync(&mut self, shard: usize, requested: u32) -> bool {
+        self.shards
+            .get_mut(shard)
+            .is_some_and(|encoder| encoder.resync(requested))
+    }
+
+    /// Serve a recovery request on one shard (see [`Encoder::repair`]).
+    pub fn repair(
+        &mut self,
+        shard: usize,
+        id: u32,
+    ) -> Option<(FlowId, bytecache_packet::SeqNum, Vec<u8>)> {
+        self.shards.get_mut(shard)?.repair(id)
+    }
+
     /// Encoder counters merged across shards.
     #[must_use]
     pub fn stats(&self) -> EncoderStats {
@@ -270,6 +294,28 @@ pub struct ShardFeedback {
     pub shard: u16,
     /// Per-shard shim ids to NACK upstream.
     pub nack_ids: Vec<u32>,
+    /// Shim id successfully decoded by this call, if any (see
+    /// [`Feedback::decoded_id`]).
+    pub decoded_id: Option<u32>,
+    /// Shim id that failed on a diverged cache reference, if any (see
+    /// [`Feedback::failed_id`]).
+    pub failed_id: Option<u32>,
+    /// Generation this shard wants resynced away from, while a post-wipe
+    /// resync is outstanding (see [`Feedback::resync_gen`]).
+    pub resync_gen: Option<u32>,
+}
+
+impl ShardFeedback {
+    /// Tag single-engine feedback with its shard index.
+    fn tag(shard: usize, feedback: Feedback) -> ShardFeedback {
+        ShardFeedback {
+            shard: shard as u16,
+            nack_ids: feedback.nack_ids,
+            decoded_id: feedback.decoded_id,
+            failed_id: feedback.failed_id,
+            resync_gen: feedback.resync_gen,
+        }
+    }
 }
 
 /// A bank of [`Decoder`]s mirroring a [`ShardedEncoder`]: same shard
@@ -333,13 +379,7 @@ impl ShardedDecoder {
     ) -> (Result<Bytes, DecodeError>, ShardFeedback) {
         let shard = self.shard_of(&meta.flow);
         let (result, feedback) = self.shards[shard].decode(wire_payload, meta);
-        (
-            result,
-            ShardFeedback {
-                shard: shard as u16,
-                nack_ids: feedback.nack_ids,
-            },
-        )
+        (result, ShardFeedback::tag(shard, feedback))
     }
 
     /// Decode one shim payload on its flow's shard without copying it
@@ -351,13 +391,7 @@ impl ShardedDecoder {
     ) -> (Result<Bytes, DecodeError>, ShardFeedback) {
         let shard = self.shard_of(&meta.flow);
         let (result, feedback) = self.shards[shard].decode_shared(wire_payload, meta);
-        (
-            result,
-            ShardFeedback {
-                shard: shard as u16,
-                nack_ids: feedback.nack_ids,
-            },
-        )
+        (result, ShardFeedback::tag(shard, feedback))
     }
 
     /// Decode a batch concurrently (one scoped thread per non-empty
@@ -372,13 +406,7 @@ impl ShardedDecoder {
                 .iter()
                 .map(|(meta, wire)| {
                     let (result, feedback) = self.shards[0].decode_shared(wire, meta);
-                    (
-                        result,
-                        ShardFeedback {
-                            shard: 0,
-                            nack_ids: feedback.nack_ids,
-                        },
-                    )
+                    (result, ShardFeedback::tag(0, feedback))
                 })
                 .collect();
         }
@@ -401,16 +429,7 @@ impl ShardedDecoder {
                         .map(|&i| {
                             let (meta, wire) = &items[i];
                             let (result, feedback) = decoder.decode_shared(wire, meta);
-                            (
-                                i,
-                                (
-                                    result,
-                                    ShardFeedback {
-                                        shard: shard_index as u16,
-                                        nack_ids: feedback.nack_ids,
-                                    },
-                                ),
-                            )
+                            (i, (result, ShardFeedback::tag(shard_index, feedback)))
                         })
                         .collect::<Vec<_>>()
                 }));
@@ -425,6 +444,20 @@ impl ShardedDecoder {
             .into_iter()
             .map(|r| r.expect("every item decoded"))
             .collect()
+    }
+
+    /// Wipe every shard's cache and synchronization state (simulated
+    /// decoder restart; see [`Decoder::wipe`]).
+    pub fn wipe(&mut self) {
+        for shard in &mut self.shards {
+            shard.wipe();
+        }
+    }
+
+    /// Whether `shard` is still waiting out a post-wipe resync.
+    #[must_use]
+    pub fn needs_resync(&self, shard: usize) -> bool {
+        self.shards.get(shard).is_some_and(Decoder::needs_resync)
     }
 
     /// Decoder counters merged across shards.
@@ -488,6 +521,9 @@ impl From<ShardFeedback> for Feedback {
     fn from(f: ShardFeedback) -> Feedback {
         Feedback {
             nack_ids: f.nack_ids,
+            decoded_id: f.decoded_id,
+            failed_id: f.failed_id,
+            resync_gen: f.resync_gen,
         }
     }
 }

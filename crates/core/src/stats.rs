@@ -40,6 +40,15 @@ pub struct EncoderStats {
     /// compression-vs-CPU trade-off: CPU cost tracks windows rolled,
     /// savings track matches found.
     pub index_insertions: u64,
+    /// Resyncs honored: the cache was flushed and the wire generation
+    /// bumped because a wiped decoder asked for it.
+    pub resyncs: u64,
+    /// Recovery repairs served: a diverged cache entry was re-emitted
+    /// raw and tombstoned at the decoder's request.
+    pub repairs: u64,
+    /// Recovery requests naming an id the cache no longer holds (the
+    /// entry was evicted or already tombstoned); nothing re-sent.
+    pub repair_misses: u64,
 }
 
 impl EncoderStats {
@@ -92,6 +101,9 @@ impl EncoderStats {
         self.scan_windows += other.scan_windows;
         self.sampled_windows += other.sampled_windows;
         self.index_insertions += other.index_insertions;
+        self.resyncs += other.resyncs;
+        self.repairs += other.repairs;
+        self.repair_misses += other.repair_misses;
     }
 }
 
@@ -127,6 +139,14 @@ pub struct DecoderStats {
     /// Fingerprint-table insertions performed while mirroring the
     /// encoder's cache update procedure.
     pub index_insertions: u64,
+    /// Encoded shims dropped because they were stamped with the
+    /// pre-resync cache generation (no NACK sent — the whole point).
+    pub stale_gen: u64,
+    /// Cache wipes injected (simulated decoder restarts).
+    pub wipes: u64,
+    /// Generation resyncs completed (the encoder's flush was observed
+    /// and adopted).
+    pub resyncs: u64,
 }
 
 impl DecoderStats {
@@ -134,7 +154,11 @@ impl DecoderStats {
     /// events, the second component of the perceived loss rate.
     #[must_use]
     pub fn undecodable(&self) -> u64 {
-        self.missing_reference + self.checksum_mismatch + self.bad_region + self.malformed
+        self.missing_reference
+            + self.checksum_mismatch
+            + self.bad_region
+            + self.malformed
+            + self.stale_gen
     }
 
     /// Fold another shard's counters into this one.
@@ -152,6 +176,9 @@ impl DecoderStats {
         self.scan_windows += other.scan_windows;
         self.sampled_windows += other.sampled_windows;
         self.index_insertions += other.index_insertions;
+        self.stale_gen += other.stale_gen;
+        self.wipes += other.wipes;
+        self.resyncs += other.resyncs;
     }
 }
 
@@ -199,6 +226,9 @@ mod tests {
             scan_windows: 11,
             sampled_windows: 12,
             index_insertions: 13,
+            resyncs: 14,
+            repairs: 15,
+            repair_misses: 16,
         };
         let mut m = a.clone();
         m.merge(&a);
@@ -207,6 +237,9 @@ mod tests {
         assert_eq!(m.scan_windows, 22);
         assert_eq!(m.sampled_windows, 24);
         assert_eq!(m.index_insertions, 26);
+        assert_eq!(m.resyncs, 28);
+        assert_eq!(m.repairs, 30);
+        assert_eq!(m.repair_misses, 32);
         assert_eq!(m.byte_ratio(), a.byte_ratio(), "ratios are scale-free");
 
         let d = DecoderStats {
@@ -223,12 +256,18 @@ mod tests {
             scan_windows: 11,
             sampled_windows: 12,
             index_insertions: 13,
+            stale_gen: 14,
+            wipes: 15,
+            resyncs: 16,
         };
         let mut md = d.clone();
         md.merge(&d);
         assert_eq!(md.undecodable(), 2 * d.undecodable());
         assert_eq!(md.bytes_out, 20);
         assert_eq!(md.index_insertions, 26);
+        assert_eq!(md.stale_gen, 28);
+        assert_eq!(md.wipes, 30);
+        assert_eq!(md.resyncs, 32);
     }
 
     #[test]
@@ -238,8 +277,9 @@ mod tests {
             checksum_mismatch: 2,
             bad_region: 3,
             malformed: 4,
+            stale_gen: 5,
             ..DecoderStats::default()
         };
-        assert_eq!(s.undecodable(), 10);
+        assert_eq!(s.undecodable(), 15);
     }
 }

@@ -7,7 +7,7 @@
 //! We make that framing explicit and self-describing:
 //!
 //! ```text
-//! shim header (15 bytes):
+//! shim header (15 bytes, version 1):
 //!   magic   u8    0xBC
 //!   version u8    1
 //!   flags   u8    bit0: 1 = encoded (token stream), 0 = raw payload
@@ -15,12 +15,22 @@
 //!   id      u32   per-encoder sequential packet id (gap = loss signal)
 //!   len     u16   original payload length
 //!   check   u32   FNV-style checksum of the original payload
+//! shim header (19 bytes, version 2):
+//!   the version-1 fields, version byte 2, followed by
+//!   gen     u32   encoder cache generation (divergence detection)
 //! body:
 //!   raw:     the original payload bytes
 //!   encoded: a token stream —
 //!     0x00, len u16, <len literal bytes>
 //!     0x01, fingerprint u64, offset_new u16, offset_stored u16, len u16
 //! ```
+//!
+//! Version 1 is the live default; version 2 adds the cache-generation
+//! id used by the divergence-recovery protocol (see `DESIGN.md` §13): a
+//! wiped or restarted decoder requests one resync, the encoder flushes
+//! and bumps its generation, and the decoder re-synchronizes the moment
+//! it sees the new generation — one round trip instead of a per-shim
+//! NACK storm. Both versions parse through the same entry points.
 //!
 //! The match token body is exactly the paper's 14-byte encoding field.
 //! The checksum lets the decoder detect both channel corruption and
@@ -35,8 +45,12 @@ use core::fmt;
 pub const MAGIC: u8 = 0xBC;
 /// Current wire format version.
 pub const VERSION: u8 = 1;
-/// Size of the shim header in bytes.
+/// Wire format version carrying the cache-generation id.
+pub const VERSION_GEN: u8 = 2;
+/// Size of the version-1 shim header in bytes.
 pub const HEADER_LEN: usize = 15;
+/// Size of the version-2 (generation-stamped) shim header in bytes.
+pub const HEADER_LEN_GEN: usize = 19;
 /// Size of a match token on the wire (1 tag byte + the paper's 14-byte
 /// encoding field).
 pub const MATCH_TOKEN_LEN: usize = 15;
@@ -57,6 +71,10 @@ pub struct ShimHeader {
     pub orig_len: u16,
     /// FNV-style checksum of the original payload.
     pub checksum: u32,
+    /// Encoder cache generation (version-2 shims only; `None` on the
+    /// version-1 wire). A generation change tells the decoder the
+    /// encoder's cache was rebuilt from scratch.
+    pub gen: Option<u32>,
 }
 
 /// One element of an encoded token stream.
@@ -124,14 +142,31 @@ pub fn payload_checksum(data: &[u8]) -> u32 {
 }
 
 impl ShimHeader {
+    /// On-wire length of this header (depends on the version).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        if self.gen.is_some() {
+            HEADER_LEN_GEN
+        } else {
+            HEADER_LEN
+        }
+    }
+
     fn write(&self, out: &mut Vec<u8>) {
         out.push(MAGIC);
-        out.push(VERSION);
+        out.push(if self.gen.is_some() {
+            VERSION_GEN
+        } else {
+            VERSION
+        });
         out.push(u8::from(self.encoded));
         out.extend_from_slice(&self.epoch.to_be_bytes());
         out.extend_from_slice(&self.id.to_be_bytes());
         out.extend_from_slice(&self.orig_len.to_be_bytes());
         out.extend_from_slice(&self.checksum.to_be_bytes());
+        if let Some(gen) = self.gen {
+            out.extend_from_slice(&gen.to_be_bytes());
+        }
     }
 
     fn parse(buf: &[u8]) -> Result<ShimHeader, WireError> {
@@ -141,9 +176,16 @@ impl ShimHeader {
         if buf[0] != MAGIC {
             return Err(WireError::Malformed("bad magic"));
         }
-        if buf[1] != VERSION {
-            return Err(WireError::BadVersion(buf[1]));
-        }
+        let gen = match buf[1] {
+            VERSION => None,
+            VERSION_GEN => {
+                if buf.len() < HEADER_LEN_GEN {
+                    return Err(WireError::Malformed("short header"));
+                }
+                Some(u32::from_be_bytes([buf[15], buf[16], buf[17], buf[18]]))
+            }
+            v => return Err(WireError::BadVersion(v)),
+        };
         let encoded = match buf[2] {
             0 => false,
             1 => true,
@@ -155,6 +197,7 @@ impl ShimHeader {
             id: u32::from_be_bytes([buf[5], buf[6], buf[7], buf[8]]),
             orig_len: u16::from_be_bytes([buf[9], buf[10]]),
             checksum: u32::from_be_bytes([buf[11], buf[12], buf[13], buf[14]]),
+            gen,
         })
     }
 }
@@ -183,14 +226,27 @@ pub fn encode_raw(epoch: u16, id: u32, payload: &[u8]) -> Vec<u8> {
 /// stream of packets reuses one scratch buffer instead of allocating a
 /// `Vec` per packet.
 pub fn encode_raw_into(out: &mut Vec<u8>, epoch: u16, id: u32, payload: &[u8]) {
+    encode_raw_gen_into(out, epoch, id, None, payload);
+}
+
+/// [`encode_raw_into`] with an optional cache-generation stamp: `Some`
+/// emits a version-2 header, `None` the version-1 baseline.
+pub fn encode_raw_gen_into(
+    out: &mut Vec<u8>,
+    epoch: u16,
+    id: u32,
+    gen: Option<u32>,
+    payload: &[u8],
+) {
     out.clear();
-    out.reserve(HEADER_LEN + payload.len());
+    out.reserve(HEADER_LEN_GEN + payload.len());
     let header = ShimHeader {
         encoded: false,
         epoch,
         id,
         orig_len: payload.len() as u16,
         checksum: payload_checksum(payload),
+        gen,
     };
     header.write(out);
     out.extend_from_slice(payload);
@@ -223,6 +279,21 @@ pub fn encode_tokens_into(
     checksum: u32,
     tokens: &[Token],
 ) {
+    encode_tokens_gen_into(out, epoch, id, None, orig_len, checksum, tokens);
+}
+
+/// [`encode_tokens_into`] with an optional cache-generation stamp:
+/// `Some` emits a version-2 header, `None` the version-1 baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_tokens_gen_into(
+    out: &mut Vec<u8>,
+    epoch: u16,
+    id: u32,
+    gen: Option<u32>,
+    orig_len: u16,
+    checksum: u32,
+    tokens: &[Token],
+) {
     out.clear();
     let header = ShimHeader {
         encoded: true,
@@ -230,6 +301,7 @@ pub fn encode_tokens_into(
         id,
         orig_len,
         checksum,
+        gen,
     };
     header.write(out);
     for t in tokens {
@@ -281,14 +353,15 @@ pub fn parse(buf: &[u8]) -> Result<ShimPayload, WireError> {
 pub fn parse_shared(payload: &Bytes) -> Result<ShimPayload, WireError> {
     let buf: &[u8] = payload;
     let header = ShimHeader::parse(buf)?;
-    let body = &buf[HEADER_LEN..];
+    let hlen = header.wire_len();
+    let body = &buf[hlen..];
     if !header.encoded {
         if body.len() != header.orig_len as usize {
             return Err(WireError::Malformed("raw body length mismatch"));
         }
         return Ok(ShimPayload {
             header,
-            raw: Some(payload.slice(HEADER_LEN..)),
+            raw: Some(payload.slice(hlen..)),
             tokens: Vec::new(),
         });
     }
@@ -305,7 +378,7 @@ pub fn parse_shared(payload: &Bytes) -> Result<ShimPayload, WireError> {
                     return Err(WireError::Malformed("literal overruns body"));
                 }
                 tokens.push(Token::Literal(
-                    payload.slice(HEADER_LEN + i + 3..HEADER_LEN + i + 3 + len),
+                    payload.slice(hlen + i + 3..hlen + i + 3 + len),
                 ));
                 i += 3 + len;
             }
@@ -510,6 +583,63 @@ mod tests {
             parse(&buf),
             Err(WireError::Malformed("unknown token tag"))
         ));
+    }
+
+    #[test]
+    fn gen_raw_round_trip() {
+        let mut buf = Vec::new();
+        encode_raw_gen_into(&mut buf, 7, 42, Some(0xA1B2_C3D4), b"hello world");
+        assert_eq!(buf[1], VERSION_GEN);
+        let p = parse(&buf).unwrap();
+        assert!(!p.header.encoded);
+        assert_eq!(p.header.epoch, 7);
+        assert_eq!(p.header.id, 42);
+        assert_eq!(p.header.gen, Some(0xA1B2_C3D4));
+        assert_eq!(p.raw.as_deref(), Some(&b"hello world"[..]));
+        // The gen header costs exactly four extra bytes.
+        assert_eq!(buf.len(), encode_raw(7, 42, b"hello world").len() + 4);
+    }
+
+    #[test]
+    fn gen_token_round_trip_and_zero_copy() {
+        let tokens = vec![
+            Token::Literal(Bytes::from_static(b"abc")),
+            Token::Match {
+                fingerprint: 9,
+                offset_new: 3,
+                offset_stored: 0,
+                len: 40,
+            },
+        ];
+        let mut buf = Vec::new();
+        encode_tokens_gen_into(&mut buf, 1, 2, Some(5), 43, 0xAB, &tokens);
+        let enc: Bytes = buf.into();
+        let p = parse_shared(&enc).unwrap();
+        assert_eq!(p.header.gen, Some(5));
+        assert_eq!(p.tokens, tokens);
+        let Token::Literal(lit) = &p.tokens[0] else {
+            panic!("expected literal");
+        };
+        // Literal tokens alias the input at the version-2 body offset.
+        assert_eq!(lit.as_slice().as_ptr(), enc[HEADER_LEN_GEN + 3..].as_ptr());
+    }
+
+    #[test]
+    fn gen_header_rejects_truncation_to_v1_length() {
+        let mut buf = Vec::new();
+        encode_raw_gen_into(&mut buf, 0, 0, Some(1), b"");
+        assert_eq!(buf.len(), HEADER_LEN_GEN);
+        assert!(matches!(
+            parse(&buf[..HEADER_LEN]),
+            Err(WireError::Malformed("short header"))
+        ));
+    }
+
+    #[test]
+    fn v1_parse_carries_no_gen() {
+        let p = parse(&encode_raw(3, 4, b"x")).unwrap();
+        assert_eq!(p.header.gen, None);
+        assert_eq!(p.header.wire_len(), HEADER_LEN);
     }
 
     #[test]

@@ -41,6 +41,24 @@ impl Node for Script {
     }
 }
 
+/// Holds its packets until a timer fires, then emits them all.
+struct DelayedScript {
+    at: SimDuration,
+    to_send: Vec<Packet>,
+}
+
+impl Node for DelayedScript {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.at, 0);
+    }
+    fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Context<'_>) {
+        for p in self.to_send.drain(..) {
+            ctx.forward(p);
+        }
+    }
+}
+
 fn data_packet(id: u16, seq: u32, payload: Vec<u8>) -> Packet {
     Packet::builder()
         .src(SERVER, 80)
@@ -243,6 +261,180 @@ fn nack_control_packets_mark_encoder_entries_dead() {
     assert!(gw.encoder().cache().is_dead(bytecache::PacketId(0)));
     // The control packet was consumed, not forwarded.
     assert_eq!(sim.node::<Script>(sink).unwrap().received.len(), 1);
+}
+
+#[test]
+fn truncated_nack_payload_is_counted_but_whole_records_still_apply() {
+    // Regression: a control payload whose length is not a multiple of
+    // the 6-byte record size used to have its trailing bytes silently
+    // discarded by `chunks_exact`. The gateway must now count the
+    // malformed payload while still honoring the complete records.
+    let shared: Vec<u8> = (0..1200u32).map(|i| ((i * 13) % 251) as u8).collect();
+    let data = data_packet(1, 1000, shared.clone());
+    // One complete record for id 0, then a 3-byte truncated tail.
+    let mut payload = 0u16.to_be_bytes().to_vec();
+    payload.extend_from_slice(&0u32.to_be_bytes());
+    payload.extend_from_slice(&[0x00, 0x00, 0x01]);
+    let nack = Packet::builder()
+        .src(DEC_GW, CONTROL_PORT)
+        .dst(ENC_GW, CONTROL_PORT)
+        .flags(TcpFlags::PSH)
+        .payload(payload)
+        .build();
+
+    let mut sim = Simulator::new(1);
+    let sender = sim.add_node(Script::new(vec![data, nack]));
+    let sink = sim.add_node(Script::new(Vec::new()));
+    let enc = sim.add_node(
+        EncoderGateway::new(
+            Encoder::new(DreConfig::default(), PolicyKind::Naive.build()),
+            CLIENT,
+        )
+        .with_control_addr(ENC_GW),
+    );
+    sim.add_link(sender, enc, LinkConfig::default());
+    sim.add_link(enc, sink, LinkConfig::default());
+    sim.add_route(sender, CLIENT, enc);
+    sim.add_route(sender, ENC_GW, enc);
+    sim.add_route(enc, CLIENT, sink);
+    sim.run_until_idle();
+
+    let gw = sim.node::<EncoderGateway>(enc).unwrap();
+    assert_eq!(gw.nacks_malformed(), 1, "truncated tail must be counted");
+    assert_eq!(gw.nacks_received(), 1, "the complete record still applies");
+    assert!(gw.encoder().cache().is_dead(bytecache::PacketId(0)));
+}
+
+#[test]
+fn garbage_control_payload_is_rejected_whole() {
+    // A structured-message-sized payload with an unknown kind byte must
+    // not be interpreted as NACK records.
+    let shared: Vec<u8> = (0..1200u32).map(|i| ((i * 13) % 251) as u8).collect();
+    let data = data_packet(1, 1000, shared);
+    let mut payload = vec![0xBD, 0x7F]; // control magic, unknown kind
+    payload.extend_from_slice(&0u16.to_be_bytes());
+    payload.extend_from_slice(&0u32.to_be_bytes());
+    let junk = Packet::builder()
+        .src(DEC_GW, CONTROL_PORT)
+        .dst(ENC_GW, CONTROL_PORT)
+        .flags(TcpFlags::PSH)
+        .payload(payload)
+        .build();
+
+    let mut sim = Simulator::new(1);
+    let sender = sim.add_node(Script::new(vec![data, junk]));
+    let sink = sim.add_node(Script::new(Vec::new()));
+    let enc = sim.add_node(
+        EncoderGateway::new(
+            Encoder::new(DreConfig::default(), PolicyKind::Naive.build()),
+            CLIENT,
+        )
+        .with_control_addr(ENC_GW),
+    );
+    sim.add_link(sender, enc, LinkConfig::default());
+    sim.add_link(enc, sink, LinkConfig::default());
+    sim.add_route(sender, CLIENT, enc);
+    sim.add_route(sender, ENC_GW, enc);
+    sim.add_route(enc, CLIENT, sink);
+    sim.run_until_idle();
+
+    let gw = sim.node::<EncoderGateway>(enc).unwrap();
+    assert_eq!(gw.nacks_malformed(), 1);
+    assert_eq!(gw.nacks_received(), 0);
+    assert!(!gw.encoder().cache().is_dead(bytecache::PacketId(0)));
+}
+
+#[test]
+fn wiped_decoder_resyncs_over_the_control_channel() {
+    // End-to-end recovery: gen-stamped encoder + recovery-enabled
+    // decoder; wipe the decoder cache mid-stream and verify the resync
+    // handshake converges without a per-shim NACK storm.
+    // Packets 2 and 3 repeat the payloads of 0 and 1, so the encoder is
+    // guaranteed to emit them as encoded shims referencing pre-wipe
+    // entries; packet 4's payload is unmatchable.
+    let mut payloads: Vec<Vec<u8>> = (0..2)
+        .map(|i| {
+            (0..1000u32)
+                .map(|j| ((j * 31 + i * 101) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    payloads.push(payloads[0].clone());
+    payloads.push(payloads[1].clone());
+    payloads.push((0..1000u32).map(|j| ((j * 173 + 7) % 193) as u8).collect());
+    let batch = |range: std::ops::Range<usize>| -> Vec<Packet> {
+        payloads[range.clone()]
+            .iter()
+            .zip(range)
+            .map(|(p, i)| data_packet(i as u16, 1000 + (i as u32) * 1000, p.clone()))
+            .collect()
+    };
+
+    let mut sim = Simulator::new(1);
+    let sender = sim.add_node(Script::new(batch(0..2)));
+    // Second batch fires well after the wipe: its stale-generation shims
+    // trigger the resync request. The third batch arrives after the
+    // encoder has bumped its generation, completing the handshake.
+    let late = sim.add_node(DelayedScript {
+        at: SimDuration::from_millis(500),
+        to_send: batch(2..4),
+    });
+    let later = sim.add_node(DelayedScript {
+        at: SimDuration::from_millis(900),
+        to_send: batch(4..5),
+    });
+    let receiver = sim.add_node(Script::new(Vec::new()));
+    let dre = DreConfig::default();
+    let enc = sim.add_node(
+        EncoderGateway::new(Encoder::new(dre.clone(), PolicyKind::Naive.build()), CLIENT)
+            .with_control_addr(ENC_GW)
+            .with_wire_gen(true),
+    );
+    let dec = sim.add_node(
+        DecoderGateway::new(Decoder::new(dre), CLIENT, DEC_GW)
+            .with_nacks(ENC_GW)
+            .with_recovery(true),
+    );
+    let link = LinkConfig {
+        rate_bytes_per_sec: None,
+        propagation: SimDuration::from_millis(1),
+        channel: Default::default(),
+    };
+    sim.add_duplex_link(sender, enc, link.clone());
+    sim.add_duplex_link(late, enc, link.clone());
+    sim.add_duplex_link(later, enc, link.clone());
+    sim.add_duplex_link(enc, dec, link.clone());
+    sim.add_duplex_link(dec, receiver, link);
+    sim.add_route(sender, CLIENT, enc);
+    sim.add_route(late, CLIENT, enc);
+    sim.add_route(later, CLIENT, enc);
+    sim.add_route(enc, CLIENT, dec);
+    sim.add_route(dec, CLIENT, receiver);
+    sim.add_route(dec, ENC_GW, enc);
+
+    // Run past the first batch, wipe the decoder, then let the delayed
+    // batch and the recovery handshake play out.
+    sim.run_until(bytecache_netsim::time::SimTime::from_micros(100_000));
+    sim.node_mut::<DecoderGateway>(dec).unwrap().wipe_cache();
+    sim.run_until_idle();
+
+    let dec_gw = sim.node::<DecoderGateway>(dec).unwrap();
+    assert!(dec_gw.resyncs_sent() >= 1, "resync request was sent");
+    assert_eq!(dec_gw.decoder().stats().wipes, 1);
+    assert_eq!(dec_gw.decoder().stats().resyncs, 1, "generation adopted");
+    let enc_gw = sim.node::<EncoderGateway>(enc).unwrap();
+    assert_eq!(enc_gw.encoder().stats().resyncs, 1, "encoder bumped gen");
+    // The stale-generation shims (packets 2, 3) were dropped *silently* —
+    // no per-shim NACK storm; TCP retransmission is their backstop.
+    assert_eq!(dec_gw.decoder().stats().stale_gen, 2);
+    assert_eq!(dec_gw.nacks_sent(), 0, "resync suppressed the NACK storm");
+    // Deliveries: the two pre-wipe packets and the post-handshake one.
+    let rx = sim.node::<Script>(receiver).unwrap();
+    let delivered: Vec<&[u8]> = rx.received.iter().map(|p| &p.payload[..]).collect();
+    assert_eq!(
+        delivered,
+        vec![&payloads[0][..], &payloads[1][..], &payloads[4][..]]
+    );
 }
 
 #[test]

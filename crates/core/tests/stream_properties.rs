@@ -52,6 +52,7 @@ fn policies() -> Vec<PolicyKind> {
         PolicyKind::TcpSeq,
         PolicyKind::KDistance(4),
         PolicyKind::Adaptive,
+        PolicyKind::Degrading,
     ]
 }
 
@@ -60,7 +61,7 @@ proptest! {
 
     /// Lossless channel ⇒ lossless reconstruction, every policy.
     #[test]
-    fn lossless_round_trip(stream in arb_stream(), policy_idx in 0usize..5) {
+    fn lossless_round_trip(stream in arb_stream(), policy_idx in 0usize..6) {
         let kind = policies()[policy_idx];
         let config = DreConfig::default();
         let mut enc = Encoder::new(config.clone(), kind.build());
@@ -85,7 +86,7 @@ proptest! {
     fn lossy_never_corrupts(
         stream in arb_stream(),
         drops in proptest::collection::vec(any::<bool>(), 1..40),
-        policy_idx in 0usize..5,
+        policy_idx in 0usize..6,
     ) {
         let kind = policies()[policy_idx];
         let config = DreConfig::default();
@@ -217,5 +218,56 @@ proptest! {
             prop_assert!(w.wire.len() <= payload.len() + 64,
                 "packet {} expanded from {} to {}", i, payload.len(), w.wire.len());
         }
+    }
+
+    /// `SeqNum::precedes` is an RFC 793 serial comparison, so the match
+    /// rules built on it — k-distance (and tcp-seq, whose rule is the
+    /// same check without the group restriction) — must behave
+    /// identically when the u32 sequence space wraps: an in-group entry
+    /// strictly behind the packet is matchable even across the wrap
+    /// point, and an equal or succeeding entry never is.
+    #[test]
+    fn k_distance_match_rule_survives_seq_wrap(
+        base in any::<u32>(),
+        gap1 in 1u32..(1 << 20),
+        gap2 in 1u32..(1 << 20),
+    ) {
+        use bytecache::policy::KDistance;
+        use bytecache::{EntryMeta, PacketId, Policy};
+        let f = flow();
+        let mut p = KDistance::new(4);
+        // flow_index 0 is the group's reference, at seq `base`.
+        p.before_packet(&PacketMeta {
+            flow: f,
+            seq: SeqNum::new(base),
+            payload_len: 600,
+            flow_index: 0,
+        });
+        let m = PacketMeta {
+            flow: f,
+            seq: SeqNum::new(base.wrapping_add(gap1)),
+            payload_len: 600,
+            flow_index: 1,
+        };
+        let reference = EntryMeta {
+            flow: f,
+            seq: SeqNum::new(base),
+            seq_end: SeqNum::new(base.wrapping_add(gap1)),
+            flow_index: 0,
+        };
+        prop_assert!(
+            p.allow_match(&m, &reference, PacketId(0)),
+            "in-group preceding entry refused at base {base}"
+        );
+        let same_seq = EntryMeta {
+            seq: SeqNum::new(base.wrapping_add(gap1)),
+            ..reference
+        };
+        prop_assert!(!p.allow_match(&m, &same_seq, PacketId(1)), "equal seq allowed");
+        let later = EntryMeta {
+            seq: SeqNum::new(base.wrapping_add(gap1).wrapping_add(gap2)),
+            ..reference
+        };
+        prop_assert!(!p.allow_match(&m, &later, PacketId(2)), "succeeding seq allowed");
     }
 }

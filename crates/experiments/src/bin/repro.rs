@@ -24,6 +24,9 @@
 //!   simthroughput extension — campaign wall-clock (serial vs parallel,
 //!               byte-identical or exit 1) and zero-copy payload path
 //!               (writes BENCH_simthroughput.json)
+//!   recovery    extension — decoder cache wipe mid-transfer: stall time
+//!               and bytes sacrificed to safety (exit 1 on any corrupted
+//!               delivery)
 //!   sweep       alias for fig10 + fig11
 //!   all         everything above
 //!
@@ -40,8 +43,8 @@
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
-    ablation, fig6, hotpath, insights, interflow, kdistance, mobility, perceived, shardscale,
-    simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
+    ablation, fig6, hotpath, insights, interflow, kdistance, mobility, perceived, recovery,
+    shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
 };
 use bytecache_netsim::time::SimDuration;
 
@@ -174,6 +177,7 @@ fn main() {
         "shardscale",
         "hotpath",
         "simthroughput",
+        "recovery",
         "sweep",
         "all",
     ];
@@ -349,6 +353,38 @@ fn main() {
              payload sharing {:.2}x)\n",
             result.campaign.speedup, result.campaign.threads, result.payload_gain
         );
+    }
+    if run("recovery") {
+        let params = if quick {
+            recovery::RecoveryParams::quick(scale.seeds)
+        } else {
+            recovery::RecoveryParams {
+                object_size: scale.object_size,
+                seeds: scale.seeds,
+                ..recovery::RecoveryParams::default()
+            }
+        };
+        let pts = if want_metrics {
+            let (pts, rec) = recovery::run_with_metrics(&campaign, &params);
+            metrics.merge(&rec);
+            pts
+        } else {
+            recovery::run_with(&campaign, &params)
+        };
+        println!("{}", recovery::render(&pts));
+        // The harness doubles as the divergence-safety smoke test: a
+        // wiped decoder may cost bytes and time, never correctness.
+        for p in &pts {
+            if p.corrupted > 0 {
+                eprintln!(
+                    "recovery: corrupted delivery at policy={} loss={} wipe_ms={}",
+                    p.policy.label(),
+                    p.loss,
+                    p.wipe_ms
+                );
+                std::process::exit(1);
+            }
+        }
     }
     if run("mobility") {
         let r = mobility::run(scale.object_size, SimDuration::from_millis(200), 3);

@@ -25,6 +25,7 @@
 //! | [`shardscale`] | beyond the paper — multi-flow throughput scaling across engine shards |
 //! | [`hotpath`] | beyond the paper — fused scan-and-index vs two-pass encoder throughput |
 //! | [`simthroughput`] | beyond the paper — parallel campaign wall-clock and zero-copy payload path |
+//! | [`recovery`] | beyond the paper — decoder cache wipe mid-transfer: stall time and bytes sacrificed to safety |
 //!
 //! Experiment grids execute on the [`campaign`] executor: deterministic
 //! parallel fan-out whose output is byte-identical for every thread
@@ -46,6 +47,7 @@ pub mod interflow;
 pub mod kdistance;
 pub mod mobility;
 pub mod perceived;
+pub mod recovery;
 pub mod report;
 pub mod scenario;
 pub mod shardscale;

@@ -71,6 +71,24 @@ pub struct ScenarioConfig {
     /// Collect a telemetry snapshot ([`RunResult::telemetry`]). Off by
     /// default; the run's outputs are byte-identical either way.
     pub telemetry: bool,
+    /// Fault injection: wipe the decoder gateway's cache at this
+    /// simulated time (models a decoder restart mid-transfer). Ignored
+    /// in baseline (no-DRE) runs.
+    pub wipe_at: Option<SimDuration>,
+    /// Fault injection: Bernoulli loss rate on the control (NACK /
+    /// recovery) direction of the wireless link.
+    pub nack_loss: f64,
+    /// Fault injection: duplication rate on the control direction.
+    pub nack_duplicate: f64,
+    /// Fault injection: reorder burst length on the data direction
+    /// (see [`ChannelConfig::reorder_burst_len`]).
+    pub reorder_burst_len: u32,
+    /// Stamp the encoder's cache generation into shim headers (wire
+    /// format V2) so a wiped decoder is detected in one round trip.
+    pub wire_gen: bool,
+    /// Enable the decoder gateway's recovery state machine (resync and
+    /// repair requests over the control channel). Requires `nacks`.
+    pub recovery: bool,
 }
 
 impl ScenarioConfig {
@@ -100,6 +118,12 @@ impl ScenarioConfig {
             payload_mode: PayloadMode::default(),
             seed: 1,
             telemetry: false,
+            wipe_at: None,
+            nack_loss: 0.0,
+            nack_duplicate: 0.0,
+            reorder_burst_len: 1,
+            wire_gen: false,
+            recovery: false,
         }
     }
 
@@ -138,6 +162,40 @@ impl ScenarioConfig {
         self
     }
 
+    /// Schedule a decoder cache wipe at `at` (builder style).
+    #[must_use]
+    pub fn wipe_at(mut self, at: SimDuration) -> Self {
+        self.wipe_at = Some(at);
+        self
+    }
+
+    /// Impair the control (NACK / recovery) direction of the wireless
+    /// link with Bernoulli loss and duplication (builder style).
+    #[must_use]
+    pub fn nack_faults(mut self, loss: f64, duplicate: f64) -> Self {
+        self.nack_loss = loss;
+        self.nack_duplicate = duplicate;
+        self
+    }
+
+    /// Set the data-direction reorder burst length (builder style).
+    #[must_use]
+    pub fn reorder_burst(mut self, len: u32) -> Self {
+        self.reorder_burst_len = len;
+        self
+    }
+
+    /// Enable the full divergence-recovery protocol: generation-stamped
+    /// shims (wire V2), decoder-side resync/repair requests, and NACKs
+    /// (the control channel recovery rides on). Builder style.
+    #[must_use]
+    pub fn recovery(mut self) -> Self {
+        self.wire_gen = true;
+        self.recovery = true;
+        self.nacks = true;
+        self
+    }
+
     fn data_channel(&self) -> ChannelConfig {
         let loss = match (self.loss_rate, self.burst_len) {
             (rate, _) if rate <= 0.0 => LossModel::None,
@@ -149,6 +207,26 @@ impl ScenarioConfig {
             corruption_rate: self.corruption_rate,
             reorder_rate: self.reorder_rate,
             reorder_window: SimDuration::from_millis(20),
+            reorder_burst_len: self.reorder_burst_len,
+            ..ChannelConfig::clean()
+        }
+    }
+
+    /// Channel for the control (decoder → encoder) direction of the
+    /// wireless link. Clean unless the NACK fault knobs are set — and
+    /// with them at their zero defaults the channel draws nothing from
+    /// the RNG, keeping pre-existing experiment outputs byte-identical.
+    fn control_channel(&self) -> ChannelConfig {
+        ChannelConfig {
+            loss: if self.nack_loss > 0.0 {
+                LossModel::Bernoulli {
+                    rate: self.nack_loss,
+                }
+            } else {
+                LossModel::None
+            },
+            duplicate_rate: self.nack_duplicate,
+            ..ChannelConfig::clean()
         }
     }
 }
@@ -166,6 +244,11 @@ pub struct RunResult {
     pub decoder: Option<DecoderStats>,
     /// Packets the decoder gateway dropped as undecodable.
     pub undecodable_drops: u64,
+    /// Repair (RECOVER) requests the decoder gateway sent, including
+    /// retries. Zero unless [`ScenarioConfig::recovery`] is on.
+    pub recovery_requests: u64,
+    /// Resync requests the decoder gateway sent, including retries.
+    pub resyncs_sent: u64,
     /// Wireless link counters, data direction.
     pub wireless: LinkStats,
     /// Simulated time when the run went idle.
@@ -259,11 +342,16 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
             let decoder = Decoder::new(config.dre.clone());
             let mut enc = EncoderGateway::new(encoder, CLIENT)
                 .with_control_addr(ENCODER_GW)
-                .with_payload_mode(config.payload_mode);
+                .with_payload_mode(config.payload_mode)
+                .with_wire_gen(config.wire_gen);
             let mut dec = DecoderGateway::new(decoder, CLIENT, DECODER_GW)
                 .with_payload_mode(config.payload_mode);
             if config.nacks {
                 dec = dec.with_nacks(ENCODER_GW);
+            }
+            if config.recovery {
+                assert!(config.nacks, "recovery requires the NACK control channel");
+                dec = dec.with_recovery(true);
             }
             if config.telemetry {
                 enc.set_telemetry_enabled(true);
@@ -299,7 +387,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         LinkConfig {
             rate_bytes_per_sec: Some(config.wireless_rate),
             propagation: config.wireless_propagation,
-            channel: ChannelConfig::clean(),
+            channel: config.control_channel(),
         },
     );
 
@@ -313,7 +401,18 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     // NACK control path: decoder gateway → encoder gateway.
     sim.add_route(dec_gw, ENCODER_GW, enc_gw);
 
-    let end_time = sim.run_until_idle();
+    let end_time = match (config.wipe_at, config.policy.is_some()) {
+        (Some(at), true) => {
+            // Run to the wipe instant, kill the decoder's cache (a
+            // restart), then let the transfer and any recovery play out.
+            sim.run_until(SimTime::from_micros(at.as_micros()));
+            sim.node_mut::<DecoderGateway>(dec_gw)
+                .expect("decoder gw")
+                .wipe_cache();
+            sim.run_until_idle()
+        }
+        _ => sim.run_until_idle(),
+    };
 
     let client_node = sim.node::<TcpClientNode>(client).expect("client");
     let server_node = sim.node::<TcpServerNode>(server).expect("server");
@@ -323,7 +422,7 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     } else {
         config.object.starts_with(received)
     };
-    let (encoder, decoder, undecodable) = match config.policy {
+    let (encoder, decoder, undecodable, recovery_requests, resyncs_sent) = match config.policy {
         Some(_) => {
             let e = sim.node::<EncoderGateway>(enc_gw).expect("encoder gw");
             let d = sim.node::<DecoderGateway>(dec_gw).expect("decoder gw");
@@ -331,9 +430,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
                 Some(e.encoder().stats().clone()),
                 Some(d.decoder().stats().clone()),
                 d.dropped(),
+                d.recovery_requests(),
+                d.resyncs_sent(),
             )
         }
-        None => (None, None, 0),
+        None => (None, None, 0, 0, 0),
     };
 
     let wireless = sim.link_stats(wireless_data).clone();
@@ -387,6 +488,8 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         encoder,
         decoder,
         undecodable_drops: undecodable,
+        recovery_requests,
+        resyncs_sent,
         wireless,
         end_time,
         data_intact,
@@ -454,6 +557,79 @@ mod tests {
         assert_eq!(shared.encoder, copied.encoder);
         assert_eq!(shared.decoder, copied.decoder);
         assert!(shared.completed() && copied.completed());
+    }
+
+    #[test]
+    fn cache_wipe_under_loss_recovers_for_every_policy() {
+        // The acceptance scenario for divergence recovery: wipe the
+        // decoder cache mid-transfer on a 5 % lossy channel. With the
+        // recovery protocol on, every policy must finish the transfer
+        // with intact data (no corrupted deliveries, no permanent
+        // stall) and must actually have exercised the resync path.
+        let object = FileSpec::File1.build(150_000, 4);
+        for kind in [
+            PolicyKind::CacheFlush,
+            PolicyKind::TcpSeq,
+            PolicyKind::KDistance(8),
+            PolicyKind::AckGated,
+            PolicyKind::Adaptive,
+            PolicyKind::Degrading,
+        ] {
+            let r = run_scenario(
+                &ScenarioConfig::new(object.clone())
+                    .policy(kind)
+                    .loss(0.05)
+                    .seed(11)
+                    .recovery()
+                    .wipe_at(SimDuration::from_millis(300)),
+            );
+            assert!(r.completed(), "{kind:?} did not complete: {r:?}");
+            assert!(r.data_intact, "{kind:?} delivered corrupt data");
+            let dec = r.decoder.as_ref().expect("decoder stats");
+            assert_eq!(dec.wipes, 1, "{kind:?} wipe not injected");
+            assert!(
+                r.resyncs_sent + r.recovery_requests > 0,
+                "{kind:?} never exercised recovery: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_disabled_wipe_still_completes_via_nack_fallback() {
+        // Without the protocol (V1 wire), a wipe falls back to the
+        // legacy per-shim NACK behavior; cache-flush still finishes.
+        let object = FileSpec::File1.build(150_000, 4);
+        let r = run_scenario(
+            &ScenarioConfig::new(object)
+                .policy(PolicyKind::CacheFlush)
+                .loss(0.05)
+                .seed(11)
+                .wipe_at(SimDuration::from_millis(300)),
+        );
+        assert!(r.completed(), "{r:?}");
+        assert_eq!(r.resyncs_sent, 0);
+        assert_eq!(r.recovery_requests, 0);
+    }
+
+    #[test]
+    fn faulty_control_channel_does_not_stall_recovery() {
+        // Drop and duplicate recovery/NACK control packets: retries with
+        // backoff must still converge, and duplicated resync requests
+        // must stay idempotent at the encoder (a single generation bump).
+        let object = FileSpec::File1.build(150_000, 4);
+        let r = run_scenario(
+            &ScenarioConfig::new(object)
+                .policy(PolicyKind::TcpSeq)
+                .loss(0.05)
+                .seed(13)
+                .recovery()
+                .nack_faults(0.3, 0.3)
+                .wipe_at(SimDuration::from_millis(300)),
+        );
+        assert!(r.completed(), "{r:?}");
+        assert!(r.data_intact);
+        let enc = r.encoder.as_ref().expect("encoder stats");
+        assert!(enc.resyncs <= 1, "duplicate resync bumped twice: {enc:?}");
     }
 
     #[test]

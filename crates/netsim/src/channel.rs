@@ -154,6 +154,16 @@ pub struct ChannelConfig {
     pub reorder_rate: f64,
     /// Maximum extra delay applied to a reordered packet.
     pub reorder_window: SimDuration,
+    /// Probability a surviving packet is delivered twice (the copy
+    /// arrives late by up to `reorder_window`). Models the duplicates a
+    /// retransmitting link layer or a flapping route produces — the
+    /// fault that stresses idempotence of control messages.
+    pub duplicate_rate: f64,
+    /// Number of consecutive packets a reorder verdict holds back
+    /// (including the one that drew it). `1` reproduces the legacy
+    /// independent-reorder behavior; larger values model a fading dip
+    /// that delays a whole run of packets.
+    pub reorder_burst_len: u32,
 }
 
 impl Default for ChannelConfig {
@@ -164,6 +174,8 @@ impl Default for ChannelConfig {
             corruption_rate: 0.0,
             reorder_rate: 0.0,
             reorder_window: SimDuration::from_millis(20),
+            duplicate_rate: 0.0,
+            reorder_burst_len: 1,
         }
     }
 }
@@ -200,6 +212,9 @@ pub enum Verdict {
     Corrupt,
     /// Deliver late by the given extra delay.
     Reorder(SimDuration),
+    /// Deliver on time AND deliver a second copy late by the given
+    /// extra delay.
+    Duplicate(SimDuration),
 }
 
 /// Stateful per-link channel: renders a [`Verdict`] per packet.
@@ -207,6 +222,8 @@ pub enum Verdict {
 pub struct Channel {
     config: ChannelConfig,
     loss: LossState,
+    /// Packets left in the current reorder burst.
+    remaining_burst: u32,
 }
 
 impl Channel {
@@ -216,11 +233,24 @@ impl Channel {
         Channel {
             loss: LossState::new(config.loss.clone()),
             config,
+            remaining_burst: 0,
         }
     }
 
     /// Render the verdict for the next packet.
+    ///
+    /// Draw order matters for determinism: every draw is gated on its
+    /// rate being nonzero, and the new fault knobs (burst continuation,
+    /// duplication) draw strictly after the legacy ones, so a
+    /// configuration that leaves them at their defaults consumes the
+    /// exact same RNG stream as before they existed.
     pub fn verdict(&mut self, rng: &mut StdRng) -> Verdict {
+        if self.remaining_burst > 0 {
+            // Mid-burst: this packet is swept up in the same fading dip.
+            self.remaining_burst -= 1;
+            let extra = rng.gen_range(1..=self.config.reorder_window.as_micros().max(1));
+            return Verdict::Reorder(SimDuration::from_micros(extra));
+        }
         if self.loss.is_lost(rng) {
             return Verdict::Lose;
         }
@@ -228,8 +258,13 @@ impl Channel {
             return Verdict::Corrupt;
         }
         if self.config.reorder_rate > 0.0 && rng.gen_bool(self.config.reorder_rate) {
+            self.remaining_burst = self.config.reorder_burst_len.saturating_sub(1);
             let extra = rng.gen_range(1..=self.config.reorder_window.as_micros().max(1));
             return Verdict::Reorder(SimDuration::from_micros(extra));
+        }
+        if self.config.duplicate_rate > 0.0 && rng.gen_bool(self.config.duplicate_rate) {
+            let extra = rng.gen_range(1..=self.config.reorder_window.as_micros().max(1));
+            return Verdict::Duplicate(SimDuration::from_micros(extra));
         }
         Verdict::Deliver
     }
@@ -308,10 +343,12 @@ mod tests {
             corruption_rate: 0.1,
             reorder_rate: 0.1,
             reorder_window: SimDuration::from_millis(5),
+            duplicate_rate: 0.1,
+            ..ChannelConfig::default()
         };
         let mut ch = Channel::new(cfg);
         let mut r = rng();
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         let n = 100_000;
         for _ in 0..n {
             match ch.verdict(&mut r) {
@@ -323,12 +360,67 @@ mod tests {
                     assert!(extra.as_micros() <= 5_000);
                     assert!(extra.as_micros() >= 1);
                 }
+                Verdict::Duplicate(extra) => {
+                    counts[4] += 1;
+                    assert!(extra.as_micros() <= 5_000);
+                    assert!(extra.as_micros() >= 1);
+                }
             }
         }
         let f = |c: usize| c as f64 / n as f64;
         assert!((f(counts[1]) - 0.10).abs() < 0.01); // loss
         assert!((f(counts[2]) - 0.09).abs() < 0.01); // corrupt = 0.9*0.1
         assert!((f(counts[3]) - 0.081).abs() < 0.01); // reorder = 0.81*0.1
+        assert!((f(counts[4]) - 0.073).abs() < 0.01); // duplicate = 0.729*0.1
+    }
+
+    #[test]
+    fn reorder_bursts_sweep_up_following_packets() {
+        let cfg = ChannelConfig {
+            reorder_rate: 0.05,
+            reorder_window: SimDuration::from_millis(2),
+            reorder_burst_len: 4,
+            ..ChannelConfig::default()
+        };
+        let mut ch = Channel::new(cfg);
+        let mut r = rng();
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..100_000 {
+            if matches!(ch.verdict(&mut r), Verdict::Reorder(_)) {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        // Every burst runs at least the configured length (a new draw
+        // inside a burst can only extend it).
+        assert!(runs.iter().all(|&len| len >= 4), "short burst in {runs:?}");
+    }
+
+    #[test]
+    fn default_knobs_leave_verdict_stream_unchanged() {
+        // The fault knobs must be invisible when off: same seed, same
+        // legacy config ⇒ byte-identical verdict stream, because the new
+        // draws are gated behind nonzero rates.
+        let legacy = ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 0.3 },
+            corruption_rate: 0.2,
+            reorder_rate: 0.2,
+            reorder_window: SimDuration::from_millis(2),
+            ..ChannelConfig::default()
+        };
+        let run = |cfg: ChannelConfig| {
+            let mut ch = Channel::new(cfg);
+            let mut r = StdRng::seed_from_u64(7);
+            (0..2000).map(|_| ch.verdict(&mut r)).collect::<Vec<_>>()
+        };
+        let stream = run(legacy.clone());
+        assert!(stream.iter().any(|v| matches!(v, Verdict::Reorder(_))));
+        assert!(!stream.iter().any(|v| matches!(v, Verdict::Duplicate(_))));
+        assert_eq!(stream, run(legacy));
     }
 
     #[test]
@@ -356,6 +448,8 @@ mod tests {
             corruption_rate: 0.2,
             reorder_rate: 0.2,
             reorder_window: SimDuration::from_millis(2),
+            duplicate_rate: 0.1,
+            reorder_burst_len: 3,
         };
         let run = || {
             let mut ch = Channel::new(cfg.clone());

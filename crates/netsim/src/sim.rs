@@ -408,6 +408,27 @@ impl Simulator {
                 }
                 self.push(arrive, Event::Deliver { to: next, packet });
             }
+            Verdict::Duplicate(extra) => {
+                // The original arrives on time; a copy follows `extra`
+                // later. Only the original counts as delivered payload —
+                // the copy is channel noise the receiver must tolerate.
+                link.stats.packets_delivered += 1;
+                link.stats.bytes_delivered += wire as u64;
+                link.stats.packets_duplicated += 1;
+                let arrive = done + link.config.propagation;
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
+                }
+                self.push(
+                    arrive + extra,
+                    Event::Deliver {
+                        to: next,
+                        packet: packet.clone(),
+                    },
+                );
+                self.push(arrive, Event::Deliver { to: next, packet });
+            }
         }
     }
 
@@ -863,5 +884,38 @@ mod tests {
         // Arrival times are NOT monotone in send order: find an inversion.
         let rx = sim.node::<Receiver>(b).unwrap();
         assert_eq!(rx.arrivals.len(), 2000);
+    }
+
+    #[test]
+    fn duplicates_deliver_the_packet_twice() {
+        let mut sim = Simulator::new(6);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 2000,
+            len: 10,
+        });
+        let b = sim.add_node(Receiver::default());
+        let l = sim.add_link(
+            a,
+            b,
+            LinkConfig {
+                rate_bytes_per_sec: Some(10_000_000),
+                propagation: SimDuration::from_millis(1),
+                channel: ChannelConfig {
+                    duplicate_rate: 0.2,
+                    ..ChannelConfig::clean()
+                },
+            },
+        );
+        sim.add_route(a, B_IP, b);
+        sim.run_until_idle();
+        let stats = sim.link_stats(l);
+        assert!(stats.packets_duplicated > 200, "{stats:?}");
+        // Only originals count as delivered; each duplicate arrives as
+        // one extra packet at the receiver.
+        assert_eq!(stats.packets_delivered, 2000);
+        let rx = sim.node::<Receiver>(b).unwrap();
+        assert_eq!(rx.arrivals.len() as u64, 2000 + stats.packets_duplicated);
     }
 }

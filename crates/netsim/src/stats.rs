@@ -21,6 +21,9 @@ pub struct LinkStats {
     pub packets_corrupted: u64,
     /// Packets delivered late (reordered).
     pub packets_reordered: u64,
+    /// Packets delivered twice (duplicated by the channel). Only the
+    /// on-time original is counted in `packets_delivered`.
+    pub packets_duplicated: u64,
 }
 
 impl LinkStats {
@@ -44,6 +47,7 @@ impl LinkStats {
         self.packets_lost += other.packets_lost;
         self.packets_corrupted += other.packets_corrupted;
         self.packets_reordered += other.packets_reordered;
+        self.packets_duplicated += other.packets_duplicated;
     }
 }
 
@@ -76,10 +80,12 @@ mod tests {
             packets_lost: 5,
             packets_corrupted: 6,
             packets_reordered: 7,
+            packets_duplicated: 8,
         };
         a.merge(&a.clone());
         assert_eq!(a.packets_offered, 2);
         assert_eq!(a.bytes_delivered, 8);
         assert_eq!(a.packets_reordered, 14);
+        assert_eq!(a.packets_duplicated, 16);
     }
 }

@@ -176,6 +176,58 @@ mod tests {
     }
 
     #[test]
+    fn odd_length_tail_survives_wide_fold() {
+        // Regression for the tail handling in `add_bytes`: a length that
+        // leaves a lone byte after the 4-byte and 2-byte chunk loops
+        // (length ≡ 1 or 3 mod 4) must park it as `pending`, padded with
+        // zero only at `finish`.
+        for len in [1usize, 3, 5, 7, 1461] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let mut padded = data.clone();
+            padded.push(0);
+            assert_eq!(checksum(&data), checksum(&padded), "len {len}");
+        }
+    }
+
+    #[test]
+    fn length_two_mod_four_uses_short_chunk_loop() {
+        // Lengths ≡ 2 (mod 4) exercise the 2-byte remainder loop after
+        // the wide fold; the result must match a word-at-a-time sum.
+        for len in [2usize, 6, 10, 1458] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 73 % 256) as u8).collect();
+            let mut word_at_a_time = Checksum::new();
+            for pair in data.chunks_exact(2) {
+                word_at_a_time.add_u16(u16::from_be_bytes([pair[0], pair[1]]));
+            }
+            assert_eq!(checksum(&data), word_at_a_time.finish(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn corruption_in_last_byte_is_detected() {
+        // The tail byte must still participate in the sum — a flip there
+        // has to change the checksum whether it sits in the zero-padded
+        // high half (odd length) or the low half (even length) of the
+        // final word.
+        for len in [37usize, 38] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 11 % 251) as u8).collect();
+            let sum = checksum(&data);
+            let mut corrupted = data.clone();
+            corrupted[len - 1] ^= 0x01;
+            assert_ne!(checksum(&corrupted), sum, "len {len} flip undetected");
+        }
+        // With word alignment preserved (even length), the end-to-end
+        // verify path must also fail closed on a last-byte flip.
+        let data: Vec<u8> = (0..38usize).map(|i| (i * 11 % 251) as u8).collect();
+        let sum = checksum(&data);
+        let mut with = data.clone();
+        with.extend_from_slice(&sum.to_be_bytes());
+        assert!(verify(&with));
+        with[37] ^= 0x01;
+        assert!(!verify(&with));
+    }
+
+    #[test]
     fn add_u16_and_bytes_agree() {
         let mut a = Checksum::new();
         a.add_u16(0x1234);

@@ -6,7 +6,7 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
-use bytecache_netsim::time::SimDuration;
+use bytecache_netsim::time::{SimDuration, SimTime};
 use bytecache_netsim::{Context, Node};
 use bytecache_packet::{Packet, SeqNum, TcpFlags};
 
@@ -64,6 +64,8 @@ pub struct TcpClientNode {
     armed_gen: Option<u64>,
     retries: u32,
     ip_id: u16,
+    /// When the in-order prefix last advanced (drives `max_stall`).
+    last_progress_at: Option<SimTime>,
     report: DownloadReport,
 }
 
@@ -98,6 +100,7 @@ impl TcpClientNode {
             armed_gen: None,
             retries: 0,
             ip_id: 0,
+            last_progress_at: None,
             report: DownloadReport::default(),
         }
     }
@@ -243,6 +246,7 @@ impl TcpClientNode {
 
     fn handle_data(&mut self, packet: Packet, ctx: &mut Context<'_>) {
         let had_payload = packet.has_payload();
+        let prefix_before = self.received.len();
         if had_payload {
             self.report.data_packets_received += 1;
         }
@@ -276,6 +280,17 @@ impl TcpClientNode {
                 }
                 // Old/duplicate data falls through to the re-ACK below.
             }
+        }
+        if self.received.len() > prefix_before {
+            // In-order progress: the gap since the previous advance is a
+            // stall the user sat through.
+            if let Some(last) = self.last_progress_at {
+                let stall = ctx.now() - last;
+                if self.report.max_stall.is_none_or(|m| stall > m) {
+                    self.report.max_stall = Some(stall);
+                }
+            }
+            self.last_progress_at = Some(ctx.now());
         }
         self.report.bytes_delivered = self.received.len() as u64;
         // Cumulative ACK position: delivered prefix, plus the FIN if

@@ -23,6 +23,10 @@ pub struct DownloadReport {
     pub dup_acks_sent: u64,
     /// True once the whole object (and FIN) arrived.
     pub complete: bool,
+    /// Longest gap between consecutive in-order-progress events (first
+    /// byte to completion) — the paper's user-visible stall measure.
+    /// `None` until the prefix has advanced at least twice.
+    pub max_stall: Option<bytecache_netsim::time::SimDuration>,
     /// True if the client itself gave up (handshake/request retries
     /// exhausted).
     pub aborted: bool,

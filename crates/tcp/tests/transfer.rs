@@ -123,6 +123,23 @@ fn loss_slows_the_transfer_down() {
 }
 
 #[test]
+fn max_stall_tracks_in_order_progress_gaps() {
+    let obj = object(300_000);
+    let clean = run(&obj, ChannelConfig::clean(), 5, TcpConfig::default());
+    let lossy = run(&obj, ChannelConfig::lossy(0.05), 5, TcpConfig::default());
+    // Any multi-packet transfer reports a stall measure.
+    let clean_stall = clean.client.max_stall.expect("clean run has a stall");
+    let lossy_stall = lossy.client.max_stall.expect("lossy run has a stall");
+    // A clean back-to-back stream never stalls longer than the duration;
+    // recovering a loss (RTO or fast retransmit) dominates clean pacing.
+    assert!(clean_stall <= clean.client.duration().unwrap());
+    assert!(
+        lossy_stall > clean_stall,
+        "loss did not raise max stall: {clean_stall:?} vs {lossy_stall:?}"
+    );
+}
+
+#[test]
 fn fast_retransmit_fires_under_mild_loss() {
     let obj = object(400_000);
     let o = run(&obj, ChannelConfig::lossy(0.02), 7, TcpConfig::default());

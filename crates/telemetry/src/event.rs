@@ -15,7 +15,8 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 pub enum EventKind {
     /// Decoder could not reconstruct a packet. `a` = failure class
     /// (1 missing reference, 2 checksum mismatch, 3 bad region,
-    /// 4 malformed, 5 epoch flush), `b` = TCP sequence number.
+    /// 4 malformed, 5 epoch flush, 6 stale generation),
+    /// `b` = TCP sequence number.
     DecodeFailure,
     /// Decoder emitted NACK feedback. `a` = ids in the batch.
     Nack,
@@ -37,6 +38,27 @@ pub enum EventKind {
     PacketCorrupted,
     /// Simulator had no route for a packet.
     NoRoute,
+    /// A control-channel payload failed to parse. `a` = payload length
+    /// in bytes, `b` = bytes of trailing garbage rejected.
+    ControlMalformed,
+    /// Decoder requested re-emission of a diverged cache entry.
+    /// `a` = shim packet id, `b` = retry number (0 = first request).
+    RecoveryRequest,
+    /// Encoder re-emitted a cache entry raw and tombstoned it.
+    /// `a` = shim packet id, `b` = payload bytes re-sent.
+    RecoveryRepair,
+    /// Cache-generation resynchronization. On the decoder: a resync was
+    /// requested or a new generation adopted; on the encoder: the cache
+    /// was flushed and the generation bumped. `a` = generation,
+    /// `b` = 1 when the event is the encoder-side flush.
+    Resync,
+    /// Decoder cache wiped by fault injection (simulated restart).
+    /// `a` = entries lost, `b` = bytes lost.
+    CacheWipe,
+    /// Graceful-degradation policy changed state. `a` = 1 entering
+    /// degraded (pass-through) mode, 0 recovering, `b` = estimated loss
+    /// in basis points.
+    Degrade,
 }
 
 impl EventKind {
@@ -54,6 +76,12 @@ impl EventKind {
             EventKind::PacketLost => "packet_lost",
             EventKind::PacketCorrupted => "packet_corrupted",
             EventKind::NoRoute => "no_route",
+            EventKind::ControlMalformed => "control_malformed",
+            EventKind::RecoveryRequest => "recovery_request",
+            EventKind::RecoveryRepair => "recovery_repair",
+            EventKind::Resync => "resync",
+            EventKind::CacheWipe => "cache_wipe",
+            EventKind::Degrade => "degrade",
         }
     }
 
@@ -71,6 +99,12 @@ impl EventKind {
             "packet_lost" => EventKind::PacketLost,
             "packet_corrupted" => EventKind::PacketCorrupted,
             "no_route" => EventKind::NoRoute,
+            "control_malformed" => EventKind::ControlMalformed,
+            "recovery_request" => EventKind::RecoveryRequest,
+            "recovery_repair" => EventKind::RecoveryRepair,
+            "resync" => EventKind::Resync,
+            "cache_wipe" => EventKind::CacheWipe,
+            "degrade" => EventKind::Degrade,
             _ => return None,
         })
     }
@@ -247,6 +281,12 @@ mod tests {
             EventKind::PacketLost,
             EventKind::PacketCorrupted,
             EventKind::NoRoute,
+            EventKind::ControlMalformed,
+            EventKind::RecoveryRequest,
+            EventKind::RecoveryRepair,
+            EventKind::Resync,
+            EventKind::CacheWipe,
+            EventKind::Degrade,
         ] {
             assert_eq!(EventKind::from_name(kind.as_str()), Some(kind));
         }

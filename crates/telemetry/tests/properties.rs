@@ -123,6 +123,28 @@ proptest! {
 }
 
 #[test]
+fn bucket_index_edges_are_exact() {
+    // The two extremes of the u64 range land in the outermost buckets,
+    // and recording them keeps every derived statistic consistent.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_bounds(0), (0, 0));
+    assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    assert_eq!(bucket_index(1 << 63), BUCKETS - 1);
+    assert_eq!(bucket_bounds(BUCKETS - 1), (1 << 63, u64::MAX));
+    // One below the top bucket's low bound belongs to the bucket before.
+    assert_eq!(bucket_index((1 << 63) - 1), BUCKETS - 2);
+
+    let mut h = Histogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max(), Some(u64::MAX));
+    assert_eq!(h.sum(), u64::MAX, "sum saturates, not wraps");
+    assert_eq!(h.nonzero_buckets(), vec![(0, 0, 1), (1 << 63, u64::MAX, 1)]);
+}
+
+#[test]
 fn from_parts_rejects_foreign_bucket_layouts() {
     // A bucket whose bounds don't sit on the fixed power-of-two grid
     // must be refused — otherwise merges would silently misalign.
