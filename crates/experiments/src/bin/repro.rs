@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--threads N] [--metrics-out PATH]
+//! repro <experiment> [--quick] [--threads N] [--sim-workers N] [--metrics-out PATH]
 //! repro verify-metrics PATH [--require key1,key2,...]
 //!
 //! experiments:
@@ -33,6 +33,11 @@
 //! --quick shrinks object sizes and seed counts (~10x faster).
 //! --threads N runs experiment grids on N campaign workers (default:
 //!   one per available CPU); output is byte-identical for every N.
+//! --sim-workers N runs each simulation on the deterministic engine: 1
+//!   is the serial oracle, >= 2 the conservative parallel (PDES)
+//!   engine. Results are byte-identical for every N >= 1. Default 0
+//!   keeps the legacy serial event loop. Wired into the scenario-based
+//!   harnesses (recovery) and added to simthroughput's scaling sweep.
 //! --metrics-out PATH writes a telemetry snapshot (JSONL) merged across
 //!   the instrumented harnesses that ran (fig6, fig10/fig11, stalltrace,
 //!   hotpath). Tables on stdout are byte-identical with or without it.
@@ -116,6 +121,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let mut threads = 0usize; // 0 = one worker per available CPU
+    let mut sim_workers = 0usize; // 0 = legacy serial event loop
     let mut metrics_out: Option<String> = None;
     let mut require: Vec<String> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
@@ -128,6 +134,15 @@ fn main() {
                 .filter(|&n| n > 0)
                 .unwrap_or_else(|| {
                     eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                });
+        } else if arg == "--sim-workers" {
+            sim_workers = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--sim-workers needs a positive integer");
                     std::process::exit(2);
                 });
         } else if arg == "--metrics-out" {
@@ -336,13 +351,22 @@ fn main() {
         }
     }
     if run("simthroughput") {
-        let params = simthroughput::SimThroughputParams::new(quick).threads(threads);
+        let mut params = simthroughput::SimThroughputParams::new(quick).threads(threads);
+        if sim_workers >= 2 {
+            params = params.with_pdes_workers(sim_workers);
+        }
         let result = simthroughput::run(&params);
         println!("{}", simthroughput::render(&result));
         // The harness doubles as the campaign-determinism smoke test:
         // parallel output must match the serial reference byte-for-byte.
         if !result.campaign.identical {
             eprintln!("simthroughput: parallel campaign output diverged from the serial reference");
+            std::process::exit(1);
+        }
+        // Same contract for the in-simulator engine: every parallel
+        // digest must match the serial deterministic oracle.
+        if !result.pdes.identical {
+            eprintln!("simthroughput: PDES engine output diverged from the serial oracle");
             std::process::exit(1);
         }
         let json = simthroughput::to_json(&result);
@@ -356,13 +380,14 @@ fn main() {
     }
     if run("recovery") {
         let params = if quick {
-            recovery::RecoveryParams::quick(scale.seeds)
+            recovery::RecoveryParams::quick(scale.seeds).sim_workers(sim_workers)
         } else {
             recovery::RecoveryParams {
                 object_size: scale.object_size,
                 seeds: scale.seeds,
                 ..recovery::RecoveryParams::default()
             }
+            .sim_workers(sim_workers)
         };
         let pts = if want_metrics {
             let (pts, rec) = recovery::run_with_metrics(&campaign, &params);

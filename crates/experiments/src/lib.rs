@@ -46,6 +46,7 @@ pub mod insights;
 pub mod interflow;
 pub mod kdistance;
 pub mod mobility;
+pub mod multiflow;
 pub mod perceived;
 pub mod recovery;
 pub mod report;

@@ -77,6 +77,11 @@ pub struct RecoveryParams {
     pub policies: Vec<PolicyKind>,
     /// Seeds per (policy, loss, wipe) cell.
     pub seeds: u64,
+    /// Simulator worker threads per run (`0` legacy serial, `1` the
+    /// deterministic serial oracle, `>= 2` the parallel engine).
+    /// Results are byte-identical for every value `>= 1`; `0` keeps
+    /// the historical serial outputs.
+    pub sim_workers: usize,
 }
 
 impl Default for RecoveryParams {
@@ -94,6 +99,7 @@ impl Default for RecoveryParams {
                 PolicyKind::Degrading,
             ],
             seeds: 5,
+            sim_workers: 0,
         }
     }
 }
@@ -110,7 +116,15 @@ impl RecoveryParams {
             wipe_ms: vec![100],
             policies: vec![PolicyKind::CacheFlush, PolicyKind::TcpSeq],
             seeds,
+            sim_workers: 0,
         }
+    }
+
+    /// Set the simulator worker count (builder style).
+    #[must_use]
+    pub fn sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = workers;
+        self
     }
 }
 
@@ -171,6 +185,7 @@ fn grid(
             params.object_size,
             params.seeds,
             telemetry,
+            params.sim_workers,
         )
     })
 }
@@ -185,6 +200,7 @@ fn point(
     size: usize,
     seeds: u64,
     telemetry: bool,
+    sim_workers: usize,
 ) -> (RecoveryPoint, Recorder) {
     let object = FileSpec::File1.build(size, 42);
     let mut stall_sum = 0.0;
@@ -202,7 +218,12 @@ fn point(
     };
     for run in 0..seeds {
         let seed = campaign.seed(cell, run);
-        let baseline = run_scenario(&ScenarioConfig::new(object.clone()).loss(loss).seed(seed));
+        let baseline = run_scenario(
+            &ScenarioConfig::new(object.clone())
+                .loss(loss)
+                .seed(seed)
+                .sim_workers(sim_workers),
+        );
         let dre = run_scenario(
             &ScenarioConfig::new(object.clone())
                 .policy(policy)
@@ -210,7 +231,8 @@ fn point(
                 .seed(seed)
                 .recovery()
                 .wipe_at(SimDuration::from_millis(wipe_ms))
-                .telemetry(telemetry),
+                .telemetry(telemetry)
+                .sim_workers(sim_workers),
         );
         if let Some(snapshot) = &dre.telemetry {
             recorder.merge(snapshot);
@@ -329,6 +351,7 @@ mod tests {
             wipe_ms: vec![100],
             policies: vec![PolicyKind::CacheFlush, PolicyKind::TcpSeq],
             seeds: 2,
+            sim_workers: 0,
         };
         let pts = run(&params);
         assert_eq!(pts.len(), 4);
@@ -377,6 +400,7 @@ mod tests {
             wipe_ms: vec![100],
             policies: vec![PolicyKind::Degrading],
             seeds: 1,
+            sim_workers: 0,
         };
         let rendered = render(&run(&params)).render();
         assert!(rendered.contains("cache wipe"));

@@ -4,7 +4,7 @@ use bytecache::gateway::{DecoderGateway, EncoderGateway, PayloadMode};
 use bytecache::{Decoder, DecoderStats, DreConfig, Encoder, EncoderStats, PolicyKind};
 use bytecache_netsim::channel::{ChannelConfig, LossModel};
 use bytecache_netsim::time::{SimDuration, SimTime};
-use bytecache_netsim::{Context, LinkConfig, LinkStats, Node, Simulator};
+use bytecache_netsim::{Context, ExecMode, LinkConfig, LinkStats, Node, Simulator};
 use bytecache_packet::{FlowId, Packet};
 use bytecache_tcp::{DownloadReport, ServerReport, TcpClientNode, TcpConfig, TcpServerNode};
 use bytecache_telemetry::Recorder;
@@ -89,6 +89,13 @@ pub struct ScenarioConfig {
     /// Enable the decoder gateway's recovery state machine (resync and
     /// repair requests over the control channel). Requires `nacks`.
     pub recovery: bool,
+    /// Simulator worker threads. `0` (the default) keeps the legacy
+    /// serial event loop and its historical outputs byte-for-byte;
+    /// any value `>= 1` switches to the deterministic ordering
+    /// contract — `1` runs it serially (the oracle), more run the
+    /// conservative PDES engine. All values `>= 1` produce identical
+    /// results to each other.
+    pub sim_workers: usize,
 }
 
 impl ScenarioConfig {
@@ -124,6 +131,7 @@ impl ScenarioConfig {
             reorder_burst_len: 1,
             wire_gen: false,
             recovery: false,
+            sim_workers: 0,
         }
     }
 
@@ -182,6 +190,15 @@ impl ScenarioConfig {
     #[must_use]
     pub fn reorder_burst(mut self, len: u32) -> Self {
         self.reorder_burst_len = len;
+        self
+    }
+
+    /// Set the simulator worker count (builder style). `0` keeps the
+    /// legacy serial loop; `>= 1` selects the deterministic engine
+    /// (`1` = serial oracle, more = parallel PDES).
+    #[must_use]
+    pub fn sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = workers;
         self
     }
 
@@ -314,6 +331,11 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
 
     let object_len = config.object.len();
     let mut sim = Simulator::new(config.seed);
+    match config.sim_workers {
+        0 => {}
+        1 => sim.set_exec_mode(ExecMode::SerialDet),
+        w => sim.set_exec_mode(ExecMode::Parallel { workers: w }),
+    }
 
     if config.telemetry {
         sim.set_telemetry_enabled(true);

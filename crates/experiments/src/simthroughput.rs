@@ -9,7 +9,15 @@
 //!    determinism contract). Speedup is bounded above by host
 //!    parallelism — on a single-CPU host the workers serialize and the
 //!    honest answer is ≈ 1×, which the report states rather than hides.
-//! 2. **Payload path.** One clean-channel download is driven through the
+//! 2. **PDES engine.** One multi-chain simulation
+//!    ([`crate::multiflow`]) is run on the serial deterministic oracle
+//!    (`sim_workers = 1`) and on the conservative parallel engine at
+//!    each configured worker count; digests are compared byte-for-byte
+//!    and per-count wall-clock is reported as scaling columns. Like the
+//!    campaign measure, speedup is capped by host parallelism — and
+//!    additionally by the lookahead (see `DESIGN.md` §14), which the
+//!    JSON note states on single-CPU hosts.
+//! 3. **Payload path.** One clean-channel download is driven through the
 //!    full four-node chain under
 //!    [`PayloadMode::Shared`](bytecache::gateway::PayloadMode) (ref-counted
 //!    buffers, zero per-hop copies) and [`PayloadMode::Copied`] (the
@@ -25,6 +33,7 @@ use bytecache::PolicyKind;
 use bytecache_workload::FileSpec;
 
 use crate::campaign::Campaign;
+use crate::multiflow::{run_multiflow, MultiflowConfig};
 use crate::report::Table;
 use crate::scenario::{run_scenario, ScenarioConfig};
 use crate::sweep::{self, SweepParams};
@@ -43,6 +52,15 @@ pub struct SimThroughputParams {
     /// Downloads per repetition (timed together, so one sample spans
     /// enough wall-clock to rise above timer noise).
     pub path_inner: usize,
+    /// Chains in the PDES scaling simulation.
+    pub pdes_flows: usize,
+    /// Object size per chain of the PDES scaling simulation.
+    pub pdes_object_size: usize,
+    /// Worker counts to time the parallel engine at (the serial
+    /// deterministic oracle is always timed as the baseline).
+    pub pdes_workers: Vec<usize>,
+    /// Repetitions of each PDES timing (best-of).
+    pub pdes_reps: usize,
 }
 
 impl SimThroughputParams {
@@ -72,7 +90,22 @@ impl SimThroughputParams {
             path_object_size: if quick { 200_000 } else { 600_000 },
             path_reps: if quick { 2 } else { 5 },
             path_inner: if quick { 2 } else { 10 },
+            pdes_flows: if quick { 4 } else { 8 },
+            pdes_object_size: if quick { 60_000 } else { 200_000 },
+            pdes_workers: vec![2, 4],
+            pdes_reps: if quick { 2 } else { 3 },
         }
+    }
+
+    /// Add a worker count to the PDES scaling sweep (builder style).
+    /// Used by `repro --sim-workers N`; duplicates are ignored.
+    #[must_use]
+    pub fn with_pdes_workers(mut self, workers: usize) -> Self {
+        if workers >= 2 && !self.pdes_workers.contains(&workers) {
+            self.pdes_workers.push(workers);
+            self.pdes_workers.sort_unstable();
+        }
+        self
     }
 
     /// Set the parallel worker count (builder style).
@@ -100,6 +133,35 @@ pub struct CampaignMeasure {
     pub identical: bool,
 }
 
+/// Wall-clock of the parallel engine at one worker count.
+#[derive(Debug, Clone)]
+pub struct PdesPoint {
+    /// Worker threads of the parallel engine.
+    pub workers: usize,
+    /// Best-of-reps wall-clock seconds.
+    pub secs: f64,
+    /// `serial_secs / secs`.
+    pub speedup: f64,
+}
+
+/// The PDES engine measure: one multi-chain simulation, serial oracle
+/// vs parallel engine at several worker counts.
+#[derive(Debug, Clone)]
+pub struct PdesMeasure {
+    /// Chains in the simulation.
+    pub flows: usize,
+    /// Nodes in the simulation.
+    pub nodes: usize,
+    /// Events one run processes.
+    pub events: u64,
+    /// Serial deterministic oracle (`sim_workers = 1`) wall-clock.
+    pub serial_secs: f64,
+    /// Parallel engine wall-clock per worker count.
+    pub scaling: Vec<PdesPoint>,
+    /// Whether every parallel digest matched the oracle byte-for-byte.
+    pub identical: bool,
+}
+
 /// Simulated-packet rate of one payload mode.
 #[derive(Debug, Clone)]
 pub struct PathMeasure {
@@ -123,6 +185,8 @@ pub struct SimThroughputResult {
     pub host_threads: usize,
     /// Campaign wall-clock comparison.
     pub campaign: CampaignMeasure,
+    /// In-simulator PDES engine scaling.
+    pub pdes: PdesMeasure,
     /// Zero-copy payload path.
     pub shared: PathMeasure,
     /// Legacy copy-per-hop path.
@@ -160,6 +224,7 @@ pub fn run(params: &SimThroughputParams) -> SimThroughputResult {
         identical,
     };
 
+    let pdes = measure_pdes(params);
     let shared = measure_path(PayloadMode::Shared, "shared", params);
     let copied = measure_path(PayloadMode::Copied, "copied", params);
     let payload_gain = shared.packets_per_sec / copied.packets_per_sec;
@@ -169,9 +234,49 @@ pub fn run(params: &SimThroughputParams) -> SimThroughputResult {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         campaign,
+        pdes,
         shared,
         copied,
         payload_gain,
+    }
+}
+
+/// Time the multiflow simulation on the serial oracle and the parallel
+/// engine, checking every digest against the oracle's.
+fn measure_pdes(params: &SimThroughputParams) -> PdesMeasure {
+    let config = MultiflowConfig::new(params.pdes_flows, params.pdes_object_size);
+    let reps = params.pdes_reps.max(1);
+    let time_best = |workers: usize| {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let r = run_multiflow(&config.clone().sim_workers(workers));
+            best = best.min(started.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        (best, result.expect("reps >= 1"))
+    };
+
+    let (serial_secs, oracle) = time_best(1);
+    let mut identical = true;
+    let mut scaling = Vec::new();
+    for &workers in &params.pdes_workers {
+        let (secs, r) = time_best(workers);
+        identical &= r.digest == oracle.digest;
+        scaling.push(PdesPoint {
+            workers,
+            secs,
+            speedup: serial_secs / secs,
+        });
+    }
+    PdesMeasure {
+        flows: oracle.flows,
+        nodes: oracle.nodes,
+        events: oracle.events,
+        serial_secs,
+        scaling,
+        identical,
     }
 }
 
@@ -224,6 +329,18 @@ pub fn render(result: &SimThroughputResult) -> Table {
         format!("{:.2}x", result.campaign.speedup),
         format!("byte-identical: {}", result.campaign.identical),
     ]);
+    for p in &result.pdes.scaling {
+        t.row(&[
+            format!("pdes engine @{} workers (s)", p.workers),
+            format!("{:.2}", result.pdes.serial_secs),
+            format!("{:.2}", p.secs),
+            format!("{:.2}x", p.speedup),
+            format!(
+                "byte-identical: {} ({} nodes, {} events)",
+                result.pdes.identical, result.pdes.nodes, result.pdes.events
+            ),
+        ]);
+    }
     t.row(&[
         "payload path (kpkt/s)".to_string(),
         format!("{:.1}", result.copied.packets_per_sec / 1e3),
@@ -241,14 +358,21 @@ pub fn render(result: &SimThroughputResult) -> Table {
 #[must_use]
 pub fn to_json(result: &SimThroughputResult) -> String {
     let note = if result.host_threads == 1 {
-        "campaign speedup is capped by host parallelism; this host exposes 1 CPU, \
-         so the workers serialize and ~1x is the honest expectation. payload gain \
-         compares end-to-end simulation throughput, where per-hop copy cost at \
-         MTU-sized packets is a small fraction of total event processing"
+        "campaign and pdes speedups are capped by host parallelism; this host \
+         exposes 1 CPU, so threads serialize and ~1x (minus synchronization \
+         overhead) is the honest expectation for both. pdes speedup is further \
+         bounded by the conservative lookahead: workers may only race ahead by \
+         the minimum cross-partition propagation delay per window (DESIGN.md \
+         s14). payload gain compares end-to-end simulation throughput, where \
+         per-hop copy cost at MTU-sized packets is a small fraction of total \
+         event processing"
     } else {
-        "campaign speedup is capped by host parallelism. payload gain compares \
-         end-to-end simulation throughput, where per-hop copy cost at MTU-sized \
-         packets is a small fraction of total event processing"
+        "campaign and pdes speedups are capped by host parallelism; pdes speedup \
+         is further bounded by the conservative lookahead (minimum \
+         cross-partition propagation delay per window, DESIGN.md s14). payload \
+         gain compares end-to-end simulation throughput, where per-hop copy \
+         cost at MTU-sized packets is a small fraction of total event \
+         processing"
     };
     let c = &result.campaign;
     let mut out = String::from("{\n  \"bench\": \"simthroughput\",\n");
@@ -259,6 +383,22 @@ pub fn to_json(result: &SimThroughputResult) -> String {
          \"threads\": {}, \"speedup\": {:.3}, \"identical\": {}}},\n",
         c.cells, c.serial_secs, c.parallel_secs, c.threads, c.speedup, c.identical
     ));
+    let p = &result.pdes;
+    out.push_str(&format!(
+        "  \"pdes\": {{\"flows\": {}, \"nodes\": {}, \"events\": {}, \
+         \"serial_secs\": {:.3}, \"identical\": {}, \"scaling\": [",
+        p.flows, p.nodes, p.events, p.serial_secs, p.identical
+    ));
+    for (i, pt) in p.scaling.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"workers\": {}, \"secs\": {:.3}, \"speedup\": {:.3}}}",
+            if i == 0 { "" } else { ", " },
+            pt.workers,
+            pt.secs,
+            pt.speedup
+        ));
+    }
+    out.push_str("]},\n");
     out.push_str("  \"payload_path\": {\n");
     out.push_str("    \"unit\": \"simulated wireless data packets per wall second\",\n");
     out.push_str("    \"cases\": [\n");
@@ -298,6 +438,10 @@ mod tests {
             path_object_size: 60_000,
             path_reps: 1,
             path_inner: 1,
+            pdes_flows: 2,
+            pdes_object_size: 30_000,
+            pdes_workers: vec![2],
+            pdes_reps: 1,
         }
     }
 
@@ -314,9 +458,16 @@ mod tests {
         assert!(r.shared.packets > 0);
         assert!(r.payload_gain > 0.0);
 
+        assert!(r.pdes.identical, "pdes digest must match the oracle");
+        assert_eq!(r.pdes.nodes, 8);
+        assert_eq!(r.pdes.scaling.len(), 1);
+        assert_eq!(r.pdes.scaling[0].workers, 2);
+
         let json = to_json(&r);
         assert!(json.contains("\"bench\": \"simthroughput\""));
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"pdes\""));
+        assert!(json.contains("\"workers\": 2"));
         assert!(json.contains("\"mode\": \"shared\""));
         assert!(json.contains("\"mode\": \"copied\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

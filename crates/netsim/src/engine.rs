@@ -1,0 +1,228 @@
+//! The parallel run orchestrator: partition, distribute, synchronize,
+//! merge back.
+//!
+//! A parallel run temporarily moves the simulator's nodes, routing
+//! tables, links and pending events into per-worker
+//! [`Worker`](crate::worker::Worker)s, executes the conservative
+//! window loop on scoped threads, and merges everything back in
+//! deterministic (worker, node-id) order. The public `Simulator` API
+//! is unchanged: `run_until`/`run_until_idle` work across repeated
+//! calls because all state — origin counters, link RNG streams,
+//! serialization backlogs, leftover events — round-trips through the
+//! workers.
+//!
+//! Degenerate cases fall back to the serial deterministic loop, which
+//! produces identical output by construction: a single worker, zero
+//! lookahead (a cross-partition link with no propagation delay would
+//! stall the window protocol), or an empty topology.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::link::LinkState;
+use crate::node::NodeId;
+use crate::partition::PartitionPlan;
+use crate::sim::{Event, ExecMode, SimNode, Simulator};
+use crate::synchronizer::{ChannelMatrix, Synchronizer};
+use crate::time::SimTime;
+use crate::worker::Worker;
+
+/// Bound on each inter-worker channel; senders finding it full drain
+/// their own inboxes and retry, so the bound never deadlocks.
+const CHANNEL_CAPACITY: usize = 16_384;
+
+/// Execute a parallel run: to `limit` if given, else to global idle.
+pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -> SimTime {
+    debug_assert!(matches!(sim.mode, ExecMode::Parallel { .. }));
+    // on_start runs inline on the caller thread, exactly like the
+    // serial oracle (node-id order, environment events already queued).
+    sim.start_if_needed();
+
+    let total_nodes = sim.nodes.len();
+    let w = workers.max(1).min(total_nodes.max(1));
+    let assignment = match sim.partition.clone() {
+        Some(a) => {
+            assert_eq!(
+                a.len(),
+                total_nodes,
+                "partition must assign every node a worker"
+            );
+            a
+        }
+        None => PartitionPlan::blocks(total_nodes, w),
+    };
+    let plan = PartitionPlan::new(
+        assignment,
+        w,
+        sim.link_index.iter().map(|(&(from, to), &id)| {
+            (from.0, to.0, sim.links[id.0].config.propagation.as_micros())
+        }),
+    );
+
+    if w <= 1 || total_nodes == 0 || plan.lookahead_us == 0 {
+        return sim.run_serial(limit);
+    }
+
+    // ---- distribute -----------------------------------------------------
+    let telemetry_on = sim.telemetry.is_enabled();
+    let trace_on = sim.trace.is_some();
+    let mut crew: Vec<Worker> = (0..w)
+        .map(|id| {
+            Worker::new(
+                id,
+                sim.now,
+                total_nodes,
+                plan.assignment.clone(),
+                plan.lookahead_us,
+                telemetry_on,
+                trace_on,
+            )
+        })
+        .collect();
+
+    let nodes = std::mem::take(&mut sim.nodes);
+    let routes = std::mem::take(&mut sim.routes);
+    let origin_seqs = std::mem::take(&mut sim.origin_seqs);
+    for ((id, node), (route, oseq)) in nodes
+        .into_iter()
+        .enumerate()
+        .zip(routes.into_iter().zip(origin_seqs))
+    {
+        crew[plan.assignment[id]].adopt_node(id, node, route, oseq);
+    }
+
+    let links = std::mem::take(&mut sim.links);
+    let mut endpoints: Vec<Option<(NodeId, NodeId)>> = vec![None; links.len()];
+    for (&(from, to), &id) in &sim.link_index {
+        endpoints[id.0] = Some((from, to));
+    }
+    for (id, link) in links.into_iter().enumerate() {
+        let (from, to) = endpoints[id].expect("link without endpoints");
+        // The *sender's* worker owns the link: serialization backlog,
+        // channel RNG draws and stats stay deterministic there.
+        crew[plan.assignment[from.0]].adopt_link(id, from, to, link);
+    }
+
+    let queue = std::mem::take(&mut sim.queue);
+    for std::cmp::Reverse(q) in queue {
+        let target = match &q.event {
+            Event::Deliver { to, .. } => to.0,
+            Event::Timer { node, .. } => node.0,
+            Event::RouteChange { node, .. } => node.0,
+        };
+        crew[plan.assignment[target]]
+            .queue
+            .push(std::cmp::Reverse(q));
+    }
+
+    // ---- run ------------------------------------------------------------
+    let sync = Synchronizer::new(w, sim.events_processed, sim.event_budget);
+    let chans = ChannelMatrix::new(w, CHANNEL_CAPACITY);
+    let results: Vec<Result<Worker, Box<dyn std::any::Any + Send>>> = std::thread::scope(|s| {
+        let sync = &sync;
+        let chans = &chans;
+        let handles: Vec<_> = crew
+            .into_iter()
+            .map(|mut wk| {
+                s.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        // Err(Halted) means a peer panicked; the peer's
+                        // payload is re-raised by the caller below.
+                        let _ = wk.run(sync, chans, limit);
+                        wk
+                    }));
+                    if out.is_err() {
+                        sync.halt();
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(Err))
+            .collect()
+    });
+
+    let mut first_panic = None;
+    let mut done: Vec<Worker> = Vec::new();
+    for r in results {
+        match r {
+            Ok(wk) => done.push(wk),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        // The simulator is poisoned (some state stayed on the panicked
+        // worker); surface the original panic to the caller.
+        resume_unwind(p);
+    }
+    done.sort_by_key(|wk| wk.id);
+
+    // ---- merge back (deterministic: worker order, node-id order) --------
+    let mut nodes_back: Vec<Option<Box<dyn SimNode>>> = (0..total_nodes).map(|_| None).collect();
+    let mut routes_back: Vec<Option<HashMap<std::net::Ipv4Addr, NodeId>>> =
+        (0..total_nodes).map(|_| None).collect();
+    let mut oseq_back = vec![0u64; total_nodes];
+    let mut links_back: Vec<Option<LinkState>> = (0..endpoints.len()).map(|_| None).collect();
+    let mut max_now = sim.now;
+    for wk in done {
+        let Worker {
+            now,
+            mut queue,
+            nodes,
+            routes,
+            origin_seqs,
+            links,
+            telemetry,
+            mut tele_events,
+            mut traces,
+            no_route_drops,
+            ..
+        } = wk;
+        max_now = max_now.max(now);
+        sim.no_route_drops += no_route_drops;
+        sim.telemetry.merge(&telemetry);
+        sim.det_tevents.append(&mut tele_events);
+        sim.det_traces.append(&mut traces);
+        for ((id, node), (route, oseq)) in
+            nodes.into_iter().zip(routes.into_iter().zip(origin_seqs))
+        {
+            nodes_back[id] = Some(node);
+            routes_back[id] = Some(route);
+            oseq_back[id] = oseq;
+        }
+        for (id, link) in links {
+            links_back[id] = Some(link);
+        }
+        while let Some(q) = queue.pop() {
+            sim.queue.push(q);
+        }
+    }
+    sim.nodes = nodes_back
+        .into_iter()
+        .map(|n| n.expect("node lost in merge"))
+        .collect();
+    sim.routes = routes_back
+        .into_iter()
+        .map(|r| r.expect("routes lost in merge"))
+        .collect();
+    sim.origin_seqs = oseq_back;
+    sim.links = links_back
+        .into_iter()
+        .map(|l| l.expect("link lost in merge"))
+        .collect();
+    sim.events_processed = sync.events_total();
+    // Replay trace and telemetry events in canonical order (identical
+    // to the serial oracle's flush).
+    sim.flush_det_logs();
+    sim.now = match limit {
+        Some(t) => max_now.max(t),
+        None => max_now,
+    };
+    sim.now
+}

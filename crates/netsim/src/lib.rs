@@ -14,11 +14,22 @@
 //!   middleboxes forward like real IP routers and the mobility scenario
 //!   (Section II of the paper) is a pair of scheduled route changes.
 //!
-//! Everything is driven by a single event queue ordered by `(time, seq)`
-//! and every random decision flows from a caller-provided seed, so a
-//! simulation is exactly reproducible — crucial for the paper's
-//! experiments, which compare encoding policies on *identical* channel
-//! realizations.
+//! Everything is event-driven and every random decision flows from a
+//! caller-provided seed, so a simulation is exactly reproducible —
+//! crucial for the paper's experiments, which compare encoding policies
+//! on *identical* channel realizations.
+//!
+//! # Execution modes
+//!
+//! The simulator runs in one of three [`ExecMode`]s (default
+//! [`ExecMode::Serial`], the original single-threaded loop). The
+//! deterministic pair — [`ExecMode::SerialDet`] (the oracle) and
+//! [`ExecMode::Parallel`] (a conservative PDES across worker threads,
+//! using per-link propagation delay as lookahead) — order same-time
+//! events by `(origin node, per-origin seq)` and draw channel
+//! randomness from per-link RNG streams, so their output is
+//! byte-identical to each other at any worker count and for any
+//! partition.
 //!
 //! # Example
 //!
@@ -37,15 +48,18 @@
 pub mod channel;
 pub mod time;
 
+mod engine;
 mod link;
 mod node;
+mod partition;
 mod sim;
 mod stats;
+mod synchronizer;
 mod trace;
+mod worker;
 
 pub use link::{LinkConfig, LinkId};
 pub use node::{Action, Context, Node, NodeId};
-pub use sim::AsAny;
-pub use sim::Simulator;
+pub use sim::{AsAny, ExecMode, Simulator};
 pub use stats::LinkStats;
 pub use trace::{FnTrace, TelemetrySink, TraceEvent, TraceSink};

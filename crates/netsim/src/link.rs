@@ -1,7 +1,9 @@
 //! Unidirectional links: serialization rate, propagation delay, and a
 //! channel impairment model.
 
-use crate::channel::ChannelConfig;
+use rand::rngs::StdRng;
+
+use crate::channel::{ChannelConfig, Verdict};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a link within one [`Simulator`](crate::Simulator).
@@ -75,7 +77,30 @@ impl LinkConfig {
     }
 }
 
-/// Runtime state of a link (owned by the simulator).
+/// Outcome of pushing one packet through a link's shaper + channel.
+///
+/// Shared semantics core for the serial loop and the PDES workers: the
+/// caller wraps it with its own telemetry/trace emission and event
+/// scheduling, so both engines update `busy_until`, stats and the
+/// channel RNG identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxVerdict {
+    /// Channel dropped the packet.
+    Lost,
+    /// Channel corrupted the packet beyond use.
+    Corrupted,
+    /// Packet arrives at `arrive`.
+    Deliver { arrive: SimTime },
+    /// Packet arrives late (reordered) at `arrive`.
+    Reorder { arrive: SimTime },
+    /// Packet arrives at `arrive` and a duplicate copy at `copy`
+    /// (the copy is scheduled *first*, matching the historical serial
+    /// insertion order).
+    Duplicate { arrive: SimTime, copy: SimTime },
+}
+
+/// Runtime state of a link (owned by the simulator, or by the worker
+/// owning the link's sender while a parallel run is in flight).
 #[derive(Debug)]
 pub(crate) struct LinkState {
     pub(crate) config: LinkConfig,
@@ -83,6 +108,10 @@ pub(crate) struct LinkState {
     /// Time at which the transmitter finishes its current backlog.
     pub(crate) busy_until: SimTime,
     pub(crate) stats: crate::stats::LinkStats,
+    /// Deterministic per-link RNG stream, seeded from (sim seed,
+    /// link id) in the deterministic exec modes. `None` in legacy
+    /// serial mode, where the simulator's global RNG is used instead.
+    pub(crate) rng: Option<StdRng>,
 }
 
 impl LinkState {
@@ -92,6 +121,66 @@ impl LinkState {
             config,
             busy_until: SimTime::ZERO,
             stats: crate::stats::LinkStats::default(),
+            rng: None,
+        }
+    }
+
+    /// Push one packet of `wire` serialized bytes through the shaper
+    /// and channel at `now`, updating `busy_until`, stats and whichever
+    /// RNG stream this link draws from. `global_rng` is the simulator's
+    /// global RNG (legacy serial mode); deterministic modes seed
+    /// `self.rng` before the run and never touch the global stream.
+    pub(crate) fn transmit(
+        &mut self,
+        now: SimTime,
+        wire: usize,
+        global_rng: Option<&mut StdRng>,
+    ) -> TxVerdict {
+        self.stats.packets_offered += 1;
+        self.stats.bytes_offered += wire as u64;
+
+        let depart = now.max(self.busy_until);
+        let done = depart + self.config.serialization_time(wire);
+        self.busy_until = done;
+
+        let rng = match self.rng.as_mut() {
+            Some(r) => r,
+            None => global_rng.expect("legacy serial mode must supply the global RNG"),
+        };
+        match self.channel.verdict(rng) {
+            Verdict::Lose => {
+                self.stats.packets_lost += 1;
+                TxVerdict::Lost
+            }
+            Verdict::Corrupt => {
+                self.stats.packets_corrupted += 1;
+                TxVerdict::Corrupted
+            }
+            Verdict::Deliver => {
+                self.stats.packets_delivered += 1;
+                self.stats.bytes_delivered += wire as u64;
+                TxVerdict::Deliver {
+                    arrive: done + self.config.propagation,
+                }
+            }
+            Verdict::Reorder(extra) => {
+                self.stats.packets_delivered += 1;
+                self.stats.bytes_delivered += wire as u64;
+                self.stats.packets_reordered += 1;
+                TxVerdict::Reorder {
+                    arrive: done + self.config.propagation + extra,
+                }
+            }
+            Verdict::Duplicate(extra) => {
+                self.stats.packets_delivered += 1;
+                self.stats.bytes_delivered += wire as u64;
+                self.stats.packets_duplicated += 1;
+                let arrive = done + self.config.propagation;
+                TxVerdict::Duplicate {
+                    arrive,
+                    copy: arrive + extra,
+                }
+            }
         }
     }
 }

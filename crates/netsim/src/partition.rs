@@ -1,0 +1,130 @@
+//! Node → worker partitioning and lookahead for the parallel engine.
+//!
+//! The partition decides which worker owns each node. A link is owned
+//! by the worker of its *sender* (serialization backlog, channel RNG
+//! draws and traffic counters all happen sender-side, which keeps them
+//! deterministic); only delivery events cross worker boundaries. The
+//! conservative synchronizer's lookahead is the minimum propagation
+//! delay over links whose endpoints live on different workers: a packet
+//! transmitted at time `t` over such a link cannot arrive before
+//! `t + propagation`, so a worker at safe time `s` may freely process
+//! every event before `s + lookahead`.
+
+/// A validated node → worker assignment plus the synchronization
+/// lookahead it induces.
+#[derive(Debug, Clone)]
+pub(crate) struct PartitionPlan {
+    /// `assignment[i]` = worker owning node `i` (validated `< workers`).
+    pub(crate) assignment: Vec<usize>,
+    /// Minimum propagation delay (µs) over cross-worker links;
+    /// `u64::MAX` when no link crosses a boundary.
+    pub(crate) lookahead_us: u64,
+}
+
+impl PartitionPlan {
+    /// Build a plan from an assignment and the link endpoints
+    /// (`(from, to, propagation µs)` per link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not cover every node or names a
+    /// worker `>= workers`.
+    pub(crate) fn new(
+        assignment: Vec<usize>,
+        workers: usize,
+        links: impl Iterator<Item = (usize, usize, u64)>,
+    ) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        assert!(
+            assignment.iter().all(|&w| w < workers),
+            "partition names a worker >= {workers}"
+        );
+        let mut lookahead_us = u64::MAX;
+        for (from, to, prop_us) in links {
+            assert!(
+                from < assignment.len() && to < assignment.len(),
+                "partition does not cover every node"
+            );
+            if assignment[from] != assignment[to] {
+                lookahead_us = lookahead_us.min(prop_us);
+            }
+        }
+        PartitionPlan {
+            assignment,
+            lookahead_us,
+        }
+    }
+
+    /// Default assignment: `n` nodes split into `workers` contiguous
+    /// blocks (experiment topologies lay out tightly-coupled chains at
+    /// adjacent ids, so contiguous blocks keep most traffic local).
+    pub(crate) fn blocks(n: usize, workers: usize) -> Vec<usize> {
+        if workers <= 1 || n == 0 {
+            return vec![0; n];
+        }
+        let per = n.div_ceil(workers);
+        (0..n).map(|i| (i / per).min(workers - 1)).collect()
+    }
+}
+
+/// SplitMix64 — the finalizer used to derive per-link RNG seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of link `link`'s channel RNG stream: a splitmix64 mix of the
+/// simulation seed and the link id. Depends only on `(seed, link)` —
+/// never on the partition or worker count — so every execution mode
+/// draws identical streams.
+pub(crate) fn link_rng_seed(seed: u64, link: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(link as u64 ^ 0xA076_1D64_78BD_642F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_cover_all_nodes_contiguously() {
+        assert_eq!(PartitionPlan::blocks(4, 1), vec![0, 0, 0, 0]);
+        assert_eq!(PartitionPlan::blocks(4, 2), vec![0, 0, 1, 1]);
+        assert_eq!(PartitionPlan::blocks(5, 2), vec![0, 0, 0, 1, 1]);
+        assert_eq!(PartitionPlan::blocks(3, 8), vec![0, 1, 2]);
+        assert_eq!(PartitionPlan::blocks(0, 2), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn lookahead_is_min_cross_propagation() {
+        let links = vec![
+            (0, 1, 500),  // local to worker 0
+            (1, 2, 300),  // crosses 0 → 1
+            (2, 3, 100),  // local to worker 1
+            (3, 0, 1000), // crosses 1 → 0
+        ];
+        let plan = PartitionPlan::new(vec![0, 0, 1, 1], 2, links.into_iter());
+        assert_eq!(plan.lookahead_us, 300);
+    }
+
+    #[test]
+    fn no_cross_links_means_unbounded_lookahead() {
+        let links = vec![(0, 1, 500)];
+        let plan = PartitionPlan::new(vec![0, 0, 1], 2, links.into_iter());
+        assert_eq!(plan.lookahead_us, u64::MAX);
+    }
+
+    #[test]
+    fn link_seeds_differ_per_link_and_per_sim_seed() {
+        assert_ne!(link_rng_seed(1, 0), link_rng_seed(1, 1));
+        assert_ne!(link_rng_seed(1, 0), link_rng_seed(2, 0));
+        assert_eq!(link_rng_seed(7, 3), link_rng_seed(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "names a worker")]
+    fn assignment_must_stay_in_range() {
+        let _ = PartitionPlan::new(vec![0, 2], 2, std::iter::empty());
+    }
+}

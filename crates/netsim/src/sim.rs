@@ -1,4 +1,10 @@
 //! The event loop: queue, routing, links, and node dispatch.
+//!
+//! The simulator runs in one of three [`ExecMode`]s. `Serial` is the
+//! original single-threaded loop and stays the default; `SerialDet`
+//! runs the same loop under the partition-invariant ordering contract
+//! (per-origin event keys, per-link RNG streams) and is the live oracle
+//! for `Parallel`, the conservative PDES engine in [`crate::engine`].
 
 use std::any::Any;
 use std::cmp::Reverse;
@@ -10,12 +16,12 @@ use bytecache_telemetry::{Event as TelemetryEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::channel::Verdict;
-use crate::link::{LinkConfig, LinkId, LinkState};
+use crate::link::{LinkConfig, LinkId, LinkState, TxVerdict};
 use crate::node::{Action, Context, Node, NodeId};
+use crate::partition::link_rng_seed;
 use crate::stats::LinkStats;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::{OwnedTraceEvent, TraceEvent, TraceSink};
 
 /// Blanket helper granting `Any`-style downcasting to all nodes, so the
 /// harness can inspect endpoint state (e.g. download statistics) after a
@@ -36,8 +42,62 @@ impl<T: Any> AsAny for T {
     }
 }
 
+/// How [`Simulator::run_until_idle`] executes the event loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The original single-threaded loop: one global event queue with a
+    /// global insertion-order tie-break and one global channel RNG.
+    /// This is the default and is byte-identical to the historical
+    /// behaviour of the crate.
+    Serial,
+    /// The serial loop under the partition-invariant ordering contract:
+    /// same-time events are ordered by `(origin node, per-origin seq)`
+    /// instead of global insertion order, and every link draws channel
+    /// randomness from its own seeded stream instead of the global RNG.
+    /// Results are independent of how nodes would be partitioned, which
+    /// makes this mode the live oracle for [`ExecMode::Parallel`].
+    SerialDet,
+    /// Conservative parallel discrete-event simulation across `workers`
+    /// threads, under the same ordering contract as
+    /// [`ExecMode::SerialDet`] — output is byte-identical to it at any
+    /// worker count and for any partition.
+    Parallel {
+        /// Number of worker threads (clamped to the node count).
+        workers: usize,
+    },
+}
+
+/// Origin tag for environment-scheduled events (route changes), sorting
+/// after all node origins at equal timestamps.
+pub(crate) const ENV_ORIGIN: u64 = u64::MAX;
+
+/// Ordering key for replayed trace/telemetry events in the
+/// deterministic modes: `(phase, processing-event key, emission index)`
+/// where phase 0 is the start sweep (`on_start`, node-id order) and
+/// phase 1 is event processing. The deterministic modes buffer these
+/// emissions and flush them sorted at the end of each run call, so the
+/// serial oracle and the parallel engine produce the same sequence
+/// regardless of partitioning or heap-insertion anomalies (a zero-delay
+/// event can be created *below* the currently-processed key).
+pub(crate) type ReplayKey = (u8, EventKey, u32);
+
+/// Total order on events: time, then origin, then per-origin sequence.
+///
+/// In legacy [`ExecMode::Serial`], `origin` holds the global insertion
+/// seq and `seq` is 0, reproducing the historical `(at, seq)` order
+/// exactly. In the deterministic modes `origin` is the creating node's
+/// index ([`ENV_ORIGIN`] for pre-scheduled environment events) and
+/// `seq` a per-origin counter — a key both the serial oracle and every
+/// PDES worker can compute identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct EventKey {
+    pub(crate) at: SimTime,
+    pub(crate) origin: u64,
+    pub(crate) seq: u64,
+}
+
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     Deliver {
         to: NodeId,
         packet: Packet,
@@ -53,15 +113,14 @@ enum Event {
     },
 }
 
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    event: Event,
+pub(crate) struct Queued {
+    pub(crate) key: EventKey,
+    pub(crate) event: Event,
 }
 
 impl PartialEq for Queued {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl Eq for Queued {}
@@ -72,7 +131,7 @@ impl PartialOrd for Queued {
 }
 impl Ord for Queued {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        self.key.cmp(&other.key)
     }
 }
 
@@ -82,25 +141,44 @@ impl Ord for Queued {
 /// [crate docs](crate) for the model and an end-to-end example in the
 /// `bytecache-experiments` crate.
 pub struct Simulator {
-    now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Queued>>,
-    nodes: Vec<Box<dyn SimNode>>,
-    links: Vec<LinkState>,
-    link_index: HashMap<(NodeId, NodeId), LinkId>,
-    routes: Vec<HashMap<Ipv4Addr, NodeId>>,
-    rng: StdRng,
-    no_route_drops: u64,
-    trace: Option<Box<dyn TraceSink>>,
-    telemetry: Recorder,
-    started: bool,
-    event_budget: u64,
-    events_processed: u64,
+    pub(crate) now: SimTime,
+    /// Global insertion counter (legacy serial tie-break).
+    pub(crate) seq: u64,
+    /// Per-node event-creation counters (deterministic modes).
+    pub(crate) origin_seqs: Vec<u64>,
+    /// Environment event counter (deterministic modes).
+    pub(crate) env_seq: u64,
+    pub(crate) mode: ExecMode,
+    pub(crate) seed: u64,
+    pub(crate) partition: Option<Vec<usize>>,
+    pub(crate) queue: BinaryHeap<Reverse<Queued>>,
+    pub(crate) nodes: Vec<Box<dyn SimNode>>,
+    pub(crate) links: Vec<LinkState>,
+    pub(crate) link_index: HashMap<(NodeId, NodeId), LinkId>,
+    pub(crate) routes: Vec<HashMap<Ipv4Addr, NodeId>>,
+    pub(crate) rng: StdRng,
+    pub(crate) no_route_drops: u64,
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
+    pub(crate) telemetry: Recorder,
+    pub(crate) started: bool,
+    pub(crate) event_budget: u64,
+    pub(crate) events_processed: u64,
+    /// Buffered trace events awaiting the deterministic flush
+    /// (deterministic modes only; legacy serial emits inline).
+    pub(crate) det_traces: Vec<(ReplayKey, OwnedTraceEvent)>,
+    /// Buffered telemetry ring events awaiting the deterministic flush.
+    pub(crate) det_tevents: Vec<(ReplayKey, TelemetryEvent)>,
+    /// Replay-key base of whatever is currently executing.
+    cur_phase: u8,
+    cur_key: EventKey,
+    emit_trace: u32,
+    emit_tele: u32,
 }
 
-/// Object-safe supertrait combining [`Node`] and downcasting.
-pub(crate) trait SimNode: Node + AsAny {}
-impl<T: Node + AsAny> SimNode for T {}
+/// Object-safe supertrait combining [`Node`], downcasting and `Send`
+/// (nodes migrate to worker threads during a parallel run).
+pub(crate) trait SimNode: Node + AsAny + Send {}
+impl<T: Node + AsAny + Send> SimNode for T {}
 
 impl Simulator {
     /// New simulator; all channel randomness derives from `seed`.
@@ -109,6 +187,11 @@ impl Simulator {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
+            origin_seqs: Vec::new(),
+            env_seq: 0,
+            mode: ExecMode::Serial,
+            seed,
+            partition: None,
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             links: Vec::new(),
@@ -121,14 +204,62 @@ impl Simulator {
             started: false,
             event_budget: 200_000_000,
             events_processed: 0,
+            det_traces: Vec::new(),
+            det_tevents: Vec::new(),
+            cur_phase: 0,
+            cur_key: EventKey {
+                at: SimTime::ZERO,
+                origin: 0,
+                seq: 0,
+            },
+            emit_trace: 0,
+            emit_tele: 0,
         }
     }
 
+    /// Select the execution mode. Must be called before any event is
+    /// scheduled (i.e. before the first run and before
+    /// [`schedule_route_change`](Self::schedule_route_change)), because
+    /// the mode fixes how event keys are assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled or the simulation
+    /// has started, or if `Parallel { workers: 0 }` is requested.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        assert!(
+            !self.started && self.queue.is_empty() && self.seq == 0 && self.env_seq == 0,
+            "set_exec_mode must be called before any event is scheduled"
+        );
+        if let ExecMode::Parallel { workers } = mode {
+            assert!(workers >= 1, "Parallel mode needs at least one worker");
+        }
+        self.mode = mode;
+    }
+
+    /// The current execution mode.
+    #[must_use]
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Override the node → worker assignment used by
+    /// [`ExecMode::Parallel`] (by default nodes are split into
+    /// contiguous blocks). `assignment[i]` is the worker index of node
+    /// `i`; it must cover every node with values `< workers` by the
+    /// time the simulation runs. The deterministic ordering contract
+    /// guarantees the partition does not change any output — this knob
+    /// exists for load balancing and for the equivalence tests.
+    pub fn set_partition(&mut self, assignment: Vec<usize>) {
+        self.partition = Some(assignment);
+    }
+
     /// Install a node; returns its id.
-    pub fn add_node(&mut self, node: impl Node + Any) -> NodeId {
+    pub fn add_node(&mut self, node: impl Node + Any + Send) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Box::new(node));
         self.routes.push(HashMap::new());
+        self.origin_seqs.push(0);
         id
     }
 
@@ -186,7 +317,7 @@ impl Simulator {
         dst: Ipv4Addr,
         next: Option<NodeId>,
     ) {
-        self.push(at, Event::RouteChange { node, dst, next });
+        self.push_from(at, None, Event::RouteChange { node, dst, next });
     }
 
     /// Install a trace sink receiving every notable event.
@@ -223,7 +354,8 @@ impl Simulator {
     }
 
     /// Abort the run (panic) if more than `budget` events are processed —
-    /// a guard against accidental infinite protocol loops.
+    /// a guard against accidental infinite protocol loops. Enforced in
+    /// every execution mode, including the parallel engine.
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = budget;
     }
@@ -238,6 +370,13 @@ impl Simulator {
     #[must_use]
     pub fn no_route_drops(&self) -> u64 {
         self.no_route_drops
+    }
+
+    /// Total events processed so far (across all run calls and, in
+    /// parallel mode, all workers).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Traffic counters of a link.
@@ -266,13 +405,64 @@ impl Simulator {
         (*self.nodes[id.0]).as_any_mut().downcast_mut::<T>()
     }
 
-    fn push(&mut self, at: SimTime, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, event }));
+    /// Assign the next event key for an event created by `origin`
+    /// (`None` = environment) at time `at`, respecting the mode's
+    /// ordering contract.
+    pub(crate) fn next_key(&mut self, at: SimTime, origin: Option<NodeId>) -> EventKey {
+        match self.mode {
+            ExecMode::Serial => {
+                let seq = self.seq;
+                self.seq += 1;
+                EventKey {
+                    at,
+                    origin: seq,
+                    seq: 0,
+                }
+            }
+            ExecMode::SerialDet | ExecMode::Parallel { .. } => match origin {
+                Some(node) => {
+                    let counter = &mut self.origin_seqs[node.0];
+                    let seq = *counter;
+                    *counter += 1;
+                    EventKey {
+                        at,
+                        origin: node.0 as u64,
+                        seq,
+                    }
+                }
+                None => {
+                    let seq = self.env_seq;
+                    self.env_seq += 1;
+                    EventKey {
+                        at,
+                        origin: ENV_ORIGIN,
+                        seq,
+                    }
+                }
+            },
+        }
     }
 
-    fn start_if_needed(&mut self) {
+    fn push_from(&mut self, at: SimTime, origin: Option<NodeId>, event: Event) {
+        let key = self.next_key(at, origin);
+        self.queue.push(Reverse(Queued { key, event }));
+    }
+
+    /// Seed the per-link RNG streams (deterministic modes only; legacy
+    /// serial keeps drawing from the global RNG).
+    fn ensure_link_rngs(&mut self) {
+        if matches!(self.mode, ExecMode::Serial) {
+            return;
+        }
+        for (i, link) in self.links.iter_mut().enumerate() {
+            if link.rng.is_none() {
+                link.rng = Some(StdRng::seed_from_u64(link_rng_seed(self.seed, i)));
+            }
+        }
+    }
+
+    pub(crate) fn start_if_needed(&mut self) {
+        self.ensure_link_rngs();
         if self.started {
             return;
         }
@@ -280,6 +470,14 @@ impl Simulator {
         let mut actions = Vec::new();
         for i in 0..self.nodes.len() {
             let node = NodeId(i);
+            self.cur_phase = 0;
+            self.cur_key = EventKey {
+                at: self.now,
+                origin: i as u64,
+                seq: 0,
+            };
+            self.emit_trace = 0;
+            self.emit_tele = 0;
             let mut ctx = Context {
                 now: self.now,
                 node,
@@ -291,12 +489,51 @@ impl Simulator {
         }
     }
 
+    /// Whether trace/telemetry events are buffered for the
+    /// deterministic sorted flush instead of emitted inline.
+    fn det_replay(&self) -> bool {
+        !matches!(self.mode, ExecMode::Serial)
+    }
+
+    fn log_det_trace(&mut self, ev: OwnedTraceEvent) {
+        self.det_traces
+            .push(((self.cur_phase, self.cur_key, self.emit_trace), ev));
+        self.emit_trace += 1;
+    }
+
+    fn log_det_tevent(&mut self, ev: TelemetryEvent) {
+        self.det_tevents
+            .push(((self.cur_phase, self.cur_key, self.emit_tele), ev));
+        self.emit_tele += 1;
+    }
+
+    /// Flush buffered trace/telemetry events in canonical order. Called
+    /// at the end of every run segment in the deterministic modes (a
+    /// no-op in legacy serial, where the buffers stay empty).
+    pub(crate) fn flush_det_logs(&mut self) {
+        if !self.det_tevents.is_empty() {
+            self.det_tevents.sort_unstable_by_key(|e| e.0);
+            for (_, ev) in std::mem::take(&mut self.det_tevents) {
+                self.telemetry.event(ev);
+            }
+        }
+        if !self.det_traces.is_empty() {
+            self.det_traces.sort_unstable_by_key(|e| e.0);
+            let traces = std::mem::take(&mut self.det_traces);
+            if let Some(sink) = self.trace.as_mut() {
+                for (_, tr) in &traces {
+                    tr.replay(&mut **sink);
+                }
+            }
+        }
+    }
+
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
         for action in actions {
             match action {
                 Action::Forward(packet) => self.route_and_transmit(node, packet),
                 Action::Timer(delay, token) => {
-                    self.push(self.now + delay, Event::Timer { node, token });
+                    self.push_from(self.now + delay, Some(node), Event::Timer { node, token });
                 }
             }
         }
@@ -306,19 +543,30 @@ impl Simulator {
         let Some(&next) = self.routes[from.0].get(&packet.ip.dst) else {
             self.no_route_drops += 1;
             if self.telemetry.is_enabled() {
-                self.telemetry.event(
-                    TelemetryEvent::new(EventKind::NoRoute)
-                        .at_us(self.now.as_micros())
-                        .flow(packet.flow().stable_hash())
-                        .details(from.0 as u64, 0),
-                );
+                let ev = TelemetryEvent::new(EventKind::NoRoute)
+                    .at_us(self.now.as_micros())
+                    .flow(packet.flow().stable_hash())
+                    .details(from.0 as u64, 0);
+                if self.det_replay() {
+                    self.log_det_tevent(ev);
+                } else {
+                    self.telemetry.event(ev);
+                }
             }
-            if let Some(t) = self.trace.as_mut() {
-                t.event(&TraceEvent::NoRoute {
-                    at: self.now,
-                    from,
-                    packet: &packet,
-                });
+            if self.trace.is_some() {
+                if self.det_replay() {
+                    self.log_det_trace(OwnedTraceEvent::NoRoute {
+                        at: self.now,
+                        from,
+                        packet: packet.clone(),
+                    });
+                } else if let Some(t) = self.trace.as_mut() {
+                    t.event(&TraceEvent::NoRoute {
+                        at: self.now,
+                        from,
+                        packet: &packet,
+                    });
+                }
             }
             return;
         };
@@ -326,108 +574,118 @@ impl Simulator {
             .link_index
             .get(&(from, next))
             .unwrap_or_else(|| panic!("route {from} -> {next} without a link"));
-        let link = &mut self.links[link_id.0];
         let wire = packet.wire_len();
-        link.stats.packets_offered += 1;
-        link.stats.bytes_offered += wire as u64;
         if self.telemetry.is_enabled() {
             self.telemetry.count("sim.transmits", 1);
         }
-        if let Some(t) = self.trace.as_mut() {
-            t.event(&TraceEvent::Transmit {
-                at: self.now,
-                from,
-                to: next,
-                packet: &packet,
-            });
+        if self.trace.is_some() {
+            if self.det_replay() {
+                self.log_det_trace(OwnedTraceEvent::Transmit {
+                    at: self.now,
+                    from,
+                    to: next,
+                    packet: packet.clone(),
+                });
+            } else if let Some(t) = self.trace.as_mut() {
+                t.event(&TraceEvent::Transmit {
+                    at: self.now,
+                    from,
+                    to: next,
+                    packet: &packet,
+                });
+            }
         }
-        let depart = self.now.max(link.busy_until);
-        let done = depart + link.config.serialization_time(wire);
-        link.busy_until = done;
-        match link.channel.verdict(&mut self.rng) {
-            Verdict::Lose => {
-                link.stats.packets_lost += 1;
+        let verdict = self.links[link_id.0].transmit(self.now, wire, Some(&mut self.rng));
+        match verdict {
+            TxVerdict::Lost => {
                 if self.telemetry.is_enabled() {
-                    self.telemetry.event(
-                        TelemetryEvent::new(EventKind::PacketLost)
-                            .at_us(self.now.as_micros())
-                            .flow(packet.flow().stable_hash())
-                            .details(from.0 as u64, wire as u64),
-                    );
+                    let ev = TelemetryEvent::new(EventKind::PacketLost)
+                        .at_us(self.now.as_micros())
+                        .flow(packet.flow().stable_hash())
+                        .details(from.0 as u64, wire as u64);
+                    if self.det_replay() {
+                        self.log_det_tevent(ev);
+                    } else {
+                        self.telemetry.event(ev);
+                    }
                 }
-                if let Some(t) = self.trace.as_mut() {
-                    t.event(&TraceEvent::Lost {
-                        at: self.now,
-                        from,
-                        to: next,
-                        packet: &packet,
-                    });
+                if self.trace.is_some() {
+                    if self.det_replay() {
+                        self.log_det_trace(OwnedTraceEvent::Lost {
+                            at: self.now,
+                            from,
+                            to: next,
+                            packet,
+                        });
+                    } else if let Some(t) = self.trace.as_mut() {
+                        t.event(&TraceEvent::Lost {
+                            at: self.now,
+                            from,
+                            to: next,
+                            packet: &packet,
+                        });
+                    }
                 }
             }
-            Verdict::Corrupt => {
+            TxVerdict::Corrupted => {
                 // A corrupted packet is delivered on the wire but fails
                 // the IP/TCP (or byte caching shim) checksum at the
                 // receiver, which discards it. Both outcomes are a drop;
                 // we account it separately and do not dispatch it.
-                link.stats.packets_corrupted += 1;
                 if self.telemetry.is_enabled() {
-                    self.telemetry.event(
-                        TelemetryEvent::new(EventKind::PacketCorrupted)
-                            .at_us(self.now.as_micros())
-                            .flow(packet.flow().stable_hash())
-                            .details(from.0 as u64, wire as u64),
-                    );
+                    let ev = TelemetryEvent::new(EventKind::PacketCorrupted)
+                        .at_us(self.now.as_micros())
+                        .flow(packet.flow().stable_hash())
+                        .details(from.0 as u64, wire as u64);
+                    if self.det_replay() {
+                        self.log_det_tevent(ev);
+                    } else {
+                        self.telemetry.event(ev);
+                    }
                 }
-                if let Some(t) = self.trace.as_mut() {
-                    t.event(&TraceEvent::Corrupted {
-                        at: self.now,
-                        from,
-                        to: next,
-                        packet: &packet,
-                    });
+                if self.trace.is_some() {
+                    if self.det_replay() {
+                        self.log_det_trace(OwnedTraceEvent::Corrupted {
+                            at: self.now,
+                            from,
+                            to: next,
+                            packet,
+                        });
+                    } else if let Some(t) = self.trace.as_mut() {
+                        t.event(&TraceEvent::Corrupted {
+                            at: self.now,
+                            from,
+                            to: next,
+                            packet: &packet,
+                        });
+                    }
                 }
             }
-            Verdict::Deliver => {
-                link.stats.packets_delivered += 1;
-                link.stats.bytes_delivered += wire as u64;
-                let arrive = done + link.config.propagation;
+            TxVerdict::Deliver { arrive } | TxVerdict::Reorder { arrive } => {
                 if self.telemetry.is_enabled() {
                     self.telemetry
                         .record("sim.hop_latency_us", (arrive - self.now).as_micros());
                 }
-                self.push(arrive, Event::Deliver { to: next, packet });
+                self.push_from(arrive, Some(from), Event::Deliver { to: next, packet });
             }
-            Verdict::Reorder(extra) => {
-                link.stats.packets_delivered += 1;
-                link.stats.bytes_delivered += wire as u64;
-                link.stats.packets_reordered += 1;
-                let arrive = done + link.config.propagation + extra;
+            TxVerdict::Duplicate { arrive, copy } => {
+                // The original arrives on time; a copy follows later.
+                // Only the original counts as delivered payload — the
+                // copy is channel noise the receiver must tolerate. The
+                // copy is scheduled first (historical insertion order).
                 if self.telemetry.is_enabled() {
                     self.telemetry
                         .record("sim.hop_latency_us", (arrive - self.now).as_micros());
                 }
-                self.push(arrive, Event::Deliver { to: next, packet });
-            }
-            Verdict::Duplicate(extra) => {
-                // The original arrives on time; a copy follows `extra`
-                // later. Only the original counts as delivered payload —
-                // the copy is channel noise the receiver must tolerate.
-                link.stats.packets_delivered += 1;
-                link.stats.bytes_delivered += wire as u64;
-                link.stats.packets_duplicated += 1;
-                let arrive = done + link.config.propagation;
-                if self.telemetry.is_enabled() {
-                    self.telemetry
-                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
-                }
-                self.push(
-                    arrive + extra,
+                self.push_from(
+                    copy,
+                    Some(from),
                     Event::Deliver {
                         to: next,
                         packet: packet.clone(),
                     },
                 );
-                self.push(arrive, Event::Deliver { to: next, packet });
+                self.push_from(arrive, Some(from), Event::Deliver { to: next, packet });
             }
         }
     }
@@ -438,12 +696,20 @@ impl Simulator {
                 if self.telemetry.is_enabled() {
                     self.telemetry.count("sim.delivers", 1);
                 }
-                if let Some(t) = self.trace.as_mut() {
-                    t.event(&TraceEvent::Deliver {
-                        at: self.now,
-                        to,
-                        packet: &packet,
-                    });
+                if self.trace.is_some() {
+                    if self.det_replay() {
+                        self.log_det_trace(OwnedTraceEvent::Deliver {
+                            at: self.now,
+                            to,
+                            packet: packet.clone(),
+                        });
+                    } else if let Some(t) = self.trace.as_mut() {
+                        t.event(&TraceEvent::Deliver {
+                            at: self.now,
+                            to,
+                            packet: &packet,
+                        });
+                    }
                 }
                 let mut actions = Vec::new();
                 let mut ctx = Context {
@@ -475,10 +741,17 @@ impl Simulator {
         let Some(Reverse(q)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(q.at >= self.now, "time went backwards");
-        self.now = q.at;
+        debug_assert!(q.key.at >= self.now, "time went backwards");
+        self.now = q.key.at;
+        self.cur_phase = 1;
+        self.cur_key = q.key;
+        self.emit_trace = 0;
+        self.emit_tele = 0;
         self.events_processed += 1;
-        if self.telemetry.is_enabled() {
+        // Queue depth is an engine-internal observable of the single
+        // global queue; the deterministic modes skip it so serial and
+        // parallel snapshots stay byte-identical.
+        if self.telemetry.is_enabled() && matches!(self.mode, ExecMode::Serial) {
             self.telemetry
                 .record("sim.queue_depth", self.queue.len() as u64);
         }
@@ -491,6 +764,26 @@ impl Simulator {
         true
     }
 
+    /// The serial loop body, shared by `Serial`, `SerialDet` and the
+    /// degenerate parallel cases (one worker, zero lookahead).
+    pub(crate) fn run_serial(&mut self, limit: Option<SimTime>) -> SimTime {
+        self.start_if_needed();
+        match limit {
+            None => while self.step() {},
+            Some(t) => {
+                while let Some(Reverse(head)) = self.queue.peek() {
+                    if head.key.at > t {
+                        break;
+                    }
+                    self.step();
+                }
+                self.now = self.now.max(t);
+            }
+        }
+        self.flush_det_logs();
+        self.now
+    }
+
     /// Run until no events remain; returns the final simulated time.
     ///
     /// # Panics
@@ -498,23 +791,19 @@ impl Simulator {
     /// Panics if the event budget is exhausted (see
     /// [`set_event_budget`](Self::set_event_budget)).
     pub fn run_until_idle(&mut self) -> SimTime {
-        self.start_if_needed();
-        while self.step() {}
-        self.now
+        if let ExecMode::Parallel { workers } = self.mode {
+            return crate::engine::run(self, workers, None);
+        }
+        self.run_serial(None)
     }
 
     /// Run until the given absolute time (events at exactly `t` are
     /// processed); later events stay queued.
     pub fn run_until(&mut self, t: SimTime) -> SimTime {
-        self.start_if_needed();
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > t {
-                break;
-            }
-            self.step();
+        if let ExecMode::Parallel { workers } = self.mode {
+            return crate::engine::run(self, workers, Some(t));
         }
-        self.now = self.now.max(t);
-        self.now
+        self.run_serial(Some(t))
     }
 
     /// Run for a span of simulated time from now.
@@ -528,6 +817,7 @@ impl core::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
+            .field("mode", &self.mode)
             .field("nodes", &self.nodes.len())
             .field("links", &self.links.len())
             .field("queued", &self.queue.len())
@@ -540,8 +830,11 @@ impl core::fmt::Debug for Simulator {
 mod tests {
     use super::*;
     use crate::channel::ChannelConfig;
+    use crate::FnTrace;
     use bytecache_packet::TcpFlags;
+    use std::cell::RefCell;
     use std::net::Ipv4Addr;
+    use std::rc::Rc;
 
     const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
@@ -711,22 +1004,25 @@ mod tests {
         assert_eq!(sim.no_route_drops(), 4);
     }
 
-    #[test]
-    fn scheduled_route_change_redirects_traffic() {
-        struct SlowSender;
-        impl Node for SlowSender {
-            fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
-            fn on_start(&mut self, ctx: &mut Context<'_>) {
-                ctx.set_timer(SimDuration::from_millis(1), 0);
-            }
-            fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
-                ctx.forward(pkt(A_IP, B_IP, 10));
-                if token < 9 {
-                    ctx.set_timer(SimDuration::from_millis(10), token + 1);
-                }
+    /// A sender driven by repeated timers (packets stay in flight when
+    /// the route flips).
+    struct SlowSender;
+    impl Node for SlowSender {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+            ctx.forward(pkt(A_IP, B_IP, 10));
+            if token < 9 {
+                ctx.set_timer(SimDuration::from_millis(10), token + 1);
             }
         }
+    }
+
+    fn route_change_sim(mode: ExecMode) -> Simulator {
         let mut sim = Simulator::new(1);
+        sim.set_exec_mode(mode);
         let a = sim.add_node(SlowSender);
         let b1 = sim.add_node(Receiver::default());
         let b2 = sim.add_node(Receiver::default());
@@ -735,9 +1031,42 @@ mod tests {
         sim.add_route(a, B_IP, b1);
         // After 45 ms (between packet 5 and 6), hand off to b2.
         sim.schedule_route_change(SimTime::from_micros(45_000), a, B_IP, Some(b2));
+        sim
+    }
+
+    #[test]
+    fn scheduled_route_change_redirects_traffic() {
+        let mut sim = route_change_sim(ExecMode::Serial);
         sim.run_until_idle();
-        assert_eq!(sim.node::<Receiver>(b1).unwrap().arrivals.len(), 5);
-        assert_eq!(sim.node::<Receiver>(b2).unwrap().arrivals.len(), 5);
+        assert_eq!(sim.node::<Receiver>(NodeId(1)).unwrap().arrivals.len(), 5);
+        assert_eq!(sim.node::<Receiver>(NodeId(2)).unwrap().arrivals.len(), 5);
+    }
+
+    /// Satellite: `schedule_route_change` interleaved with in-flight
+    /// deliveries behaves identically in the serial oracle and the
+    /// PDES engine (the flip lands between two deliveries while the
+    /// previous packet is still propagating).
+    #[test]
+    fn route_flip_mid_flight_matches_across_engines() {
+        let arrivals = |mode| {
+            let mut sim = route_change_sim(mode);
+            sim.run_until_idle();
+            (
+                sim.node::<Receiver>(NodeId(1)).unwrap().arrivals.clone(),
+                sim.node::<Receiver>(NodeId(2)).unwrap().arrivals.clone(),
+                sim.now(),
+            )
+        };
+        let oracle = arrivals(ExecMode::SerialDet);
+        assert_eq!(oracle.0.len(), 5);
+        assert_eq!(oracle.1.len(), 5);
+        for workers in [1, 2, 3] {
+            assert_eq!(
+                arrivals(ExecMode::Parallel { workers }),
+                oracle,
+                "route flip diverged at {workers} workers"
+            );
+        }
     }
 
     #[test]
@@ -842,6 +1171,60 @@ mod tests {
         sim.run_until_idle();
     }
 
+    /// A node that answers every packet with another packet — two of
+    /// them bounce forever.
+    struct PingPong {
+        peer: Ipv4Addr,
+        me: Ipv4Addr,
+        serve: bool,
+    }
+    impl Node for PingPong {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if self.serve {
+                ctx.forward(pkt(self.me, self.peer, 10));
+            }
+        }
+        fn on_packet(&mut self, _p: Packet, ctx: &mut Context<'_>) {
+            ctx.forward(pkt(self.me, self.peer, 10));
+        }
+    }
+
+    fn ping_pong_sim(mode: ExecMode) -> Simulator {
+        let mut sim = Simulator::new(1);
+        sim.set_exec_mode(mode);
+        let a = sim.add_node(PingPong {
+            peer: B_IP,
+            me: A_IP,
+            serve: true,
+        });
+        let b = sim.add_node(PingPong {
+            peer: A_IP,
+            me: B_IP,
+            serve: false,
+        });
+        sim.add_duplex_link(a, b, LinkConfig::default());
+        sim.add_route(a, B_IP, b);
+        sim.add_route(b, A_IP, a);
+        sim.set_event_budget(1000);
+        sim
+    }
+
+    /// Satellite: a runaway two-node ping-pong halts under the event
+    /// budget in the serial engine.
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn event_budget_halts_ping_pong_serial() {
+        ping_pong_sim(ExecMode::Serial).run_until_idle();
+    }
+
+    /// Satellite: the same runaway ping-pong halts under the budget in
+    /// the PDES engine too (the panic crosses the worker threads).
+    #[test]
+    #[should_panic(expected = "event budget")]
+    fn event_budget_halts_ping_pong_parallel() {
+        ping_pong_sim(ExecMode::Parallel { workers: 2 }).run_until_idle();
+    }
+
     #[test]
     #[should_panic(expected = "duplicate link")]
     fn duplicate_link_rejected() {
@@ -917,5 +1300,210 @@ mod tests {
         assert_eq!(stats.packets_delivered, 2000);
         let rx = sim.node::<Receiver>(b).unwrap();
         assert_eq!(rx.arrivals.len() as u64, 2000 + stats.packets_duplicated);
+    }
+
+    // ---- deterministic ordering & PDES equivalence ---------------------
+
+    /// Forwards one packet per timer; used to construct same-timestamp
+    /// events whose creation order differs from node-id order.
+    struct StagedSender {
+        hops: u64,
+        hop: SimDuration,
+    }
+    impl Node for StagedSender {
+        fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(self.hop, 1);
+        }
+        fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+            if token < self.hops {
+                ctx.set_timer(self.hop, token + 1);
+            } else {
+                ctx.forward(pkt(A_IP, B_IP, 10));
+            }
+        }
+    }
+
+    fn transmit_order(mode: ExecMode) -> Vec<usize> {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let seen = Rc::clone(&order);
+        let mut sim = Simulator::new(1);
+        sim.set_exec_mode(mode);
+        // Node 0 reaches its forward at 10 ms via two 5 ms timer hops
+        // (its t=10ms timer is *created* at t=5ms); node 1 via a single
+        // 10 ms timer created at t=0. Same firing timestamp, different
+        // creation order.
+        let a0 = sim.add_node(StagedSender {
+            hops: 2,
+            hop: SimDuration::from_millis(5),
+        });
+        let a1 = sim.add_node(StagedSender {
+            hops: 1,
+            hop: SimDuration::from_millis(10),
+        });
+        let c = sim.add_node(Receiver::default());
+        sim.add_link(a0, c, LinkConfig::default());
+        sim.add_link(a1, c, LinkConfig::default());
+        sim.add_route(a0, B_IP, c);
+        sim.add_route(a1, B_IP, c);
+        sim.set_trace(Box::new(FnTrace(move |ev: &TraceEvent<'_>| {
+            if let TraceEvent::Transmit { from, .. } = ev {
+                seen.borrow_mut().push(from.index());
+            }
+        })));
+        sim.run_until_idle();
+        let got = order.borrow().clone();
+        got
+    }
+
+    /// Satellite: the legacy serial queue breaks same-timestamp ties by
+    /// global insertion `seq` — node 1's timer was scheduled first, so
+    /// its forward pops first even though node 0 has the smaller id.
+    /// This pins the behaviour the PDES contract deliberately replaces.
+    #[test]
+    fn same_time_events_pop_in_seq_order() {
+        assert_eq!(transmit_order(ExecMode::Serial), vec![1, 0]);
+    }
+
+    /// The deterministic modes break the same tie by origin node id —
+    /// identically at any worker count.
+    #[test]
+    fn same_time_events_pop_in_origin_order_in_det_modes() {
+        assert_eq!(transmit_order(ExecMode::SerialDet), vec![0, 1]);
+        assert_eq!(
+            transmit_order(ExecMode::Parallel { workers: 2 }),
+            vec![0, 1]
+        );
+        assert_eq!(
+            transmit_order(ExecMode::Parallel { workers: 3 }),
+            vec![0, 1]
+        );
+    }
+
+    /// Full-state digest of a lossy echo topology for equivalence
+    /// checks: arrivals, all link stats, clock, event count, telemetry.
+    fn lossy_echo_digest(
+        mode: ExecMode,
+        partition: Option<Vec<usize>>,
+    ) -> (
+        Vec<(SimTime, usize)>,
+        Vec<LinkStats>,
+        SimTime,
+        u64,
+        Recorder,
+    ) {
+        let mut sim = Simulator::new(42);
+        sim.set_exec_mode(mode);
+        if let Some(p) = partition {
+            sim.set_partition(p);
+        }
+        sim.set_telemetry_enabled(true);
+        let a = sim.add_node(Sender {
+            src: A_IP,
+            dst: B_IP,
+            count: 400,
+            len: 100,
+        });
+        let b = sim.add_node(Echo);
+        let c = sim.add_node(Receiver::default());
+        let lossy = LinkConfig {
+            rate_bytes_per_sec: Some(1_000_000),
+            propagation: SimDuration::from_millis(2),
+            channel: ChannelConfig {
+                duplicate_rate: 0.02,
+                reorder_rate: 0.05,
+                reorder_window: SimDuration::from_millis(3),
+                ..ChannelConfig::lossy(0.1)
+            },
+        };
+        let (l0, l1) = sim.add_duplex_link(a, b, lossy);
+        let l2 = sim.add_link(b, c, LinkConfig::default());
+        sim.add_route(a, B_IP, b);
+        sim.add_route(b, A_IP, c);
+        sim.run_until_idle();
+        (
+            sim.node::<Receiver>(c).unwrap().arrivals.clone(),
+            vec![
+                sim.link_stats(l0).clone(),
+                sim.link_stats(l1).clone(),
+                sim.link_stats(l2).clone(),
+            ],
+            sim.now(),
+            sim.events_processed,
+            sim.telemetry_snapshot(),
+        )
+    }
+
+    /// The PDES engine is byte-identical to the serial-det oracle at
+    /// any worker count and for any partition of the nodes.
+    #[test]
+    fn pdes_matches_serial_det_oracle() {
+        let oracle = lossy_echo_digest(ExecMode::SerialDet, None);
+        assert!(!oracle.0.is_empty(), "test topology delivers packets");
+        for workers in [1usize, 2, 3] {
+            let got = lossy_echo_digest(ExecMode::Parallel { workers }, None);
+            assert_eq!(got, oracle, "diverged at {workers} workers");
+        }
+        for partition in [vec![0, 1, 1], vec![0, 1, 0], vec![1, 0, 1]] {
+            let got = lossy_echo_digest(ExecMode::Parallel { workers: 2 }, Some(partition.clone()));
+            assert_eq!(got, oracle, "diverged with partition {partition:?}");
+        }
+    }
+
+    /// Segmented runs (`run_until` then `run_until_idle`) round-trip
+    /// all state through the workers and stay equivalent.
+    #[test]
+    fn pdes_run_until_segments_match_oracle() {
+        let digest = |mode| {
+            let mut sim = Simulator::new(9);
+            sim.set_exec_mode(mode);
+            let a = sim.add_node(Sender {
+                src: A_IP,
+                dst: B_IP,
+                count: 300,
+                len: 200,
+            });
+            let b = sim.add_node(Receiver::default());
+            let l = sim.add_link(
+                a,
+                b,
+                LinkConfig {
+                    rate_bytes_per_sec: Some(1_000_000),
+                    propagation: SimDuration::from_millis(4),
+                    channel: ChannelConfig::lossy(0.15),
+                },
+            );
+            sim.add_route(a, B_IP, b);
+            let mid = sim.run_until(SimTime::from_micros(30_000));
+            let mid_arrivals = sim.node::<Receiver>(b).unwrap().arrivals.len();
+            sim.run_until_idle();
+            (
+                mid,
+                mid_arrivals,
+                sim.node::<Receiver>(b).unwrap().arrivals.clone(),
+                sim.link_stats(l).clone(),
+                sim.now(),
+                sim.events_processed,
+            )
+        };
+        let oracle = digest(ExecMode::SerialDet);
+        assert!(oracle.1 > 0, "some packets arrive before the cut");
+        assert!(oracle.2.len() > oracle.1, "more arrive after");
+        for workers in [2usize, 3] {
+            assert_eq!(
+                digest(ExecMode::Parallel { workers }),
+                oracle,
+                "segmented run diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event is scheduled")]
+    fn exec_mode_locked_after_scheduling() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Echo);
+        sim.schedule_route_change(SimTime::from_micros(10), a, B_IP, None);
+        sim.set_exec_mode(ExecMode::SerialDet);
     }
 }

@@ -1,0 +1,279 @@
+//! Conservative synchronization primitives for the parallel engine.
+//!
+//! The engine advances in *windows*. Each round, every worker publishes
+//! the timestamp of its earliest pending event, all workers meet at a
+//! barrier, and each computes the global minimum — the lower bound on
+//! timestamp (LBTS). Events strictly before `LBTS + lookahead` are safe
+//! to process: any message generated in the window travels over a
+//! cross-worker link and therefore arrives no earlier than its send
+//! time plus the link's propagation delay, which is `>= LBTS +
+//! lookahead` by the definition of lookahead. A second barrier after
+//! processing guarantees all sends of the round are visible before
+//! inboxes are drained, so channels are empty again when the next round
+//! publishes.
+//!
+//! All primitives are *halt-aware*: a worker that panics (event budget,
+//! node bug) flips the halted flag and wakes everyone, so no thread is
+//! left blocked on a barrier that can never complete. The engine then
+//! re-raises the original panic on the caller thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use bytecache_packet::Packet;
+
+use crate::node::NodeId;
+use crate::sim::EventKey;
+
+/// The synchronizer was halted (a peer worker panicked); unwind
+/// cleanly without completing the run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Halted;
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+/// Shared synchronization state for one parallel run: LBTS slots, the
+/// reusable halt-aware barrier, and the global event-budget counter.
+pub(crate) struct Synchronizer {
+    workers: usize,
+    /// Per-worker published next-event time (µs; `u64::MAX` = idle).
+    slots: Vec<AtomicU64>,
+    halted: AtomicBool,
+    /// Events processed across all workers (continues the serial
+    /// counter so budgets span `run_until` segments).
+    events: AtomicU64,
+    budget: u64,
+    lock: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+impl Synchronizer {
+    pub(crate) fn new(workers: usize, events_so_far: u64, budget: u64) -> Self {
+        Synchronizer {
+            workers,
+            slots: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            halted: AtomicBool::new(false),
+            events: AtomicU64::new(events_so_far),
+            budget,
+            lock: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Publish worker `id`'s earliest pending event time for this round.
+    pub(crate) fn publish(&self, id: usize, next_us: u64) {
+        self.slots[id].store(next_us, Ordering::Release);
+    }
+
+    /// Minimum published time across all workers (call between the
+    /// publish barrier and the post-process barrier).
+    pub(crate) fn lbts_us(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Meet the other workers. Returns `Err(Halted)` if any worker
+    /// halted the run; the caller must unwind without blocking again.
+    pub(crate) fn barrier(&self) -> Result<(), Halted> {
+        let mut st = self.lock.lock().expect("synchronizer lock poisoned");
+        if self.halted.load(Ordering::SeqCst) {
+            return Err(Halted);
+        }
+        st.arrived += 1;
+        if st.arrived == self.workers {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !self.halted.load(Ordering::SeqCst) {
+            st = self.cv.wait(st).expect("synchronizer lock poisoned");
+        }
+        if self.halted.load(Ordering::SeqCst) {
+            Err(Halted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Abort the run: wake every blocked worker; all subsequent
+    /// blocking calls return `Err(Halted)`.
+    pub(crate) fn halt(&self) {
+        self.halted.store(true, Ordering::SeqCst);
+        let _guard = self.lock.lock().expect("synchronizer lock poisoned");
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::SeqCst)
+    }
+
+    /// Count one processed event; returns the new global total. The
+    /// caller halts and panics when the total exceeds
+    /// [`budget`](Self::budget).
+    pub(crate) fn bump_event(&self) -> u64 {
+        self.events.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Total events processed (read after the run).
+    pub(crate) fn events_total(&self) -> u64 {
+        self.events.load(Ordering::SeqCst)
+    }
+}
+
+/// A delivery crossing a worker boundary: the event key was assigned by
+/// the sending worker (it owns the link and the origin node's
+/// counters), so the receiver just enqueues it.
+#[derive(Debug)]
+pub(crate) struct CrossMsg {
+    pub(crate) key: EventKey,
+    pub(crate) to: NodeId,
+    pub(crate) packet: Packet,
+}
+
+/// Bounded single-producer single-consumer event channel for one
+/// ordered worker pair.
+pub(crate) struct EventChannel {
+    queue: Mutex<VecDeque<CrossMsg>>,
+    capacity: usize,
+}
+
+impl EventChannel {
+    pub(crate) fn new(capacity: usize) -> Self {
+        EventChannel {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Try to enqueue; hands the message back when the channel is full
+    /// (the sender then drains its own inboxes to break send cycles and
+    /// retries).
+    pub(crate) fn try_send(&self, msg: CrossMsg) -> Result<(), CrossMsg> {
+        let mut q = self.queue.lock().expect("event channel poisoned");
+        if q.len() >= self.capacity {
+            return Err(msg);
+        }
+        q.push_back(msg);
+        Ok(())
+    }
+
+    /// Dequeue the oldest message, if any.
+    pub(crate) fn try_recv(&self) -> Option<CrossMsg> {
+        self.queue
+            .lock()
+            .expect("event channel poisoned")
+            .pop_front()
+    }
+}
+
+/// All `workers × (workers - 1)` directed channels of one run.
+pub(crate) struct ChannelMatrix {
+    workers: usize,
+    channels: Vec<EventChannel>,
+}
+
+impl ChannelMatrix {
+    pub(crate) fn new(workers: usize, capacity: usize) -> Self {
+        ChannelMatrix {
+            workers,
+            channels: (0..workers * workers)
+                .map(|_| EventChannel::new(capacity))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn channel(&self, from: usize, to: usize) -> &EventChannel {
+        debug_assert!(from != to, "no self-channel");
+        &self.channels[from * self.workers + to]
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn msg(at: u64) -> CrossMsg {
+        CrossMsg {
+            key: EventKey {
+                at: SimTime::from_micros(at),
+                origin: 0,
+                seq: 0,
+            },
+            to: NodeId(0),
+            packet: Packet::builder().build(),
+        }
+    }
+
+    #[test]
+    fn barrier_releases_all_workers() {
+        let sync = Synchronizer::new(3, 0, u64::MAX);
+        std::thread::scope(|s| {
+            for id in 0..3 {
+                let sync = &sync;
+                s.spawn(move || {
+                    sync.publish(id, id as u64);
+                    sync.barrier().expect("not halted");
+                    assert_eq!(sync.lbts_us(), 0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn halt_wakes_blocked_workers() {
+        let sync = Synchronizer::new(2, 0, u64::MAX);
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| sync.barrier());
+            // Give the waiter a moment to block, then halt instead of
+            // ever arriving at the barrier.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            sync.halt();
+            assert!(waiter.join().expect("no panic").is_err());
+        });
+        assert!(sync.is_halted());
+    }
+
+    #[test]
+    fn channel_is_bounded_fifo() {
+        let ch = EventChannel::new(2);
+        ch.try_send(msg(1)).expect("fits");
+        ch.try_send(msg(2)).expect("fits");
+        let back = ch.try_send(msg(3)).expect_err("full");
+        assert_eq!(back.key.at.as_micros(), 3);
+        assert_eq!(ch.try_recv().expect("one").key.at.as_micros(), 1);
+        ch.try_send(msg(3)).expect("space again");
+        assert_eq!(ch.try_recv().expect("two").key.at.as_micros(), 2);
+        assert_eq!(ch.try_recv().expect("three").key.at.as_micros(), 3);
+        assert!(ch.try_recv().is_none());
+    }
+
+    #[test]
+    fn budget_counter_is_global() {
+        let sync = Synchronizer::new(2, 10, 100);
+        assert_eq!(sync.bump_event(), 11);
+        assert_eq!(sync.bump_event(), 12);
+        assert_eq!(sync.events_total(), 12);
+        assert_eq!(sync.budget(), 100);
+    }
+}

@@ -1,0 +1,441 @@
+//! One PDES worker: a partition's nodes, their routing tables, the
+//! links they transmit on, and a local event queue.
+//!
+//! A worker advances in windows granted by the
+//! [`Synchronizer`](crate::synchronizer::Synchronizer): each round it
+//! publishes its earliest pending event, helps compute the LBTS, and
+//! processes every local event strictly before `LBTS + lookahead`.
+//! Deliveries to nodes on other workers travel through the bounded
+//! [`ChannelMatrix`](crate::synchronizer::ChannelMatrix), carrying the
+//! event key the sender assigned (the sender owns both the link and
+//! the origin node's sequence counter, so keys are identical to the
+//! serial oracle's). Trace and telemetry *events* are logged with
+//! replay keys and merged in deterministic order by the engine;
+//! counters and histograms merge exactly and need no ordering.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+use bytecache_packet::Packet;
+use bytecache_telemetry::{Event as TelemetryEvent, EventKind, Recorder};
+
+use crate::link::{LinkState, TxVerdict};
+use crate::node::{Action, Context, NodeId};
+use crate::sim::{Event, EventKey, Queued, ReplayKey, SimNode};
+use crate::synchronizer::{ChannelMatrix, CrossMsg, Halted, Synchronizer};
+use crate::time::SimTime;
+use crate::trace::OwnedTraceEvent;
+
+pub(crate) struct Worker {
+    pub(crate) id: usize,
+    pub(crate) now: SimTime,
+    pub(crate) queue: BinaryHeap<Reverse<Queued>>,
+    /// Global node id → local slot (dense over all nodes).
+    pub(crate) node_slot: Vec<Option<usize>>,
+    /// Owned nodes as `(global id, node)`, in ascending id order.
+    pub(crate) nodes: Vec<(usize, Box<dyn SimNode>)>,
+    /// Routing tables, parallel to `nodes`.
+    pub(crate) routes: Vec<HashMap<Ipv4Addr, NodeId>>,
+    /// Per-origin event counters, parallel to `nodes`.
+    pub(crate) origin_seqs: Vec<u64>,
+    /// Owned links (sender-side) as `(global id, state)`.
+    pub(crate) links: Vec<(usize, LinkState)>,
+    /// `(from, to)` → local slot in `links`.
+    pub(crate) link_slot: HashMap<(NodeId, NodeId), usize>,
+    /// Full node → worker assignment (for remote sends).
+    pub(crate) assignment: Vec<usize>,
+    pub(crate) lookahead_us: u64,
+    pub(crate) telemetry: Recorder,
+    pub(crate) tele_events: Vec<(ReplayKey, TelemetryEvent)>,
+    pub(crate) trace_enabled: bool,
+    pub(crate) traces: Vec<(ReplayKey, OwnedTraceEvent)>,
+    pub(crate) no_route_drops: u64,
+    pub(crate) events_processed: u64,
+    /// Key of the event currently being processed (replay-key base).
+    pub(crate) cur_key: EventKey,
+    pub(crate) emit_trace: u32,
+    pub(crate) emit_tele: u32,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        id: usize,
+        now: SimTime,
+        total_nodes: usize,
+        assignment: Vec<usize>,
+        lookahead_us: u64,
+        telemetry_on: bool,
+        trace_on: bool,
+    ) -> Self {
+        Worker {
+            id,
+            now,
+            queue: BinaryHeap::new(),
+            node_slot: vec![None; total_nodes],
+            nodes: Vec::new(),
+            routes: Vec::new(),
+            origin_seqs: Vec::new(),
+            links: Vec::new(),
+            link_slot: HashMap::new(),
+            assignment,
+            lookahead_us,
+            telemetry: if telemetry_on {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            },
+            tele_events: Vec::new(),
+            trace_enabled: trace_on,
+            traces: Vec::new(),
+            no_route_drops: 0,
+            events_processed: 0,
+            cur_key: EventKey {
+                at: now,
+                origin: 0,
+                seq: 0,
+            },
+            emit_trace: 0,
+            emit_tele: 0,
+        }
+    }
+
+    /// Adopt a node (and its routes and origin counter) during
+    /// distribution. Must be called in ascending id order.
+    pub(crate) fn adopt_node(
+        &mut self,
+        id: usize,
+        node: Box<dyn SimNode>,
+        routes: HashMap<Ipv4Addr, NodeId>,
+        origin_seq: u64,
+    ) {
+        self.node_slot[id] = Some(self.nodes.len());
+        self.nodes.push((id, node));
+        self.routes.push(routes);
+        self.origin_seqs.push(origin_seq);
+    }
+
+    /// Adopt a link this worker's nodes transmit on.
+    pub(crate) fn adopt_link(&mut self, id: usize, from: NodeId, to: NodeId, link: LinkState) {
+        self.link_slot.insert((from, to), self.links.len());
+        self.links.push((id, link));
+    }
+
+    fn slot_of(&self, node: NodeId) -> usize {
+        self.node_slot[node.0].expect("event targeted a node this worker does not own")
+    }
+
+    fn next_key(&mut self, at: SimTime, origin: NodeId) -> EventKey {
+        let slot = self.slot_of(origin);
+        let seq = self.origin_seqs[slot];
+        self.origin_seqs[slot] += 1;
+        EventKey {
+            at,
+            origin: origin.0 as u64,
+            seq,
+        }
+    }
+
+    fn log_trace(&mut self, ev: OwnedTraceEvent) {
+        self.traces.push(((1, self.cur_key, self.emit_trace), ev));
+        self.emit_trace += 1;
+    }
+
+    fn log_tele_event(&mut self, ev: TelemetryEvent) {
+        if self.telemetry.is_enabled() {
+            self.tele_events
+                .push(((1, self.cur_key, self.emit_tele), ev));
+            self.emit_tele += 1;
+        }
+    }
+
+    /// The conservative window loop. Returns `Ok(())` on normal
+    /// completion (global idle, or the time limit passed) and
+    /// `Err(Halted)` when another worker aborted the run.
+    pub(crate) fn run(
+        &mut self,
+        sync: &Synchronizer,
+        chans: &ChannelMatrix,
+        limit: Option<SimTime>,
+    ) -> Result<(), Halted> {
+        let limit_us = limit.map(SimTime::as_micros);
+        loop {
+            let next_us = self
+                .queue
+                .peek()
+                .map(|Reverse(q)| q.key.at.as_micros())
+                .unwrap_or(u64::MAX);
+            sync.publish(self.id, next_us);
+            // Barrier 1: all publishes visible, all channels empty
+            // (drains of the previous round happened before its
+            // publish; sends only happen inside windows).
+            sync.barrier()?;
+            let lbts = sync.lbts_us();
+            let stop = match limit_us {
+                Some(l) => lbts > l,
+                None => lbts == u64::MAX,
+            };
+            if stop {
+                // Every worker computes the same LBTS from the same
+                // slots, so all of them stop here together.
+                return Ok(());
+            }
+            let wend_us = match limit_us {
+                Some(l) => lbts
+                    .saturating_add(self.lookahead_us)
+                    .min(l.saturating_add(1)),
+                None => lbts.saturating_add(self.lookahead_us),
+            };
+            while let Some(Reverse(head)) = self.queue.peek() {
+                if head.key.at.as_micros() >= wend_us {
+                    break;
+                }
+                let Reverse(q) = self.queue.pop().expect("peeked");
+                self.process(q, sync, chans)?;
+            }
+            // Barrier 2: every send of this window has been enqueued;
+            // draining now leaves the channels empty for the next
+            // round's publish.
+            sync.barrier()?;
+            self.drain_inboxes(chans);
+        }
+    }
+
+    fn drain_inboxes(&mut self, chans: &ChannelMatrix) {
+        for from in 0..chans.workers() {
+            if from == self.id {
+                continue;
+            }
+            while let Some(msg) = chans.channel(from, self.id).try_recv() {
+                self.queue.push(Reverse(Queued {
+                    key: msg.key,
+                    event: Event::Deliver {
+                        to: msg.to,
+                        packet: msg.packet,
+                    },
+                }));
+            }
+        }
+    }
+
+    fn process(
+        &mut self,
+        q: Queued,
+        sync: &Synchronizer,
+        chans: &ChannelMatrix,
+    ) -> Result<(), Halted> {
+        debug_assert!(q.key.at >= self.now, "time went backwards");
+        self.now = q.key.at;
+        self.cur_key = q.key;
+        self.emit_trace = 0;
+        self.emit_tele = 0;
+        self.events_processed += 1;
+        let total = sync.bump_event();
+        assert!(
+            total <= sync.budget(),
+            "event budget exhausted ({} events): likely a protocol loop",
+            sync.budget()
+        );
+        match q.event {
+            Event::Deliver { to, packet } => {
+                self.telemetry.count("sim.delivers", 1);
+                if self.trace_enabled {
+                    self.log_trace(OwnedTraceEvent::Deliver {
+                        at: self.now,
+                        to,
+                        packet: packet.clone(),
+                    });
+                }
+                let slot = self.slot_of(to);
+                let mut actions = Vec::new();
+                let mut ctx = Context {
+                    now: self.now,
+                    node: to,
+                    actions: &mut actions,
+                };
+                self.nodes[slot].1.on_packet(packet, &mut ctx);
+                self.apply_actions(to, actions, sync, chans)?;
+            }
+            Event::Timer { node, token } => {
+                let slot = self.slot_of(node);
+                let mut actions = Vec::new();
+                let mut ctx = Context {
+                    now: self.now,
+                    node,
+                    actions: &mut actions,
+                };
+                self.nodes[slot].1.on_timer(token, &mut ctx);
+                self.apply_actions(node, actions, sync, chans)?;
+            }
+            Event::RouteChange { node, dst, next } => {
+                let slot = self.slot_of(node);
+                match next {
+                    Some(n) => {
+                        self.routes[slot].insert(dst, n);
+                    }
+                    None => {
+                        self.routes[slot].remove(&dst);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_actions(
+        &mut self,
+        node: NodeId,
+        actions: Vec<Action>,
+        sync: &Synchronizer,
+        chans: &ChannelMatrix,
+    ) -> Result<(), Halted> {
+        for action in actions {
+            match action {
+                Action::Forward(packet) => self.route_and_transmit(node, packet, sync, chans)?,
+                Action::Timer(delay, token) => {
+                    let key = self.next_key(self.now + delay, node);
+                    self.queue.push(Reverse(Queued {
+                        key,
+                        event: Event::Timer { node, token },
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn route_and_transmit(
+        &mut self,
+        from: NodeId,
+        packet: Packet,
+        sync: &Synchronizer,
+        chans: &ChannelMatrix,
+    ) -> Result<(), Halted> {
+        let slot = self.slot_of(from);
+        let Some(&next) = self.routes[slot].get(&packet.ip.dst) else {
+            self.no_route_drops += 1;
+            if self.telemetry.is_enabled() {
+                let ev = TelemetryEvent::new(EventKind::NoRoute)
+                    .at_us(self.now.as_micros())
+                    .flow(packet.flow().stable_hash())
+                    .details(from.0 as u64, 0);
+                self.log_tele_event(ev);
+            }
+            if self.trace_enabled {
+                self.log_trace(OwnedTraceEvent::NoRoute {
+                    at: self.now,
+                    from,
+                    packet,
+                });
+            }
+            return Ok(());
+        };
+        let link_slot = *self
+            .link_slot
+            .get(&(from, next))
+            .unwrap_or_else(|| panic!("route {from} -> {next} without a link"));
+        let wire = packet.wire_len();
+        self.telemetry.count("sim.transmits", 1);
+        if self.trace_enabled {
+            self.log_trace(OwnedTraceEvent::Transmit {
+                at: self.now,
+                from,
+                to: next,
+                packet: packet.clone(),
+            });
+        }
+        let verdict = self.links[link_slot].1.transmit(self.now, wire, None);
+        match verdict {
+            TxVerdict::Lost => {
+                if self.telemetry.is_enabled() {
+                    let ev = TelemetryEvent::new(EventKind::PacketLost)
+                        .at_us(self.now.as_micros())
+                        .flow(packet.flow().stable_hash())
+                        .details(from.0 as u64, wire as u64);
+                    self.log_tele_event(ev);
+                }
+                if self.trace_enabled {
+                    self.log_trace(OwnedTraceEvent::Lost {
+                        at: self.now,
+                        from,
+                        to: next,
+                        packet,
+                    });
+                }
+            }
+            TxVerdict::Corrupted => {
+                if self.telemetry.is_enabled() {
+                    let ev = TelemetryEvent::new(EventKind::PacketCorrupted)
+                        .at_us(self.now.as_micros())
+                        .flow(packet.flow().stable_hash())
+                        .details(from.0 as u64, wire as u64);
+                    self.log_tele_event(ev);
+                }
+                if self.trace_enabled {
+                    self.log_trace(OwnedTraceEvent::Corrupted {
+                        at: self.now,
+                        from,
+                        to: next,
+                        packet,
+                    });
+                }
+            }
+            TxVerdict::Deliver { arrive } | TxVerdict::Reorder { arrive } => {
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
+                }
+                self.deliver(from, next, arrive, packet, sync, chans)?;
+            }
+            TxVerdict::Duplicate { arrive, copy } => {
+                if self.telemetry.is_enabled() {
+                    self.telemetry
+                        .record("sim.hop_latency_us", (arrive - self.now).as_micros());
+                }
+                // Copy first, then the original (historical insertion
+                // order — the serial oracle assigns keys the same way).
+                self.deliver(from, next, copy, packet.clone(), sync, chans)?;
+                self.deliver(from, next, arrive, packet, sync, chans)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedule a delivery: locally when this worker owns the receiver,
+    /// otherwise through the boundary channel. Blocks (draining its own
+    /// inboxes to break cycles) while the channel is full.
+    fn deliver(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        at: SimTime,
+        packet: Packet,
+        sync: &Synchronizer,
+        chans: &ChannelMatrix,
+    ) -> Result<(), Halted> {
+        let key = self.next_key(at, from);
+        let target = self.assignment[to.0];
+        if target == self.id {
+            self.queue.push(Reverse(Queued {
+                key,
+                event: Event::Deliver { to, packet },
+            }));
+            return Ok(());
+        }
+        let mut msg = CrossMsg { key, to, packet };
+        loop {
+            match chans.channel(self.id, target).try_send(msg) {
+                Ok(()) => return Ok(()),
+                Err(back) => {
+                    if sync.is_halted() {
+                        return Err(Halted);
+                    }
+                    msg = back;
+                    // Make room on the other side of any cycle.
+                    self.drain_inboxes(chans);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Property test: the conservative PDES engine is byte-identical to
+//! the serial deterministic oracle on randomized topologies.
+//!
+//! Each case draws a random topology (fan of multi-hop chains, some
+//! through a shared relay), random channel impairments (Bernoulli or
+//! Gilbert–Elliott loss, corruption, reordering, duplication), random
+//! link rates and propagation delays, random mid-run route flips, and
+//! random partitions — then asserts that `ExecMode::Parallel` at
+//! worker counts 1, 2, 3, 4 and 8 reproduces the `ExecMode::SerialDet`
+//! run *exactly*: receiver arrivals, every link's traffic counters,
+//! the final clock, the total event count, the no-route drop count,
+//! the full trace log, and the telemetry export.
+
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use bytecache_netsim::channel::{ChannelConfig, LossModel};
+use bytecache_netsim::time::{SimDuration, SimTime};
+use bytecache_netsim::{
+    Context, ExecMode, FnTrace, LinkConfig, LinkId, Node, NodeId, Simulator, TraceEvent,
+};
+use bytecache_packet::{Packet, TcpFlags};
+use bytecache_telemetry::Recorder;
+
+/// SplitMix64 — a tiny deterministic generator so the test's case
+/// construction is independent of any RNG crate.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, hi)`.
+    fn f64(&mut self, hi: f64) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * hi
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.f64(1.0) < p
+    }
+}
+
+fn ip(chain: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 1, chain, 2)
+}
+
+fn pkt(dst: Ipv4Addr, len: usize) -> Packet {
+    Packet::builder()
+        .src(Ipv4Addr::new(10, 1, 255, 1), 1)
+        .dst(dst, 2)
+        .flags(TcpFlags::ACK)
+        .payload(vec![0x5A; len])
+        .build()
+}
+
+/// Emits `count` packets spaced by `gap`.
+struct Burst {
+    dst: Ipv4Addr,
+    count: usize,
+    len: usize,
+    gap: SimDuration,
+}
+impl Node for Burst {
+    fn on_packet(&mut self, _p: Packet, _c: &mut Context<'_>) {}
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.gap, 0);
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<'_>) {
+        ctx.forward(pkt(self.dst, self.len));
+        if (token as usize) + 1 < self.count {
+            ctx.set_timer(self.gap, token + 1);
+        }
+    }
+}
+
+/// Forwards everything along its routing table.
+struct Relay;
+impl Node for Relay {
+    fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+        ctx.forward(p);
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    arrivals: Vec<(SimTime, usize)>,
+}
+impl Node for Sink {
+    fn on_packet(&mut self, p: Packet, ctx: &mut Context<'_>) {
+        self.arrivals.push((ctx.now(), p.payload.len()));
+    }
+}
+
+fn random_channel(g: &mut Mix) -> ChannelConfig {
+    let loss = match g.range(0, 2) {
+        0 => LossModel::None,
+        1 => LossModel::Bernoulli { rate: g.f64(0.25) },
+        _ => LossModel::GilbertElliott {
+            good_loss: g.f64(0.02),
+            bad_loss: 0.3 + g.f64(0.5),
+            p_good_to_bad: g.f64(0.1),
+            p_bad_to_good: 0.1 + g.f64(0.4),
+        },
+    };
+    ChannelConfig {
+        loss,
+        corruption_rate: if g.chance(0.3) { g.f64(0.05) } else { 0.0 },
+        reorder_rate: if g.chance(0.5) { g.f64(0.15) } else { 0.0 },
+        reorder_window: SimDuration::from_millis(g.range(1, 6)),
+        duplicate_rate: if g.chance(0.4) { g.f64(0.08) } else { 0.0 },
+        reorder_burst_len: g.range(1, 3) as u32,
+    }
+}
+
+fn random_link(g: &mut Mix) -> LinkConfig {
+    LinkConfig {
+        rate_bytes_per_sec: if g.chance(0.7) {
+            Some(g.range(200_000, 2_000_000))
+        } else {
+            None
+        },
+        // Propagation >= 1 ms keeps the lookahead nonzero, so the test
+        // exercises the real window protocol, not the serial fallback.
+        propagation: SimDuration::from_millis(g.range(1, 8)),
+        channel: random_channel(g),
+    }
+}
+
+/// Compact, lossless-enough rendering of a trace event for equality
+/// comparison (full `Debug` of every payload would dominate runtime).
+fn fmt_trace(ev: &TraceEvent<'_>) -> String {
+    match ev {
+        TraceEvent::Transmit {
+            at,
+            from,
+            to,
+            packet,
+        } => {
+            format!(
+                "T {} {} {} {}",
+                at.as_micros(),
+                from.index(),
+                to.index(),
+                packet.payload.len()
+            )
+        }
+        TraceEvent::Lost {
+            at,
+            from,
+            to,
+            packet,
+        } => {
+            format!(
+                "L {} {} {} {}",
+                at.as_micros(),
+                from.index(),
+                to.index(),
+                packet.payload.len()
+            )
+        }
+        TraceEvent::Corrupted {
+            at,
+            from,
+            to,
+            packet,
+        } => {
+            format!(
+                "C {} {} {} {}",
+                at.as_micros(),
+                from.index(),
+                to.index(),
+                packet.payload.len()
+            )
+        }
+        TraceEvent::Deliver { at, to, packet } => {
+            format!(
+                "D {} {} {}",
+                at.as_micros(),
+                to.index(),
+                packet.payload.len()
+            )
+        }
+        TraceEvent::NoRoute { at, from, packet } => {
+            format!(
+                "N {} {} {}",
+                at.as_micros(),
+                from.index(),
+                packet.payload.len()
+            )
+        }
+    }
+}
+
+/// Everything observable about a finished run.
+type Digest = (
+    Vec<Vec<(SimTime, usize)>>, // per-sink arrivals
+    Vec<String>,                // per-link stats
+    SimTime,                    // final clock
+    u64,                        // events processed
+    u64,                        // no-route drops
+    Vec<String>,                // trace log
+    Recorder,                   // telemetry (wall-clock stripped)
+);
+
+/// Build the random topology for `case` in `sim`, returning the sink
+/// ids, the link ids, and the total node count. `run_case` and
+/// `node_count` share this so partitions can be sized without guessing.
+fn build_case(case: u64, sim: &mut Simulator) -> (Vec<NodeId>, Vec<LinkId>, usize) {
+    let mut g = Mix(case);
+    let chains = g.range(2, 4) as usize;
+    let hops = g.range(1, 3) as usize;
+
+    // A shared relay that several chains route through, so partitions
+    // genuinely contend on one node's event order.
+    let shared = sim.add_node(Relay);
+    let mut nodes = 1usize;
+    let mut sinks = Vec::new();
+    let mut links = Vec::new();
+    for c in 0..chains {
+        let dst = ip(c as u8);
+        let src = sim.add_node(Burst {
+            dst,
+            count: g.range(30, 120) as usize,
+            len: g.range(20, 400) as usize,
+            gap: SimDuration::from_micros(g.range(200, 2_000)),
+        });
+        nodes += 1;
+        let via_shared = g.chance(0.5);
+        let mut relays = Vec::new();
+        for _ in 0..hops {
+            relays.push(sim.add_node(Relay));
+            nodes += 1;
+        }
+        let sink = sim.add_node(Sink::default());
+        nodes += 1;
+        sinks.push(sink);
+        let mut path: Vec<NodeId> = Vec::new();
+        if via_shared {
+            path.push(shared);
+        }
+        path.extend(relays);
+        path.push(sink);
+        let mut prev = src;
+        for hop in path {
+            links.push(sim.add_link(prev, hop, random_link(&mut g)));
+            sim.add_route(prev, dst, hop);
+            prev = hop;
+        }
+        // Half the chains get a detour relay and a mid-run route flip
+        // at the source, landing while packets are in flight.
+        if g.chance(0.5) {
+            let detour = sim.add_node(Relay);
+            nodes += 1;
+            links.push(sim.add_link(src, detour, random_link(&mut g)));
+            links.push(sim.add_link(detour, sink, random_link(&mut g)));
+            sim.add_route(detour, dst, sink);
+            sim.schedule_route_change(
+                SimTime::from_micros(g.range(5_000, 60_000)),
+                src,
+                dst,
+                Some(detour),
+            );
+        }
+    }
+    (sinks, links, nodes)
+}
+
+fn run_case(case: u64, mode: ExecMode, partition: Option<Vec<usize>>) -> Digest {
+    let mut sim = Simulator::new(0x00BC_0FFE ^ case);
+    sim.set_exec_mode(mode);
+    sim.set_telemetry_enabled(true);
+    let trace_log: Rc<RefCell<Vec<String>>> = Rc::default();
+    {
+        let log = Rc::clone(&trace_log);
+        sim.set_trace(Box::new(FnTrace(move |ev: &TraceEvent<'_>| {
+            log.borrow_mut().push(fmt_trace(ev));
+        })));
+    }
+    let (sinks, links, _) = build_case(case, &mut sim);
+    if let Some(p) = partition {
+        sim.set_partition(p);
+    }
+    sim.run_until_idle();
+
+    let arrivals = sinks
+        .iter()
+        .map(|&s| sim.node::<Sink>(s).unwrap().arrivals.clone())
+        .collect();
+    let stats = links
+        .iter()
+        .map(|&l| format!("{:?}", sim.link_stats(l)))
+        .collect();
+    let mut tele = sim.telemetry_snapshot();
+    tele.strip_wall_clock();
+    let log = std::mem::take(&mut *trace_log.borrow_mut());
+    (
+        arrivals,
+        stats,
+        sim.now(),
+        sim.events_processed(),
+        sim.no_route_drops(),
+        log,
+        tele,
+    )
+}
+
+/// Number of nodes `case` generates (partitions must cover them all).
+fn node_count(case: u64) -> usize {
+    let mut sim = Simulator::new(0);
+    let (_, _, nodes) = build_case(case, &mut sim);
+    nodes
+}
+
+#[test]
+fn pdes_matches_oracle_on_random_topologies() {
+    for case in 0..10u64 {
+        let oracle = run_case(case, ExecMode::SerialDet, None);
+        assert!(
+            oracle.0.iter().any(|a| !a.is_empty()),
+            "case {case}: degenerate topology delivered nothing"
+        );
+        for workers in [1usize, 2, 3, 4, 8] {
+            let got = run_case(case, ExecMode::Parallel { workers }, None);
+            assert_eq!(
+                got, oracle,
+                "case {case} diverged from the oracle at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn pdes_is_partition_invariant() {
+    // Scattered (round-robin) partitions split tightly-coupled chains
+    // across workers — the adversarial case for the window protocol.
+    for case in [0u64, 3, 7] {
+        let oracle = run_case(case, ExecMode::SerialDet, None);
+        let n = node_count(case);
+        for workers in [2usize, 3] {
+            let scattered: Vec<usize> = (0..n).map(|i| i % workers).collect();
+            let got = run_case(case, ExecMode::Parallel { workers }, Some(scattered));
+            assert_eq!(
+                got, oracle,
+                "case {case} diverged under a scattered {workers}-way partition"
+            );
+        }
+    }
+}
+
+#[test]
+fn legacy_serial_default_is_untouched_by_the_refactor() {
+    // The default mode is still the legacy serial loop.
+    let sim = Simulator::new(1);
+    assert_eq!(sim.exec_mode(), ExecMode::Serial);
+}

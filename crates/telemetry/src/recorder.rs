@@ -254,6 +254,16 @@ impl Recorder {
         self.events.merge(&other.events);
     }
 
+    /// Drop every wall-clock-derived series (the `span.*` histograms,
+    /// which time host execution rather than simulated behaviour). Use
+    /// before comparing two recorders for simulation-level equality —
+    /// e.g. the PDES determinism checks, where serial and parallel runs
+    /// must match on every simulated metric but naturally differ in
+    /// host timing.
+    pub fn strip_wall_clock(&mut self) {
+        self.hists.retain(|(name, _), _| !name.starts_with("span."));
+    }
+
     /// Whether nothing was ever recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -340,6 +350,19 @@ mod tests {
         r.span_end("span.test_ns", t);
         let h = r.hist("span.test_ns").unwrap();
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn strip_wall_clock_drops_only_span_histograms() {
+        let mut r = Recorder::enabled();
+        r.record("hop_latency_us", 42);
+        let t = r.span_start();
+        r.span_end("span.sim_run_ns", t);
+        r.count("pkts", 1);
+        r.strip_wall_clock();
+        assert!(r.hist("span.sim_run_ns").is_none());
+        assert_eq!(r.hist("hop_latency_us").unwrap().count(), 1);
+        assert_eq!(r.counter("pkts"), 1);
     }
 
     #[test]
