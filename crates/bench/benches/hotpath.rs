@@ -1,5 +1,6 @@
-//! Hot-path bench: fused scan-and-index vs the legacy two-pass encoder,
-//! swept over payload size × redundancy ratio × policy.
+//! Hot-path bench: batched multi-lane vs fused scan-and-index vs the
+//! legacy two-pass encoder, swept over payload size × redundancy ratio
+//! × policy.
 //!
 //! The same grid as the `repro hotpath` harness (which writes
 //! `BENCH_hotpath.json`), expressed as criterion benchmarks for
@@ -57,7 +58,7 @@ fn bench_hotpath(c: &mut Criterion) {
         for redundancy in [0.0f64, 0.5, 0.95] {
             for policy in [PolicyKind::CacheFlush, PolicyKind::KDistance(4)] {
                 let stream = traffic(payload_size, redundancy, TOTAL);
-                for mode in [ScanMode::Fused, ScanMode::TwoPass] {
+                for mode in [ScanMode::Batched, ScanMode::Fused, ScanMode::TwoPass] {
                     let label = format!(
                         "{}B_r{:02}_{}_{}",
                         payload_size,

@@ -235,6 +235,7 @@ impl Decoder {
         rec.count("decoder.undecodable", s.undecodable());
         rec.count("decoder.bytes_in", s.bytes_in);
         rec.count("decoder.bytes_out", s.bytes_out);
+        rec.count("decoder.index_skips", s.index_skips);
         rec
     }
 
@@ -435,6 +436,7 @@ impl Decoder {
                 self.stats.scan_windows += indexed.windows;
                 self.stats.sampled_windows += indexed.sampled;
                 self.stats.index_insertions += indexed.insertions;
+                self.stats.index_skips += indexed.skipped;
                 feedback.decoded_id = Some(id);
             }
             Err(e) => {

@@ -98,7 +98,8 @@ pub struct Encoder {
 
 impl Encoder {
     /// New encoder with the given configuration and policy, using the
-    /// fused single-pass scan (see [`ScanMode`]).
+    /// scan mode the configuration selects (see [`ScanMode`];
+    /// [`ScanMode::Batched`] by default).
     ///
     /// # Panics
     ///
@@ -106,6 +107,7 @@ impl Encoder {
     /// [`DreConfig::validate`]).
     #[must_use]
     pub fn new(config: DreConfig, policy: Box<dyn Policy>) -> Self {
+        let scan_mode = config.scan_mode;
         Encoder {
             core: EngineCore::new(config),
             policy,
@@ -114,7 +116,7 @@ impl Encoder {
             wire_gen: false,
             stats: EncoderStats::default(),
             scratch: ScanOutput::default(),
-            scan_mode: ScanMode::default(),
+            scan_mode,
             telemetry: Recorder::disabled(),
         }
     }
@@ -170,16 +172,18 @@ impl Encoder {
         rec.count("encoder.scan_windows", s.scan_windows);
         rec.count("encoder.sampled_windows", s.sampled_windows);
         rec.count("encoder.index_insertions", s.index_insertions);
+        rec.count("encoder.index_skips", s.index_skips);
         rec.count("encoder.resyncs", s.resyncs);
         rec.count("encoder.repairs", s.repairs);
         rec.count("encoder.repair_misses", s.repair_misses);
         rec
     }
 
-    /// Select the scan implementation ([`ScanMode::Fused`] is the
-    /// default). [`ScanMode::TwoPass`] is the legacy baseline — wire
-    /// output is byte-identical either way; only CPU cost differs.
-    /// Builder-style variant of [`set_scan_mode`](Self::set_scan_mode).
+    /// Select the scan implementation ([`ScanMode::Batched`] is the
+    /// default; [`ScanMode::Fused`] and [`ScanMode::TwoPass`] are the
+    /// retained baselines). Wire output is byte-identical in every
+    /// mode; only CPU cost differs. Builder-style variant of
+    /// [`set_scan_mode`](Self::set_scan_mode).
     #[must_use]
     pub fn with_scan_mode(mut self, mode: ScanMode) -> Self {
         self.scan_mode = mode;
@@ -370,6 +374,10 @@ impl Encoder {
         self.scratch.clear();
         if !pre.suppress_encoding {
             match self.scan_mode {
+                ScanMode::Batched => {
+                    self.core
+                        .scan_batched(self.policy.as_ref(), &meta, payload, &mut self.scratch);
+                }
                 ScanMode::Fused => {
                     self.core
                         .scan_fused(self.policy.as_ref(), &meta, payload, &mut self.scratch);
@@ -415,15 +423,17 @@ impl Encoder {
 
         // Cache update procedure (paper Fig. 2 part C) on the ORIGINAL
         // payload — retransmissions included, which is exactly what makes
-        // the naive policy self-referential. In fused mode the sampled
-        // fingerprints were collected during the scan, so nothing is
-        // fingerprinted a second time; the two-pass baseline (and the
-        // policy-suppressed path, which skips the scan) re-fingerprints
-        // via the indexing loop.
+        // the naive policy self-referential. In the batched and fused
+        // modes the sampled fingerprints were collected during the scan,
+        // so nothing is fingerprinted a second time; the two-pass
+        // baseline (and the policy-suppressed path, which skips the
+        // scan) re-fingerprints via the indexing loop.
         self.core
             .cache
             .insert_with_id(id, payload.clone(), meta.flow, meta.seq);
-        let indexed = if self.scan_mode == ScanMode::Fused && !pre.suppress_encoding {
+        let indexed = if matches!(self.scan_mode, ScanMode::Batched | ScanMode::Fused)
+            && !pre.suppress_encoding
+        {
             self.core.cache.index_sampled(id, &self.scratch.sampled)
         } else {
             self.core
@@ -440,6 +450,7 @@ impl Encoder {
         self.stats.scan_windows += self.scratch.scan_windows + indexed.windows;
         self.stats.sampled_windows += self.scratch.sampled_windows + indexed.sampled;
         self.stats.index_insertions += indexed.insertions;
+        self.stats.index_skips += indexed.skipped;
         if pre.suppress_encoding {
             self.stats.references += 1;
             self.stats.raw_packets += 1;

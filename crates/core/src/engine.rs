@@ -28,11 +28,29 @@
 //! the equivalence property tests compare with — fused and two-pass
 //! produce byte-identical wire output and an identical fingerprint-table
 //! state.
+//!
+//! # The batched hot path
+//!
+//! [`EngineCore::scan_batched`] ([`ScanMode::Batched`], the default)
+//! splits the fused pass into two latency-hiding phases. Phase A runs
+//! the multi-lane rolling kernel
+//! ([`Fingerprinter::scan_sampled_batched`]): the payload is striped
+//! into [`bytecache_rabin::SCAN_LANES`] contiguous lanes whose rolling
+//! recurrences advance in lock-step, so the CPU overlaps four
+//! independent dependency chains instead of serializing on one, and
+//! every sampled `(offset, fingerprint)` pair lands in `out.sampled` in
+//! offset order — the *same* list the fused pass collects, because
+//! sampling is a pure function of payload bytes. Phase B replays the
+//! fused pass's probe/extend loop over those candidates, issuing a
+//! fingerprint-table prefetch several candidates ahead so probe lines
+//! are in flight while earlier matches resolve. The cache is not
+//! mutated during a scan, so the phase split cannot change any lookup,
+//! and the emitted tokens are byte-identical to both other modes.
 
 use bytes::Bytes;
 
 use bytecache_rabin::sampler::Sampler;
-use bytecache_rabin::{Fingerprinter, Polynomial};
+use bytecache_rabin::{Fingerprinter, LaneScratch, Polynomial};
 
 use crate::config::DreConfig;
 use crate::policy::{PacketMeta, Policy};
@@ -43,9 +61,16 @@ use crate::wire::Token;
 /// indexing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ScanMode {
-    /// Single fused window pass: scan, sample, match-extend, and collect
-    /// the index entries together; nothing is fingerprinted twice.
+    /// Multi-lane batched pass (the default): the striped rolling
+    /// kernel collects every sampled window first, then an in-order
+    /// probe/extend replay resolves them with table prefetches issued
+    /// ahead. Fastest mode; wire output, `EncodeInfo`, and table state
+    /// are byte-identical to the other two.
     #[default]
+    Batched,
+    /// Single fused window pass: scan, sample, match-extend, and collect
+    /// the index entries together; nothing is fingerprinted twice. Kept
+    /// verbatim as the batched path's baseline and oracle.
     Fused,
     /// The original two-pass pipeline: scan for matches, then
     /// re-fingerprint the whole payload to index it. Byte-at-a-time
@@ -59,6 +84,7 @@ impl ScanMode {
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
+            ScanMode::Batched => "batched",
             ScanMode::Fused => "fused",
             ScanMode::TwoPass => "two-pass",
         }
@@ -87,6 +113,9 @@ pub(crate) struct ScanOutput {
     pub(crate) scan_windows: u64,
     /// Windows that passed the sampler.
     pub(crate) sampled_windows: u64,
+    /// Per-lane scratch for the batched kernel (capacity reused across
+    /// packets; the kernel clears it on entry).
+    pub(crate) lanes: LaneScratch,
 }
 
 impl ScanOutput {
@@ -161,6 +190,21 @@ pub(crate) struct EngineCore {
 }
 
 impl EngineCore {
+    /// How many candidates ahead the batched probe loop pulls
+    /// fingerprint-table lines. Eight probes in flight (~one sampled
+    /// window every 2^sample_bits ≈ 32 bytes at the default) is deep
+    /// enough to cover a main-memory miss (~100 ns ≈ 200+ payload
+    /// bytes of phase-B work) without evicting useful lines.
+    const PREFETCH_AHEAD: usize = 8;
+
+    /// How many candidates ahead the probe loop *resolves* entries to
+    /// prefetch the slot and stored-payload lines a hit dereferences
+    /// (see [`Cache::prefetch_candidate`](crate::Cache)). Shorter than
+    /// [`Self::PREFETCH_AHEAD`]: the resolving probe itself touches the
+    /// table line requested at the longer distance, so by this point
+    /// that line is resident and the resolve costs a few cycles.
+    const PREFETCH_RESOLVE_AHEAD: usize = 2;
+
     /// Build the core from a validated configuration.
     ///
     /// # Panics
@@ -284,6 +328,123 @@ impl EngineCore {
         }
         out.scan_windows += (n - w + 1) as u64;
         out.sampled_windows += (out.sampled.len() - sampled_before) as u64;
+        if emitted < n {
+            out.tokens.push(Token::Literal(payload.slice(emitted..)));
+        }
+    }
+
+    /// The batched redundancy identification pass (see the module docs):
+    /// phase A stripes the payload across independent rolling lanes and
+    /// collects every sampled `(offset, fingerprint)` pair; phase B
+    /// replays [`scan_fused`](Self::scan_fused)'s probe-and-extend loop
+    /// over those candidates in offset order, prefetching each
+    /// candidate's fingerprint-table line [`Self::PREFETCH_AHEAD`]
+    /// iterations before its probe.
+    ///
+    /// Sampling is unconditional in the fused pass, so phase A's
+    /// candidate list equals the fused pass's `out.sampled` exactly, and
+    /// phase B's `resume` gating reproduces its skip-matched-interior
+    /// behavior token for token. The cache is never mutated during a
+    /// scan, so deferring the probes cannot change their results.
+    pub(crate) fn scan_batched(
+        &self,
+        policy: &dyn Policy,
+        meta: &PacketMeta,
+        payload: &Bytes,
+        out: &mut ScanOutput,
+    ) {
+        let w = self.config.window;
+        let data: &[u8] = payload;
+        let n = data.len();
+        if n < w {
+            if n != 0 {
+                out.tokens.push(Token::Literal(payload.clone()));
+            }
+            return;
+        }
+        let sampled_before = out.sampled.len();
+        // Phase A: the multi-lane kernel rolls every window and emits
+        // the sampled pairs in increasing offset order.
+        let ScanOutput { sampled, lanes, .. } = out;
+        self.engine
+            .scan_sampled_batched(data, &self.sampler, lanes, |pos, fp| {
+                sampled.push((pos as u16, fp));
+            });
+        let end = out.sampled.len();
+        // Phase B: in-order probe replay with a two-stage prefetch
+        // pipeline. At distance PREFETCH_AHEAD the candidate's
+        // fingerprint-table line is requested; at the shorter
+        // PREFETCH_RESOLVE_AHEAD — by which point that line has landed —
+        // the entry is resolved and the slot and stored-payload lines a
+        // hit would immediately dereference are requested too.
+        for i in sampled_before..(sampled_before + Self::PREFETCH_AHEAD).min(end) {
+            self.cache.prefetch_fingerprint(out.sampled[i].1);
+        }
+        for i in sampled_before..(sampled_before + Self::PREFETCH_RESOLVE_AHEAD).min(end) {
+            self.cache.prefetch_candidate(out.sampled[i].1);
+        }
+        let mut emitted = 0usize; // payload bytes already covered by tokens
+        let mut resume = 0usize; // positions below this are match interior
+        for i in sampled_before..end {
+            // Candidates already inside a matched interior are known
+            // skips (`resume` only grows), so their prefetches would be
+            // pure waste — worst exactly when redundancy is high and
+            // most candidates land inside extended matches.
+            if i + Self::PREFETCH_AHEAD < end {
+                let (p, f) = out.sampled[i + Self::PREFETCH_AHEAD];
+                if p as usize >= resume {
+                    self.cache.prefetch_fingerprint(f);
+                }
+            }
+            if i + Self::PREFETCH_RESOLVE_AHEAD < end {
+                let (p, f) = out.sampled[i + Self::PREFETCH_RESOLVE_AHEAD];
+                if p as usize >= resume {
+                    self.cache.prefetch_candidate(f);
+                }
+            }
+            let (pos, fp) = out.sampled[i];
+            let pos = pos as usize;
+            if pos < resume {
+                continue;
+            }
+            if let Some((src_id, src_off, stored, dead)) = self.cache.lookup_entry(fp) {
+                let src_payload = &stored.payload;
+                let src_off = src_off as usize;
+                if !dead
+                    && policy.allow_match(meta, &stored.meta, src_id)
+                    && src_off + w <= src_payload.len()
+                {
+                    let total = common_prefix(&data[pos..], &src_payload[src_off..]);
+                    if total >= w {
+                        let back = common_suffix(&data[emitted..pos], &src_payload[..src_off]);
+                        let ns = pos - back;
+                        let ss = src_off - back;
+                        let ne = pos + total;
+                        let len = ne - ns;
+                        if len > self.config.min_match {
+                            if ns > emitted {
+                                out.tokens.push(Token::Literal(payload.slice(emitted..ns)));
+                            }
+                            out.tokens.push(Token::Match {
+                                fingerprint: fp,
+                                offset_new: ns as u16,
+                                offset_stored: ss as u16,
+                                len: len as u16,
+                            });
+                            out.matched_bytes += len;
+                            if !out.refs.contains(&src_id) {
+                                out.distinct_refs += 1;
+                            }
+                            out.refs.push(src_id);
+                            emitted = ne;
+                            resume = ne;
+                        }
+                    }
+                }
+            }
+        }
+        out.scan_windows += (n - w + 1) as u64;
+        out.sampled_windows += (end - sampled_before) as u64;
         if emitted < n {
             out.tokens.push(Token::Literal(payload.slice(emitted..)));
         }

@@ -40,6 +40,11 @@ pub struct EncoderStats {
     /// compression-vs-CPU trade-off: CPU cost tracks windows rolled,
     /// savings track matches found.
     pub index_insertions: u64,
+    /// Indexing passes skipped because the packet was no longer stored
+    /// when the cache update procedure ran (e.g. a payload larger than
+    /// the cache budget, evicted by its own insert). Counted instead of
+    /// panicking so one oversized packet cannot abort a shard.
+    pub index_skips: u64,
     /// Resyncs honored: the cache was flushed and the wire generation
     /// bumped because a wiped decoder asked for it.
     pub resyncs: u64,
@@ -101,6 +106,7 @@ impl EncoderStats {
         self.scan_windows += other.scan_windows;
         self.sampled_windows += other.sampled_windows;
         self.index_insertions += other.index_insertions;
+        self.index_skips += other.index_skips;
         self.resyncs += other.resyncs;
         self.repairs += other.repairs;
         self.repair_misses += other.repair_misses;
@@ -139,6 +145,9 @@ pub struct DecoderStats {
     /// Fingerprint-table insertions performed while mirroring the
     /// encoder's cache update procedure.
     pub index_insertions: u64,
+    /// Indexing passes skipped because the packet was no longer stored
+    /// (mirrors `EncoderStats::index_skips`).
+    pub index_skips: u64,
     /// Encoded shims dropped because they were stamped with the
     /// pre-resync cache generation (no NACK sent — the whole point).
     pub stale_gen: u64,
@@ -176,6 +185,7 @@ impl DecoderStats {
         self.scan_windows += other.scan_windows;
         self.sampled_windows += other.sampled_windows;
         self.index_insertions += other.index_insertions;
+        self.index_skips += other.index_skips;
         self.stale_gen += other.stale_gen;
         self.wipes += other.wipes;
         self.resyncs += other.resyncs;
@@ -226,6 +236,7 @@ mod tests {
             scan_windows: 11,
             sampled_windows: 12,
             index_insertions: 13,
+            index_skips: 17,
             resyncs: 14,
             repairs: 15,
             repair_misses: 16,
@@ -237,6 +248,7 @@ mod tests {
         assert_eq!(m.scan_windows, 22);
         assert_eq!(m.sampled_windows, 24);
         assert_eq!(m.index_insertions, 26);
+        assert_eq!(m.index_skips, 34);
         assert_eq!(m.resyncs, 28);
         assert_eq!(m.repairs, 30);
         assert_eq!(m.repair_misses, 32);
@@ -256,6 +268,7 @@ mod tests {
             scan_windows: 11,
             sampled_windows: 12,
             index_insertions: 13,
+            index_skips: 17,
             stale_gen: 14,
             wipes: 15,
             resyncs: 16,
@@ -265,6 +278,7 @@ mod tests {
         assert_eq!(md.undecodable(), 2 * d.undecodable());
         assert_eq!(md.bytes_out, 20);
         assert_eq!(md.index_insertions, 26);
+        assert_eq!(md.index_skips, 34);
         assert_eq!(md.stale_gen, 28);
         assert_eq!(md.wipes, 30);
         assert_eq!(md.resyncs, 32);

@@ -86,6 +86,11 @@ pub struct CacheStats {
     pub replacements: u64,
     /// Full flushes.
     pub flushes: u64,
+    /// Indexing passes skipped because the packet was already gone —
+    /// e.g. evicted by its own insert when the payload exceeds the byte
+    /// budget. Counted instead of panicking so one oversized or racing
+    /// packet cannot abort a shard.
+    pub index_skips: u64,
 }
 
 impl CacheStats {
@@ -95,6 +100,7 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.replacements += other.replacements;
         self.flushes += other.flushes;
+        self.index_skips += other.index_skips;
     }
 }
 
@@ -112,11 +118,63 @@ pub struct IndexOutcome {
     pub sampled: u64,
     /// Fingerprint-table insertions performed.
     pub insertions: u64,
+    /// 1 if the pass was skipped because the packet was no longer
+    /// stored (see [`CacheStats::index_skips`]), else 0.
+    pub skipped: u64,
 }
 
 /// Fibonacci multiplier (⌊2^64/φ⌋, odd): spreads keys whose low bits are
 /// constrained — sampled fingerprints always end in `sample_bits` zeros.
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiply-and-rotate hasher (FxHash-style) for the per-packet flow
+/// lookups. `FlowId` is a 12-byte value hashed once per encoded and
+/// decoded packet; SipHash's per-call setup dwarfs the mixing for keys
+/// this small, and the flow map needs no DoS resistance — its keys come
+/// from the deployment's own traffic, not an adversarial hash-flooding
+/// surface.
+#[derive(Default)]
+struct FlowHasher(u64);
+
+impl FlowHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(26) ^ word).wrapping_mul(FIB);
+    }
+}
+
+impl std::hash::Hasher for FlowHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type FlowMap = HashMap<FlowId, u64, std::hash::BuildHasherDefault<FlowHasher>>;
 
 /// One resident packet in the arena.
 #[derive(Debug)]
@@ -142,26 +200,32 @@ struct SlotRef {
     gen: u32,
 }
 
-/// Open-addressing `fingerprint → (slot, gen, offset)` table with linear
-/// probing and no per-entry deletion (cleared only on flush/grow).
+/// Bucketized open-addressing `fingerprint → (slot, gen, offset)` table
+/// with no per-entry deletion (cleared only on flush/grow).
 ///
-/// Keys and values live in *separate* arrays: a probe chain walks only
-/// the packed 8-byte key words (eight per cache line instead of two
-/// 24-byte entries), and the value array is touched exactly once, on a
-/// hit or at the insert position. The encoder's scan issues one lookup
-/// per sampled window — on fresh traffic almost all of them misses into
-/// a table far larger than L2 — so the probe path's cache footprint is
-/// what bounds single-shard encode throughput.
+/// Keys and values live in *separate* arrays (SoA): a probe chain walks
+/// only the packed 8-byte key words, and the value array is touched
+/// exactly once, on a hit or at the insert position. Slots are grouped
+/// into [`FpTable::GROUP`]-slot buckets — eight 8-byte keys span exactly
+/// one 64-byte cache line, so a probe group resolves (hit, miss, or
+/// empty-slot insert) with a single line fill in the common case, and
+/// displaced keys spill to the *next group* rather than the next slot,
+/// which keeps chains short at the same load factor. The encoder's scan
+/// issues one lookup per sampled window — on fresh traffic almost all of
+/// them misses into a table far larger than L2 — so the probe path's
+/// cache footprint is what bounds single-shard encode throughput, and
+/// [`FpTable::prefetch`] lets the batched scan pull a candidate's key
+/// line while earlier probes resolve.
 #[derive(Debug)]
 struct FpTable {
-    /// `fp | TAG` for occupied buckets, 0 for empty ones. Fingerprints
+    /// `fp | TAG` for occupied slots, 0 for empty ones. Fingerprints
     /// are 53-bit (see [`bytecache_rabin::FINGERPRINT_BITS`]), so the
     /// tag bit cannot collide with a key, and a zero fingerprint is
-    /// still distinguishable from an empty bucket.
+    /// still distinguishable from an empty slot.
     keys: Vec<u64>,
     vals: Vec<FpValue>,
-    /// log2 of the table size.
-    log2: u32,
+    /// log2 of the number of bucket groups (slot count = groups × GROUP).
+    log2_groups: u32,
     len: usize,
 }
 
@@ -172,22 +236,88 @@ struct FpValue {
 }
 
 impl FpTable {
-    const INITIAL_LOG2: u32 = 10;
+    /// Slots per bucket group: 8 × 8-byte keys = one 64-byte cache line.
+    const GROUP: usize = 8;
+    /// 128 initial groups = 1024 slots, the previous flat-table size.
+    const INITIAL_LOG2_GROUPS: u32 = 7;
+    /// Upper clamp on the budget-derived initial size: 2^17 groups =
+    /// 1 Mi slots ≈ 20 MiB of table. The default 32 MiB payload budget
+    /// at `sample_bits = 4` implies ~2 M steady-state entries, so the
+    /// clamp still under-sizes the true steady state (growth handles
+    /// the rest); it bounds the eager allocation a short-lived
+    /// encoder — a sim node, a test — pays at construction.
+    const MAX_INITIAL_LOG2_GROUPS: u32 = 17;
     /// Occupancy tag on key words (bit 63; fingerprints fit in 53 bits).
     const TAG: u64 = 1 << 63;
 
+    /// Minimal table at the un-budgeted initial size (tests exercise
+    /// growth from here; production tables start from
+    /// [`for_budget`](Self::for_budget)).
+    #[cfg(test)]
     fn new() -> Self {
+        Self::with_log2_groups(Self::INITIAL_LOG2_GROUPS)
+    }
+
+    /// Table pre-sized for its steady state. A cache holding
+    /// `byte_budget` payload bytes indexes about `byte_budget >>
+    /// sample_bits` fingerprints (the sampler admits one window per
+    /// 2^sample_bits positions in expectation), and the table never
+    /// shrinks, so every long-lived encoder reaches that size anyway.
+    /// Allocating it up front removes the doubling rehashes from the
+    /// hot path — each one re-inserts every live key, and the cumulative
+    /// rehash work (~1.5 re-inserts per net insert) was the single
+    /// largest per-candidate cost in the batched profile. Clamped so
+    /// small sim configs stay small and the default 32 MiB budget costs
+    /// at most ~5 MiB of table per cache.
+    fn for_budget(byte_budget: usize, sample_bits: u32) -> Self {
+        let entries = byte_budget >> sample_bits.min(63);
+        // Groups sized for a 3/4 load factor at `entries`.
+        let groups = (entries / Self::GROUP).saturating_mul(4) / 3;
+        let log2 = (groups.max(1).ilog2() + 1)
+            .clamp(Self::INITIAL_LOG2_GROUPS, Self::MAX_INITIAL_LOG2_GROUPS);
+        Self::with_log2_groups(log2)
+    }
+
+    #[allow(clippy::slow_vector_initialization)] // the "slow" path is the point: see below
+    fn with_log2_groups(log2_groups: u32) -> Self {
+        let slots = (1usize << log2_groups) * Self::GROUP;
+        // Build the key array with an explicit resize (a real memset)
+        // rather than `vec![0; n]`: the latter takes the zeroed-alloc
+        // fast path, whose pages are mapped lazily and would be
+        // first-touch-faulted from inside the probe hot loop instead of
+        // here at construction.
+        let mut keys = Vec::with_capacity(slots);
+        keys.resize(slots, 0);
         FpTable {
-            keys: vec![0; 1 << Self::INITIAL_LOG2],
-            vals: vec![FpValue::default(); 1 << Self::INITIAL_LOG2],
-            log2: Self::INITIAL_LOG2,
+            keys,
+            vals: vec![FpValue::default(); slots],
+            log2_groups,
             len: 0,
         }
     }
 
+    /// Home bucket group of a fingerprint. The Fibonacci multiply mixes
+    /// the sampler-zeroed low bits; the *high* bits of the product pick
+    /// the group.
     #[inline]
-    fn bucket(&self, fp: u64) -> usize {
-        (fp.wrapping_mul(FIB) >> (64 - self.log2)) as usize
+    fn group(&self, fp: u64) -> usize {
+        (fp.wrapping_mul(FIB) >> (64 - self.log2_groups)) as usize
+    }
+
+    /// Pull the key and value lines of `fp`'s home group toward the
+    /// cache ahead of the probe. These are plain (black-boxed) loads,
+    /// not intrinsics — the crate forbids `unsafe` — but they have the
+    /// same effect: the 64-byte key group (and the start of its value
+    /// group, which a hit or an insert will touch) is in flight while
+    /// the caller resolves earlier candidates, so by the time
+    /// [`get`](Self::get) or [`insert`](Self::insert) runs, the lines
+    /// have usually landed. Purely a performance hint; no observable
+    /// state changes.
+    #[inline]
+    fn prefetch(&self, fp: u64) {
+        let base = self.group(fp) * Self::GROUP;
+        std::hint::black_box(self.keys[base]);
+        std::hint::black_box(self.vals[base].offset);
     }
 
     /// Insert or overwrite; returns `true` when the key already existed
@@ -197,59 +327,82 @@ impl FpTable {
         if (self.len + 1) * 4 > self.keys.len() * 3 {
             self.grow();
         }
-        let mask = self.keys.len() - 1;
+        let gmask = (1usize << self.log2_groups) - 1;
         let key = fp | Self::TAG;
-        let mut i = self.bucket(fp);
+        let mut g = self.group(fp);
         loop {
-            let k = self.keys[i];
-            if k == 0 {
-                self.keys[i] = key;
-                self.vals[i] = FpValue { slot, offset };
-                self.len += 1;
-                return false;
+            let base = g * Self::GROUP;
+            for i in base..base + Self::GROUP {
+                let k = self.keys[i];
+                if k == 0 {
+                    self.keys[i] = key;
+                    self.vals[i] = FpValue { slot, offset };
+                    self.len += 1;
+                    return false;
+                }
+                if k == key {
+                    self.vals[i] = FpValue { slot, offset };
+                    return true;
+                }
             }
-            if k == key {
-                self.vals[i] = FpValue { slot, offset };
-                return true;
-            }
-            i = (i + 1) & mask;
+            g = (g + 1) & gmask;
         }
     }
 
     fn get(&self, fp: u64) -> Option<(SlotRef, u16)> {
-        let mask = self.keys.len() - 1;
+        let gmask = (1usize << self.log2_groups) - 1;
         let key = fp | Self::TAG;
-        let mut i = self.bucket(fp);
+        let mut g = self.group(fp);
         loop {
-            let k = self.keys[i];
-            if k == 0 {
-                return None;
+            let base = g * Self::GROUP;
+            for i in base..base + Self::GROUP {
+                let k = self.keys[i];
+                if k == 0 {
+                    return None;
+                }
+                if k == key {
+                    let v = self.vals[i];
+                    return Some((v.slot, v.offset));
+                }
             }
-            if k == key {
-                let v = self.vals[i];
-                return Some((v.slot, v.offset));
-            }
-            i = (i + 1) & mask;
+            g = (g + 1) & gmask;
         }
     }
 
     fn grow(&mut self) {
-        let old_keys = std::mem::replace(&mut self.keys, vec![0; 1 << (self.log2 + 1)]);
-        let old_vals = std::mem::replace(
-            &mut self.vals,
-            vec![FpValue::default(); 1 << (self.log2 + 1)],
-        );
-        self.log2 += 1;
+        let slots = (1usize << (self.log2_groups + 1)) * Self::GROUP;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![FpValue::default(); slots]);
+        self.log2_groups += 1;
         self.len = 0;
-        for (k, v) in old_keys.into_iter().zip(old_vals) {
+        // The rehash reads the old arrays sequentially (hardware
+        // prefetch handles those) but writes the new, larger-than-LLC
+        // table at random groups; issuing each key's target-group
+        // prefetch a few iterations early hides most of those misses —
+        // the rehash is the bulk of the amortized insert cost.
+        const AHEAD: usize = 16;
+        for i in 0..old_keys.len() {
+            if let Some(&k) = old_keys.get(i + AHEAD) {
+                if k != 0 {
+                    self.prefetch(k & !Self::TAG);
+                }
+            }
+            let k = old_keys[i];
             if k != 0 {
+                let v = old_vals[i];
                 self.insert(k & !Self::TAG, v.slot, v.offset);
             }
         }
     }
 
+    /// Drop every entry but keep the allocation and size: the table is
+    /// pre-sized for its steady state (see [`for_budget`]
+    /// (Self::for_budget)), and a flush-heavy policy would otherwise
+    /// re-pay the growth rehashes after every flush. Only the key words
+    /// gate occupancy, so the value array need not be touched.
     fn clear(&mut self) {
-        *self = FpTable::new();
+        self.keys.fill(0);
+        self.len = 0;
     }
 }
 
@@ -397,7 +550,7 @@ pub struct Cache {
     max_packets: Option<usize>,
     live: usize,
     next_id: u64,
-    flow_counters: HashMap<FlowId, u64>,
+    flow_counters: FlowMap,
     stats: CacheStats,
     telemetry: Recorder,
 }
@@ -411,13 +564,13 @@ impl Cache {
             free: Vec::new(),
             order: VecDeque::new(),
             ids: IdTable::new(),
-            fingerprints: FpTable::new(),
+            fingerprints: FpTable::for_budget(config.cache_bytes, config.sample_bits),
             bytes_used: 0,
             byte_budget: config.cache_bytes,
             max_packets: config.max_packets,
             live: 0,
             next_id: 0,
-            flow_counters: HashMap::new(),
+            flow_counters: FlowMap::default(),
             stats: CacheStats::default(),
             telemetry: Recorder::disabled(),
         }
@@ -460,6 +613,7 @@ impl Cache {
         rec.count("cache.evictions", self.stats.evictions);
         rec.count("cache.replacements", self.stats.replacements);
         rec.count("cache.flushes", self.stats.flushes);
+        rec.count("cache.index_skips", self.stats.index_skips);
         rec.gauge("cache.bytes_used", self.bytes_used as u64);
         rec.gauge("cache.entries", self.live as u64);
         rec
@@ -618,19 +772,24 @@ impl Cache {
     /// [`index_sampled`](Self::index_sampled) instead and skips the
     /// re-fingerprinting entirely.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not currently stored (insert it first).
+    /// If `id` is no longer stored — a payload larger than the cache
+    /// budget is evicted by its own insert, and a peer can evict a
+    /// packet between store and index under divergence repair — the
+    /// pass is skipped and counted (`skipped`, `CacheStats.index_skips`)
+    /// rather than aborting the shard.
     pub fn index_payload(
         &mut self,
         engine: &Fingerprinter,
         sampler: &Sampler,
         id: PacketId,
     ) -> IndexOutcome {
-        let index = self
-            .ids
-            .get(id.0)
-            .expect("index_payload: packet not stored");
+        let Some(index) = self.ids.get(id.0) else {
+            self.stats.index_skips += 1;
+            return IndexOutcome {
+                skipped: 1,
+                ..IndexOutcome::default()
+            };
+        };
         let slot = SlotRef {
             index,
             gen: self.slots[index as usize].gen,
@@ -681,27 +840,73 @@ impl Cache {
     /// would — the pairs are the sampled windows of the payload in
     /// increasing offset order — without touching the payload again.
     ///
-    /// # Panics
-    ///
-    /// Panics if `id` is not currently stored (insert it first).
+    /// If `id` is no longer stored (see [`index_payload`]
+    /// (Self::index_payload)), the pass is skipped and counted rather
+    /// than aborting the shard.
     pub fn index_sampled(&mut self, id: PacketId, sampled: &[(u16, u64)]) -> IndexOutcome {
-        let index = self
-            .ids
-            .get(id.0)
-            .expect("index_sampled: packet not stored");
+        let Some(index) = self.ids.get(id.0) else {
+            self.stats.index_skips += 1;
+            return IndexOutcome {
+                skipped: 1,
+                ..IndexOutcome::default()
+            };
+        };
         let slot = SlotRef {
             index,
             gen: self.slots[index as usize].gen,
         };
-        for &(offset, fp) in sampled {
+        // Insert with the same lookahead prefetching as the batched
+        // scan's probe loop: the candidates are random fingerprints, so
+        // nearly every insert opens a cold group in a larger-than-LLC
+        // table unless its lines are already in flight.
+        const AHEAD: usize = 8;
+        for &(_, fp) in sampled.iter().take(AHEAD) {
+            self.fingerprints.prefetch(fp);
+        }
+        for (i, &(offset, fp)) in sampled.iter().enumerate() {
+            if let Some(&(_, next_fp)) = sampled.get(i + AHEAD) {
+                self.fingerprints.prefetch(next_fp);
+            }
             if self.fingerprints.insert(fp, slot, offset) {
                 self.stats.replacements += 1;
             }
         }
         IndexOutcome {
-            windows: 0,
-            sampled: 0,
             insertions: sampled.len() as u64,
+            ..IndexOutcome::default()
+        }
+    }
+
+    /// Hint that a [`lookup`](Self::lookup) /
+    /// [`lookup_entry`](Self::lookup_entry) for `fingerprint` is coming
+    /// soon: pull its fingerprint-table key line toward the cache so
+    /// the probe resolves without a demand miss. Used by the encoder's
+    /// batched scan, which knows its candidate fingerprints several
+    /// iterations ahead of the probes.
+    #[inline]
+    pub fn prefetch_fingerprint(&self, fingerprint: u64) {
+        self.fingerprints.prefetch(fingerprint);
+    }
+
+    /// Second-stage scan prefetch: resolve `fingerprint` through the
+    /// (by now cache-resident) fingerprint table and pull the slot and
+    /// the referenced stored-payload line toward the cache. A hit in
+    /// the probe loop immediately dereferences both for match
+    /// extension, and those two dependent loads are otherwise demand
+    /// misses on the serial path. Purely a hint: stale generations and
+    /// dead entries are prefetched harmlessly and re-checked by the
+    /// real lookup.
+    #[inline]
+    pub fn prefetch_candidate(&self, fingerprint: u64) {
+        if let Some((slot, offset)) = self.fingerprints.get(fingerprint) {
+            if let Some(s) = self.slots.get(slot.index as usize) {
+                if let Some(data) = s.data.as_ref() {
+                    let payload: &[u8] = &data.stored.payload;
+                    if let Some(&b) = payload.get(usize::from(offset)) {
+                        std::hint::black_box(b);
+                    }
+                }
+            }
         }
     }
 
@@ -1041,6 +1246,93 @@ mod tests {
         for i in 0..5000u64 {
             let hit = c.lookup(i.wrapping_mul(0x1000) ^ 0xBEEF).is_some();
             assert_eq!(hit, i >= 5000 - 64, "fp of id {i}");
+        }
+    }
+
+    #[test]
+    fn oversized_payload_index_is_skipped_not_panicking() {
+        // A payload bigger than the byte budget is evicted by its own
+        // insert; the indexing pass that follows must skip (and count)
+        // rather than panic.
+        let engine = Fingerprinter::new(Polynomial::default(), 8);
+        let sampler = Sampler::new(0);
+        let mut c = Cache::new(&DreConfig {
+            cache_bytes: 16,
+            ..DreConfig::default()
+        });
+        let id = c.insert(vec![7u8; 64].into(), flow(), SeqNum::new(0));
+        assert!(c.packet(id).is_none(), "evicted by its own insert");
+        let a = c.index_payload(&engine, &sampler, id);
+        assert_eq!((a.skipped, a.insertions, a.windows), (1, 0, 0));
+        let b = c.index_sampled(id, &[(0, 0x123), (5, 0x456)]);
+        assert_eq!((b.skipped, b.insertions), (1, 0));
+        assert_eq!(c.stats().index_skips, 2);
+        assert!(c.lookup(0x123).is_none(), "no entries for a skipped pass");
+    }
+
+    #[test]
+    fn fp_table_bucketized_groups_resolve_and_spill() {
+        // Fill well past several grow cycles; every key must resolve to
+        // its latest value, including keys displaced into later groups.
+        let mut t = FpTable::new();
+        let n = 6000u64;
+        for i in 0..n {
+            let fp = i.wrapping_mul(0x9E37_79B9) & ((1 << 53) - 1);
+            t.prefetch(fp); // exercise the hint path; must be a no-op
+            let slot = SlotRef {
+                index: i as u32,
+                gen: 0,
+            };
+            assert!(!t.insert(fp, slot, (i % 1000) as u16), "fresh key {i}");
+        }
+        for i in 0..n {
+            let fp = i.wrapping_mul(0x9E37_79B9) & ((1 << 53) - 1);
+            let (slot, off) = t.get(fp).expect("present");
+            assert_eq!((slot.index, off), (i as u32, (i % 1000) as u16));
+        }
+        // Overwrites report the replacement and win the lookup.
+        let fp0 = 0u64;
+        let slot = SlotRef { index: 99, gen: 3 };
+        assert!(t.insert(fp0, slot, 77));
+        let (s, off) = t.get(fp0).unwrap();
+        assert_eq!((s.index, s.gen, off), (99, 3, 77));
+        assert!(t.get(0xDEAD_BEEF_CAFE).is_none());
+    }
+
+    proptest::proptest! {
+        /// The IdTable (linear probing + backward-shift deletion) agrees
+        /// with a BTreeMap model under random insert/remove/lookup
+        /// interleavings. The backward-shift condition at
+        /// [`IdTable::remove`] is the invariant under attack: a wrong
+        /// cyclic-range comparison silently breaks probe chains, making
+        /// live keys unreachable.
+        #[test]
+        fn id_table_matches_btreemap_model(
+            ops in proptest::collection::vec((0u8..3, 0u64..48, proptest::prelude::any::<u32>()), 1..400),
+        ) {
+            use std::collections::BTreeMap;
+            let mut table = IdTable::new();
+            let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+            for (op, key, slot) in ops {
+                match op {
+                    0 => {
+                        table.insert(key, slot);
+                        model.insert(key, slot);
+                    }
+                    1 => {
+                        table.remove(key);
+                        model.remove(&key);
+                    }
+                    _ => {
+                        proptest::prop_assert_eq!(table.get(key), model.get(&key).copied());
+                    }
+                }
+            }
+            // Full sweep: every key in the domain agrees at the end.
+            for key in 0..48u64 {
+                proptest::prop_assert_eq!(table.get(key), model.get(&key).copied(), "key {}", key);
+            }
+            proptest::prop_assert_eq!(table.len, model.len());
         }
     }
 }

@@ -1,13 +1,14 @@
-//! Property tests proving the fused scan-and-index pass is
-//! *observationally identical* to the legacy two-pass pipeline it
-//! replaced: byte-identical wire output, an identical fingerprint-table
-//! state (every sampled window resolves to the same packet, offset, and
-//! bytes), and unchanged sharded encode/decode round-trips.
+//! Property tests proving all three scan modes are *observationally
+//! identical*: the batched multi-lane pass, the fused single pass, and
+//! the legacy two-pass pipeline produce byte-identical wire output, an
+//! identical fingerprint-table state (every sampled window resolves to
+//! the same packet, offset, and bytes), and unchanged sharded
+//! encode/decode round-trips.
 //!
-//! The two-pass baseline is the original implementation, kept in-tree
-//! behind `ScanMode::TwoPass` precisely so these tests (and the
-//! `repro hotpath` harness) have a live oracle rather than a frozen
-//! snapshot.
+//! The two-pass baseline is the original implementation, and the fused
+//! pass is the PR 2 hot path; both are kept in-tree behind `ScanMode`
+//! precisely so these tests (and the `repro hotpath` harness) have live
+//! oracles for the batched default rather than frozen snapshots.
 
 use bytecache::{DreConfig, Encoder, PacketMeta, PolicyKind, ScanMode, ShardedEncoder};
 use bytecache_packet::{FlowId, SeqNum};
@@ -107,10 +108,11 @@ fn assert_table_state_identical(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Fused ≡ two-pass per packet: wire bytes, bookkeeping, stats, and
-    /// the fingerprint-table state seen through `Cache::lookup`.
+    /// Batched ≡ fused ≡ two-pass per packet: wire bytes, bookkeeping,
+    /// stats, and the fingerprint-table state seen through
+    /// `Cache::lookup`, across payload mixes × redundancy × policies.
     #[test]
-    fn fused_equals_two_pass(stream in arb_stream(), policy_idx in 0usize..5) {
+    fn all_scan_modes_equivalent(stream in arb_stream(), policy_idx in 0usize..5) {
         let kind = policies()[policy_idx];
         let config = DreConfig::default();
         let engine = Fingerprinter::new(
@@ -118,7 +120,10 @@ proptest! {
             config.window,
         );
         let sampler = Sampler::new(config.sample_bits);
-        let mut fused = Encoder::new(config.clone(), kind.build());
+        let mut batched =
+            Encoder::new(config.clone(), kind.build()).with_scan_mode(ScanMode::Batched);
+        let mut fused =
+            Encoder::new(config.clone(), kind.build()).with_scan_mode(ScanMode::Fused);
         let mut legacy =
             Encoder::new(config, kind.build()).with_scan_mode(ScanMode::TwoPass);
         let mut seq = 1u32;
@@ -131,48 +136,65 @@ proptest! {
             };
             seq = seq.wrapping_add(payload.len().max(1) as u32);
             let payload = Bytes::from(payload.clone());
+            let n = batched.encode(&m, &payload);
             let a = fused.encode(&m, &payload);
             let b = legacy.encode(&m, &payload);
-            prop_assert_eq!(&a.wire, &b.wire, "wire bytes differ at packet {}", i);
-            prop_assert_eq!(a.id, b.id);
-            prop_assert_eq!(a.matches, b.matches);
-            prop_assert_eq!(a.matched_bytes, b.matched_bytes);
-            prop_assert_eq!(a.distinct_refs, b.distinct_refs);
-            prop_assert_eq!(a.was_reference, b.was_reference);
-            prop_assert_eq!(a.flushed, b.flushed);
+            prop_assert_eq!(&n.wire, &a.wire, "batched vs fused wire differs at packet {}", i);
+            prop_assert_eq!(&a.wire, &b.wire, "fused vs two-pass wire differs at packet {}", i);
+            for (x, label) in [(&a, "fused"), (&b, "two-pass")] {
+                prop_assert_eq!(n.id, x.id, "id vs {}", label);
+                prop_assert_eq!(n.matches, x.matches, "matches vs {}", label);
+                prop_assert_eq!(n.matched_bytes, x.matched_bytes, "matched_bytes vs {}", label);
+                prop_assert_eq!(n.distinct_refs, x.distinct_refs, "distinct_refs vs {}", label);
+                prop_assert_eq!(n.was_reference, x.was_reference, "was_reference vs {}", label);
+                prop_assert_eq!(n.flushed, x.flushed, "flushed vs {}", label);
+            }
+            assert_table_state_identical(&batched, &fused, &engine, &sampler, &payload);
             assert_table_state_identical(&fused, &legacy, &engine, &sampler, &payload);
         }
-        // Every counter except the scan-effort ones must agree; the
-        // index insertions agree too (the fused scratch carries exactly
-        // the windows the indexing re-scan would have sampled).
+        // Every counter except the scan-effort ones must agree across
+        // the three modes; the index insertions agree too (the batched
+        // and fused scratches carry exactly the windows the indexing
+        // re-scan would have sampled).
+        let ns = batched.stats().clone();
         let fs = fused.stats().clone();
         let ls = legacy.stats().clone();
-        prop_assert_eq!(fs.packets, ls.packets);
-        prop_assert_eq!(fs.bytes_in, ls.bytes_in);
-        prop_assert_eq!(fs.bytes_out, ls.bytes_out);
-        prop_assert_eq!(fs.encoded_packets, ls.encoded_packets);
-        prop_assert_eq!(fs.raw_packets, ls.raw_packets);
-        prop_assert_eq!(fs.references, ls.references);
-        prop_assert_eq!(fs.flushes, ls.flushes);
-        prop_assert_eq!(fs.matches, ls.matches);
-        prop_assert_eq!(fs.matched_bytes, ls.matched_bytes);
-        prop_assert_eq!(fs.sum_distinct_refs, ls.sum_distinct_refs);
-        prop_assert_eq!(fs.index_insertions, ls.index_insertions);
-        // And the fused pass must do strictly less fingerprint rolling
-        // whenever there was anything to index.
-        if fs.index_insertions > 0 {
+        for (s, label) in [(&fs, "fused"), (&ls, "two-pass")] {
+            prop_assert_eq!(ns.packets, s.packets, "packets vs {}", label);
+            prop_assert_eq!(ns.bytes_in, s.bytes_in, "bytes_in vs {}", label);
+            prop_assert_eq!(ns.bytes_out, s.bytes_out, "bytes_out vs {}", label);
+            prop_assert_eq!(ns.encoded_packets, s.encoded_packets, "encoded vs {}", label);
+            prop_assert_eq!(ns.raw_packets, s.raw_packets, "raw vs {}", label);
+            prop_assert_eq!(ns.references, s.references, "references vs {}", label);
+            prop_assert_eq!(ns.flushes, s.flushes, "flushes vs {}", label);
+            prop_assert_eq!(ns.matches, s.matches, "matches vs {}", label);
+            prop_assert_eq!(ns.matched_bytes, s.matched_bytes, "matched_bytes vs {}", label);
+            prop_assert_eq!(ns.sum_distinct_refs, s.sum_distinct_refs, "refs vs {}", label);
+            prop_assert_eq!(ns.index_insertions, s.index_insertions, "insertions vs {}", label);
+            prop_assert_eq!(ns.index_skips, s.index_skips, "skips vs {}", label);
+        }
+        // Batched and fused visit exactly the same windows (one per
+        // payload position); two-pass re-rolls for indexing on top.
+        prop_assert_eq!(ns.scan_windows, fs.scan_windows);
+        prop_assert_eq!(ns.sampled_windows, fs.sampled_windows);
+        prop_assert!(fs.scan_windows <= ls.scan_windows);
+        // When an insertion came from a *scanned* packet (policy
+        // references index via the same re-rolling loop in every mode),
+        // two-pass must have paid for its indexing re-scan on top.
+        if fs.index_insertions > 0 && fs.references == 0 {
             prop_assert!(fs.scan_windows < ls.scan_windows,
                 "fused rolled {} windows, two-pass {}", fs.scan_windows, ls.scan_windows);
         }
     }
 
-    /// Sharded (shards > 1) encode with the fused pass produces the same
-    /// wire bytes as two-pass, and the decoder round-trips both.
+    /// Sharded (shards > 1) encode with the default (batched) pass
+    /// produces the same wire bytes as two-pass, and the decoder
+    /// round-trips both.
     #[test]
     fn sharded_round_trip_unchanged(stream in arb_stream(), policy_idx in 0usize..5) {
         let kind = policies()[policy_idx];
         let config = DreConfig { shards: 3, ..DreConfig::default() };
-        let mut fused = ShardedEncoder::new(config.clone(), kind);
+        let mut batched = ShardedEncoder::new(config.clone(), kind);
         let mut legacy = ShardedEncoder::new(config.clone(), kind);
         legacy.set_scan_mode(ScanMode::TwoPass);
         let mut dec = bytecache::ShardedDecoder::new(config);
@@ -186,12 +208,12 @@ proptest! {
             };
             seq = seq.wrapping_add(payload.len().max(1) as u32);
             let payload = Bytes::from(payload.clone());
-            let a = fused.encode(&m, &payload);
+            let a = batched.encode(&m, &payload);
             let b = legacy.encode(&m, &payload);
             prop_assert_eq!(&a.wire, &b.wire, "sharded wire bytes differ at packet {}", i);
             let (restored, _) = dec.decode(&a.wire, &m);
             prop_assert_eq!(restored.expect("lossless sharded decode"), payload);
         }
-        prop_assert_eq!(fused.stats().bytes_out, legacy.stats().bytes_out);
+        prop_assert_eq!(batched.stats().bytes_out, legacy.stats().bytes_out);
     }
 }

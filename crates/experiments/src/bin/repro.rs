@@ -19,8 +19,9 @@
 //!   ablation    extension — Bernoulli vs bursty loss at equal mean rate
 //!   tuning      §III-B    — DRE parameter (w, k) trade-offs
 //!   shardscale  extension — multi-flow throughput scaling across engine shards
-//!   hotpath     extension — fused scan-and-index vs two-pass encode throughput
-//!               (writes BENCH_hotpath.json; asserts round-trip integrity)
+//!   hotpath     extension — batched vs fused vs two-pass encode throughput
+//!               (writes BENCH_hotpath.json; asserts cross-mode byte-identity,
+//!               round-trip integrity, and the batched-vs-fused regression gate)
 //!   simthroughput extension — campaign wall-clock (serial vs parallel,
 //!               byte-identical or exit 1) and zero-copy payload path
 //!               (writes BENCH_simthroughput.json)
@@ -329,21 +330,34 @@ fn main() {
         let cases = hotpath::sweep(quick);
         println!("{}", hotpath::render(&cases));
         // The harness doubles as an end-to-end smoke test: every cell
-        // must have produced two-pass-identical wire bytes that decode
-        // back to the original payloads.
+        // must have produced byte-identical wire output across all
+        // three scan modes, decoding back to the original payloads.
         for c in &cases {
             assert!(
                 c.verified,
-                "hotpath round-trip integrity failed: {} B / {:.2} / {}",
+                "hotpath cross-mode integrity failed: {} B / {:.2} / {}",
                 c.payload_size, c.redundancy, c.policy
             );
         }
         let json = hotpath::to_json(&cases);
         std::fs::write("BENCH_hotpath.json", &json)
             .expect("write BENCH_hotpath.json in the current directory");
+        let over_fused = hotpath::redundant_geomean_batched_over_fused(&cases);
         println!(
-            "  wrote BENCH_hotpath.json (redundant-sweep geomean speedup {:.2}x)\n",
-            hotpath::redundant_geomean_speedup(&cases)
+            "  wrote BENCH_hotpath.json (redundant sweep: batched {:.1} MiB/s geomean, \
+             {:.2}x over fused, {:.2}x over two-pass)\n",
+            hotpath::redundant_geomean_batched_mib_s(&cases),
+            over_fused,
+            hotpath::redundant_geomean_batched_over_two_pass(&cases)
+        );
+        // Regression gate: the batched default must not fall below the
+        // in-tree fused oracle beyond noise. Quick mode (CI, 1 rep on
+        // shared runners) gets a wider margin than the full sweep.
+        let margin = if quick { 0.85 } else { 0.90 };
+        assert!(
+            over_fused >= margin,
+            "hotpath regression: batched geomean is {over_fused:.3}x fused \
+             (gate: >= {margin:.2}x)"
         );
         if want_metrics {
             // Untimed instrumented pass, separate from the timed loops.

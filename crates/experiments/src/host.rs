@@ -1,0 +1,127 @@
+//! Host metadata recorded into benchmark documents.
+//!
+//! Throughput numbers are only comparable across recording hosts when
+//! the host is *named* in the document: the same sweep runs 3–10×
+//! differently across laptop/CI/server silicon. Every `BENCH_*.json`
+//! writer embeds a `host` object built here so the perf trajectory in
+//! the repo's benchmark files can be read without guessing where each
+//! row was measured.
+
+use std::process::Command;
+
+/// What we can portably learn about the recording host. Every field
+/// degrades to `"unknown"` (or `0`) rather than failing — benchmark
+/// recording must never abort on an exotic host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// CPU model string (Linux: `model name` from `/proc/cpuinfo`).
+    pub cpu_model: String,
+    /// Logical cores visible to this process.
+    pub cores: usize,
+    /// `rustc --version` of the toolchain that built the harness.
+    pub rustc: String,
+    /// Operating system family (`std::env::consts::OS`).
+    pub os: String,
+}
+
+impl HostInfo {
+    /// Probe the current host.
+    #[must_use]
+    pub fn detect() -> Self {
+        HostInfo {
+            cpu_model: cpu_model(),
+            cores: std::thread::available_parallelism().map_or(0, usize::from),
+            rustc: rustc_version(),
+            os: std::env::consts::OS.to_string(),
+        }
+    }
+
+    /// Render as a JSON object (one line, no trailing comma), for the
+    /// workspace's hand-rolled benchmark documents.
+    #[must_use]
+    pub fn to_json_object(&self) -> String {
+        format!(
+            "{{\"cpu_model\": \"{}\", \"cores\": {}, \"rustc\": \"{}\", \"os\": \"{}\"}}",
+            escape(&self.cpu_model),
+            self.cores,
+            escape(&self.rustc),
+            escape(&self.os),
+        )
+    }
+}
+
+/// Minimal JSON string escaping for the probed values (quotes,
+/// backslashes, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cpu_model() -> String {
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            // x86 exposes "model name"; many arm kernels expose only
+            // "Hardware" / "CPU part", so fall through when absent.
+            if let Some(rest) = line.strip_prefix("model name") {
+                if let Some((_, value)) = rest.split_once(':') {
+                    let value = value.trim();
+                    if !value.is_empty() {
+                        return value.to_string();
+                    }
+                }
+            }
+        }
+    }
+    "unknown".to_string()
+}
+
+fn rustc_version() -> String {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_never_fails_and_fields_are_populated() {
+        let h = HostInfo::detect();
+        assert!(!h.cpu_model.is_empty());
+        assert!(!h.rustc.is_empty());
+        assert!(!h.os.is_empty());
+    }
+
+    #[test]
+    fn json_object_is_balanced_and_escaped() {
+        let h = HostInfo {
+            cpu_model: "Weird \"CPU\" \\ model\n".to_string(),
+            cores: 8,
+            rustc: "rustc 1.0.0".to_string(),
+            os: "linux".to_string(),
+        };
+        let j = h.to_json_object();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\\\"CPU\\\""));
+        assert!(j.contains("\\\\ model"));
+        assert!(j.contains("\\u000a"));
+        assert!(j.contains("\"cores\": 8"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

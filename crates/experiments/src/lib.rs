@@ -41,6 +41,7 @@
 pub mod ablation;
 pub mod campaign;
 pub mod fig6;
+pub mod host;
 pub mod hotpath;
 pub mod insights;
 pub mod interflow;

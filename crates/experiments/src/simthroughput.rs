@@ -376,6 +376,10 @@ pub fn to_json(result: &SimThroughputResult) -> String {
     };
     let c = &result.campaign;
     let mut out = String::from("{\n  \"bench\": \"simthroughput\",\n");
+    out.push_str(&format!(
+        "  \"host\": {},\n",
+        crate::host::HostInfo::detect().to_json_object()
+    ));
     out.push_str(&format!("  \"host_threads\": {},\n", result.host_threads));
     out.push_str(&format!("  \"note\": \"{note}\",\n"));
     out.push_str(&format!(
@@ -465,6 +469,8 @@ mod tests {
 
         let json = to_json(&r);
         assert!(json.contains("\"bench\": \"simthroughput\""));
+        assert!(json.contains("\"host\": {"));
+        assert!(json.contains("\"cpu_model\""));
         assert!(json.contains("\"identical\": true"));
         assert!(json.contains("\"pdes\""));
         assert!(json.contains("\"workers\": 2"));

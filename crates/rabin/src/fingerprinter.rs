@@ -1,8 +1,25 @@
 //! Table-driven rolling Rabin fingerprint engine.
 
 use crate::gf2;
+use crate::sampler::Sampler;
 use crate::Polynomial;
 use crate::FINGERPRINT_BITS;
+
+/// Number of independent rolling chains the batched scan stripes a
+/// payload across (see [`Fingerprinter::scan_sampled_batched`]).
+pub const SCAN_LANES: usize = 4;
+
+/// Reusable per-lane buffers for [`Fingerprinter::scan_sampled_batched`].
+///
+/// Each lane collects the sampled `(offset, fingerprint)` pairs of its
+/// stripe; the scan drains the lanes in stripe order so callers observe
+/// one globally offset-sorted stream. Keeping the buffers in a caller-
+/// owned scratch lets a steady-state encoder batch-scan without
+/// allocating.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    lanes: [Vec<(u32, u64)>; SCAN_LANES],
+}
 
 /// Table-driven Rabin fingerprint engine for a fixed modulus and window
 /// size.
@@ -132,6 +149,128 @@ impl Fingerprinter {
             data,
             next_start: 0,
             fp: self.prime(data).unwrap_or(0),
+        }
+    }
+
+    /// Fingerprint a byte slice by direct GF(2) polynomial evaluation —
+    /// the bit-by-bit [`gf2::reduce`] oracle, sharing **no** code or
+    /// tables with the rolling path.
+    ///
+    /// Mathematically identical to [`fingerprint`](Self::fingerprint)
+    /// (both compute the residue of the slice-as-polynomial modulo the
+    /// engine's modulus), but computed the slow, obviously-correct way.
+    /// The property tests pin the table-driven append, the rolling
+    /// recurrence, and the batched multi-lane kernel against this.
+    #[must_use]
+    pub fn fingerprint_direct(&self, data: &[u8]) -> u64 {
+        let m = self.poly.bits();
+        let mut acc: u128 = 0;
+        for &b in data {
+            acc = gf2::reduce((acc << 8) | u128::from(b), m);
+        }
+        acc as u64
+    }
+
+    /// Batched sampled-window scan: visit every window fingerprint of
+    /// `data` and hand each *sampled* one to `emit` as an
+    /// `(offset, fingerprint)` pair, in strictly increasing offset order
+    /// — exactly the pairs `windows(data).filter(sampler)` yields, but
+    /// computed on [`SCAN_LANES`] independent rolling chains.
+    ///
+    /// The scalar rolling recurrence is a serial dependency chain: each
+    /// fingerprint needs the previous one, so the CPU waits out the
+    /// table-load latency once per byte. This kernel stripes the payload
+    /// into [`SCAN_LANES`] contiguous stripes, primes one rolling chain
+    /// per stripe, and advances all chains in lock-step — four
+    /// independent window positions per iteration, whose loads and folds
+    /// overlap in the out-of-order core. Each lane runs the *same*
+    /// append/remove table fold as [`roll`](Self::roll), so every
+    /// emitted fingerprint is bit-identical to the scalar path (and to
+    /// [`fingerprint_direct`](Self::fingerprint_direct), which the
+    /// property tests check).
+    ///
+    /// Payloads too short to pay for priming four chains fall back to
+    /// the scalar loop; the emitted stream is identical either way.
+    pub fn scan_sampled_batched(
+        &self,
+        data: &[u8],
+        sampler: &Sampler,
+        scratch: &mut LaneScratch,
+        mut emit: impl FnMut(u32, u64),
+    ) {
+        let w = self.window;
+        let n = data.len();
+        if n < w {
+            return;
+        }
+        let total = n - w + 1;
+        // Short payloads: priming SCAN_LANES chains costs SCAN_LANES
+        // window fingerprints; below this the scalar chain wins.
+        if total < 8 * w {
+            let mut fp = self.fingerprint(&data[..w]);
+            for pos in 0..total {
+                if sampler.selects(fp) {
+                    emit(pos as u32, fp);
+                }
+                if pos + 1 < total {
+                    fp = self.roll(fp, data[pos], data[pos + w]);
+                }
+            }
+            return;
+        }
+        // Stripe boundaries: SCAN_LANES contiguous ranges of window
+        // positions whose lengths differ by at most one.
+        let starts = [0, total / 4, total / 2, total * 3 / 4, total];
+        let mut fp = [0u64; SCAN_LANES];
+        for lane in &mut scratch.lanes {
+            lane.clear();
+        }
+        // Interleaved priming: each lane's first-window fold is its own
+        // serial chain, so folding all four in lock-step overlaps their
+        // table-load latencies the same way the main loop overlaps the
+        // rolls — the four primes finish in roughly the latency of one.
+        for i in 0..w {
+            for j in 0..SCAN_LANES {
+                fp[j] = self.append(fp[j], data[starts[j] + i]);
+            }
+        }
+        let min_len = (0..SCAN_LANES)
+            .map(|j| starts[j + 1] - starts[j])
+            .min()
+            .expect("SCAN_LANES > 0");
+        // Lock-step main loop: all four chains test-and-roll each
+        // iteration. Bounding i by min_len - 1 keeps every roll inside
+        // its stripe, so the body carries no per-lane length checks.
+        for i in 0..min_len - 1 {
+            for j in 0..SCAN_LANES {
+                let pos = starts[j] + i;
+                let f = fp[j];
+                if sampler.selects(f) {
+                    scratch.lanes[j].push((pos as u32, f));
+                }
+                fp[j] = self.roll(f, data[pos], data[pos + w]);
+            }
+        }
+        // Per-lane tail: stripe lengths differ by at most one, so this
+        // runs one or two positions per lane.
+        for j in 0..SCAN_LANES {
+            let len_j = starts[j + 1] - starts[j];
+            for i in min_len - 1..len_j {
+                let pos = starts[j] + i;
+                if sampler.selects(fp[j]) {
+                    scratch.lanes[j].push((pos as u32, fp[j]));
+                }
+                if i + 1 < len_j {
+                    fp[j] = self.roll(fp[j], data[pos], data[pos + w]);
+                }
+            }
+        }
+        // Drain stripes in order: lane j's offsets all precede lane
+        // j+1's, so concatenation is globally sorted.
+        for lane in &scratch.lanes {
+            for &(pos, f) in lane {
+                emit(pos, f);
+            }
         }
     }
 
@@ -400,6 +539,74 @@ mod tests {
     #[should_panic(expected = "window size")]
     fn zero_window_panics() {
         let _ = engine(0);
+    }
+
+    #[test]
+    fn direct_oracle_matches_table_driven_fingerprint() {
+        for window in [1usize, 2, 7, 16, 53] {
+            let e = engine(window);
+            let data: Vec<u8> = (0..300u32).map(|i| (i * 31 % 251) as u8).collect();
+            for (start, fp) in e.windows(&data) {
+                assert_eq!(
+                    fp,
+                    e.fingerprint_direct(&data[start..start + window]),
+                    "window {window} at {start}"
+                );
+            }
+        }
+    }
+
+    fn batched_pairs(e: &Fingerprinter, data: &[u8], sampler: &Sampler) -> Vec<(u32, u64)> {
+        let mut scratch = LaneScratch::default();
+        let mut got = Vec::new();
+        e.scan_sampled_batched(data, sampler, &mut scratch, |pos, fp| got.push((pos, fp)));
+        got
+    }
+
+    #[test]
+    fn batched_scan_equals_filtered_windows() {
+        // Cover both the scalar fallback (short payloads) and the
+        // four-lane path, with samplers from select-everything to sparse.
+        for window in [1usize, 4, 16] {
+            let e = engine(window);
+            for len in [0usize, 3, 16, 17, 100, 127, 128, 129, 500, 1400] {
+                let data: Vec<u8> = (0..len as u32)
+                    .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+                    .collect();
+                for bits in [0u32, 2, 4] {
+                    let s = Sampler::new(bits);
+                    let want: Vec<(u32, u64)> = e
+                        .windows(&data)
+                        .filter(|&(_, fp)| s.selects(fp))
+                        .map(|(off, fp)| (off as u32, fp))
+                        .collect();
+                    assert_eq!(
+                        batched_pairs(&e, &data, &s),
+                        want,
+                        "window {window} len {len} bits {bits}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_scratch_is_reusable() {
+        let e = engine(8);
+        let s = Sampler::new(1);
+        let mut scratch = LaneScratch::default();
+        let a: Vec<u8> = (0..900u32).map(|i| (i * 7 % 251) as u8).collect();
+        let b: Vec<u8> = (0..240u32).map(|i| (i * 13 % 251) as u8).collect();
+        for data in [&a, &b, &a] {
+            let mut got = Vec::new();
+            e.scan_sampled_batched(data, &s, &mut scratch, |pos, fp| got.push((pos, fp)));
+            let want: Vec<(u32, u64)> = e
+                .windows(data)
+                .filter(|&(_, fp)| s.selects(fp))
+                .map(|(off, fp)| (off as u32, fp))
+                .collect();
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

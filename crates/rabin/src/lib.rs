@@ -43,7 +43,7 @@ pub mod sampler;
 mod fingerprinter;
 mod polynomial;
 
-pub use fingerprinter::{Fingerprinter, RollingHash, Windows};
+pub use fingerprinter::{Fingerprinter, LaneScratch, RollingHash, Windows, SCAN_LANES};
 pub use polynomial::{Polynomial, PolynomialError};
 
 /// Number of significant bits in every fingerprint produced by this crate.

@@ -1,6 +1,7 @@
 //! Property-based tests for the Rabin fingerprinting engine.
 
-use bytecache_rabin::{gf2, Fingerprinter, Polynomial};
+use bytecache_rabin::sampler::Sampler;
+use bytecache_rabin::{gf2, Fingerprinter, LaneScratch, Polynomial};
 use proptest::prelude::*;
 
 proptest! {
@@ -10,6 +11,64 @@ proptest! {
         for (start, fp) in e.windows(&data) {
             prop_assert_eq!(fp, e.fingerprint(&data[start..start + w]));
         }
+    }
+
+    /// Every fingerprinting path — the table-driven append, the rolling
+    /// windows iterator, the byte-at-a-time rolling hasher, and the
+    /// batched multi-lane kernel — agrees with the direct GF(2)
+    /// polynomial-evaluation oracle, across random payloads, window
+    /// sizes 1–64, and random (seed-generated) moduli.
+    #[test]
+    fn all_paths_agree_with_gf2_oracle(
+        data in proptest::collection::vec(any::<u8>(), 0..700),
+        w in 1usize..=64,
+        poly_seed in 0u64..1000,
+    ) {
+        let e = Fingerprinter::new(Polynomial::generate(poly_seed), w);
+        // The oracle: direct bit-by-bit reduction of each window.
+        let oracle: Vec<(u32, u64)> = (0..(data.len() + 1).saturating_sub(w))
+            .map(|s| (s as u32, e.fingerprint_direct(&data[s..s + w])))
+            .collect();
+        // Windows iterator.
+        let rolled: Vec<(u32, u64)> =
+            e.windows(&data).map(|(s, fp)| (s as u32, fp)).collect();
+        prop_assert_eq!(&rolled, &oracle, "windows iterator vs oracle");
+        // Incremental rolling hasher.
+        let mut roll = e.rolling();
+        let mut incremental = Vec::new();
+        for (i, &b) in data.iter().enumerate() {
+            if let Some(fp) = roll.update(b) {
+                incremental.push(((i + 1 - w) as u32, fp));
+            }
+        }
+        prop_assert_eq!(&incremental, &oracle, "rolling hasher vs oracle");
+        // Batched multi-lane kernel with a select-everything sampler.
+        let mut scratch = LaneScratch::default();
+        let mut batched = Vec::new();
+        e.scan_sampled_batched(&data, &Sampler::new(0), &mut scratch, |pos, fp| {
+            batched.push((pos, fp));
+        });
+        prop_assert_eq!(&batched, &oracle, "batched kernel vs oracle");
+    }
+
+    /// The batched kernel's sampled stream is exactly the sampler-filtered
+    /// oracle stream, for real (sparse) samplers.
+    #[test]
+    fn batched_sampling_matches_oracle_filter(
+        data in proptest::collection::vec(any::<u8>(), 0..700),
+        w in 1usize..=64,
+        bits in 0u32..6,
+    ) {
+        let e = Fingerprinter::new(Polynomial::default(), w);
+        let s = Sampler::new(bits);
+        let want: Vec<(u32, u64)> = (0..(data.len() + 1).saturating_sub(w))
+            .map(|st| (st as u32, e.fingerprint_direct(&data[st..st + w])))
+            .filter(|&(_, fp)| s.selects(fp))
+            .collect();
+        let mut scratch = LaneScratch::default();
+        let mut got = Vec::new();
+        e.scan_sampled_batched(&data, &s, &mut scratch, |pos, fp| got.push((pos, fp)));
+        prop_assert_eq!(got, want);
     }
 
     #[test]
