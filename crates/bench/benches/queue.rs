@@ -1,0 +1,48 @@
+//! Event-queue benchmark: the same multiflow simulation driven by the
+//! `BinaryHeap` oracle and the hierarchical timing wheel.
+//!
+//! Both kinds replay a byte-identical event sequence (asserted via the
+//! run digest), so the wall-clock difference is pure scheduler cost:
+//! `O(log n)` heap sift + per-event allocation vs ~O(1) wheel slots
+//! over a recycling pool. `repro capacity` reports the same comparison
+//! as events/sec on the 10k-flow flash crowd.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytecache_experiments::multiflow::{run_multiflow, MultiflowConfig};
+use bytecache_netsim::QueueKind;
+
+/// Chains in the benched simulation (4 nodes each).
+const FLOWS: usize = 8;
+/// Object size per chain.
+const SIZE: usize = 100_000;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.sample_size(10);
+    let digests: Vec<String> = [QueueKind::Heap, QueueKind::Wheel]
+        .into_iter()
+        .map(|kind| run_multiflow(&MultiflowConfig::new(FLOWS, SIZE).queue(kind)).digest)
+        .collect();
+    assert_eq!(
+        digests[0], digests[1],
+        "queue kinds must replay identical runs"
+    );
+    for (label, kind) in [
+        ("multiflow_heap", QueueKind::Heap),
+        ("multiflow_wheel", QueueKind::Wheel),
+    ] {
+        g.bench_function(label, |b| {
+            let config = MultiflowConfig::new(FLOWS, SIZE).queue(kind);
+            b.iter(|| {
+                let r = run_multiflow(&config);
+                assert_eq!(r.completed, FLOWS);
+                r.events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queue);
+criterion_main!(benches);

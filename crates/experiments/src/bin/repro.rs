@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--quick] [--threads N] [--sim-workers N] [--metrics-out PATH]
+//! repro <experiment> [--quick] [--threads N] [--sim-workers N] [--queue KIND]
+//!                    [--metrics-out PATH]
 //! repro verify-metrics PATH [--require key1,key2,...]
 //!
 //! experiments:
@@ -28,6 +29,12 @@
 //!   recovery    extension — decoder cache wipe mid-transfer: stall time
 //!               and bytes sacrificed to safety (exit 1 on any corrupted
 //!               delivery)
+//!   capacity    extension — flash-crowd capacity: ~10k concurrent flows
+//!               through a sharded gateway bank; byte savings, stall
+//!               distributions, cache pressure, and heap-vs-wheel
+//!               events/sec (writes BENCH_capacity.json; exits 1 on
+//!               queue-kind divergence or a wheel regression below
+//!               0.9x heap)
 //!   sweep       alias for fig10 + fig11
 //!   all         everything above
 //!
@@ -38,7 +45,11 @@
 //!   is the serial oracle, >= 2 the conservative parallel (PDES)
 //!   engine. Results are byte-identical for every N >= 1. Default 0
 //!   keeps the legacy serial event loop. Wired into the scenario-based
-//!   harnesses (recovery) and added to simthroughput's scaling sweep.
+//!   harnesses (recovery), capacity, and simthroughput's scaling sweep.
+//! --queue heap|wheel pins the event-queue kind for the capacity
+//!   harness (default: run both and compare). Knobs are validated up
+//!   front: naming one that the selected experiment ignores is an
+//!   error (exit 2), not a silent no-op.
 //! --metrics-out PATH writes a telemetry snapshot (JSONL) merged across
 //!   the instrumented harnesses that ran (fig6, fig10/fig11, stalltrace,
 //!   hotpath). Tables on stdout are byte-identical with or without it.
@@ -49,10 +60,11 @@
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
-    ablation, fig6, hotpath, insights, interflow, kdistance, mobility, perceived, recovery,
-    shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
+    ablation, capacity, fig6, hotpath, insights, interflow, kdistance, mobility, perceived,
+    recovery, shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
 };
 use bytecache_netsim::time::SimDuration;
+use bytecache_netsim::QueueKind;
 
 struct Scale {
     object_size: usize,
@@ -123,12 +135,27 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let mut threads = 0usize; // 0 = one worker per available CPU
     let mut sim_workers = 0usize; // 0 = legacy serial event loop
+    let mut queue: Option<QueueKind> = None; // None = harness default
     let mut metrics_out: Option<String> = None;
     let mut require: Vec<String> = Vec::new();
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--threads" {
+        if arg == "--quick" {
+            // Already consumed above.
+        } else if arg == "--queue" {
+            queue = match it.next().map(String::as_str) {
+                Some("heap") => Some(QueueKind::Heap),
+                Some("wheel") => Some(QueueKind::Wheel),
+                other => {
+                    eprintln!(
+                        "--queue needs 'heap' or 'wheel' (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    std::process::exit(2);
+                }
+            };
+        } else if arg == "--threads" {
             threads = it
                 .next()
                 .and_then(|v| v.parse().ok())
@@ -159,7 +186,10 @@ fn main() {
                     eprintln!("--require needs a comma-separated key list");
                     std::process::exit(2);
                 });
-        } else if !arg.starts_with("--") {
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag '{arg}'; see the header of src/bin/repro.rs for usage");
+            std::process::exit(2);
+        } else {
             positional.push(arg);
         }
     }
@@ -194,11 +224,30 @@ fn main() {
         "hotpath",
         "simthroughput",
         "recovery",
+        "capacity",
         "sweep",
         "all",
     ];
     if !known.contains(&what.as_str()) {
         eprintln!("unknown experiment '{what}'; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    // Validate knob combinations up front: a knob the selected
+    // experiment ignores would otherwise be a silent no-op.
+    let sim_worker_aware = ["simthroughput", "recovery", "capacity", "all"];
+    if sim_workers > 0 && !sim_worker_aware.contains(&what.as_str()) {
+        eprintln!(
+            "--sim-workers is not wired into '{what}'; it applies to: {}",
+            sim_worker_aware.join(", ")
+        );
+        std::process::exit(2);
+    }
+    let queue_aware = ["capacity", "all"];
+    if queue.is_some() && !queue_aware.contains(&what.as_str()) {
+        eprintln!(
+            "--queue is not wired into '{what}'; it applies to: {}",
+            queue_aware.join(", ")
+        );
         std::process::exit(2);
     }
     let run = |name: &str| {
@@ -424,6 +473,62 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if run("capacity") {
+        let params = if quick {
+            capacity::CapacityParams::quick()
+        } else {
+            capacity::CapacityParams::full()
+        }
+        .sim_workers(sim_workers)
+        .queue(queue);
+        let r = if want_metrics {
+            let (r, rec) = capacity::run_with_metrics(&params);
+            metrics.merge(&rec);
+            r
+        } else {
+            capacity::run(&params)
+        };
+        println!("{}", capacity::render(&r));
+        // The harness doubles as the queue-equivalence smoke test: every
+        // run (kinds x reps) must digest byte-identically.
+        if !r.identical {
+            eprintln!("capacity: queue kinds diverged — wheel is not byte-identical to heap");
+            std::process::exit(1);
+        }
+        // Wall-clock lines are prefixed so CI can strip them before
+        // byte-comparing stdout across queue kinds.
+        for t in &r.timing {
+            println!(
+                "  timing: queue={} secs={:.3} events_per_sec={:.0}",
+                t.queue, t.secs, t.events_per_sec
+            );
+        }
+        for t in &r.replay {
+            println!(
+                "  timing: replay queue={} secs={:.3} events_per_sec={:.0}",
+                t.queue, t.secs, t.events_per_sec
+            );
+        }
+        if let Some(ratio) = r.replay_wheel_over_heap {
+            println!("  timing: replay wheel_over_heap={ratio:.2}x (scheduler-isolated)");
+        }
+        if let Some(ratio) = r.wheel_over_heap {
+            println!("  timing: wheel_over_heap={ratio:.2}x (end-to-end)");
+            // Regression gate: the wheel default must not fall below the
+            // heap oracle beyond noise.
+            if ratio < 0.9 {
+                eprintln!(
+                    "capacity regression: wheel is {ratio:.3}x heap events/sec (gate: >= 0.90x)"
+                );
+                std::process::exit(1);
+            }
+            let json = capacity::to_json(&params, &r);
+            std::fs::write("BENCH_capacity.json", &json)
+                .expect("write BENCH_capacity.json in the current directory");
+            println!("  wrote BENCH_capacity.json");
+        }
+        println!();
     }
     if run("mobility") {
         let r = mobility::run(scale.object_size, SimDuration::from_millis(200), 3);

@@ -1,0 +1,1000 @@
+//! Beyond the paper — flash-crowd capacity: tens of thousands of
+//! concurrent flows through a sharded gateway bank, timed on both
+//! event-queue kinds.
+//!
+//! The paper's motivating deployment is many wireless users fetching
+//! overlapping content through cache-equipped gateways. This harness
+//! builds that regime open-loop: a catalog of objects with Zipf
+//! popularity (the flash crowd piles onto the head object), flows
+//! arriving as a Poisson process, and a bank of encoder/decoder
+//! gateway shards each owning one rate-limited wireless link. Every
+//! flow is a full TCP download through its shard, so the run reports
+//! what the paper cares about at scale:
+//!
+//! * **aggregate byte savings** — encoder bytes-in vs bytes-out across
+//!   the bank (inter-flow DRE: later fetches of a popular object ride
+//!   the shard cache);
+//! * **per-flow stall and time-to-first-byte distributions** — from the
+//!   telemetry histograms (log-bucketed, so quantiles are octave
+//!   approximations);
+//! * **cache pressure** — insert/eviction counters and resident bytes
+//!   under a fixed per-shard byte budget;
+//! * **simulator events/sec** — the same simulation is timed under
+//!   [`QueueKind::Heap`] (the `BinaryHeap` oracle) and
+//!   [`QueueKind::Wheel`] (the timing wheel) and the two digests are
+//!   byte-compared, so the speed ratio is measured on *provably
+//!   identical* event sequences.
+//!
+//! `repro capacity` renders the deterministic report (identical for
+//! both queue kinds — the binary exits 1 if not), prints wall-clock
+//! lines separately (prefixed `timing:`, so CI can strip them before
+//! byte-comparing), and records `BENCH_capacity.json` with host
+//! metadata.
+
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use bytecache::gateway::{DecoderGateway, EncoderGateway};
+use bytecache::{Decoder, DreConfig, Encoder, PolicyKind};
+use bytecache_netsim::channel::{ChannelConfig, LossModel};
+use bytecache_netsim::time::SimDuration;
+use bytecache_netsim::{
+    replay_schedule, ExecMode, LinkConfig, LinkId, QueueKind, ScheduleOp, Simulator,
+};
+use bytecache_tcp::{TcpClientNode, TcpConfig, TcpServerNode};
+use bytecache_telemetry::{Histogram, Recorder};
+use bytecache_workload::{flash_crowd, generate, FlowSpec, ObjectKind};
+use bytes::Bytes;
+
+use crate::report::Table;
+
+/// Flash-crowd parameters.
+#[derive(Debug, Clone)]
+pub struct CapacityParams {
+    /// Total flows launched (each is one object download).
+    pub flows: usize,
+    /// Gateway shards; each owns one encoder/decoder pair and one
+    /// rate-limited wireless link. Flows are assigned round-robin.
+    pub shards: usize,
+    /// Distinct objects in the catalog.
+    pub catalog: usize,
+    /// Size of every catalog object in bytes.
+    pub object_size: usize,
+    /// Zipf popularity exponent (larger = heavier flash-crowd head).
+    pub zipf_exponent: f64,
+    /// Mean Poisson inter-arrival time between flow starts (µs).
+    pub mean_interarrival_us: f64,
+    /// Bernoulli loss rate on each shard's wireless data direction.
+    pub loss: f64,
+    /// DRE cache byte budget per shard (both encoder and decoder side).
+    pub cache_bytes: usize,
+    /// Encoding policy every shard's encoder runs.
+    pub policy: PolicyKind,
+    /// TCP receive window (bytes); bounds each flow's in-flight share
+    /// (the object size binds first for small objects).
+    pub receive_window: usize,
+    /// Wireless serialization rate per shard (bytes/sec).
+    pub link_rate: u64,
+    /// Simulation seed (channel + workload randomness).
+    pub seed: u64,
+    /// Simulator workers: `0` legacy serial, `1` deterministic serial
+    /// oracle, `>= 2` the conservative parallel engine.
+    pub sim_workers: usize,
+    /// Queue kind to run: `None` runs Heap *and* Wheel and compares.
+    pub queue: Option<QueueKind>,
+    /// Timing repetitions per queue kind (best-of).
+    pub reps: usize,
+}
+
+impl CapacityParams {
+    /// CI-sized smoke: ~500 flows, a few seconds of wall-clock.
+    #[must_use]
+    pub fn quick() -> Self {
+        CapacityParams {
+            flows: 500,
+            shards: 4,
+            catalog: 64,
+            object_size: 12_000,
+            zipf_exponent: 0.9,
+            mean_interarrival_us: 1_000.0,
+            loss: 0.0,
+            cache_bytes: 4 << 20,
+            policy: PolicyKind::CacheFlush,
+            receive_window: 17_376, // 12 x MSS
+            link_rate: 2_000_000,
+            seed: 42,
+            sim_workers: 0,
+            queue: None,
+            reps: 1,
+        }
+    }
+
+    /// The full capacity run: 25k flows, all concurrent at the peak.
+    ///
+    /// The 25k flows (24 kB objects — the paper's Table I web-page
+    /// scale) arrive in a ~0.5 s window while the shared 250 kB/s
+    /// wireless links need a minute-plus to drain, so the *entire*
+    /// crowd is in flight at the peak: the event queue averages ~190k
+    /// scheduled deliveries and retransmission-timer tombstones, which
+    /// is precisely the depth regime where `BinaryHeap`'s `O(log n)`
+    /// pops (with their cache-missing sift-downs) fall behind the
+    /// wheel's `O(1)` near-frontier placement.
+    ///
+    /// The policy is [`Naive`] — unrestricted matching, the only rule
+    /// that allows *inter-flow* matches, which is the entire flash-crowd
+    /// payoff (a 64-object catalog under Zipf 0.9 means most fetches
+    /// ride earlier flows' packets). The per-flow-safe policies
+    /// (`TcpSeq`, `KDistance`, `AckGated`) all refuse cross-flow
+    /// sources, so they would reduce this workload to intra-object
+    /// savings. Naive's loss exposure — matches against packets the
+    /// decoder never got — is repaired by the informed-marking loop the
+    /// harness wires up ([`DecoderGateway::with_nacks`]): the decoder
+    /// NACKs undecodable ids and the encoder marks them dead.
+    ///
+    /// [`Naive`]: bytecache::policy::Naive
+    /// [`DecoderGateway::with_nacks`]: bytecache::gateway::DecoderGateway::with_nacks
+    #[must_use]
+    pub fn full() -> Self {
+        CapacityParams {
+            flows: 25_000,
+            shards: 16,
+            catalog: 64,
+            object_size: 24_000,
+            zipf_exponent: 0.9,
+            mean_interarrival_us: 20.0,
+            loss: 0.000_5,
+            cache_bytes: 16 << 20,
+            policy: PolicyKind::Naive,
+            receive_window: 34_752, // 24 x MSS: the whole object can be in flight
+            link_rate: 250_000,
+            seed: 42,
+            sim_workers: 0,
+            queue: None,
+            reps: 3,
+        }
+    }
+
+    /// Set the simulator worker count (builder style).
+    #[must_use]
+    pub fn sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = workers;
+        self
+    }
+
+    /// Pin the queue kind (builder style); `None` compares both.
+    #[must_use]
+    pub fn queue(mut self, queue: Option<QueueKind>) -> Self {
+        self.queue = queue;
+        self
+    }
+}
+
+/// Wall-clock of one queue kind (the only non-deterministic output).
+#[derive(Debug, Clone)]
+pub struct QueueTiming {
+    /// `"heap"` or `"wheel"`.
+    pub queue: &'static str,
+    /// Best-of-reps wall-clock seconds for the simulation run.
+    pub secs: f64,
+    /// `events / secs`.
+    pub events_per_sec: f64,
+}
+
+/// Everything the harness measured. All fields except `timing` and
+/// `wheel_over_heap` are deterministic and identical across queue
+/// kinds (enforced by `identical`).
+#[derive(Debug, Clone)]
+pub struct CapacityResult {
+    /// Flows launched.
+    pub flows: usize,
+    /// Gateway shards.
+    pub shards: usize,
+    /// Nodes in the simulator.
+    pub nodes: usize,
+    /// Flows that completed with the full object delivered.
+    pub completed: usize,
+    /// Flows that aborted (max retransmissions exceeded).
+    pub aborted: usize,
+    /// Peak number of simultaneously active flows (arrival→completion
+    /// interval sweep; incomplete flows stay active to the end).
+    pub peak_concurrent: usize,
+    /// Original payload bytes into the encoder bank.
+    pub bytes_in: u64,
+    /// Encoded shim bytes out of the encoder bank.
+    pub bytes_out: u64,
+    /// `1 - bytes_out / bytes_in` — aggregate DRE byte savings.
+    pub savings_fraction: f64,
+    /// Bytes offered on the wireless data links (headers included).
+    pub wire_bytes: u64,
+    /// Per-flow worst ACK-clock stall, µs (p50/p90/p99/max; octave
+    /// resolution above the exact max).
+    pub stall_us: [u64; 4],
+    /// Per-flow time to first payload byte, µs (p50/p90/p99/max).
+    pub ttfb_us: [u64; 4],
+    /// Encoder-side cache inserts across the bank.
+    pub cache_inserts: u64,
+    /// Encoder-side cache evictions across the bank (byte budget).
+    pub cache_evictions: u64,
+    /// Resident encoder cache bytes at the end of the run.
+    pub cache_resident: u64,
+    /// Per-shard cache byte budget.
+    pub cache_budget: u64,
+    /// Undecodable packets dropped by the decoder bank.
+    pub decoder_dropped: u64,
+    /// Events the engine processed in one run.
+    pub events: u64,
+    /// Simulated end time, µs.
+    pub end_us: u64,
+    /// All runs (kinds × reps) produced byte-identical digests.
+    pub identical: bool,
+    /// Wall-clock per queue kind, in run order.
+    pub timing: Vec<QueueTiming>,
+    /// `wheel events/sec ÷ heap events/sec` when both kinds ran.
+    pub wheel_over_heap: Option<f64>,
+    /// Scheduler-isolated replay: the serial run's exact push/pop
+    /// schedule re-timed through each queue kind alone (see
+    /// [`replay_schedule`]). Empty for parallel runs — the per-worker
+    /// queues are not captured.
+    pub replay: Vec<QueueTiming>,
+    /// Replay speedup `heap secs ÷ wheel secs` when both kinds
+    /// replayed: the scheduler gap on this workload without the
+    /// encode/decode and protocol work that dominates end-to-end time.
+    pub replay_wheel_over_heap: Option<f64>,
+}
+
+/// Per-flow address block, disjoint from the `10.0.x.x` gateway plan.
+fn addr(flow: usize, host: u8) -> Ipv4Addr {
+    debug_assert!(flow < 250 * 200, "flow id out of the address plan");
+    Ipv4Addr::new(40 + (flow / 250) as u8, (flow % 250) as u8, 0, host)
+}
+
+/// Shard-local addresses: the decoder's own IP and the encoder's
+/// control (NACK/recovery) endpoint.
+fn shard_addr(shard: usize, host: u8) -> Ipv4Addr {
+    debug_assert!(shard < 250, "shard id out of the address plan");
+    Ipv4Addr::new(10, 0, shard as u8, host)
+}
+
+/// Outcome of one simulation run (one queue kind, one rep).
+struct RunOutcome {
+    digest: String,
+    secs: f64,
+    stats: RunStats,
+    metrics: Option<Recorder>,
+    /// The global queue's push/pop schedule (recording runs only).
+    schedule: Vec<ScheduleOp>,
+}
+
+/// The deterministic numbers extracted from one run.
+struct RunStats {
+    completed: usize,
+    aborted: usize,
+    peak_concurrent: usize,
+    bytes_in: u64,
+    bytes_out: u64,
+    wire_bytes: u64,
+    stall: Histogram,
+    ttfb: Histogram,
+    cache_inserts: u64,
+    cache_evictions: u64,
+    cache_resident: u64,
+    decoder_dropped: u64,
+    events: u64,
+    end_us: u64,
+    nodes: usize,
+}
+
+/// Build and run the flash crowd once under `kind`.
+fn run_one(
+    params: &CapacityParams,
+    objects: &[Bytes],
+    plan: &[FlowSpec],
+    kind: QueueKind,
+    with_metrics: bool,
+    record: bool,
+) -> RunOutcome {
+    let mut sim = Simulator::new(params.seed);
+    sim.set_queue_kind(kind);
+    match params.sim_workers {
+        0 => {}
+        1 => sim.set_exec_mode(ExecMode::SerialDet),
+        w => sim.set_exec_mode(ExecMode::Parallel { workers: w }),
+    }
+    if with_metrics {
+        sim.set_telemetry_enabled(true);
+    }
+    if record {
+        sim.record_schedule();
+    }
+
+    // The receive window bounds each flow's in-flight share so a
+    // 25k-flow crowd queues seconds, not minutes, at the shard links.
+    // A flash crowd through a 250 kB/s shaper sees multi-second
+    // queueing RTTs; RFC 6298's 1 s initial RTO would spuriously
+    // retransmit nearly every first-window segment before an RTT
+    // sample exists, so start (and floor) the RTO above the expected
+    // queueing delay.
+    let tcp = TcpConfig {
+        receive_window: params.receive_window,
+        max_retries: 20,
+        initial_rto: SimDuration::from_secs(5),
+        min_rto: SimDuration::from_secs(2),
+        ..TcpConfig::default()
+    };
+    let lan = LinkConfig {
+        rate_bytes_per_sec: None,
+        propagation: SimDuration::from_micros(200),
+        channel: ChannelConfig::clean(),
+    };
+    let data_channel = if params.loss > 0.0 {
+        ChannelConfig {
+            loss: LossModel::Bernoulli { rate: params.loss },
+            ..ChannelConfig::clean()
+        }
+    } else {
+        ChannelConfig::clean()
+    };
+    let dre = DreConfig {
+        cache_bytes: params.cache_bytes,
+        ..DreConfig::default()
+    };
+
+    // Gateway bank first (stable low node ids), flows after.
+    let shard_clients = |s: usize| {
+        (0..params.flows)
+            .filter(move |f| f % params.shards == s)
+            .map(|f| addr(f, 2))
+    };
+    let mut encs = Vec::with_capacity(params.shards);
+    let mut decs = Vec::with_capacity(params.shards);
+    let mut wireless: Vec<LinkId> = Vec::with_capacity(params.shards);
+    for s in 0..params.shards {
+        let mut enc_gw = EncoderGateway::for_destinations(
+            Encoder::new(dre.clone(), params.policy.build()),
+            shard_clients(s),
+        )
+        .with_control_addr(shard_addr(s, 3));
+        let mut dec_gw = DecoderGateway::for_destinations(
+            Decoder::new(dre.clone()),
+            shard_clients(s),
+            shard_addr(s, 4),
+        )
+        .with_nacks(shard_addr(s, 3));
+        if with_metrics {
+            enc_gw.set_telemetry_enabled(true);
+            dec_gw.set_telemetry_enabled(true);
+        }
+        let enc = sim.add_node(enc_gw);
+        let dec = sim.add_node(dec_gw);
+        wireless.push(sim.add_link(
+            enc,
+            dec,
+            LinkConfig {
+                rate_bytes_per_sec: Some(params.link_rate),
+                propagation: SimDuration::from_millis(10),
+                channel: data_channel.clone(),
+            },
+        ));
+        sim.add_link(
+            dec,
+            enc,
+            LinkConfig {
+                rate_bytes_per_sec: Some(params.link_rate),
+                propagation: SimDuration::from_millis(10),
+                channel: ChannelConfig::clean(),
+            },
+        );
+        sim.add_route(dec, shard_addr(s, 3), enc);
+        encs.push(enc);
+        decs.push(dec);
+    }
+
+    let mut clients = Vec::with_capacity(params.flows);
+    for (f, spec) in plan.iter().enumerate() {
+        let s = f % params.shards;
+        let (enc, dec) = (encs[s], decs[s]);
+        let server_ip = addr(f, 1);
+        let client_ip = addr(f, 2);
+        // Catalog objects are ref-counted: 10k servers share the
+        // catalog's payload memory instead of cloning it.
+        let server = sim.add_node(TcpServerNode::new(
+            server_ip,
+            80,
+            objects[spec.object].clone(),
+            tcp.clone(),
+        ));
+        let client = sim.add_node(
+            TcpClientNode::new(client_ip, 40_000, server_ip, 80, tcp.clone())
+                .with_start_delay(SimDuration::from_micros(spec.start_us)),
+        );
+        sim.add_duplex_link(server, enc, lan.clone());
+        sim.add_duplex_link(dec, client, lan.clone());
+
+        sim.add_route(server, client_ip, enc);
+        sim.add_route(enc, client_ip, dec);
+        sim.add_route(dec, client_ip, client);
+        sim.add_route(client, server_ip, dec);
+        sim.add_route(dec, server_ip, enc);
+        sim.add_route(enc, server_ip, server);
+        clients.push(client);
+    }
+    let nodes = params.flows * 2 + params.shards * 2;
+
+    let started = Instant::now();
+    let end = sim.run_until_idle();
+    let secs = started.elapsed().as_secs_f64();
+
+    // ---- extract the deterministic report ------------------------------
+    let mut completed = 0usize;
+    let mut aborted = 0usize;
+    let mut delivered = 0u64;
+    let mut stall = Histogram::default();
+    let mut ttfb = Histogram::default();
+    // Active-interval sweep for peak concurrency: +1 at arrival, -1 at
+    // completion (incomplete flows stay active to the end).
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(params.flows * 2);
+    let mut own = with_metrics.then(Recorder::enabled);
+    let mut digest = String::new();
+    for (f, &client) in clients.iter().enumerate() {
+        let report = sim.node::<TcpClientNode>(client).expect("client").report();
+        let full = report.complete && report.bytes_delivered == params.object_size as u64;
+        completed += usize::from(full);
+        aborted += usize::from(report.aborted);
+        delivered += report.bytes_delivered;
+        let start_us = report
+            .started_at
+            .map_or(plan[f].start_us, |t| t.as_micros());
+        let end_us = report
+            .completed_at
+            .map_or(end.as_micros(), |t| t.as_micros());
+        edges.push((start_us, 1));
+        edges.push((end_us.max(start_us), -1));
+        let stall_us = report.max_stall.map_or(0, |d| d.as_micros());
+        let ttfb_us = report
+            .first_byte_at
+            .map_or(0, |t| t.as_micros().saturating_sub(start_us));
+        stall.record(stall_us);
+        ttfb.record(ttfb_us);
+        if let Some(rec) = own.as_mut() {
+            rec.record("capacity.stall_us", stall_us);
+            rec.record("capacity.ttfb_us", ttfb_us);
+        }
+        let _ = writeln!(
+            digest,
+            "flow={f} obj={} complete={full} bytes={} start={start_us} end={end_us} \
+             stall={stall_us} ttfb={ttfb_us}",
+            plan[f].object, report.bytes_delivered,
+        );
+    }
+    edges.sort_unstable();
+    let (mut active, mut peak) = (0i64, 0i64);
+    for (_, d) in edges {
+        active += d;
+        peak = peak.max(active);
+    }
+
+    let mut bytes_in = 0u64;
+    let mut bytes_out = 0u64;
+    let mut wire_bytes = 0u64;
+    let mut cache_inserts = 0u64;
+    let mut cache_evictions = 0u64;
+    let mut cache_resident = 0u64;
+    let mut decoder_dropped = 0u64;
+    for s in 0..params.shards {
+        let enc = sim.node::<EncoderGateway>(encs[s]).expect("encoder");
+        let st = enc.stats();
+        let cs = enc.encoder().cache().stats().clone();
+        bytes_in += st.bytes_in;
+        bytes_out += st.bytes_out;
+        cache_inserts += cs.inserts;
+        cache_evictions += cs.evictions;
+        cache_resident += enc.encoder().cache().bytes_used() as u64;
+        let dec = sim.node::<DecoderGateway>(decs[s]).expect("decoder");
+        decoder_dropped += dec.dropped();
+        let ws = sim.link_stats(wireless[s]);
+        wire_bytes += ws.bytes_offered;
+        let _ = writeln!(
+            digest,
+            "shard={s} in={} out={} inserts={} evictions={} resident={} dropped={} \
+             offered={} lost={} delivered={}",
+            st.bytes_in,
+            st.bytes_out,
+            cs.inserts,
+            cs.evictions,
+            enc.encoder().cache().bytes_used(),
+            dec.dropped(),
+            ws.packets_offered,
+            ws.packets_lost,
+            ws.packets_delivered,
+        );
+    }
+    let _ = writeln!(
+        digest,
+        "end_us={} events={} no_route={} delivered={delivered}",
+        end.as_micros(),
+        sim.events_processed(),
+        sim.no_route_drops()
+    );
+
+    let metrics = own.map(|per_flow| {
+        // Simulator series (queue depth, hop latency, channel events),
+        // the gateway bank's encoder/decoder/cache series, and the
+        // per-flow capacity histograms recorded above.
+        let mut rec = sim.telemetry_snapshot();
+        for s in 0..params.shards {
+            let enc = sim.node::<EncoderGateway>(encs[s]).expect("encoder");
+            let dec = sim.node::<DecoderGateway>(decs[s]).expect("decoder");
+            rec.merge(&enc.telemetry_snapshot());
+            rec.merge(&dec.telemetry_snapshot());
+        }
+        rec.merge(&per_flow);
+        rec
+    });
+    let schedule = sim.take_schedule();
+
+    RunOutcome {
+        digest,
+        secs,
+        stats: RunStats {
+            completed,
+            aborted,
+            peak_concurrent: usize::try_from(peak).unwrap_or(0),
+            bytes_in,
+            bytes_out,
+            wire_bytes,
+            stall,
+            ttfb,
+            cache_inserts,
+            cache_evictions,
+            cache_resident,
+            decoder_dropped,
+            events: sim.events_processed(),
+            end_us: end.as_micros(),
+            nodes,
+        },
+        metrics,
+        schedule,
+    }
+}
+
+/// Run the configured queue kinds (both, unless pinned) and assemble
+/// the comparison.
+#[must_use]
+pub fn run(params: &CapacityParams) -> CapacityResult {
+    run_inner(params, false).0
+}
+
+/// Like [`run`], also returning a telemetry snapshot (simulator series
+/// plus the `capacity.stall_us` / `capacity.ttfb_us` histograms) from
+/// an instrumented pass of the last queue kind.
+#[must_use]
+pub fn run_with_metrics(params: &CapacityParams) -> (CapacityResult, Recorder) {
+    let (result, rec) = run_inner(params, true);
+    (result, rec.expect("metrics requested"))
+}
+
+fn run_inner(params: &CapacityParams, with_metrics: bool) -> (CapacityResult, Option<Recorder>) {
+    assert!(params.flows > 0 && params.shards > 0 && params.catalog > 0);
+    // Web-page-like objects: high intra-object redundancy plus the
+    // inter-flow redundancy of the shared catalog.
+    let objects: Vec<Bytes> = (0..params.catalog)
+        .map(|i| {
+            Bytes::from(generate(
+                ObjectKind::WebPage,
+                params.object_size,
+                params.seed.wrapping_add(i as u64),
+            ))
+        })
+        .collect();
+    let plan = flash_crowd(
+        params.flows,
+        params.catalog,
+        params.zipf_exponent,
+        params.mean_interarrival_us,
+        params.seed,
+    );
+
+    let kinds: Vec<QueueKind> = match params.queue {
+        Some(k) => vec![k],
+        None => vec![QueueKind::Heap, QueueKind::Wheel],
+    };
+    let reps = params.reps.max(1);
+
+    let mut identical = true;
+    let mut metrics: Option<Recorder> = None;
+
+    // Untimed reference run. Its digest anchors the byte-identical check
+    // and (for serial runs) its push/pop log feeds the scheduler-isolated
+    // replay below. Parallel engines use per-worker queues the log does
+    // not capture, so replay is serial-only.
+    let record = params.sim_workers <= 1;
+    let reference_run = run_one(params, &objects, &plan, kinds[0], false, record);
+    let reference: String = reference_run.digest;
+    let schedule = reference_run.schedule;
+    let mut primary: Option<RunStats> = Some(reference_run.stats);
+
+    // Reps are interleaved (heap, wheel, heap, wheel, ...) rather than
+    // batched per kind, so slow host drift (background load, frequency
+    // scaling) and allocator warm-up land on both kinds alike; best-of
+    // then compares a warm heap rep against a warm wheel rep.
+    let mut best = vec![f64::INFINITY; kinds.len()];
+    for _ in 0..reps {
+        for (i, &kind) in kinds.iter().enumerate() {
+            let out = run_one(params, &objects, &plan, kind, false, false);
+            best[i] = best[i].min(out.secs);
+            identical &= reference == out.digest;
+            primary = Some(out.stats);
+        }
+    }
+    // Telemetry is collected in a separate untimed pass so the timed
+    // comparison stays instrumentation-free.
+    if with_metrics {
+        let kind = *kinds.last().expect("non-empty");
+        let inst = run_one(params, &objects, &plan, kind, true, false);
+        identical &= reference == inst.digest;
+        metrics = inst.metrics;
+        primary = Some(inst.stats);
+    }
+    let stats = primary.expect("at least one kind ran");
+    let timing: Vec<QueueTiming> = kinds
+        .iter()
+        .zip(&best)
+        .map(|(&kind, &secs)| QueueTiming {
+            queue: match kind {
+                QueueKind::Heap => "heap",
+                QueueKind::Wheel => "wheel",
+            },
+            secs,
+            events_per_sec: stats.events as f64 / secs,
+        })
+        .collect();
+
+    let wheel_over_heap = {
+        let rate = |label: &str| {
+            timing
+                .iter()
+                .find(|t| t.queue == label)
+                .map(|t| t.events_per_sec)
+        };
+        match (rate("heap"), rate("wheel")) {
+            (Some(h), Some(w)) if h > 0.0 => Some(w / h),
+            _ => None,
+        }
+    };
+
+    // Scheduler-isolated replay: re-drive the reference run's exact
+    // push/pop schedule through each queue kind with everything else (DRE
+    // encode/decode, TCP, channel model) stripped away. The end-to-end
+    // numbers above dilute the scheduler delta roughly 10:1 behind
+    // encode/decode work; this measures the subsystem under test on its
+    // true production schedule. Same interleaved best-of discipline.
+    let mut replay = Vec::new();
+    let mut replay_wheel_over_heap = None;
+    if !schedule.is_empty() {
+        let mut rbest = vec![f64::INFINITY; kinds.len()];
+        let mut pops = 0u64;
+        for _ in 0..reps {
+            for (i, &kind) in kinds.iter().enumerate() {
+                let t0 = Instant::now();
+                pops = replay_schedule(&schedule, kind);
+                rbest[i] = rbest[i].min(t0.elapsed().as_secs_f64());
+            }
+        }
+        replay = kinds
+            .iter()
+            .zip(&rbest)
+            .map(|(&kind, &secs)| QueueTiming {
+                queue: match kind {
+                    QueueKind::Heap => "heap",
+                    QueueKind::Wheel => "wheel",
+                },
+                secs,
+                events_per_sec: pops as f64 / secs,
+            })
+            .collect();
+        let secs_of = |label: &str| replay.iter().find(|t| t.queue == label).map(|t| t.secs);
+        if let (Some(h), Some(w)) = (secs_of("heap"), secs_of("wheel")) {
+            if w > 0.0 {
+                replay_wheel_over_heap = Some(h / w);
+            }
+        }
+    }
+
+    let q = |h: &Histogram| {
+        [
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.90).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max().unwrap_or(0),
+        ]
+    };
+    let result = CapacityResult {
+        flows: params.flows,
+        shards: params.shards,
+        nodes: stats.nodes,
+        completed: stats.completed,
+        aborted: stats.aborted,
+        peak_concurrent: stats.peak_concurrent,
+        bytes_in: stats.bytes_in,
+        bytes_out: stats.bytes_out,
+        savings_fraction: if stats.bytes_in == 0 {
+            0.0
+        } else {
+            1.0 - stats.bytes_out as f64 / stats.bytes_in as f64
+        },
+        wire_bytes: stats.wire_bytes,
+        stall_us: q(&stats.stall),
+        ttfb_us: q(&stats.ttfb),
+        cache_inserts: stats.cache_inserts,
+        cache_evictions: stats.cache_evictions,
+        cache_resident: stats.cache_resident,
+        cache_budget: params.cache_bytes as u64,
+        decoder_dropped: stats.decoder_dropped,
+        events: stats.events,
+        end_us: stats.end_us,
+        identical,
+        timing,
+        wheel_over_heap,
+        replay,
+        replay_wheel_over_heap,
+    };
+    (result, metrics)
+}
+
+/// Render the deterministic report (no wall-clock values; those are the
+/// `timing:` lines the `repro` binary prints separately).
+#[must_use]
+pub fn render(r: &CapacityResult) -> Table {
+    let mut t = Table::new(
+        &format!(
+            "capacity — flash crowd: {} flows over {} gateway shards ({} nodes)",
+            r.flows, r.shards, r.nodes
+        ),
+        &["measure", "value"],
+    );
+    t.row(&[
+        "flows complete / aborted".to_string(),
+        format!("{}/{} / {}", r.completed, r.flows, r.aborted),
+    ]);
+    t.row(&[
+        "peak concurrent flows".to_string(),
+        format!("{}", r.peak_concurrent),
+    ]);
+    t.row(&[
+        "encoder bytes in -> out".to_string(),
+        format!(
+            "{} -> {} (savings {:.1}%)",
+            r.bytes_in,
+            r.bytes_out,
+            r.savings_fraction * 100.0
+        ),
+    ]);
+    t.row(&[
+        "wireless wire bytes".to_string(),
+        format!("{}", r.wire_bytes),
+    ]);
+    t.row(&[
+        "stall p50/p90/p99/max (ms)".to_string(),
+        format!(
+            "{:.1} / {:.1} / {:.1} / {:.1}",
+            r.stall_us[0] as f64 / 1e3,
+            r.stall_us[1] as f64 / 1e3,
+            r.stall_us[2] as f64 / 1e3,
+            r.stall_us[3] as f64 / 1e3
+        ),
+    ]);
+    t.row(&[
+        "ttfb p50/p90/p99/max (ms)".to_string(),
+        format!(
+            "{:.1} / {:.1} / {:.1} / {:.1}",
+            r.ttfb_us[0] as f64 / 1e3,
+            r.ttfb_us[1] as f64 / 1e3,
+            r.ttfb_us[2] as f64 / 1e3,
+            r.ttfb_us[3] as f64 / 1e3
+        ),
+    ]);
+    t.row(&[
+        "encoder cache (bank totals)".to_string(),
+        format!(
+            "{} inserts, {} evictions, {} resident / {} bank budget ({} per shard)",
+            r.cache_inserts,
+            r.cache_evictions,
+            r.cache_resident,
+            r.cache_budget * r.shards as u64,
+            r.cache_budget
+        ),
+    ]);
+    t.row(&[
+        "decoder undecodable drops".to_string(),
+        format!("{}", r.decoder_dropped),
+    ]);
+    t.row(&[
+        "events (one run)".to_string(),
+        format!("{} (idle at {:.2} s)", r.events, r.end_us as f64 / 1e6),
+    ]);
+    t.row(&[
+        "queue kinds byte-identical".to_string(),
+        format!("{}", r.identical),
+    ]);
+    t
+}
+
+/// Serialize to the `BENCH_capacity.json` document (hand-rolled, like
+/// the other `BENCH_*` writers — the workspace carries no JSON dep).
+#[must_use]
+pub fn to_json(params: &CapacityParams, r: &CapacityResult) -> String {
+    let mut out = String::from("{\n  \"bench\": \"capacity\",\n");
+    out.push_str(&format!(
+        "  \"host\": {},\n",
+        crate::host::HostInfo::detect().to_json_object()
+    ));
+    out.push_str(
+        "  \"note\": \"events/sec is wall-clock-bound and host-specific; compare the \
+         heap-vs-wheel ratio, not absolute rates, across machines. both queue kinds \
+         produce byte-identical simulations (identical=true or the harness exits 1). \
+         timing/wheel_over_heap is end-to-end and dilutes the scheduler behind DRE \
+         encode+decode work; replay/replay_wheel_over_heap re-drives the recorded \
+         push/pop schedule through each queue alone and isolates scheduler cost. \
+         stall/ttfb quantiles have octave (power-of-two bucket) resolution\",\n",
+    );
+    out.push_str(&format!(
+        "  \"config\": {{\"flows\": {}, \"shards\": {}, \"catalog\": {}, \
+         \"object_size\": {}, \"zipf_exponent\": {}, \"mean_interarrival_us\": {}, \
+         \"loss\": {}, \"cache_bytes_per_shard\": {}, \"policy\": \"{:?}\", \
+         \"link_rate_bytes_per_sec\": {}, \"sim_workers\": {}, \"seed\": {}}},\n",
+        params.flows,
+        params.shards,
+        params.catalog,
+        params.object_size,
+        params.zipf_exponent,
+        params.mean_interarrival_us,
+        params.loss,
+        params.cache_bytes,
+        params.policy,
+        params.link_rate,
+        params.sim_workers,
+        params.seed
+    ));
+    out.push_str(&format!(
+        "  \"outcome\": {{\"completed\": {}, \"aborted\": {}, \"peak_concurrent\": {}, \
+         \"bytes_in\": {}, \"bytes_out\": {}, \"savings_fraction\": {:.4}, \
+         \"wire_bytes\": {}, \"stall_us\": [{}, {}, {}, {}], \"ttfb_us\": [{}, {}, {}, {}], \
+         \"cache_inserts\": {}, \"cache_evictions\": {}, \"cache_resident\": {}, \
+         \"decoder_dropped\": {}, \"events\": {}, \"end_us\": {}, \"identical\": {}}},\n",
+        r.completed,
+        r.aborted,
+        r.peak_concurrent,
+        r.bytes_in,
+        r.bytes_out,
+        r.savings_fraction,
+        r.wire_bytes,
+        r.stall_us[0],
+        r.stall_us[1],
+        r.stall_us[2],
+        r.stall_us[3],
+        r.ttfb_us[0],
+        r.ttfb_us[1],
+        r.ttfb_us[2],
+        r.ttfb_us[3],
+        r.cache_inserts,
+        r.cache_evictions,
+        r.cache_resident,
+        r.decoder_dropped,
+        r.events,
+        r.end_us,
+        r.identical
+    ));
+    out.push_str("  \"timing\": [");
+    for (i, t) in r.timing.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"queue\": \"{}\", \"secs\": {:.3}, \"events_per_sec\": {:.0}}}",
+            if i == 0 { "" } else { ", " },
+            t.queue,
+            t.secs,
+            t.events_per_sec
+        ));
+    }
+    out.push_str("],\n");
+    match r.wheel_over_heap {
+        Some(x) => out.push_str(&format!("  \"wheel_over_heap\": {x:.3},\n")),
+        None => out.push_str("  \"wheel_over_heap\": null,\n"),
+    }
+    out.push_str("  \"replay\": [");
+    for (i, t) in r.replay.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"queue\": \"{}\", \"secs\": {:.3}, \"events_per_sec\": {:.0}}}",
+            if i == 0 { "" } else { ", " },
+            t.queue,
+            t.secs,
+            t.events_per_sec
+        ));
+    }
+    out.push_str("],\n");
+    match r.replay_wheel_over_heap {
+        Some(x) => out.push_str(&format!("  \"replay_wheel_over_heap\": {x:.3}\n}}\n")),
+        None => out.push_str("  \"replay_wheel_over_heap\": null\n}\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CapacityParams {
+        CapacityParams {
+            flows: 40,
+            shards: 2,
+            catalog: 8,
+            object_size: 6_000,
+            zipf_exponent: 1.0,
+            mean_interarrival_us: 2_000.0,
+            loss: 0.0,
+            cache_bytes: 1 << 20,
+            policy: PolicyKind::CacheFlush,
+            receive_window: 17_376,
+            link_rate: 2_000_000,
+            seed: 7,
+            sim_workers: 0,
+            queue: None,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn tiny_crowd_is_identical_across_queue_kinds_and_saves_bytes() {
+        let r = run(&tiny());
+        assert!(r.identical, "heap and wheel digests must match");
+        assert_eq!(r.completed, 40, "clean channel: every flow completes");
+        assert_eq!(r.aborted, 0);
+        assert!(r.peak_concurrent > 1, "arrivals must overlap");
+        assert!(
+            r.savings_fraction > 0.2,
+            "zipf catalog reuse should compress: {:.3}",
+            r.savings_fraction
+        );
+        assert_eq!(r.timing.len(), 2);
+        assert!(r.wheel_over_heap.is_some());
+        assert_eq!(r.decoder_dropped, 0);
+
+        let json = to_json(&tiny(), &r);
+        assert!(json.contains("\"bench\": \"capacity\""));
+        assert!(json.contains("\"cpu_model\""));
+        assert!(json.contains("\"queue\": \"heap\""));
+        assert!(json.contains("\"queue\": \"wheel\""));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        let table = render(&r).render();
+        assert!(table.contains("flash crowd"));
+        assert!(table.contains("byte-identical"));
+    }
+
+    #[test]
+    fn pinned_queue_runs_single_kind_and_pdes_matches() {
+        let heap = run(&tiny().queue(Some(QueueKind::Heap)));
+        assert_eq!(heap.timing.len(), 1);
+        assert_eq!(heap.timing[0].queue, "heap");
+        assert!(heap.wheel_over_heap.is_none());
+
+        // The deterministic engines agree with each other under both
+        // kinds (the full cross-product lives in the netsim proptests).
+        let w1 = run(&tiny().sim_workers(1));
+        let w2 = run(&tiny().sim_workers(2));
+        assert!(w1.identical && w2.identical);
+        assert_eq!(w1.completed, w2.completed);
+        assert_eq!(w1.events, w2.events);
+        assert_eq!(w1.stall_us, w2.stall_us);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_the_capacity_histograms() {
+        let (r, rec) = run_with_metrics(&tiny().queue(Some(QueueKind::Wheel)));
+        assert!(r.identical);
+        let stall = rec.hist("capacity.stall_us").expect("stall histogram");
+        assert_eq!(stall.count(), 40);
+        assert!(rec.hist("capacity.ttfb_us").is_some());
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`hotpath`] | beyond the paper — fused scan-and-index vs two-pass encoder throughput |
 //! | [`simthroughput`] | beyond the paper — parallel campaign wall-clock and zero-copy payload path |
 //! | [`recovery`] | beyond the paper — decoder cache wipe mid-transfer: stall time and bytes sacrificed to safety |
+//! | [`capacity`] | beyond the paper — 10k-flow flash crowd through a gateway bank; heap-vs-wheel events/sec |
 //!
 //! Experiment grids execute on the [`campaign`] executor: deterministic
 //! parallel fan-out whose output is byte-identical for every thread
@@ -40,6 +41,7 @@
 
 pub mod ablation;
 pub mod campaign;
+pub mod capacity;
 pub mod fig6;
 pub mod host;
 pub mod hotpath;

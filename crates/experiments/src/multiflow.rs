@@ -18,7 +18,7 @@ use bytecache::gateway::{DecoderGateway, EncoderGateway};
 use bytecache::{Decoder, DreConfig, Encoder, PolicyKind};
 use bytecache_netsim::channel::{ChannelConfig, LossModel};
 use bytecache_netsim::time::{SimDuration, SimTime};
-use bytecache_netsim::{ExecMode, LinkConfig, LinkId, Simulator};
+use bytecache_netsim::{ExecMode, LinkConfig, LinkId, QueueKind, Simulator};
 use bytecache_tcp::{TcpClientNode, TcpConfig, TcpServerNode};
 use bytecache_workload::FileSpec;
 use std::fmt::Write as _;
@@ -38,6 +38,8 @@ pub struct MultiflowConfig {
     /// Simulator worker threads: `0` legacy serial, `1` the
     /// deterministic serial oracle, `>= 2` the parallel engine.
     pub sim_workers: usize,
+    /// Event-queue kind (heap oracle or timing wheel).
+    pub queue: QueueKind,
 }
 
 impl MultiflowConfig {
@@ -51,6 +53,7 @@ impl MultiflowConfig {
             loss_rate: 0.02,
             seed: 11,
             sim_workers: 0,
+            queue: QueueKind::default(),
         }
     }
 
@@ -58,6 +61,13 @@ impl MultiflowConfig {
     #[must_use]
     pub fn sim_workers(mut self, workers: usize) -> Self {
         self.sim_workers = workers;
+        self
+    }
+
+    /// Set the event-queue kind (builder style).
+    #[must_use]
+    pub fn queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
         self
     }
 }
@@ -97,6 +107,7 @@ fn addr(flow: usize, host: u8) -> Ipv4Addr {
 #[must_use]
 pub fn run_multiflow(config: &MultiflowConfig) -> MultiflowResult {
     let mut sim = Simulator::new(config.seed);
+    sim.set_queue_kind(config.queue);
     match config.sim_workers {
         0 => {}
         1 => sim.set_exec_mode(ExecMode::SerialDet),
@@ -240,6 +251,13 @@ mod tests {
         assert!(a.events > 0);
         let b = run_multiflow(&cfg);
         assert_eq!(a, b, "same config must reproduce the same run");
+    }
+
+    #[test]
+    fn queue_kinds_digest_identically() {
+        let wheel = run_multiflow(&MultiflowConfig::new(3, 40_000));
+        let heap = run_multiflow(&MultiflowConfig::new(3, 40_000).queue(QueueKind::Heap));
+        assert_eq!(wheel, heap, "wheel must replay the heap's run exactly");
     }
 
     #[test]

@@ -16,7 +16,6 @@
 //! lookahead (a cross-partition link with no propagation delay would
 //! stall the window protocol), or an empty topology.
 
-use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use crate::link::LinkState;
@@ -51,11 +50,14 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
         }
         None => PartitionPlan::blocks(total_nodes, w),
     };
+    let link_states = &sim.links;
     let plan = PartitionPlan::new(
         assignment,
         w,
-        sim.link_index.iter().map(|(&(from, to), &id)| {
-            (from.0, to.0, sim.links[id.0].config.propagation.as_micros())
+        sim.out_links.iter().enumerate().flat_map(|(from, outs)| {
+            outs.iter().map(move |&(to, id)| {
+                (from, to.0, link_states[id.0].config.propagation.as_micros())
+            })
         }),
     );
 
@@ -66,6 +68,7 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
     // ---- distribute -----------------------------------------------------
     let telemetry_on = sim.telemetry.is_enabled();
     let trace_on = sim.trace.is_some();
+    let queue_kind = sim.queue.kind();
     let mut crew: Vec<Worker> = (0..w)
         .map(|id| {
             Worker::new(
@@ -74,6 +77,7 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
                 total_nodes,
                 plan.assignment.clone(),
                 plan.lookahead_us,
+                queue_kind,
                 telemetry_on,
                 trace_on,
             )
@@ -93,8 +97,10 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
 
     let links = std::mem::take(&mut sim.links);
     let mut endpoints: Vec<Option<(NodeId, NodeId)>> = vec![None; links.len()];
-    for (&(from, to), &id) in &sim.link_index {
-        endpoints[id.0] = Some((from, to));
+    for (from, outs) in sim.out_links.iter().enumerate() {
+        for &(to, id) in outs {
+            endpoints[id.0] = Some((NodeId(from), to));
+        }
     }
     for (id, link) in links.into_iter().enumerate() {
         let (from, to) = endpoints[id].expect("link without endpoints");
@@ -103,16 +109,13 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
         crew[plan.assignment[from.0]].adopt_link(id, from, to, link);
     }
 
-    let queue = std::mem::take(&mut sim.queue);
-    for std::cmp::Reverse(q) in queue {
+    while let Some(q) = sim.queue.pop() {
         let target = match &q.event {
             Event::Deliver { to, .. } => to.0,
             Event::Timer { node, .. } => node.0,
             Event::RouteChange { node, .. } => node.0,
         };
-        crew[plan.assignment[target]]
-            .queue
-            .push(std::cmp::Reverse(q));
+        crew[plan.assignment[target]].queue.push(q);
     }
 
     // ---- run ------------------------------------------------------------
@@ -165,7 +168,7 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
 
     // ---- merge back (deterministic: worker order, node-id order) --------
     let mut nodes_back: Vec<Option<Box<dyn SimNode>>> = (0..total_nodes).map(|_| None).collect();
-    let mut routes_back: Vec<Option<HashMap<std::net::Ipv4Addr, NodeId>>> =
+    let mut routes_back: Vec<Option<crate::fxhash::RouteMap>> =
         (0..total_nodes).map(|_| None).collect();
     let mut oseq_back = vec![0u64; total_nodes];
     let mut links_back: Vec<Option<LinkState>> = (0..endpoints.len()).map(|_| None).collect();
@@ -199,6 +202,9 @@ pub(crate) fn run(sim: &mut Simulator, workers: usize, limit: Option<SimTime>) -
         for (id, link) in links {
             links_back[id] = Some(link);
         }
+        // The simulator's queue was fully drained at distribution, so
+        // (for the wheel) it is unbased and re-bases at the merged
+        // minimum on the next run — push order is immaterial.
         while let Some(q) = queue.pop() {
             sim.queue.push(q);
         }

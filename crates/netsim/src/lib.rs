@@ -49,6 +49,7 @@ pub mod channel;
 pub mod time;
 
 mod engine;
+mod fxhash;
 mod link;
 mod node;
 mod partition;
@@ -56,6 +57,7 @@ mod sim;
 mod stats;
 mod synchronizer;
 mod trace;
+mod wheel;
 mod worker;
 
 pub use link::{LinkConfig, LinkId};
@@ -63,3 +65,4 @@ pub use node::{Action, Context, Node, NodeId};
 pub use sim::{AsAny, ExecMode, Simulator};
 pub use stats::LinkStats;
 pub use trace::{FnTrace, TelemetrySink, TraceEvent, TraceSink};
+pub use wheel::{replay_schedule, QueueKind, ScheduleOp};

@@ -7,8 +7,6 @@
 //! for `Parallel`, the conservative PDES engine in [`crate::engine`].
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 use bytecache_packet::Packet;
@@ -16,12 +14,14 @@ use bytecache_telemetry::{Event as TelemetryEvent, EventKind, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::fxhash::RouteMap;
 use crate::link::{LinkConfig, LinkId, LinkState, TxVerdict};
 use crate::node::{Action, Context, Node, NodeId};
 use crate::partition::link_rng_seed;
 use crate::stats::LinkStats;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{OwnedTraceEvent, TraceEvent, TraceSink};
+use crate::wheel::{EventQueue, QueueKind, ScheduleOp};
 
 /// Blanket helper granting `Any`-style downcasting to all nodes, so the
 /// harness can inspect endpoint state (e.g. download statistics) after a
@@ -118,6 +118,20 @@ pub(crate) struct Queued {
     pub(crate) event: Event,
 }
 
+// The queued-event record is the unit the scheduler moves around; keep
+// it within two cache lines. `Deliver` — the overwhelmingly common
+// variant — embeds the 80-byte `Packet` inline on purpose: boxing it
+// would shave bytes here but add an allocation plus a pointer chase to
+// every delivery, the exact costs the event pool exists to avoid. The
+// rare variants (`Timer`, `RouteChange`) are already small. These
+// assertions fail the build if `Packet` or a new variant grows the
+// record past that budget.
+const _: () = {
+    assert!(std::mem::size_of::<EventKey>() == 24);
+    assert!(std::mem::size_of::<Event>() <= 96);
+    assert!(std::mem::size_of::<Queued>() <= 120);
+};
+
 impl PartialEq for Queued {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
@@ -151,11 +165,17 @@ pub struct Simulator {
     pub(crate) mode: ExecMode,
     pub(crate) seed: u64,
     pub(crate) partition: Option<Vec<usize>>,
-    pub(crate) queue: BinaryHeap<Reverse<Queued>>,
+    pub(crate) queue: EventQueue,
     pub(crate) nodes: Vec<Box<dyn SimNode>>,
     pub(crate) links: Vec<LinkState>,
-    pub(crate) link_index: HashMap<(NodeId, NodeId), LinkId>,
-    pub(crate) routes: Vec<HashMap<Ipv4Addr, NodeId>>,
+    /// Per-node outgoing adjacency: `out_links[from]` lists
+    /// `(to, link)` pairs sorted by `to`. Node ids are dense small
+    /// integers, so this replaces the per-dispatch `HashMap` lookup
+    /// with an indexed load plus a binary search — O(1) for the usual
+    /// one- or two-entry list, O(log degree) for gateway hubs with
+    /// hundreds of adjacent nodes.
+    pub(crate) out_links: Vec<Vec<(NodeId, LinkId)>>,
+    pub(crate) routes: Vec<RouteMap>,
     pub(crate) rng: StdRng,
     pub(crate) no_route_drops: u64,
     pub(crate) trace: Option<Box<dyn TraceSink>>,
@@ -168,6 +188,12 @@ pub struct Simulator {
     pub(crate) det_traces: Vec<(ReplayKey, OwnedTraceEvent)>,
     /// Buffered telemetry ring events awaiting the deterministic flush.
     pub(crate) det_tevents: Vec<(ReplayKey, TelemetryEvent)>,
+    /// Reused buffer for node-emitted actions: one dispatch at a time
+    /// runs, so a single scratch vector avoids an allocation per event.
+    action_scratch: Vec<Action>,
+    /// When present, every global-queue push/pop is appended here (see
+    /// [`Simulator::record_schedule`]).
+    schedule_log: Option<Vec<ScheduleOp>>,
     /// Replay-key base of whatever is currently executing.
     cur_phase: u8,
     cur_key: EventKey,
@@ -192,10 +218,10 @@ impl Simulator {
             mode: ExecMode::Serial,
             seed,
             partition: None,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(QueueKind::default()),
             nodes: Vec::new(),
             links: Vec::new(),
-            link_index: HashMap::new(),
+            out_links: Vec::new(),
             routes: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             no_route_drops: 0,
@@ -206,6 +232,8 @@ impl Simulator {
             events_processed: 0,
             det_traces: Vec::new(),
             det_tevents: Vec::new(),
+            action_scratch: Vec::new(),
+            schedule_log: None,
             cur_phase: 0,
             cur_key: EventKey {
                 at: SimTime::ZERO,
@@ -243,6 +271,49 @@ impl Simulator {
         self.mode
     }
 
+    /// Select the event-queue implementation (default
+    /// [`QueueKind::Wheel`]). Like [`set_exec_mode`](Self::set_exec_mode)
+    /// this must happen before any event is scheduled — the knob swaps
+    /// the queue out, which is only sound while it is empty. Both kinds
+    /// produce byte-identical runs; [`QueueKind::Heap`] is the original
+    /// `BinaryHeap` kept as the live oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events have already been scheduled or the simulation
+    /// has started.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        assert!(
+            !self.started && self.queue.is_empty() && self.seq == 0 && self.env_seq == 0,
+            "set_queue_kind must be called before any event is scheduled"
+        );
+        self.queue = EventQueue::new(kind);
+    }
+
+    /// The current event-queue implementation.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Start recording every global-queue push and pop as a
+    /// [`ScheduleOp`] sequence (replacing any previous recording).
+    ///
+    /// The recorded schedule replays through
+    /// [`replay_schedule`](crate::replay_schedule) to benchmark a queue
+    /// kind in isolation on this exact workload. Recording covers the
+    /// serial engines' single global queue; a parallel run's per-worker
+    /// queues are not captured.
+    pub fn record_schedule(&mut self) {
+        self.schedule_log = Some(Vec::new());
+    }
+
+    /// Stop recording and return the captured schedule (empty if
+    /// [`record_schedule`](Self::record_schedule) was never called).
+    pub fn take_schedule(&mut self) -> Vec<ScheduleOp> {
+        self.schedule_log.take().unwrap_or_default()
+    }
+
     /// Override the node → worker assignment used by
     /// [`ExecMode::Parallel`] (by default nodes are split into
     /// contiguous blocks). `assignment[i]` is the worker index of node
@@ -258,8 +329,9 @@ impl Simulator {
     pub fn add_node(&mut self, node: impl Node + Any + Send) -> NodeId {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Box::new(node));
-        self.routes.push(HashMap::new());
+        self.routes.push(RouteMap::default());
         self.origin_seqs.push(0);
+        self.out_links.push(Vec::new());
         id
     }
 
@@ -272,13 +344,14 @@ impl Simulator {
     pub fn add_link(&mut self, from: NodeId, to: NodeId, config: LinkConfig) -> LinkId {
         assert!(from.0 < self.nodes.len(), "unknown node {from}");
         assert!(to.0 < self.nodes.len(), "unknown node {to}");
-        assert!(
-            !self.link_index.contains_key(&(from, to)),
-            "duplicate link {from} -> {to}"
-        );
+        let adj = &mut self.out_links[from.0];
+        let pos = match adj.binary_search_by_key(&to.0, |&(t, _)| t.0) {
+            Ok(_) => panic!("duplicate link {from} -> {to}"),
+            Err(pos) => pos,
+        };
         let id = LinkId(self.links.len());
         self.links.push(LinkState::new(config));
-        self.link_index.insert((from, to), id);
+        adj.insert(pos, (to, id));
         id
     }
 
@@ -445,7 +518,10 @@ impl Simulator {
 
     fn push_from(&mut self, at: SimTime, origin: Option<NodeId>, event: Event) {
         let key = self.next_key(at, origin);
-        self.queue.push(Reverse(Queued { key, event }));
+        if let Some(log) = &mut self.schedule_log {
+            log.push(ScheduleOp::Push(at.as_micros()));
+        }
+        self.queue.push(Queued { key, event });
     }
 
     /// Seed the per-link RNG streams (deterministic modes only; legacy
@@ -484,8 +560,7 @@ impl Simulator {
                 actions: &mut actions,
             };
             self.nodes[i].on_start(&mut ctx);
-            let drained: Vec<Action> = std::mem::take(&mut actions);
-            self.apply_actions(node, drained);
+            self.apply_actions(node, &mut actions);
         }
     }
 
@@ -528,8 +603,8 @@ impl Simulator {
         }
     }
 
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
-        for action in actions {
+    fn apply_actions(&mut self, node: NodeId, actions: &mut Vec<Action>) {
+        for action in actions.drain(..) {
             match action {
                 Action::Forward(packet) => self.route_and_transmit(node, packet),
                 Action::Timer(delay, token) => {
@@ -570,10 +645,12 @@ impl Simulator {
             }
             return;
         };
-        let link_id = *self
-            .link_index
-            .get(&(from, next))
-            .unwrap_or_else(|| panic!("route {from} -> {next} without a link"));
+        debug_assert!(from.0 < self.out_links.len(), "node id out of bounds");
+        let adj = &self.out_links[from.0];
+        let link_id = adj
+            .binary_search_by_key(&next.0, |&(t, _)| t.0)
+            .map(|pos| adj[pos].1)
+            .unwrap_or_else(|_| panic!("route {from} -> {next} without a link"));
         let wire = packet.wire_len();
         if self.telemetry.is_enabled() {
             self.telemetry.count("sim.transmits", 1);
@@ -711,24 +788,26 @@ impl Simulator {
                         });
                     }
                 }
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.action_scratch);
                 let mut ctx = Context {
                     now: self.now,
                     node: to,
                     actions: &mut actions,
                 };
                 self.nodes[to.0].on_packet(packet, &mut ctx);
-                self.apply_actions(to, actions);
+                self.apply_actions(to, &mut actions);
+                self.action_scratch = actions;
             }
             Event::Timer { node, token } => {
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.action_scratch);
                 let mut ctx = Context {
                     now: self.now,
                     node,
                     actions: &mut actions,
                 };
                 self.nodes[node.0].on_timer(token, &mut ctx);
-                self.apply_actions(node, actions);
+                self.apply_actions(node, &mut actions);
+                self.action_scratch = actions;
             }
             Event::RouteChange { node, dst, next } => match next {
                 Some(n) => self.add_route(node, dst, n),
@@ -738,9 +817,12 @@ impl Simulator {
     }
 
     fn step(&mut self) -> bool {
-        let Some(Reverse(q)) = self.queue.pop() else {
+        let Some(q) = self.queue.pop() else {
             return false;
         };
+        if let Some(log) = &mut self.schedule_log {
+            log.push(ScheduleOp::Pop);
+        }
         debug_assert!(q.key.at >= self.now, "time went backwards");
         self.now = q.key.at;
         self.cur_phase = 1;
@@ -771,8 +853,8 @@ impl Simulator {
         match limit {
             None => while self.step() {},
             Some(t) => {
-                while let Some(Reverse(head)) = self.queue.peek() {
-                    if head.key.at > t {
+                while let Some(head) = self.queue.peek_key() {
+                    if head.at > t {
                         break;
                     }
                     self.step();
@@ -1324,11 +1406,12 @@ mod tests {
         }
     }
 
-    fn transmit_order(mode: ExecMode) -> Vec<usize> {
+    fn transmit_order(mode: ExecMode, kind: QueueKind) -> Vec<usize> {
         let order = Rc::new(RefCell::new(Vec::new()));
         let seen = Rc::clone(&order);
         let mut sim = Simulator::new(1);
         sim.set_exec_mode(mode);
+        sim.set_queue_kind(kind);
         // Node 0 reaches its forward at 10 ms via two 5 ms timer hops
         // (its t=10ms timer is *created* at t=5ms); node 1 via a single
         // 10 ms timer created at t=0. Same firing timestamp, different
@@ -1359,25 +1442,35 @@ mod tests {
     /// Satellite: the legacy serial queue breaks same-timestamp ties by
     /// global insertion `seq` — node 1's timer was scheduled first, so
     /// its forward pops first even though node 0 has the smaller id.
-    /// This pins the behaviour the PDES contract deliberately replaces.
+    /// This pins the behaviour the PDES contract deliberately replaces —
+    /// and both queue kinds must reproduce it bit-for-bit.
     #[test]
     fn same_time_events_pop_in_seq_order() {
-        assert_eq!(transmit_order(ExecMode::Serial), vec![1, 0]);
+        assert_eq!(
+            transmit_order(ExecMode::Serial, QueueKind::Wheel),
+            vec![1, 0]
+        );
+        assert_eq!(
+            transmit_order(ExecMode::Serial, QueueKind::Heap),
+            vec![1, 0]
+        );
     }
 
     /// The deterministic modes break the same tie by origin node id —
-    /// identically at any worker count.
+    /// identically at any worker count and on either queue kind.
     #[test]
     fn same_time_events_pop_in_origin_order_in_det_modes() {
-        assert_eq!(transmit_order(ExecMode::SerialDet), vec![0, 1]);
-        assert_eq!(
-            transmit_order(ExecMode::Parallel { workers: 2 }),
-            vec![0, 1]
-        );
-        assert_eq!(
-            transmit_order(ExecMode::Parallel { workers: 3 }),
-            vec![0, 1]
-        );
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            assert_eq!(transmit_order(ExecMode::SerialDet, kind), vec![0, 1]);
+            assert_eq!(
+                transmit_order(ExecMode::Parallel { workers: 2 }, kind),
+                vec![0, 1]
+            );
+            assert_eq!(
+                transmit_order(ExecMode::Parallel { workers: 3 }, kind),
+                vec![0, 1]
+            );
+        }
     }
 
     /// Full-state digest of a lossy echo topology for equivalence
@@ -1505,5 +1598,14 @@ mod tests {
         let a = sim.add_node(Echo);
         sim.schedule_route_change(SimTime::from_micros(10), a, B_IP, None);
         sim.set_exec_mode(ExecMode::SerialDet);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event is scheduled")]
+    fn queue_kind_locked_after_scheduling() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node(Echo);
+        sim.schedule_route_change(SimTime::from_micros(10), a, B_IP, None);
+        sim.set_queue_kind(QueueKind::Heap);
     }
 }

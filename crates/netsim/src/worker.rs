@@ -13,36 +13,36 @@
 //! replay keys and merged in deterministic order by the engine;
 //! counters and histograms merge exactly and need no ordering.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
-use std::net::Ipv4Addr;
-
 use bytecache_packet::Packet;
 use bytecache_telemetry::{Event as TelemetryEvent, EventKind, Recorder};
 
+use crate::fxhash::RouteMap;
 use crate::link::{LinkState, TxVerdict};
 use crate::node::{Action, Context, NodeId};
 use crate::sim::{Event, EventKey, Queued, ReplayKey, SimNode};
 use crate::synchronizer::{ChannelMatrix, CrossMsg, Halted, Synchronizer};
 use crate::time::SimTime;
 use crate::trace::OwnedTraceEvent;
+use crate::wheel::{EventQueue, QueueKind};
 
 pub(crate) struct Worker {
     pub(crate) id: usize,
     pub(crate) now: SimTime,
-    pub(crate) queue: BinaryHeap<Reverse<Queued>>,
+    pub(crate) queue: EventQueue,
     /// Global node id → local slot (dense over all nodes).
     pub(crate) node_slot: Vec<Option<usize>>,
     /// Owned nodes as `(global id, node)`, in ascending id order.
     pub(crate) nodes: Vec<(usize, Box<dyn SimNode>)>,
     /// Routing tables, parallel to `nodes`.
-    pub(crate) routes: Vec<HashMap<Ipv4Addr, NodeId>>,
+    pub(crate) routes: Vec<RouteMap>,
     /// Per-origin event counters, parallel to `nodes`.
     pub(crate) origin_seqs: Vec<u64>,
     /// Owned links (sender-side) as `(global id, state)`.
     pub(crate) links: Vec<(usize, LinkState)>,
-    /// `(from, to)` → local slot in `links`.
-    pub(crate) link_slot: HashMap<(NodeId, NodeId), usize>,
+    /// Outgoing adjacency parallel to `nodes`: `(to, slot in links)`
+    /// pairs sorted by `to` (binary-searched per transmit, like the
+    /// simulator's adjacency).
+    pub(crate) out_links: Vec<Vec<(NodeId, usize)>>,
     /// Full node → worker assignment (for remote sends).
     pub(crate) assignment: Vec<usize>,
     pub(crate) lookahead_us: u64,
@@ -56,28 +56,33 @@ pub(crate) struct Worker {
     pub(crate) cur_key: EventKey,
     pub(crate) emit_trace: u32,
     pub(crate) emit_tele: u32,
+    /// Reused buffer for node-emitted actions (one dispatch at a time
+    /// per worker; avoids an allocation per event).
+    action_scratch: Vec<Action>,
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         now: SimTime,
         total_nodes: usize,
         assignment: Vec<usize>,
         lookahead_us: u64,
+        queue_kind: QueueKind,
         telemetry_on: bool,
         trace_on: bool,
     ) -> Self {
         Worker {
             id,
             now,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(queue_kind),
             node_slot: vec![None; total_nodes],
             nodes: Vec::new(),
             routes: Vec::new(),
             origin_seqs: Vec::new(),
             links: Vec::new(),
-            link_slot: HashMap::new(),
+            out_links: Vec::new(),
             assignment,
             lookahead_us,
             telemetry: if telemetry_on {
@@ -97,6 +102,7 @@ impl Worker {
             },
             emit_trace: 0,
             emit_tele: 0,
+            action_scratch: Vec::new(),
         }
     }
 
@@ -106,18 +112,24 @@ impl Worker {
         &mut self,
         id: usize,
         node: Box<dyn SimNode>,
-        routes: HashMap<Ipv4Addr, NodeId>,
+        routes: RouteMap,
         origin_seq: u64,
     ) {
         self.node_slot[id] = Some(self.nodes.len());
         self.nodes.push((id, node));
         self.routes.push(routes);
         self.origin_seqs.push(origin_seq);
+        self.out_links.push(Vec::new());
     }
 
     /// Adopt a link this worker's nodes transmit on.
     pub(crate) fn adopt_link(&mut self, id: usize, from: NodeId, to: NodeId, link: LinkState) {
-        self.link_slot.insert((from, to), self.links.len());
+        let slot = self.slot_of(from);
+        let adj = &mut self.out_links[slot];
+        let pos = adj
+            .binary_search_by_key(&to.0, |&(t, _)| t.0)
+            .expect_err("duplicate link adopted");
+        adj.insert(pos, (to, self.links.len()));
         self.links.push((id, link));
     }
 
@@ -162,8 +174,8 @@ impl Worker {
         loop {
             let next_us = self
                 .queue
-                .peek()
-                .map(|Reverse(q)| q.key.at.as_micros())
+                .peek_key()
+                .map(|k| k.at.as_micros())
                 .unwrap_or(u64::MAX);
             sync.publish(self.id, next_us);
             // Barrier 1: all publishes visible, all channels empty
@@ -186,11 +198,11 @@ impl Worker {
                     .min(l.saturating_add(1)),
                 None => lbts.saturating_add(self.lookahead_us),
             };
-            while let Some(Reverse(head)) = self.queue.peek() {
-                if head.key.at.as_micros() >= wend_us {
+            while let Some(head) = self.queue.peek_key() {
+                if head.at.as_micros() >= wend_us {
                     break;
                 }
-                let Reverse(q) = self.queue.pop().expect("peeked");
+                let q = self.queue.pop().expect("peeked");
                 self.process(q, sync, chans)?;
             }
             // Barrier 2: every send of this window has been enqueued;
@@ -207,13 +219,13 @@ impl Worker {
                 continue;
             }
             while let Some(msg) = chans.channel(from, self.id).try_recv() {
-                self.queue.push(Reverse(Queued {
+                self.queue.push(Queued {
                     key: msg.key,
                     event: Event::Deliver {
                         to: msg.to,
                         packet: msg.packet,
                     },
-                }));
+                });
             }
         }
     }
@@ -247,25 +259,31 @@ impl Worker {
                     });
                 }
                 let slot = self.slot_of(to);
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.action_scratch);
                 let mut ctx = Context {
                     now: self.now,
                     node: to,
                     actions: &mut actions,
                 };
                 self.nodes[slot].1.on_packet(packet, &mut ctx);
-                self.apply_actions(to, actions, sync, chans)?;
+                let done = self.apply_actions(to, &mut actions, sync, chans);
+                actions.clear();
+                self.action_scratch = actions;
+                done?;
             }
             Event::Timer { node, token } => {
                 let slot = self.slot_of(node);
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.action_scratch);
                 let mut ctx = Context {
                     now: self.now,
                     node,
                     actions: &mut actions,
                 };
                 self.nodes[slot].1.on_timer(token, &mut ctx);
-                self.apply_actions(node, actions, sync, chans)?;
+                let done = self.apply_actions(node, &mut actions, sync, chans);
+                actions.clear();
+                self.action_scratch = actions;
+                done?;
             }
             Event::RouteChange { node, dst, next } => {
                 let slot = self.slot_of(node);
@@ -285,19 +303,19 @@ impl Worker {
     fn apply_actions(
         &mut self,
         node: NodeId,
-        actions: Vec<Action>,
+        actions: &mut Vec<Action>,
         sync: &Synchronizer,
         chans: &ChannelMatrix,
     ) -> Result<(), Halted> {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Forward(packet) => self.route_and_transmit(node, packet, sync, chans)?,
                 Action::Timer(delay, token) => {
                     let key = self.next_key(self.now + delay, node);
-                    self.queue.push(Reverse(Queued {
+                    self.queue.push(Queued {
                         key,
                         event: Event::Timer { node, token },
-                    }));
+                    });
                 }
             }
         }
@@ -330,10 +348,11 @@ impl Worker {
             }
             return Ok(());
         };
-        let link_slot = *self
-            .link_slot
-            .get(&(from, next))
-            .unwrap_or_else(|| panic!("route {from} -> {next} without a link"));
+        let adj = &self.out_links[slot];
+        let link_slot = adj
+            .binary_search_by_key(&next.0, |&(t, _)| t.0)
+            .map(|pos| adj[pos].1)
+            .unwrap_or_else(|_| panic!("route {from} -> {next} without a link"));
         let wire = packet.wire_len();
         self.telemetry.count("sim.transmits", 1);
         if self.trace_enabled {
@@ -414,12 +433,13 @@ impl Worker {
         chans: &ChannelMatrix,
     ) -> Result<(), Halted> {
         let key = self.next_key(at, from);
+        debug_assert!(to.0 < self.assignment.len(), "node id out of bounds");
         let target = self.assignment[to.0];
         if target == self.id {
-            self.queue.push(Reverse(Queued {
+            self.queue.push(Queued {
                 key,
                 event: Event::Deliver { to, packet },
-            }));
+            });
             return Ok(());
         }
         let mut msg = CrossMsg { key, to, packet };

@@ -1,0 +1,168 @@
+//! Flash-crowd flow plans: heavy-tailed object popularity and Poisson
+//! arrival churn.
+//!
+//! The paper's best case is many wireless users fetching *overlapping*
+//! content through one cache-equipped gateway. This module builds the
+//! open-loop workload side of that regime: a catalog of objects with
+//! Zipf-distributed popularity (a flash crowd is a very heavy head) and
+//! flows arriving as a Poisson process (exponential inter-arrival
+//! times). Departures are the flows' own completions — the generator is
+//! open-loop, so offered load does not adapt to congestion.
+//!
+//! Everything is deterministic given a seed, like the object
+//! generators: a plan is a pure function of `(flows, catalog, exponent,
+//! mean inter-arrival, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planned flow: when it starts and which catalog object it fetches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Arrival time (microseconds from simulation start).
+    pub start_us: u64,
+    /// Catalog index of the requested object (0 = most popular).
+    pub object: usize,
+}
+
+/// Zipf sampler over catalog ranks: `P(rank r) ∝ 1 / (r + 1)^s`.
+///
+/// `s = 0` is uniform; `s ≈ 0.9–1.1` matches classic web-popularity
+/// measurements; larger `s` concentrates the flash crowd on the head
+/// object.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative weights, normalized to end at 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `catalog` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is zero or `s` is not finite.
+    #[must_use]
+    pub fn new(catalog: usize, s: f64) -> Self {
+        assert!(catalog > 0, "catalog must be non-empty");
+        assert!(s.is_finite(), "zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(catalog);
+        let mut acc = 0.0f64;
+        for rank in 0..catalog {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draw one rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point: first rank whose cumulative weight covers u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Cumulative Poisson arrival times: `flows` exponential inter-arrival
+/// draws with the given mean, in microseconds, non-decreasing.
+#[must_use]
+pub fn poisson_arrivals(flows: usize, mean_interarrival_us: f64, seed: u64) -> Vec<u64> {
+    assert!(
+        mean_interarrival_us >= 0.0 && mean_interarrival_us.is_finite(),
+        "mean inter-arrival must be finite and non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF10A_A221);
+    let mut t = 0.0f64;
+    (0..flows)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() * mean_interarrival_us;
+            t as u64
+        })
+        .collect()
+}
+
+/// Build a full flash-crowd plan: Poisson arrivals, Zipf object choice.
+#[must_use]
+pub fn flash_crowd(
+    flows: usize,
+    catalog: usize,
+    exponent: f64,
+    mean_interarrival_us: f64,
+    seed: u64,
+) -> Vec<FlowSpec> {
+    let sampler = ZipfSampler::new(catalog, exponent);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21F_C204D);
+    let arrivals = poisson_arrivals(flows, mean_interarrival_us, seed);
+    arrivals
+        .into_iter()
+        .map(|start_us| FlowSpec {
+            start_us,
+            object: sampler.sample(&mut rng),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = flash_crowd(200, 32, 0.9, 1_000.0, 7);
+        let b = flash_crowd(200, 32, 0.9, 1_000.0, 7);
+        assert_eq!(a, b);
+        let c = flash_crowd(200, 32, 0.9, 1_000.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing_with_roughly_the_right_mean() {
+        let t = poisson_arrivals(2_000, 500.0, 3);
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+        let mean = t.last().copied().unwrap() as f64 / t.len() as f64;
+        assert!(
+            (300.0..700.0).contains(&mean),
+            "mean inter-arrival drifted: {mean}"
+        );
+    }
+
+    #[test]
+    fn zipf_head_dominates_and_covers_all_ranks() {
+        let sampler = ZipfSampler::new(16, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 16];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] * 4,
+            "rank 0 should dwarf rank 8: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "every rank reachable");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..16_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1_500..2_500).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn flash_crowd_objects_stay_in_catalog() {
+        let plan = flash_crowd(500, 12, 1.2, 100.0, 9);
+        assert_eq!(plan.len(), 500);
+        assert!(plan.iter().all(|f| f.object < 12));
+    }
+}

@@ -23,13 +23,19 @@
 //! layout (how many snippets, copied from how far back), so that fan-out
 //! is a controlled parameter rather than an accident.
 //!
+//! For multi-flow capacity scenarios, [`flash_crowd`] plans open-loop
+//! workloads: a Zipf-popularity catalog ([`ZipfSampler`]) fetched by
+//! flows arriving as a Poisson process ([`poisson_arrivals`]).
+//!
 //! All generation is deterministic given a seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flows;
 mod generators;
 mod stream;
 
+pub use flows::{flash_crowd, poisson_arrivals, FlowSpec, ZipfSampler};
 pub use generators::{generate, ObjectKind};
 pub use stream::{FileSpec, StreamSpec};
