@@ -7,6 +7,7 @@ use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::DreConfig;
 use crate::engine::EngineCore;
+use crate::migrate::{DecoderState, MigratedEntry, MIGRATION_ENTRY_OVERHEAD, MIGRATION_HEADER_LEN};
 use crate::policy::PacketMeta;
 use crate::stats::DecoderStats;
 use crate::store::{Cache, PacketId};
@@ -249,6 +250,86 @@ impl Decoder {
     #[must_use]
     pub fn cache(&self) -> &Cache {
         &self.core.cache
+    }
+
+    /// Snapshot this decoder's cache and synchronization state for a
+    /// gateway handoff migration (see [`DecoderState`] for the wire
+    /// format and semantics).
+    ///
+    /// `max_bytes` bounds the serialized size of the snapshot: when the
+    /// full cache does not fit, the *oldest* entries are dropped first —
+    /// they are also the first the budget would evict, and the newest
+    /// entries are the ones in-flight shims are most likely to
+    /// reference. The synchronization header always fits.
+    #[must_use]
+    pub fn export_state(&self, max_bytes: Option<usize>) -> DecoderState {
+        let mut entries: Vec<MigratedEntry> = self
+            .core
+            .cache
+            .iter_in_order()
+            .map(|(id, stored)| MigratedEntry {
+                id: id.0,
+                flow: stored.meta.flow,
+                seq: stored.meta.seq,
+                payload: stored.payload.clone(),
+            })
+            .collect();
+        if let Some(budget) = max_bytes {
+            let mut total = MIGRATION_HEADER_LEN
+                + entries
+                    .iter()
+                    .map(|e| MIGRATION_ENTRY_OVERHEAD + e.payload.len())
+                    .sum::<usize>();
+            let mut drop = 0;
+            while total > budget && drop < entries.len() {
+                total -= MIGRATION_ENTRY_OVERHEAD + entries[drop].payload.len();
+                drop += 1;
+            }
+            entries.drain(..drop);
+        }
+        DecoderState {
+            epoch: self.epoch,
+            next_expected_id: self.next_expected_id,
+            sync_gen: self.sync_gen,
+            need_resync: self.need_resync,
+            resync_base: self.resync_base,
+            adopt_next_id: self.adopt_next_id,
+            entries,
+        }
+    }
+
+    /// Replace this decoder's cache and synchronization state with an
+    /// exported snapshot (the receiving side of a handoff migration).
+    /// The generation carry-over in `state.sync_gen` is what lets this
+    /// decoder keep decoding the encoder's current generation without a
+    /// resync round trip.
+    ///
+    /// Cached entries are re-inserted and re-indexed oldest-first, which
+    /// reproduces the source cache's contents, eviction order, and
+    /// live-fingerprint index (stale index entries are not reproduced;
+    /// that is behaviorally invisible — see `Cache::iter_in_order`).
+    pub fn import_state(&mut self, state: DecoderState) {
+        self.core.cache.flush();
+        self.epoch = state.epoch;
+        self.next_expected_id = state.next_expected_id;
+        self.sync_gen = state.sync_gen;
+        self.need_resync = state.need_resync;
+        self.resync_base = state.resync_base;
+        self.adopt_next_id = state.adopt_next_id;
+        for entry in state.entries {
+            let pid = PacketId(entry.id);
+            self.core
+                .cache
+                .insert_with_id(pid, entry.payload, entry.flow, entry.seq);
+            let indexed = self
+                .core
+                .cache
+                .index_payload(&self.core.engine, &self.core.sampler, pid);
+            self.stats.scan_windows += indexed.windows;
+            self.stats.sampled_windows += indexed.sampled;
+            self.stats.index_insertions += indexed.insertions;
+            self.stats.index_skips += indexed.skipped;
+        }
     }
 
     /// Decode one shim payload from a plain byte slice.

@@ -42,6 +42,7 @@ use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::decoder::Decoder;
 use crate::encoder::Encoder;
+use crate::migrate::DecoderState;
 use crate::policy::PacketMeta;
 use crate::sharded::{ShardFeedback, ShardedDecoder, ShardedEncoder};
 use crate::stats::{DecoderStats, EncoderStats};
@@ -468,6 +469,16 @@ pub struct DecoderGateway {
     resyncs_sent: u64,
     recovery_retries: u64,
     recovery_abandoned: u64,
+    /// Mobility handoff gate: while detached the gateway stops decoding
+    /// and passes packets through untouched (see
+    /// [`set_attached`](Self::set_attached)).
+    decode_enabled: bool,
+    detaches: u64,
+    attaches: u64,
+    migrations: u64,
+    migration_bytes: u64,
+    /// Generation carried over by the last imported migration snapshot.
+    last_carry_gen: Option<u32>,
     /// Gateway-level recovery events; disabled by default.
     telemetry: Recorder,
 }
@@ -541,6 +552,12 @@ impl DecoderGateway {
             resyncs_sent: 0,
             recovery_retries: 0,
             recovery_abandoned: 0,
+            decode_enabled: true,
+            detaches: 0,
+            attaches: 0,
+            migrations: 0,
+            migration_bytes: 0,
+            last_carry_gen: None,
             telemetry: Recorder::disabled(),
         }
     }
@@ -569,6 +586,16 @@ impl DecoderGateway {
         self
     }
 
+    /// Set the initial attachment state without counting a transition
+    /// (builder style). Standby gateways in a handoff pool start
+    /// detached; their first [`set_attached`](Self::set_attached) then
+    /// records a real handoff rather than an artifact of construction.
+    #[must_use]
+    pub fn with_attached(mut self, attached: bool) -> Self {
+        self.decode_enabled = attached;
+        self
+    }
+
     /// Simulated decoder restart: wipe every shard's cache and all
     /// synchronization state, and drop any outstanding repair requests
     /// (their entries died with the cache; the resync supersedes them).
@@ -584,6 +611,89 @@ impl DecoderGateway {
     pub fn with_payload_mode(mut self, mode: PayloadMode) -> Self {
         self.payload_mode = mode;
         self
+    }
+
+    /// Attach or detach this gateway from its client (the mobility
+    /// handoff boundary). While detached the gateway stops decoding —
+    /// packets pass through untouched and follow normal routing, which
+    /// the mobility driver points away from a detached gateway — and the
+    /// transition is counted and recorded as a telemetry
+    /// [`EventKind::Handoff`] event. `tag` labels the gateway in the
+    /// event stream (the harnesses pass the simulator node index).
+    /// Gateways start attached; re-asserting the current state is a
+    /// no-op.
+    ///
+    /// Detaching also drops outstanding repair/resync requests: a
+    /// detached gateway sees no data shims, so a pending resync could
+    /// never observe the generation change that completes it and would
+    /// otherwise retry on its timer forever, keeping the simulation from
+    /// going idle.
+    pub fn set_attached(&mut self, attached: bool, tag: u64) {
+        if self.decode_enabled == attached {
+            return;
+        }
+        self.decode_enabled = attached;
+        if attached {
+            self.attaches += 1;
+        } else {
+            self.detaches += 1;
+            self.pending_repairs.clear();
+            self.pending_resyncs.clear();
+        }
+        self.telemetry
+            .event(Event::new(EventKind::Handoff).details(u64::from(attached), tag));
+    }
+
+    /// Whether the gateway is currently attached (decoding).
+    #[must_use]
+    pub fn is_attached(&self) -> bool {
+        self.decode_enabled
+    }
+
+    /// Snapshot the decoder's cache and synchronization state for a
+    /// handoff migration (see [`Decoder::export_state`]). `max_bytes`
+    /// bounds the serialized size; oldest entries are shed first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gateway runs more than one shard.
+    #[must_use]
+    pub fn export_decoder_state(&self, max_bytes: Option<usize>) -> DecoderState {
+        assert_eq!(
+            self.decoder.shard_count(),
+            1,
+            "export_decoder_state: gateway has multiple shards"
+        );
+        self.decoder.shard(0).export_state(max_bytes)
+    }
+
+    /// Warm-start this gateway's decoder from an exported snapshot (the
+    /// receiving side of a handoff migration; see
+    /// [`Decoder::import_state`]). Outstanding repair/resync requests
+    /// are dropped — the imported synchronization state supersedes them
+    /// — and the transfer size plus carried-over generation are counted
+    /// and recorded as a telemetry [`EventKind::CacheMigrate`] event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gateway runs more than one shard.
+    pub fn import_decoder_state(&mut self, state: DecoderState) {
+        assert_eq!(
+            self.decoder.shard_count(),
+            1,
+            "import_decoder_state: gateway has multiple shards"
+        );
+        let bytes = state.wire_len() as u64;
+        let carry = state.sync_gen;
+        self.migrations += 1;
+        self.migration_bytes += bytes;
+        self.last_carry_gen = carry;
+        self.pending_repairs.clear();
+        self.pending_resyncs.clear();
+        self.telemetry.event(
+            Event::new(EventKind::CacheMigrate).details(bytes, carry.map_or(u64::MAX, u64::from)),
+        );
+        self.decoder.shard_mut(0).import_state(state);
     }
 
     /// Borrow the wrapped decoder (stats, cache inspection).
@@ -644,6 +754,37 @@ impl DecoderGateway {
         self.recovery_retries
     }
 
+    /// Handoff detach transitions (see [`set_attached`](Self::set_attached)).
+    #[must_use]
+    pub fn detaches(&self) -> u64 {
+        self.detaches
+    }
+
+    /// Handoff attach transitions.
+    #[must_use]
+    pub fn attaches(&self) -> u64 {
+        self.attaches
+    }
+
+    /// Cache migrations imported into this gateway.
+    #[must_use]
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Serialized bytes received across all imported migrations.
+    #[must_use]
+    pub fn migration_bytes(&self) -> u64 {
+        self.migration_bytes
+    }
+
+    /// Cache generation carried over by the most recent migration, if
+    /// the exporting decoder had synchronized one.
+    #[must_use]
+    pub fn last_carry_gen(&self) -> Option<u32> {
+        self.last_carry_gen
+    }
+
     /// Repair requests given up on after exhausting their retries.
     #[must_use]
     pub fn recovery_abandoned(&self) -> u64 {
@@ -670,6 +811,13 @@ impl DecoderGateway {
             merged.count("gateway.resyncs_sent", self.resyncs_sent);
             merged.count("gateway.recovery_retries", self.recovery_retries);
             merged.count("gateway.recovery_abandoned", self.recovery_abandoned);
+            merged.count("gateway.detaches", self.detaches);
+            merged.count("gateway.attaches", self.attaches);
+            merged.count("gateway.migrations", self.migrations);
+            merged.count("gateway.migration_bytes", self.migration_bytes);
+            if let Some(carry) = self.last_carry_gen {
+                merged.gauge("gateway.carry_gen", u64::from(carry));
+            }
         }
         merged
     }
@@ -802,7 +950,7 @@ impl DecoderGateway {
     }
 
     fn should_decode(&self, packet: &Packet) -> bool {
-        self.decode_dsts.contains(&packet.ip.dst) && packet.has_payload()
+        self.decode_enabled && self.decode_dsts.contains(&packet.ip.dst) && packet.has_payload()
     }
 
     /// Process a trace-level batch outside the event loop: decodable

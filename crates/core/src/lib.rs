@@ -84,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod gateway;
+pub mod migrate;
 pub mod policy;
 pub mod wire;
 
@@ -99,6 +100,7 @@ pub use config::DreConfig;
 pub use decoder::{DecodeError, Decoder, Feedback};
 pub use encoder::{EncodeInfo, EncodeOutcome, Encoder};
 pub use engine::ScanMode;
+pub use migrate::{DecoderState, MigrateError, MigratedEntry};
 pub use policy::{PacketMeta, Policy, PolicyKind};
 pub use sharded::{shard_for, ShardFeedback, ShardedDecoder, ShardedEncoder};
 pub use stats::{DecoderStats, EncoderStats};

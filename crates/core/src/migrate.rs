@@ -1,0 +1,355 @@
+//! Decoder cache migration for gateway handoff (`Handoff::Migrate`).
+//!
+//! When a client moves between cache-equipped gateways, the cold-start
+//! alternative (resync: wipe + generation handshake) sacrifices every
+//! byte of decoder cache the old gateway had built. Migration instead
+//! serializes the decoder's cache *and* synchronization state into a
+//! bounded, self-describing byte blob ([`DecoderState`]) that the old
+//! gateway ships to the new one over a side channel; importing it
+//! warm-starts the new decoder so in-flight encoded shims keep decoding
+//! against the same cache generation (the "generation carry-over").
+//!
+//! # Wire format (version 1)
+//!
+//! All integers big-endian:
+//!
+//! ```text
+//! magic     u16 = 0xBC9E
+//! version   u8  = 1
+//! flags     u8      bit0 epoch present, bit1 sync_gen present,
+//!                   bit2 need_resync,   bit3 resync_base present,
+//!                   bit4 adopt_next_id
+//! epoch     u16     (0 unless bit0)
+//! sync_gen  u32     (0 unless bit1)
+//! resync_base u32   (0 unless bit3)
+//! next_expected_id u32
+//! count     u32     number of entries
+//! entry*:   id u64, src u32, src_port u16, dst u32, dst_port u16,
+//!           seq u32, len u16, payload [len]u8
+//! ```
+//!
+//! Entries are ordered oldest → newest (the cache's FIFO insertion
+//! order), so importing reproduces the eviction order. Stale
+//! fingerprint-index entries of the source cache are deliberately not
+//! represented: they resolve to a miss at the source, and the encoder's
+//! mirrored table carries the same staleness, so omitting them is
+//! behaviorally invisible (see `Cache::iter_in_order`).
+
+use bytes::Bytes;
+
+use bytecache_packet::{FlowId, SeqNum};
+use std::net::Ipv4Addr;
+
+/// Magic leading a serialized [`DecoderState`].
+pub const MIGRATION_MAGIC: u16 = 0xBC9E;
+/// Current serialization version.
+pub const MIGRATION_VERSION: u8 = 1;
+
+/// Fixed header size of the serialized form, in bytes.
+pub const MIGRATION_HEADER_LEN: usize = 2 + 1 + 1 + 2 + 4 + 4 + 4 + 4;
+/// Per-entry overhead on top of the payload bytes.
+pub const MIGRATION_ENTRY_OVERHEAD: usize = 8 + 4 + 2 + 4 + 2 + 4 + 2;
+
+const FLAG_EPOCH: u8 = 1 << 0;
+const FLAG_SYNC_GEN: u8 = 1 << 1;
+const FLAG_NEED_RESYNC: u8 = 1 << 2;
+const FLAG_RESYNC_BASE: u8 = 1 << 3;
+const FLAG_ADOPT_NEXT_ID: u8 = 1 << 4;
+
+/// One cached packet inside a [`DecoderState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigratedEntry {
+    /// The shim id the packet was cached under.
+    pub id: u64,
+    /// Flow the packet belonged to.
+    pub flow: FlowId,
+    /// TCP sequence number of its first payload byte.
+    pub seq: SeqNum,
+    /// The original (reconstructed) payload.
+    pub payload: Bytes,
+}
+
+/// A portable snapshot of a decoder's cache and synchronization state.
+///
+/// Produced by [`Decoder::export_state`](crate::Decoder::export_state),
+/// consumed by [`Decoder::import_state`](crate::Decoder::import_state);
+/// [`to_bytes`](Self::to_bytes) / [`from_bytes`](Self::from_bytes) give
+/// the side-channel wire form whose size is the "migration bytes" a
+/// handoff pays.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecoderState {
+    /// Last epoch seen in a shim header.
+    pub epoch: Option<u16>,
+    /// Next shim id expected (id-gap loss detection).
+    pub next_expected_id: u32,
+    /// Cache generation last seen in a version-2 shim header — the
+    /// carry-over that lets the importing decoder keep decoding the
+    /// current generation without a resync round trip.
+    pub sync_gen: Option<u32>,
+    /// True if the exporter was still waiting out a post-wipe resync.
+    pub need_resync: bool,
+    /// The generation the exporter was resynchronizing away from.
+    pub resync_base: Option<u32>,
+    /// True if the exporter would adopt the next shim id as-is.
+    pub adopt_next_id: bool,
+    /// Cached packets, oldest → newest.
+    pub entries: Vec<MigratedEntry>,
+}
+
+/// Why a serialized [`DecoderState`] failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The magic did not match [`MIGRATION_MAGIC`].
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+}
+
+impl core::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrateError::Truncated => write!(f, "truncated migration blob"),
+            MigrateError::BadMagic => write!(f, "bad migration magic"),
+            MigrateError::BadVersion(v) => write!(f, "unsupported migration version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+impl DecoderState {
+    /// Size of [`to_bytes`](Self::to_bytes)' output — the side-channel
+    /// transfer cost of this snapshot.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        MIGRATION_HEADER_LEN
+            + self
+                .entries
+                .iter()
+                .map(|e| MIGRATION_ENTRY_OVERHEAD + e.payload.len())
+                .sum::<usize>()
+    }
+
+    /// Serialize (see the module docs for the format).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&MIGRATION_MAGIC.to_be_bytes());
+        out.push(MIGRATION_VERSION);
+        let mut flags = 0u8;
+        if self.epoch.is_some() {
+            flags |= FLAG_EPOCH;
+        }
+        if self.sync_gen.is_some() {
+            flags |= FLAG_SYNC_GEN;
+        }
+        if self.need_resync {
+            flags |= FLAG_NEED_RESYNC;
+        }
+        if self.resync_base.is_some() {
+            flags |= FLAG_RESYNC_BASE;
+        }
+        if self.adopt_next_id {
+            flags |= FLAG_ADOPT_NEXT_ID;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.epoch.unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&self.sync_gen.unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&self.resync_base.unwrap_or(0).to_be_bytes());
+        out.extend_from_slice(&self.next_expected_id.to_be_bytes());
+        out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.id.to_be_bytes());
+            out.extend_from_slice(&u32::from(e.flow.src).to_be_bytes());
+            out.extend_from_slice(&e.flow.src_port.to_be_bytes());
+            out.extend_from_slice(&u32::from(e.flow.dst).to_be_bytes());
+            out.extend_from_slice(&e.flow.dst_port.to_be_bytes());
+            out.extend_from_slice(&e.seq.raw().to_be_bytes());
+            debug_assert!(e.payload.len() <= usize::from(u16::MAX));
+            out.extend_from_slice(&(e.payload.len() as u16).to_be_bytes());
+            out.extend_from_slice(&e.payload);
+        }
+        out
+    }
+
+    /// Parse a serialized snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MigrateError`] on truncation, wrong magic, or an
+    /// unsupported version.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, MigrateError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.u16()? != MIGRATION_MAGIC {
+            return Err(MigrateError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != MIGRATION_VERSION {
+            return Err(MigrateError::BadVersion(version));
+        }
+        let flags = r.u8()?;
+        let epoch = r.u16()?;
+        let sync_gen = r.u32()?;
+        let resync_base = r.u32()?;
+        let next_expected_id = r.u32()?;
+        let count = r.u32()?;
+        let mut entries = Vec::with_capacity(count.min(65_536) as usize);
+        for _ in 0..count {
+            let id = r.u64()?;
+            let src = Ipv4Addr::from(r.u32()?);
+            let src_port = r.u16()?;
+            let dst = Ipv4Addr::from(r.u32()?);
+            let dst_port = r.u16()?;
+            let seq = SeqNum::new(r.u32()?);
+            let len = r.u16()?;
+            let payload = Bytes::copy_from_slice(r.bytes(usize::from(len))?);
+            entries.push(MigratedEntry {
+                id,
+                flow: FlowId {
+                    src,
+                    src_port,
+                    dst,
+                    dst_port,
+                },
+                seq,
+                payload,
+            });
+        }
+        Ok(DecoderState {
+            epoch: (flags & FLAG_EPOCH != 0).then_some(epoch),
+            next_expected_id,
+            sync_gen: (flags & FLAG_SYNC_GEN != 0).then_some(sync_gen),
+            need_resync: flags & FLAG_NEED_RESYNC != 0,
+            resync_base: (flags & FLAG_RESYNC_BASE != 0).then_some(resync_base),
+            adopt_next_id: flags & FLAG_ADOPT_NEXT_ID != 0,
+            entries,
+        })
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn bytes(&mut self, n: usize) -> Result<&[u8], MigrateError> {
+        let end = self.pos.checked_add(n).ok_or(MigrateError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(MigrateError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MigrateError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MigrateError> {
+        Ok(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, MigrateError> {
+        Ok(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, MigrateError> {
+        Ok(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowId {
+        FlowId {
+            src: Ipv4Addr::new(10, 0, 0, 1),
+            src_port: 80,
+            dst: Ipv4Addr::new(10, 0, 0, 2),
+            dst_port: 40_000,
+        }
+    }
+
+    fn sample() -> DecoderState {
+        DecoderState {
+            epoch: Some(7),
+            next_expected_id: 42,
+            sync_gen: Some(3),
+            need_resync: false,
+            resync_base: None,
+            adopt_next_id: true,
+            entries: vec![
+                MigratedEntry {
+                    id: 40,
+                    flow: flow(),
+                    seq: SeqNum::new(1000),
+                    payload: Bytes::from_static(b"hello wireless world"),
+                },
+                MigratedEntry {
+                    id: 41,
+                    flow: flow(),
+                    seq: SeqNum::new(1020),
+                    payload: Bytes::from_static(b""),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bytes_exactly() {
+        let state = sample();
+        let wire = state.to_bytes();
+        assert_eq!(wire.len(), state.wire_len());
+        assert_eq!(DecoderState::from_bytes(&wire).unwrap(), state);
+    }
+
+    #[test]
+    fn round_trips_all_flag_combinations() {
+        for flags in 0..32u8 {
+            let state = DecoderState {
+                epoch: (flags & 1 != 0).then_some(9),
+                next_expected_id: 5,
+                sync_gen: (flags & 2 != 0).then_some(11),
+                need_resync: flags & 4 != 0,
+                resync_base: (flags & 8 != 0).then_some(13),
+                adopt_next_id: flags & 16 != 0,
+                entries: Vec::new(),
+            };
+            assert_eq!(
+                DecoderState::from_bytes(&state.to_bytes()).unwrap(),
+                state,
+                "flags {flags:#07b}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let wire = sample().to_bytes();
+        for cut in 0..wire.len() {
+            assert_eq!(
+                DecoderState::from_bytes(&wire[..cut]),
+                Err(MigrateError::Truncated),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut wire = sample().to_bytes();
+        wire[0] ^= 0xFF;
+        assert_eq!(DecoderState::from_bytes(&wire), Err(MigrateError::BadMagic));
+        let mut wire = sample().to_bytes();
+        wire[2] = 99;
+        assert_eq!(
+            DecoderState::from_bytes(&wire),
+            Err(MigrateError::BadVersion(99))
+        );
+    }
+}

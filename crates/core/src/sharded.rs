@@ -371,6 +371,17 @@ impl ShardedDecoder {
         &self.shards[index]
     }
 
+    /// Mutably borrow one shard's decoder (cache migration import; see
+    /// [`Decoder::import_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn shard_mut(&mut self, index: usize) -> &mut Decoder {
+        &mut self.shards[index]
+    }
+
     /// Decode one shim payload on its flow's shard.
     pub fn decode(
         &mut self,

@@ -943,6 +943,21 @@ impl Cache {
         Some(&self.slots[index as usize].data.as_ref()?.stored)
     }
 
+    /// Iterate the live packets in insertion (FIFO) order, oldest
+    /// first, yielding each exactly once (stale queue refs left behind
+    /// by eviction are skipped). This is the cache-migration export
+    /// order: re-inserting the yielded packets into a fresh cache
+    /// reproduces both the contents and the eviction order. Stale
+    /// fingerprint-index entries are *not* reproduced, which is
+    /// behaviorally equivalent — a stale entry resolves to a miss here,
+    /// and the encoder's mirrored table carries the same staleness so it
+    /// never emits a match token against one.
+    pub fn iter_in_order(&self) -> impl Iterator<Item = (PacketId, &Stored)> + '_ {
+        self.order
+            .iter()
+            .filter_map(|&slot| self.resolve(slot).map(|data| (data.id, &data.stored)))
+    }
+
     /// Mark a packet as lost at the peer (informed marking): it will be
     /// reported by [`is_dead`](Self::is_dead) until evicted.
     pub fn mark_dead(&mut self, id: PacketId) {

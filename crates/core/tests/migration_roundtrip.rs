@@ -1,0 +1,307 @@
+//! Cache export/import round-trip: a decoder rebuilt from an exported
+//! snapshot must be *behaviorally identical* to the original — same
+//! hits, misses, feedback, and cache observables on a replayed shim
+//! stream — including across a generation bump and when the snapshot is
+//! taken mid-resync. This is the correctness contract behind
+//! `Handoff::Migrate`.
+
+use bytecache::{
+    DecodeError, Decoder, DecoderState, DreConfig, Encoder, Feedback, PacketMeta, PolicyKind,
+};
+use bytecache_packet::{FlowId, SeqNum};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn flow() -> FlowId {
+    FlowId {
+        src: Ipv4Addr::new(10, 0, 0, 1),
+        src_port: 80,
+        dst: Ipv4Addr::new(10, 0, 0, 2),
+        dst_port: 40_000,
+    }
+}
+
+/// Small cache so the warmup causes evictions — the snapshot must then
+/// prove that omitting stale fingerprint entries is invisible.
+fn config() -> DreConfig {
+    DreConfig {
+        cache_bytes: 48 * 1024,
+        ..DreConfig::default()
+    }
+}
+
+/// Redundancy-heavy packet stream: each payload concatenates chunks
+/// drawn from a slowly mutating pool, so the encoder emits plenty of
+/// match tokens against recent packets.
+struct Workload {
+    rng: u64,
+    chunks: Vec<Vec<u8>>,
+    seq: u32,
+    index: u64,
+}
+
+impl Workload {
+    fn new(seed: u64) -> Self {
+        let mut rng = seed;
+        let chunks = (0..8)
+            .map(|_| (0..256).map(|_| (mix(&mut rng) >> 24) as u8).collect())
+            .collect();
+        Workload {
+            rng,
+            chunks,
+            seq: 1,
+            index: 0,
+        }
+    }
+
+    fn next_packet(&mut self) -> (PacketMeta, Bytes) {
+        // Occasionally refresh a chunk so content drifts.
+        if mix(&mut self.rng).is_multiple_of(5) {
+            let which = (mix(&mut self.rng) % 8) as usize;
+            self.chunks[which] = (0..256).map(|_| (mix(&mut self.rng) >> 24) as u8).collect();
+        }
+        // One unique quarter keeps every packet partially novel (so a
+        // lost shim does not cascade into losing everything after it),
+        // three pooled quarters supply the redundancy DRE removes.
+        let mut payload = Vec::with_capacity(1024);
+        payload.extend((0..256).map(|_| (mix(&mut self.rng) >> 24) as u8));
+        for _ in 0..3 {
+            let which = (mix(&mut self.rng) % 8) as usize;
+            payload.extend_from_slice(&self.chunks[which]);
+        }
+        let meta = PacketMeta {
+            flow: flow(),
+            seq: SeqNum::new(self.seq),
+            payload_len: payload.len(),
+            flow_index: self.index,
+        };
+        self.seq += payload.len() as u32;
+        self.index += 1;
+        (meta, Bytes::from(payload))
+    }
+}
+
+/// Encode `n` packets, dropping roughly one in `drop_mod` shims on the
+/// "wire" (the decoders never see them — the loss that desynchronizes
+/// caches).
+fn encode_stream(
+    encoder: &mut Encoder,
+    work: &mut Workload,
+    n: usize,
+    drop_mod: u64,
+) -> Vec<(PacketMeta, Vec<u8>)> {
+    let mut rng = 0xD1CE_u64;
+    let mut stream = Vec::new();
+    for _ in 0..n {
+        let (meta, payload) = work.next_packet();
+        let out = encoder.encode(&meta, &payload);
+        if drop_mod == 0 || !mix(&mut rng).is_multiple_of(drop_mod) {
+            stream.push((meta, out.wire));
+        }
+    }
+    stream
+}
+
+type Outcome = (Result<Bytes, DecodeError>, Feedback);
+
+fn replay(decoder: &mut Decoder, stream: &[(PacketMeta, Vec<u8>)]) -> Vec<Outcome> {
+    stream
+        .iter()
+        .map(|(meta, wire)| decoder.decode(wire, meta))
+        .collect()
+}
+
+/// Replay `stream` into both decoders and assert byte-identical
+/// behavior: every result and feedback, the stats *deltas*, and the
+/// final cache observables.
+fn assert_twin_behavior(
+    original: &mut Decoder,
+    imported: &mut Decoder,
+    stream: &[(PacketMeta, Vec<u8>)],
+) {
+    let base_a = original.stats().clone();
+    let base_b = imported.stats().clone();
+    let out_a = replay(original, stream);
+    let out_b = replay(imported, stream);
+    assert_eq!(out_a, out_b, "decode results/feedback diverged");
+    let a = original.stats();
+    let b = imported.stats();
+    for (name, da, db) in [
+        (
+            "decoded",
+            a.decoded - base_a.decoded,
+            b.decoded - base_b.decoded,
+        ),
+        ("raw", a.raw - base_a.raw, b.raw - base_b.raw),
+        (
+            "missing_reference",
+            a.missing_reference - base_a.missing_reference,
+            b.missing_reference - base_b.missing_reference,
+        ),
+        (
+            "checksum_mismatch",
+            a.checksum_mismatch - base_a.checksum_mismatch,
+            b.checksum_mismatch - base_b.checksum_mismatch,
+        ),
+        (
+            "bad_region",
+            a.bad_region - base_a.bad_region,
+            b.bad_region - base_b.bad_region,
+        ),
+        (
+            "stale_gen",
+            a.stale_gen - base_a.stale_gen,
+            b.stale_gen - base_b.stale_gen,
+        ),
+        (
+            "resyncs",
+            a.resyncs - base_a.resyncs,
+            b.resyncs - base_b.resyncs,
+        ),
+        (
+            "epoch_flushes",
+            a.epoch_flushes - base_a.epoch_flushes,
+            b.epoch_flushes - base_b.epoch_flushes,
+        ),
+    ] {
+        assert_eq!(da, db, "stats delta diverged: {name}");
+    }
+    assert_eq!(original.cache().len(), imported.cache().len(), "cache len");
+    assert_eq!(
+        original.cache().bytes_used(),
+        imported.cache().bytes_used(),
+        "cache bytes"
+    );
+}
+
+/// Export → serialize → parse → import into a fresh decoder.
+fn clone_via_wire(decoder: &Decoder, config: &DreConfig) -> Decoder {
+    let state = decoder.export_state(None);
+    let wire = state.to_bytes();
+    assert_eq!(wire.len(), state.wire_len());
+    let parsed = DecoderState::from_bytes(&wire).expect("parse snapshot");
+    assert_eq!(parsed, state);
+    let mut fresh = Decoder::new(config.clone());
+    fresh.import_state(parsed);
+    fresh
+}
+
+#[test]
+fn roundtrip_is_behaviorally_identical_under_loss() {
+    let config = config();
+    let mut encoder = Encoder::new(config.clone(), PolicyKind::Naive.build()).with_wire_gen(true);
+    let mut decoder = Decoder::new(config.clone());
+    let mut work = Workload::new(7);
+
+    // Warm up with lossy delivery and informed marking (the NACK loop):
+    // caches diverge where shims were lost, dead-marking keeps the
+    // stream decodable, and the cache overflows its budget so the
+    // snapshot faces evicted (stale-index) state.
+    let mut rng = 0xD1CE_u64;
+    for _ in 0..150 {
+        let (meta, payload) = work.next_packet();
+        let out = encoder.encode(&meta, &payload);
+        if !mix(&mut rng).is_multiple_of(15) {
+            let (_result, feedback) = decoder.decode(&out.wire, &meta);
+            encoder.handle_nack(&feedback.nack_ids);
+        }
+    }
+    assert!(
+        decoder.cache().stats().evictions > 0,
+        "warmup must exercise eviction to cover the stale-index case"
+    );
+    let decoded_before = decoder.stats().decoded;
+
+    let mut imported = clone_via_wire(&decoder, &config);
+    let fresh = encode_stream(&mut encoder, &mut work, 150, 0);
+    assert_twin_behavior(&mut decoder, &mut imported, &fresh);
+    assert!(
+        decoder.stats().decoded > decoded_before,
+        "replay must include successful encoded reconstructions"
+    );
+}
+
+#[test]
+fn roundtrip_survives_generation_bump() {
+    let config = config();
+    let mut encoder =
+        Encoder::new(config.clone(), PolicyKind::CacheFlush.build()).with_wire_gen(true);
+    let mut decoder = Decoder::new(config.clone());
+    let mut work = Workload::new(21);
+
+    let warm = encode_stream(&mut encoder, &mut work, 80, 0);
+    let _ = replay(&mut decoder, &warm);
+
+    let mut imported = clone_via_wire(&decoder, &config);
+
+    // The encoder flushes and bumps its generation (as if answering
+    // someone's resync): both decoders must follow identically —
+    // unrequested-generation flush, then clean decoding.
+    assert!(encoder.resync(encoder.gen()));
+    let fresh = encode_stream(&mut encoder, &mut work, 80, 0);
+    assert_twin_behavior(&mut decoder, &mut imported, &fresh);
+    assert_eq!(decoder.stats().resyncs, 1);
+}
+
+#[test]
+fn roundtrip_of_mid_resync_snapshot() {
+    let config = config();
+    let mut encoder =
+        Encoder::new(config.clone(), PolicyKind::CacheFlush.build()).with_wire_gen(true);
+    let mut decoder = Decoder::new(config.clone());
+    let mut work = Workload::new(33);
+
+    let warm = encode_stream(&mut encoder, &mut work, 60, 0);
+    let _ = replay(&mut decoder, &warm);
+
+    // Wipe, then observe a couple of old-generation shims: the decoder
+    // is now mid-resync (need_resync with a recorded base generation).
+    decoder.wipe();
+    let stale = encode_stream(&mut encoder, &mut work, 3, 0);
+    let _ = replay(&mut decoder, &stale);
+    assert!(decoder.needs_resync());
+
+    // Snapshot that in-between state, then let the encoder answer the
+    // resync; both decoders must complete it identically.
+    let mut imported = clone_via_wire(&decoder, &config);
+    assert!(imported.needs_resync());
+    assert!(encoder.resync(encoder.gen()));
+    let fresh = encode_stream(&mut encoder, &mut work, 60, 0);
+    assert_twin_behavior(&mut decoder, &mut imported, &fresh);
+    assert!(!decoder.needs_resync());
+}
+
+#[test]
+fn bounded_export_sheds_oldest_entries_first() {
+    let config = config();
+    let mut encoder =
+        Encoder::new(config.clone(), PolicyKind::CacheFlush.build()).with_wire_gen(true);
+    let mut decoder = Decoder::new(config.clone());
+    let mut work = Workload::new(55);
+    let warm = encode_stream(&mut encoder, &mut work, 60, 0);
+    let _ = replay(&mut decoder, &warm);
+
+    let full = decoder.export_state(None);
+    assert!(full.entries.len() > 4);
+    let bound = full.wire_len() / 2;
+    let half = decoder.export_state(Some(bound));
+    assert!(half.wire_len() <= bound, "bounded export overflows budget");
+    assert!(!half.entries.is_empty());
+    // The kept entries are exactly the newest suffix of the full export.
+    let tail = &full.entries[full.entries.len() - half.entries.len()..];
+    assert_eq!(half.entries, tail);
+    // Synchronization header survives any bound, even one too small for
+    // a single entry.
+    let header_only = decoder.export_state(Some(0));
+    assert!(header_only.entries.is_empty());
+    assert_eq!(header_only.sync_gen, full.sync_gen);
+    assert_eq!(header_only.next_expected_id, full.next_expected_id);
+}

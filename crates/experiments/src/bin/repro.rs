@@ -35,6 +35,11 @@
 //!               events/sec (writes BENCH_capacity.json; exits 1 on
 //!               queue-kind divergence or a wheel regression below
 //!               0.9x heap)
+//!   handoff     extension — multi-hop topologies and gateway handoff:
+//!               resync vs cache migration on a 2-hop cache chain and a
+//!               4-gateway mesh; per-hop savings, stalls, bytes
+//!               sacrificed (writes BENCH_handoff.json; exits 1 on a
+//!               corrupted delivery or any cross-mode digest divergence)
 //!   sweep       alias for fig10 + fig11
 //!   all         everything above
 //!
@@ -45,11 +50,14 @@
 //!   is the serial oracle, >= 2 the conservative parallel (PDES)
 //!   engine. Results are byte-identical for every N >= 1. Default 0
 //!   keeps the legacy serial event loop. Wired into the scenario-based
-//!   harnesses (recovery), capacity, and simthroughput's scaling sweep.
-//! --queue heap|wheel pins the event-queue kind for the capacity
-//!   harness (default: run both and compare). Knobs are validated up
-//!   front: naming one that the selected experiment ignores is an
-//!   error (exit 2), not a silent no-op.
+//!   harnesses (recovery, handoff), capacity, and simthroughput's
+//!   scaling sweep. Asking for more workers than the experiment's
+//!   topology has partitionable nodes is an error (exit 2) — the
+//!   engine would otherwise clamp silently.
+//! --queue heap|wheel pins the event-queue kind for the capacity and
+//!   handoff harnesses (default: run both / the wheel). Knobs are
+//!   validated up front: naming one that the selected experiment
+//!   ignores is an error (exit 2), not a silent no-op.
 //! --metrics-out PATH writes a telemetry snapshot (JSONL) merged across
 //!   the instrumented harnesses that ran (fig6, fig10/fig11, stalltrace,
 //!   hotpath). Tables on stdout are byte-identical with or without it.
@@ -60,8 +68,9 @@
 
 use bytecache::PolicyKind;
 use bytecache_experiments::{
-    ablation, capacity, fig6, hotpath, insights, interflow, kdistance, mobility, perceived,
-    recovery, shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning, Campaign,
+    ablation, capacity, fig6, handoff, hotpath, insights, interflow, kdistance, mobility,
+    perceived, recovery, shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning,
+    Campaign,
 };
 use bytecache_netsim::time::SimDuration;
 use bytecache_netsim::QueueKind;
@@ -225,6 +234,7 @@ fn main() {
         "simthroughput",
         "recovery",
         "capacity",
+        "handoff",
         "sweep",
         "all",
     ];
@@ -234,7 +244,7 @@ fn main() {
     }
     // Validate knob combinations up front: a knob the selected
     // experiment ignores would otherwise be a silent no-op.
-    let sim_worker_aware = ["simthroughput", "recovery", "capacity", "all"];
+    let sim_worker_aware = ["simthroughput", "recovery", "capacity", "handoff", "all"];
     if sim_workers > 0 && !sim_worker_aware.contains(&what.as_str()) {
         eprintln!(
             "--sim-workers is not wired into '{what}'; it applies to: {}",
@@ -242,7 +252,25 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let queue_aware = ["capacity", "all"];
+    // A fixed-topology experiment cannot partition across more workers
+    // than it has nodes; the engine would clamp silently, so asking for
+    // more is rejected as the contradiction it is. Experiments that
+    // scale their topology (capacity, simthroughput) have no bound.
+    let node_bound: Option<(usize, &str)> = match what.as_str() {
+        "recovery" => Some((4, "the 4-node recovery scenario")),
+        "handoff" => Some((handoff::NODE_COUNT, "the 7-node handoff topologies")),
+        _ => None,
+    };
+    if let Some((bound, desc)) = node_bound {
+        if sim_workers > bound {
+            eprintln!(
+                "--sim-workers {sim_workers} exceeds the {bound} partitionable nodes of {desc}; \
+                 pass at most {bound}"
+            );
+            std::process::exit(2);
+        }
+    }
+    let queue_aware = ["capacity", "handoff", "all"];
     if queue.is_some() && !queue_aware.contains(&what.as_str()) {
         eprintln!(
             "--queue is not wired into '{what}'; it applies to: {}",
@@ -528,6 +556,55 @@ fn main() {
                 .expect("write BENCH_capacity.json in the current directory");
             println!("  wrote BENCH_capacity.json");
         }
+        println!();
+    }
+    if run("handoff") {
+        let params = if quick {
+            handoff::HandoffParams::quick(scale.seeds)
+        } else {
+            handoff::HandoffParams::full(scale.seeds)
+        }
+        .sim_workers(sim_workers)
+        .queue(queue);
+        let pts = if want_metrics {
+            let (pts, rec) = handoff::run_with_metrics(&campaign, &params);
+            metrics.merge(&rec);
+            pts
+        } else {
+            handoff::run_with(&campaign, &params)
+        };
+        println!("{}", handoff::render(&pts));
+        // The harness doubles as the handoff-safety smoke test: a
+        // handoff may cost bytes and time, never correctness.
+        for p in &pts {
+            if p.corrupted > 0 {
+                eprintln!(
+                    "handoff: corrupted delivery at shape={} strategy={} loss={} wipe={}",
+                    p.shape.label(),
+                    p.strategy.label(),
+                    p.loss,
+                    p.wipe
+                );
+                std::process::exit(1);
+            }
+        }
+        // And as the subsystem's determinism contract: the same runs
+        // must digest byte-identically across exec modes, queue kinds,
+        // worker counts, and telemetry on/off.
+        let check = handoff::determinism_check(&params);
+        if !check.identical {
+            eprintln!("handoff: digests diverged across exec modes / queue kinds");
+            std::process::exit(1);
+        }
+        println!(
+            "  handoff determinism: {} combos, {} runs byte-identical across \
+             SerialDet/Parallel{{2,4}} x heap/wheel x telemetry on/off",
+            check.combos, check.runs
+        );
+        let json = handoff::to_json(&pts);
+        std::fs::write("BENCH_handoff.json", &json)
+            .expect("write BENCH_handoff.json in the current directory");
+        println!("  wrote BENCH_handoff.json");
         println!();
     }
     if run("mobility") {

@@ -27,6 +27,7 @@
 //! | [`simthroughput`] | beyond the paper — parallel campaign wall-clock and zero-copy payload path |
 //! | [`recovery`] | beyond the paper — decoder cache wipe mid-transfer: stall time and bytes sacrificed to safety |
 //! | [`capacity`] | beyond the paper — 10k-flow flash crowd through a gateway bank; heap-vs-wheel events/sec |
+//! | [`handoff`] | beyond the paper — multi-hop topologies and gateway handoff: resync vs cache migration, cache chains |
 //!
 //! Experiment grids execute on the [`campaign`] executor: deterministic
 //! parallel fan-out whose output is byte-identical for every thread
@@ -43,6 +44,7 @@ pub mod ablation;
 pub mod campaign;
 pub mod capacity;
 pub mod fig6;
+pub mod handoff;
 pub mod host;
 pub mod hotpath;
 pub mod insights;

@@ -56,6 +56,7 @@ mod partition;
 mod sim;
 mod stats;
 mod synchronizer;
+pub mod topology;
 mod trace;
 mod wheel;
 mod worker;
@@ -64,5 +65,6 @@ pub use link::{LinkConfig, LinkId};
 pub use node::{Action, Context, Node, NodeId};
 pub use sim::{AsAny, ExecMode, Simulator};
 pub use stats::LinkStats;
+pub use topology::{Hop, Mobility, Topology};
 pub use trace::{FnTrace, TelemetrySink, TraceEvent, TraceSink};
 pub use wheel::{replay_schedule, QueueKind, ScheduleOp};

@@ -381,6 +381,13 @@ impl Simulator {
         self.routes[node.0].remove(&dst);
     }
 
+    /// The currently installed next hop at `node` for `dst`, if any —
+    /// reflects scheduled route changes that have already applied.
+    #[must_use]
+    pub fn route(&self, node: NodeId, dst: Ipv4Addr) -> Option<NodeId> {
+        self.routes[node.0].get(&dst).copied()
+    }
+
     /// Schedule a route change at an absolute time (the mobility
     /// handoff primitive). `next = None` removes the route.
     pub fn schedule_route_change(

@@ -1,0 +1,597 @@
+//! Declarative multi-hop topologies with deterministic routing, and the
+//! [`Mobility`] driver that moves a client between gateways mid-run.
+//!
+//! The simulator's routing is a static per-node `dst → next_hop` table
+//! (see [`Simulator::add_route`]); until now every scenario wired those
+//! tables by hand, which stops scaling the moment there is more than one
+//! path. [`Topology`] records the link graph as it is built
+//! (chain/star/mesh builders or explicit [`Topology::connect`] calls),
+//! binds destination addresses to owning nodes, and derives every
+//! routing table from a breadth-first search over the *enabled* edges.
+//! The derivation is fully deterministic: adjacency is iterated in
+//! ascending node order and ties between equal-length paths are broken
+//! toward the smallest-index neighbor, so the same graph always yields
+//! byte-identical tables regardless of build order or execution mode.
+//!
+//! Topology changes (a client detaching from one basestation and
+//! attaching to another) are expressed by toggling edges with
+//! [`Topology::set_edge`] and calling [`Topology::reroute_at`], which
+//! recomputes the tables, diffs them against the previously installed
+//! state, and schedules exactly the changed entries through
+//! [`Simulator::schedule_route_change`] — the same mobility primitive
+//! the Section II scenario uses, now driven from the graph instead of
+//! by hand.
+//!
+//! [`Mobility`] packages the common pattern: a scripted sequence of
+//! gateway handoffs for one client address. Each hop disables the old
+//! attachment edge, enables the new one, and *blocks* the old gateway's
+//! route to the client so shim packets still queued there are dropped
+//! (and counted in `no_route_drops`) instead of being rerouted through
+//! the mesh into a decoder that never saw their encoding context.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::net::Ipv4Addr;
+
+use crate::link::{LinkConfig, LinkId};
+use crate::node::NodeId;
+use crate::sim::Simulator;
+use crate::time::SimTime;
+
+/// An undirected edge between two nodes, addressed by the node pair.
+#[derive(Debug, Clone)]
+struct Edge {
+    a: usize,
+    b: usize,
+    enabled: bool,
+    /// Directed link `a → b` (with `a < b` per [`pair_key`]).
+    ab: LinkId,
+    /// Directed link `b → a`.
+    ba: LinkId,
+}
+
+/// A link graph plus address bindings from which per-node routing
+/// tables are derived deterministically. See the module docs.
+#[derive(Debug, Default)]
+pub struct Topology {
+    edges: Vec<Edge>,
+    by_pair: BTreeMap<(usize, usize), usize>,
+    addrs: BTreeMap<Ipv4Addr, usize>,
+    blocked: BTreeSet<(usize, Ipv4Addr)>,
+    /// Routing state as last pushed to the simulator (installed directly
+    /// or via scheduled changes).
+    routes: BTreeMap<(usize, Ipv4Addr), usize>,
+    max_node: usize,
+}
+
+impl Topology {
+    /// An empty topology; add links with [`connect`](Self::connect).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a chain `nodes[0] — nodes[1] — … — nodes[n-1]`, every hop
+    /// using `config` (duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` repeats a node (duplicate link).
+    #[must_use]
+    pub fn chain(sim: &mut Simulator, nodes: &[NodeId], config: &LinkConfig) -> Self {
+        let mut topo = Self::new();
+        for pair in nodes.windows(2) {
+            topo.connect(sim, pair[0], pair[1], config.clone());
+        }
+        topo
+    }
+
+    /// Build a star: `hub` connected to every leaf with `config` (duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf repeats or equals the hub (duplicate link).
+    #[must_use]
+    pub fn star(sim: &mut Simulator, hub: NodeId, leaves: &[NodeId], config: &LinkConfig) -> Self {
+        let mut topo = Self::new();
+        for &leaf in leaves {
+            topo.connect(sim, hub, leaf, config.clone());
+        }
+        topo
+    }
+
+    /// Build a full mesh over `nodes`, every pair linked with `config`
+    /// (duplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` repeats a node (duplicate link).
+    #[must_use]
+    pub fn mesh(sim: &mut Simulator, nodes: &[NodeId], config: &LinkConfig) -> Self {
+        let mut topo = Self::new();
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                topo.connect(sim, a, b, config.clone());
+            }
+        }
+        topo
+    }
+
+    /// Add a duplex link `a ↔ b` to the simulator and record the edge
+    /// (enabled). Edges are undirected for routing purposes even though
+    /// the underlying links are a unidirectional pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge already exists, if `a == b`, or if either node
+    /// id is unknown to the simulator.
+    pub fn connect(&mut self, sim: &mut Simulator, a: NodeId, b: NodeId, config: LinkConfig) {
+        assert!(a != b, "self-loop {a}");
+        let key = pair_key(a.index(), b.index());
+        assert!(
+            !self.by_pair.contains_key(&key),
+            "duplicate edge {a} -- {b}"
+        );
+        let (fwd, rev) = sim.add_duplex_link(a, b, config);
+        // Orient the recorded pair by the normalized key so `links`
+        // answers for either argument order.
+        let (ab, ba) = if a.index() < b.index() {
+            (fwd, rev)
+        } else {
+            (rev, fwd)
+        };
+        self.by_pair.insert(key, self.edges.len());
+        self.edges.push(Edge {
+            a: key.0,
+            b: key.1,
+            enabled: true,
+            ab,
+            ba,
+        });
+        self.max_node = self.max_node.max(key.1);
+    }
+
+    /// The directed link ids of the edge `a ↔ b` as `(a → b, b → a)` —
+    /// for reading per-hop [`Simulator::link_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such edge was recorded.
+    #[must_use]
+    pub fn links(&self, a: NodeId, b: NodeId) -> (LinkId, LinkId) {
+        let key = pair_key(a.index(), b.index());
+        let idx = *self
+            .by_pair
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown edge {a} -- {b}"));
+        let e = &self.edges[idx];
+        if a.index() < b.index() {
+            (e.ab, e.ba)
+        } else {
+            (e.ba, e.ab)
+        }
+    }
+
+    /// Declare that packets destined to `addr` terminate at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is already bound.
+    pub fn bind(&mut self, node: NodeId, addr: Ipv4Addr) {
+        let prev = self.addrs.insert(addr, node.index());
+        assert!(prev.is_none(), "address {addr} bound twice");
+        self.max_node = self.max_node.max(node.index());
+    }
+
+    /// The node an address is bound to, if any.
+    #[must_use]
+    pub fn owner(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        self.addrs.get(&addr).copied().map(NodeId)
+    }
+
+    /// Enable or disable an edge (the links stay in the simulator; a
+    /// disabled edge is simply never routed over).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such edge was recorded.
+    pub fn set_edge(&mut self, a: NodeId, b: NodeId, enabled: bool) {
+        let key = pair_key(a.index(), b.index());
+        let idx = *self
+            .by_pair
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown edge {a} -- {b}"));
+        self.edges[idx].enabled = enabled;
+    }
+
+    /// Whether the edge `a ↔ b` is currently enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no such edge was recorded.
+    #[must_use]
+    pub fn edge_enabled(&self, a: NodeId, b: NodeId) -> bool {
+        let key = pair_key(a.index(), b.index());
+        let idx = *self
+            .by_pair
+            .get(&key)
+            .unwrap_or_else(|| panic!("unknown edge {a} -- {b}"));
+        self.edges[idx].enabled
+    }
+
+    /// Suppress the route for `addr` at `node`: route derivation leaves
+    /// the entry out, so packets to `addr` arriving at `node` are
+    /// dropped (and counted in `no_route_drops`). Used at handoff to
+    /// keep a detached gateway from leaking stale in-flight shims back
+    /// through the mesh.
+    pub fn block_route(&mut self, node: NodeId, addr: Ipv4Addr) {
+        self.blocked.insert((node.index(), addr));
+    }
+
+    /// Undo [`block_route`](Self::block_route).
+    pub fn unblock_route(&mut self, node: NodeId, addr: Ipv4Addr) {
+        self.blocked.remove(&(node.index(), addr));
+    }
+
+    /// Derive the full routing state from the enabled edges: for every
+    /// bound address, a breadth-first search from the owning node
+    /// assigns each reachable node its next hop toward the owner
+    /// (smallest-index neighbor on a shortest path). Blocked and
+    /// unreachable entries are absent.
+    #[must_use]
+    pub fn compute_routes(&self) -> BTreeMap<(usize, Ipv4Addr), usize> {
+        let n = self.max_node + 1;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.enabled {
+                adj[e.a].push(e.b);
+                adj[e.b].push(e.a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let mut routes = BTreeMap::new();
+        for (&addr, &owner) in &self.addrs {
+            let mut dist = vec![usize::MAX; n];
+            dist[owner] = 0;
+            let mut queue = VecDeque::from([owner]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for node in 0..n {
+                if node == owner || dist[node] == usize::MAX {
+                    continue;
+                }
+                if self.blocked.contains(&(node, addr)) {
+                    continue;
+                }
+                // Ascending adjacency order makes this the smallest-index
+                // neighbor strictly closer to the owner.
+                let next = adj[node]
+                    .iter()
+                    .copied()
+                    .find(|&v| dist[v] + 1 == dist[node])
+                    .expect("BFS invariant: reachable node has a closer neighbor");
+                routes.insert((node, addr), next);
+            }
+        }
+        routes
+    }
+
+    /// Install the derived routing tables directly (before the
+    /// simulation starts). Replaces any previously derived state.
+    pub fn install_routes(&mut self, sim: &mut Simulator) {
+        let desired = self.compute_routes();
+        for (&(node, addr), &next) in &desired {
+            sim.add_route(NodeId(node), addr, NodeId(next));
+        }
+        for &(node, addr) in self.routes.keys() {
+            if !desired.contains_key(&(node, addr)) {
+                sim.remove_route(NodeId(node), addr);
+            }
+        }
+        self.routes = desired;
+    }
+
+    /// Recompute the routing tables and schedule exactly the entries
+    /// that changed (additions, next-hop changes, removals) as route
+    /// changes at simulated time `at`.
+    ///
+    /// Calls must come in nondecreasing `at` order: the diff is taken
+    /// against the state left by the previous `install_routes` /
+    /// `reroute_at` call, so out-of-order scheduling would diff against
+    /// the wrong base.
+    pub fn reroute_at(&mut self, sim: &mut Simulator, at: SimTime) {
+        let desired = self.compute_routes();
+        for (&(node, addr), &next) in &desired {
+            if self.routes.get(&(node, addr)) != Some(&next) {
+                sim.schedule_route_change(at, NodeId(node), addr, Some(NodeId(next)));
+            }
+        }
+        for &(node, addr) in self.routes.keys() {
+            if !desired.contains_key(&(node, addr)) {
+                sim.schedule_route_change(at, NodeId(node), addr, None);
+            }
+        }
+        self.routes = desired;
+    }
+
+    /// The currently derived routing state as `(node, dst, next_hop)`
+    /// triples in deterministic order — for digests and tests.
+    #[must_use]
+    pub fn route_entries(&self) -> Vec<(NodeId, Ipv4Addr, NodeId)> {
+        self.routes
+            .iter()
+            .map(|(&(node, addr), &next)| (NodeId(node), addr, NodeId(next)))
+            .collect()
+    }
+}
+
+fn pair_key(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A scripted hop: at `at`, the client detaches from gateway `from` and
+/// attaches to gateway `to`.
+#[derive(Debug, Clone, Copy)]
+pub struct Hop {
+    /// Simulated time of the handoff.
+    pub at: SimTime,
+    /// Gateway the client detaches from.
+    pub from: NodeId,
+    /// Gateway the client attaches to.
+    pub to: NodeId,
+}
+
+/// A scripted sequence of gateway handoffs for one client address.
+///
+/// Built with [`Mobility::new`] + [`Mobility::hop`], then applied once
+/// with [`Mobility::apply`] before the simulation runs. Each hop:
+///
+/// 1. disables the `from ↔ client` edge and enables `to ↔ client`,
+/// 2. blocks `from`'s route to the client (stale in-flight shims at the
+///    old gateway drop instead of chasing the client through the mesh),
+/// 3. unblocks `to`'s route, and
+/// 4. schedules the resulting routing-table diff at the hop time.
+#[derive(Debug, Clone)]
+pub struct Mobility {
+    client_addr: Ipv4Addr,
+    hops: Vec<Hop>,
+}
+
+impl Mobility {
+    /// A mobility script for the client bound to `client_addr`.
+    #[must_use]
+    pub fn new(client_addr: Ipv4Addr) -> Self {
+        Self {
+            client_addr,
+            hops: Vec::new(),
+        }
+    }
+
+    /// Append a handoff; hops must be appended in nondecreasing time
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous hop.
+    #[must_use]
+    pub fn hop(mut self, at: SimTime, from: NodeId, to: NodeId) -> Self {
+        if let Some(last) = self.hops.last() {
+            assert!(last.at <= at, "hops must be in nondecreasing time order");
+        }
+        self.hops.push(Hop { at, from, to });
+        self
+    }
+
+    /// The scripted hops, in time order.
+    #[must_use]
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// The client address this script moves.
+    #[must_use]
+    pub fn client_addr(&self) -> Ipv4Addr {
+        self.client_addr
+    }
+
+    /// Apply the script: mutate `topo`'s edge/block state hop by hop and
+    /// schedule every routing-table diff into `sim`. Call once, before
+    /// the simulation runs, after `topo.install_routes(sim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client address is unbound or a hop references an
+    /// edge the topology does not have.
+    pub fn apply(&self, topo: &mut Topology, sim: &mut Simulator) {
+        let client = topo
+            .owner(self.client_addr)
+            .unwrap_or_else(|| panic!("client address {} unbound", self.client_addr));
+        for hop in &self.hops {
+            topo.set_edge(hop.from, client, false);
+            topo.set_edge(hop.to, client, true);
+            topo.block_route(hop.from, self.client_addr);
+            topo.unblock_route(hop.to, self.client_addr);
+            topo.reroute_at(sim, hop.at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Context, Node};
+    use bytecache_packet::Packet;
+
+    struct Sink;
+    impl Node for Sink {
+        fn on_packet(&mut self, _packet: Packet, _ctx: &mut Context<'_>) {}
+    }
+
+    fn sim_with_nodes(n: usize) -> (Simulator, Vec<NodeId>) {
+        let mut sim = Simulator::new(1);
+        let ids = (0..n).map(|_| sim.add_node(Sink)).collect();
+        (sim, ids)
+    }
+
+    fn addr(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    #[test]
+    fn chain_routes_toward_both_ends() {
+        let (mut sim, ids) = sim_with_nodes(4);
+        let mut topo = Topology::chain(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[0], addr(1));
+        topo.bind(ids[3], addr(2));
+        let routes = topo.compute_routes();
+        // Everyone routes toward node 0 for addr(1) ...
+        assert_eq!(routes[&(1, addr(1))], 0);
+        assert_eq!(routes[&(2, addr(1))], 1);
+        assert_eq!(routes[&(3, addr(1))], 2);
+        // ... and toward node 3 for addr(2).
+        assert_eq!(routes[&(0, addr(2))], 1);
+        assert_eq!(routes[&(2, addr(2))], 3);
+        assert_eq!(routes.len(), 6);
+    }
+
+    #[test]
+    fn mesh_breaks_ties_toward_smallest_index() {
+        let (mut sim, ids) = sim_with_nodes(4);
+        let mut topo = Topology::mesh(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[0], addr(1));
+        let routes = topo.compute_routes();
+        // Full mesh: every node is one hop from the owner.
+        for node in 1..4 {
+            assert_eq!(routes[&(node, addr(1))], 0);
+        }
+    }
+
+    #[test]
+    fn star_routes_via_hub() {
+        let (mut sim, ids) = sim_with_nodes(4);
+        let mut topo = Topology::star(&mut sim, ids[0], &ids[1..], &LinkConfig::default());
+        topo.bind(ids[3], addr(9));
+        let routes = topo.compute_routes();
+        assert_eq!(routes[&(0, addr(9))], 3);
+        assert_eq!(routes[&(1, addr(9))], 0);
+        assert_eq!(routes[&(2, addr(9))], 0);
+    }
+
+    #[test]
+    fn disabled_edge_forces_detour_and_unreachable_is_absent() {
+        let (mut sim, ids) = sim_with_nodes(3);
+        // Triangle; disable 0--2 so 2 reaches 0 via 1.
+        let mut topo = Topology::mesh(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[0], addr(1));
+        topo.set_edge(ids[0], ids[2], false);
+        let routes = topo.compute_routes();
+        assert_eq!(routes[&(2, addr(1))], 1);
+        // Disable the remaining path: 2 is cut off entirely.
+        topo.set_edge(ids[1], ids[2], false);
+        let routes = topo.compute_routes();
+        assert!(!routes.contains_key(&(2, addr(1))));
+        assert_eq!(routes[&(1, addr(1))], 0);
+    }
+
+    #[test]
+    fn blocked_route_is_left_out_until_unblocked() {
+        let (mut sim, ids) = sim_with_nodes(3);
+        let mut topo = Topology::chain(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[2], addr(5));
+        topo.block_route(ids[1], addr(5));
+        assert!(!topo.compute_routes().contains_key(&(1, addr(5))));
+        topo.unblock_route(ids[1], addr(5));
+        assert_eq!(topo.compute_routes()[&(1, addr(5))], 2);
+    }
+
+    #[test]
+    fn reroute_diff_tracks_installed_state() {
+        let (mut sim, ids) = sim_with_nodes(3);
+        let mut topo = Topology::mesh(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[0], addr(1));
+        topo.install_routes(&mut sim);
+        assert_eq!(topo.route_entries().len(), 2);
+        // Flip the 0--2 edge off: node 2 now detours via 1; the diff is
+        // exactly one change, and the recorded state reflects it.
+        topo.set_edge(ids[0], ids[2], false);
+        topo.reroute_at(&mut sim, SimTime::from_micros(50));
+        let entries = topo.route_entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&(ids[2], addr(1), ids[1])));
+    }
+
+    #[test]
+    fn recomputation_is_deterministic() {
+        let build = || {
+            let (mut sim, ids) = sim_with_nodes(6);
+            let mut topo = Topology::mesh(&mut sim, &ids, &LinkConfig::default());
+            topo.bind(ids[0], addr(1));
+            topo.bind(ids[5], addr(2));
+            topo.set_edge(ids[0], ids[5], false);
+            topo.set_edge(ids[1], ids[4], false);
+            format!("{:?}", topo.compute_routes())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn mobility_applies_edge_flips_blocks_and_diffs() {
+        let (mut sim, ids) = sim_with_nodes(5);
+        // 0 = server-side hub, 1..=3 gateways (mesh to hub), 4 = client.
+        let cfg = LinkConfig::default();
+        let mut topo = Topology::star(&mut sim, ids[0], &ids[1..4], &cfg);
+        topo.connect(&mut sim, ids[1], ids[4], cfg.clone());
+        topo.connect(&mut sim, ids[2], ids[4], cfg.clone());
+        topo.connect(&mut sim, ids[3], ids[4], cfg);
+        // Client starts attached to gateway 1 only.
+        topo.set_edge(ids[2], ids[4], false);
+        topo.set_edge(ids[3], ids[4], false);
+        let client_addr = addr(40);
+        topo.bind(ids[4], client_addr);
+        topo.bind(ids[0], addr(1));
+        topo.install_routes(&mut sim);
+        assert_eq!(topo.compute_routes()[&(0, client_addr)], 1);
+
+        let script = Mobility::new(client_addr)
+            .hop(SimTime::from_micros(10_000), ids[1], ids[2])
+            .hop(SimTime::from_micros(20_000), ids[2], ids[3]);
+        script.apply(&mut topo, &mut sim);
+
+        // Final state: attached at gateway 3, old gateways blocked/off.
+        assert!(!topo.edge_enabled(ids[1], ids[4]));
+        assert!(!topo.edge_enabled(ids[2], ids[4]));
+        assert!(topo.edge_enabled(ids[3], ids[4]));
+        let routes = topo.compute_routes();
+        assert_eq!(routes[&(0, client_addr)], 3);
+        assert!(!routes.contains_key(&(1, client_addr)));
+        assert!(!routes.contains_key(&(2, client_addr)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown edge")]
+    fn set_edge_rejects_unknown_pair() {
+        let (mut sim, ids) = sim_with_nodes(3);
+        let mut topo = Topology::chain(&mut sim, &ids[..2], &LinkConfig::default());
+        topo.set_edge(ids[0], ids[2], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn bind_rejects_duplicate_addr() {
+        let (mut sim, ids) = sim_with_nodes(2);
+        let mut topo = Topology::chain(&mut sim, &ids, &LinkConfig::default());
+        topo.bind(ids[0], addr(1));
+        topo.bind(ids[1], addr(1));
+    }
+}

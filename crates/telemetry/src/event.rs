@@ -59,6 +59,13 @@ pub enum EventKind {
     /// degraded (pass-through) mode, 0 recovering, `b` = estimated loss
     /// in basis points.
     Degrade,
+    /// Client handoff between gateways. `a` = 1 for an attach, 0 for a
+    /// detach, `b` = the gateway's node index.
+    Handoff,
+    /// Decoder cache migrated to a new gateway (`Handoff::Migrate`).
+    /// `a` = serialized transfer size in bytes, `b` = the carried-over
+    /// cache generation (`u64::MAX` when none was synced yet).
+    CacheMigrate,
 }
 
 impl EventKind {
@@ -82,6 +89,8 @@ impl EventKind {
             EventKind::Resync => "resync",
             EventKind::CacheWipe => "cache_wipe",
             EventKind::Degrade => "degrade",
+            EventKind::Handoff => "handoff",
+            EventKind::CacheMigrate => "cache_migrate",
         }
     }
 
@@ -105,6 +114,8 @@ impl EventKind {
             "resync" => EventKind::Resync,
             "cache_wipe" => EventKind::CacheWipe,
             "degrade" => EventKind::Degrade,
+            "handoff" => EventKind::Handoff,
+            "cache_migrate" => EventKind::CacheMigrate,
             _ => return None,
         })
     }
@@ -287,6 +298,8 @@ mod tests {
             EventKind::Resync,
             EventKind::CacheWipe,
             EventKind::Degrade,
+            EventKind::Handoff,
+            EventKind::CacheMigrate,
         ] {
             assert_eq!(EventKind::from_name(kind.as_str()), Some(kind));
         }
