@@ -7,7 +7,10 @@ use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::config::DreConfig;
 use crate::engine::EngineCore;
-use crate::migrate::{DecoderState, MigratedEntry, MIGRATION_ENTRY_OVERHEAD, MIGRATION_HEADER_LEN};
+use crate::migrate::{
+    DecoderState, MigrateError, MigratedEntry, MIGRATION_ENTRY_OVERHEAD, MIGRATION_HEADER_LEN,
+    MIGRATION_TRAILER_LEN,
+};
 use crate::policy::PacketMeta;
 use crate::stats::DecoderStats;
 use crate::store::{Cache, PacketId};
@@ -276,6 +279,7 @@ impl Decoder {
             .collect();
         if let Some(budget) = max_bytes {
             let mut total = MIGRATION_HEADER_LEN
+                + MIGRATION_TRAILER_LEN
                 + entries
                     .iter()
                     .map(|e| MIGRATION_ENTRY_OVERHEAD + e.payload.len())
@@ -330,6 +334,21 @@ impl Decoder {
             self.stats.index_insertions += indexed.insertions;
             self.stats.index_skips += indexed.skipped;
         }
+    }
+
+    /// Import a serialized snapshot, atomically: the blob is fully
+    /// parsed and integrity-checked *before* any state is touched, so a
+    /// malformed, truncated, or corrupted blob leaves the decoder's
+    /// cache and synchronization state exactly as they were.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse failure (see [`DecoderState::from_bytes`]);
+    /// on any error `self` is unmodified.
+    pub fn import_state_bytes(&mut self, buf: &[u8]) -> Result<(), MigrateError> {
+        let state = DecoderState::from_bytes(buf)?;
+        self.import_state(state);
+        Ok(())
     }
 
     /// Decode one shim payload from a plain byte slice.

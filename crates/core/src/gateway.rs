@@ -42,7 +42,7 @@ use bytecache_telemetry::{Event, EventKind, Recorder};
 
 use crate::decoder::Decoder;
 use crate::encoder::Encoder;
-use crate::migrate::DecoderState;
+use crate::migrate::{DecoderState, MigrateError};
 use crate::policy::PacketMeta;
 use crate::sharded::{ShardFeedback, ShardedDecoder, ShardedEncoder};
 use crate::stats::{DecoderStats, EncoderStats};
@@ -694,6 +694,27 @@ impl DecoderGateway {
             Event::new(EventKind::CacheMigrate).details(bytes, carry.map_or(u64::MAX, u64::from)),
         );
         self.decoder.shard_mut(0).import_state(state);
+    }
+
+    /// Warm-start this gateway's decoder from a serialized snapshot —
+    /// the wire form the old gateway actually ships over the side
+    /// channel. The blob is fully parsed and integrity-checked before
+    /// any gateway or decoder state is touched: a malformed, truncated,
+    /// or corrupted blob is rejected *whole*, leaving the cache, the
+    /// synchronization state, and the migration counters untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse failure (see [`DecoderState::from_bytes`]); on
+    /// any error `self` is unmodified.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the gateway runs more than one shard.
+    pub fn import_decoder_blob(&mut self, buf: &[u8]) -> Result<(), MigrateError> {
+        let state = DecoderState::from_bytes(buf)?;
+        self.import_decoder_state(state);
+        Ok(())
     }
 
     /// Borrow the wrapped decoder (stats, cache inspection).

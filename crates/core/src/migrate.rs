@@ -9,13 +9,13 @@
 //! warm-starts the new decoder so in-flight encoded shims keep decoding
 //! against the same cache generation (the "generation carry-over").
 //!
-//! # Wire format (version 1)
+//! # Wire format (version 2)
 //!
 //! All integers big-endian:
 //!
 //! ```text
 //! magic     u16 = 0xBC9E
-//! version   u8  = 1
+//! version   u8  = 2
 //! flags     u8      bit0 epoch present, bit1 sync_gen present,
 //!                   bit2 need_resync,   bit3 resync_base present,
 //!                   bit4 adopt_next_id
@@ -26,7 +26,18 @@
 //! count     u32     number of entries
 //! entry*:   id u64, src u32, src_port u16, dst u32, dst_port u16,
 //!           seq u32, len u16, payload [len]u8
+//! checksum  u64     FNV-1a over every preceding byte
 //! ```
+//!
+//! Version 2 (this version) appended the checksum trailer: a blob that
+//! parses structurally but was corrupted in transit (bit flips inside a
+//! payload, a patched count) previously imported garbage into the new
+//! gateway's cache. FNV-1a's per-byte step is a bijection of the hash
+//! state, so *any* single-byte change — including in the trailer itself
+//! — is guaranteed to be rejected. Blobs never persist across software
+//! versions (they live for one side-channel hop), so there is no v1
+//! compatibility path; version 1 blobs are rejected as
+//! [`MigrateError::BadVersion`].
 //!
 //! Entries are ordered oldest → newest (the cache's FIFO insertion
 //! order), so importing reproduces the eviction order. Stale
@@ -43,12 +54,24 @@ use std::net::Ipv4Addr;
 /// Magic leading a serialized [`DecoderState`].
 pub const MIGRATION_MAGIC: u16 = 0xBC9E;
 /// Current serialization version.
-pub const MIGRATION_VERSION: u8 = 1;
+pub const MIGRATION_VERSION: u8 = 2;
 
 /// Fixed header size of the serialized form, in bytes.
 pub const MIGRATION_HEADER_LEN: usize = 2 + 1 + 1 + 2 + 4 + 4 + 4 + 4;
 /// Per-entry overhead on top of the payload bytes.
 pub const MIGRATION_ENTRY_OVERHEAD: usize = 8 + 4 + 2 + 4 + 2 + 4 + 2;
+/// Size of the integrity checksum trailing the serialized form.
+pub const MIGRATION_TRAILER_LEN: usize = 8;
+
+/// FNV-1a 64-bit over `buf` — the blob integrity checksum.
+fn fnv1a64(buf: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in buf {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
 
 const FLAG_EPOCH: u8 = 1 << 0;
 const FLAG_SYNC_GEN: u8 = 1 << 1;
@@ -105,6 +128,10 @@ pub enum MigrateError {
     BadMagic,
     /// Unsupported version.
     BadVersion(u8),
+    /// The integrity checksum did not match the blob's contents.
+    BadChecksum,
+    /// Bytes remained after the structure (and checksum) ended.
+    Trailing,
 }
 
 impl core::fmt::Display for MigrateError {
@@ -113,6 +140,8 @@ impl core::fmt::Display for MigrateError {
             MigrateError::Truncated => write!(f, "truncated migration blob"),
             MigrateError::BadMagic => write!(f, "bad migration magic"),
             MigrateError::BadVersion(v) => write!(f, "unsupported migration version {v}"),
+            MigrateError::BadChecksum => write!(f, "migration blob checksum mismatch"),
+            MigrateError::Trailing => write!(f, "trailing bytes after migration blob"),
         }
     }
 }
@@ -130,6 +159,7 @@ impl DecoderState {
                 .iter()
                 .map(|e| MIGRATION_ENTRY_OVERHEAD + e.payload.len())
                 .sum::<usize>()
+            + MIGRATION_TRAILER_LEN
     }
 
     /// Serialize (see the module docs for the format).
@@ -171,15 +201,21 @@ impl DecoderState {
             out.extend_from_slice(&(e.payload.len() as u16).to_be_bytes());
             out.extend_from_slice(&e.payload);
         }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_be_bytes());
         out
     }
 
     /// Parse a serialized snapshot.
     ///
+    /// Parsing is all-or-nothing: a blob that is truncated, carries
+    /// trailing bytes, or fails the integrity checksum is rejected
+    /// *whole* — callers never see a partially parsed state.
+    ///
     /// # Errors
     ///
-    /// Returns a [`MigrateError`] on truncation, wrong magic, or an
-    /// unsupported version.
+    /// Returns a [`MigrateError`] on truncation, wrong magic, an
+    /// unsupported version, trailing bytes, or a checksum mismatch.
     pub fn from_bytes(buf: &[u8]) -> Result<Self, MigrateError> {
         let mut r = Reader { buf, pos: 0 };
         if r.u16()? != MIGRATION_MAGIC {
@@ -216,6 +252,13 @@ impl DecoderState {
                 seq,
                 payload,
             });
+        }
+        let declared = r.u64()?;
+        if r.pos != buf.len() {
+            return Err(MigrateError::Trailing);
+        }
+        if fnv1a64(&buf[..buf.len() - MIGRATION_TRAILER_LEN]) != declared {
+            return Err(MigrateError::BadChecksum);
         }
         Ok(DecoderState {
             epoch: (flags & FLAG_EPOCH != 0).then_some(epoch),
@@ -351,5 +394,42 @@ mod tests {
             DecoderState::from_bytes(&wire),
             Err(MigrateError::BadVersion(99))
         );
+    }
+
+    #[test]
+    fn rejects_any_single_byte_corruption() {
+        // FNV-1a's per-byte step is a bijection of the 64-bit state, so
+        // a single-byte change anywhere (body or trailer) must always be
+        // rejected — the exact error may vary (a patched count field can
+        // surface as Truncated/Trailing before the checksum is checked),
+        // but nothing corrupt may ever parse.
+        let wire = sample().to_bytes();
+        for offset in 0..wire.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bad = wire.clone();
+                bad[offset] ^= flip;
+                assert!(
+                    DecoderState::from_bytes(&bad).is_err(),
+                    "corruption at byte {offset} (xor {flip:#04x}) accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut wire = sample().to_bytes();
+        wire.push(0);
+        assert_eq!(DecoderState::from_bytes(&wire), Err(MigrateError::Trailing));
+    }
+
+    #[test]
+    fn wire_len_includes_trailer() {
+        let empty = DecoderState::default();
+        assert_eq!(
+            empty.wire_len(),
+            MIGRATION_HEADER_LEN + MIGRATION_TRAILER_LEN
+        );
+        assert_eq!(empty.to_bytes().len(), empty.wire_len());
     }
 }

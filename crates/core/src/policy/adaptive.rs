@@ -132,9 +132,12 @@ pub struct Degrading {
     p_est: f64,
     /// EWMA smoothing factor.
     alpha: f64,
-    /// Enter degraded (pass-through) mode above this estimate.
+    /// Enter degraded (pass-through) mode *strictly above* this
+    /// estimate. An estimate sitting exactly on the threshold stays in
+    /// its current mode.
     enter: f64,
-    /// Leave degraded mode below this estimate (hysteresis).
+    /// Leave degraded mode *strictly below* this estimate (hysteresis).
+    /// An estimate sitting exactly on the threshold stays degraded.
     exit: f64,
     degraded: bool,
     /// Set by `before_packet` on a state change; drained by
@@ -163,6 +166,31 @@ impl Degrading {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// New degrading policy with explicit hysteresis thresholds.
+    ///
+    /// Both comparisons are *strict*: the policy degrades only when the
+    /// estimate is strictly above `enter` and recovers only when it is
+    /// strictly below `exit`. An estimate pinned exactly on either
+    /// threshold therefore never transitions — even in the degenerate
+    /// `enter == exit` case a boundary-sitting flow cannot oscillate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < exit <= enter < 1` (an exit above enter would
+    /// invert the hysteresis band).
+    #[must_use]
+    pub fn with_thresholds(enter: f64, exit: f64) -> Self {
+        assert!(
+            exit > 0.0 && exit <= enter && enter < 1.0,
+            "need 0 < exit <= enter < 1, got enter={enter} exit={exit}"
+        );
+        Degrading {
+            enter,
+            exit,
+            ..Degrading::default()
+        }
     }
 
     /// Current retransmission-rate estimate.
@@ -303,6 +331,93 @@ mod tests {
         }
         assert!(exited, "est={}", p.estimated_loss());
         assert!(!p.before_packet(&meta(seq + 1460, 900)).suppress_encoding);
+    }
+
+    /// Feed `n` fresh (non-retransmitted) packets with the EWMA frozen
+    /// (`alpha = 0`), so `p_est` stays pinned exactly where the test put
+    /// it, and count mode transitions.
+    fn transitions_with_frozen_estimate(p: &mut Degrading, n: u64) -> usize {
+        let mut transitions = 0;
+        let mut seq = 1000u32;
+        for i in 0..n {
+            seq += 1460;
+            p.before_packet(&meta(seq, i));
+            if p.poll_transition().is_some() {
+                transitions += 1;
+            }
+        }
+        transitions
+    }
+
+    #[test]
+    fn estimate_exactly_on_enter_threshold_does_not_degrade() {
+        // p_est == enter: the comparison is strict, so a flow sitting
+        // exactly on the boundary must stay in normal mode forever.
+        let mut p = Degrading {
+            p_est: 0.15,
+            alpha: 0.0,
+            ..Degrading::default()
+        };
+        assert_eq!(transitions_with_frozen_estimate(&mut p, 100), 0);
+        assert!(!p.is_degraded());
+        assert_eq!(p.estimated_loss(), 0.15, "alpha=0 keeps the pin");
+    }
+
+    #[test]
+    fn estimate_exactly_on_exit_threshold_stays_degraded() {
+        // p_est == exit while degraded: strict comparison again — no
+        // recovery, no oscillation.
+        let mut p = Degrading {
+            p_est: 0.05,
+            alpha: 0.0,
+            degraded: true,
+            ..Degrading::default()
+        };
+        assert_eq!(transitions_with_frozen_estimate(&mut p, 100), 0);
+        assert!(p.is_degraded());
+    }
+
+    #[test]
+    fn one_ulp_past_either_threshold_transitions_once() {
+        let mut entering = Degrading {
+            p_est: 0.15 + f64::EPSILON,
+            alpha: 0.0,
+            ..Degrading::default()
+        };
+        assert_eq!(transitions_with_frozen_estimate(&mut entering, 100), 1);
+        assert!(entering.is_degraded());
+
+        let mut exiting = Degrading {
+            p_est: 0.05 - f64::EPSILON,
+            alpha: 0.0,
+            degraded: true,
+            ..Degrading::default()
+        };
+        assert_eq!(transitions_with_frozen_estimate(&mut exiting, 100), 1);
+        assert!(!exiting.is_degraded());
+    }
+
+    #[test]
+    fn equal_thresholds_cannot_oscillate_on_the_boundary() {
+        // Degenerate hysteresis band (enter == exit): an estimate pinned
+        // exactly on the shared threshold satisfies neither strict
+        // comparison, so it never transitions from either starting mode.
+        for start_degraded in [false, true] {
+            let mut p = Degrading {
+                p_est: 0.10,
+                alpha: 0.0,
+                degraded: start_degraded,
+                ..Degrading::with_thresholds(0.10, 0.10)
+            };
+            assert_eq!(transitions_with_frozen_estimate(&mut p, 200), 0);
+            assert_eq!(p.is_degraded(), start_degraded);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < exit <= enter < 1")]
+    fn inverted_hysteresis_band_rejected() {
+        let _ = Degrading::with_thresholds(0.05, 0.15);
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! taken mid-resync. This is the correctness contract behind
 //! `Handoff::Migrate`.
 
+use bytecache::gateway::DecoderGateway;
 use bytecache::{
     DecodeError, Decoder, DecoderState, DreConfig, Encoder, Feedback, PacketMeta, PolicyKind,
 };
 use bytecache_packet::{FlowId, SeqNum};
 use bytes::Bytes;
+use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 fn mix(state: &mut u64) -> u64 {
@@ -277,6 +279,109 @@ fn roundtrip_of_mid_resync_snapshot() {
     let fresh = encode_stream(&mut encoder, &mut work, 60, 0);
     assert_twin_behavior(&mut decoder, &mut imported, &fresh);
     assert!(!decoder.needs_resync());
+}
+
+/// Build a decoder with real (deterministic) cache + sync state and a
+/// valid exported blob, small enough that per-offset sweeps stay fast.
+fn warmed_decoder_and_blob(seed: u64) -> (Decoder, Vec<u8>) {
+    let config = DreConfig {
+        cache_bytes: 16 * 1024,
+        ..DreConfig::default()
+    };
+    let mut encoder =
+        Encoder::new(config.clone(), PolicyKind::CacheFlush.build()).with_wire_gen(true);
+    let mut decoder = Decoder::new(config);
+    let mut work = Workload::new(seed);
+    let warm = encode_stream(&mut encoder, &mut work, 12, 0);
+    let _ = replay(&mut decoder, &warm);
+    let blob = decoder.export_state(None).to_bytes();
+    (decoder, blob)
+}
+
+/// Everything observable about a decoder that a botched import could
+/// disturb.
+fn observables(d: &Decoder) -> (DecoderState, usize, usize) {
+    (
+        d.export_state(None),
+        d.cache().len(),
+        d.cache().bytes_used(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The satellite-1 contract: a blob corrupted at ANY byte offset
+    /// (and truncated at any length) must be rejected whole, leaving
+    /// the importing decoder's cache and sync state untouched.
+    #[test]
+    fn corrupted_or_truncated_blob_never_mutates_decoder(
+        seed in 0u64..1_000,
+        flip in 1u8..=255,
+    ) {
+        let (mut decoder, blob) = warmed_decoder_and_blob(seed);
+        prop_assert!(blob.len() > 100, "warmup produced a trivial blob");
+        let before = observables(&decoder);
+
+        // Sanity: the intact blob is accepted (on a twin, so `decoder`
+        // keeps its pre-import state for the sweeps below).
+        let mut twin = Decoder::new(DreConfig {
+            cache_bytes: 16 * 1024,
+            ..DreConfig::default()
+        });
+        prop_assert!(twin.import_state_bytes(&blob).is_ok());
+
+        // Corruption at every byte offset.
+        for offset in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[offset] ^= flip;
+            prop_assert!(
+                decoder.import_state_bytes(&bad).is_err(),
+                "corruption at offset {} accepted", offset
+            );
+        }
+        prop_assert_eq!(&observables(&decoder), &before, "corruption sweep mutated decoder");
+
+        // Truncation at every length (including empty).
+        for cut in 0..blob.len() {
+            prop_assert!(
+                decoder.import_state_bytes(&blob[..cut]).is_err(),
+                "truncation at {} accepted", cut
+            );
+        }
+        // Trailing garbage as well.
+        let mut padded = blob.clone();
+        padded.push(0xAA);
+        prop_assert!(decoder.import_state_bytes(&padded).is_err());
+        prop_assert_eq!(&observables(&decoder), &before, "truncation sweep mutated decoder");
+
+        // And the pristine blob still imports fine afterwards.
+        prop_assert!(decoder.import_state_bytes(&blob).is_ok());
+    }
+}
+
+#[test]
+fn gateway_blob_import_is_atomic() {
+    // Same contract one level up: a rejected blob must leave the
+    // gateway's migration counters, pending queues, and decoder alone.
+    let (donor, blob) = warmed_decoder_and_blob(99);
+    let fresh = Decoder::new(DreConfig::default());
+    let mut gw = DecoderGateway::new(
+        fresh,
+        Ipv4Addr::new(10, 0, 0, 2),
+        Ipv4Addr::new(10, 0, 0, 4),
+    );
+
+    let mut bad = blob.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    assert!(gw.import_decoder_blob(&bad).is_err());
+    assert_eq!(gw.migrations(), 0, "failed import counted as a migration");
+    assert_eq!(gw.decoder().cache().len(), 0, "failed import touched cache");
+
+    assert!(gw.import_decoder_blob(&blob).is_ok());
+    assert_eq!(gw.migrations(), 1);
+    assert_eq!(gw.decoder().cache().len(), donor.cache().len());
 }
 
 #[test]

@@ -35,6 +35,13 @@
 //!               events/sec (writes BENCH_capacity.json; exits 1 on
 //!               queue-kind divergence or a wheel regression below
 //!               0.9x heap)
+//!   tournament  extension — every retransmission-mitigation arm (plain
+//!               TCP, the DRE policies, XOR network coding) on the same
+//!               channel realizations across loss model, loss rate,
+//!               propagation, rate limit, and workload redundancy;
+//!               frontier winner map (writes BENCH_tournament.json;
+//!               exits 1 on a corrupted delivery or any cross-mode
+//!               digest divergence)
 //!   handoff     extension — multi-hop topologies and gateway handoff:
 //!               resync vs cache migration on a 2-hop cache chain and a
 //!               4-gateway mesh; per-hop savings, stalls, bytes
@@ -69,8 +76,8 @@
 use bytecache::PolicyKind;
 use bytecache_experiments::{
     ablation, capacity, fig6, handoff, hotpath, insights, interflow, kdistance, mobility,
-    perceived, recovery, shardscale, simthroughput, stalltrace, sweep, table1, table2, tuning,
-    Campaign,
+    perceived, recovery, shardscale, simthroughput, stalltrace, sweep, table1, table2, tournament,
+    tuning, Campaign,
 };
 use bytecache_netsim::time::SimDuration;
 use bytecache_netsim::QueueKind;
@@ -235,6 +242,7 @@ fn main() {
         "recovery",
         "capacity",
         "handoff",
+        "tournament",
         "sweep",
         "all",
     ];
@@ -244,7 +252,14 @@ fn main() {
     }
     // Validate knob combinations up front: a knob the selected
     // experiment ignores would otherwise be a silent no-op.
-    let sim_worker_aware = ["simthroughput", "recovery", "capacity", "handoff", "all"];
+    let sim_worker_aware = [
+        "simthroughput",
+        "recovery",
+        "capacity",
+        "handoff",
+        "tournament",
+        "all",
+    ];
     if sim_workers > 0 && !sim_worker_aware.contains(&what.as_str()) {
         eprintln!(
             "--sim-workers is not wired into '{what}'; it applies to: {}",
@@ -259,6 +274,10 @@ fn main() {
     let node_bound: Option<(usize, &str)> = match what.as_str() {
         "recovery" => Some((4, "the 4-node recovery scenario")),
         "handoff" => Some((handoff::NODE_COUNT, "the 7-node handoff topologies")),
+        "tournament" => Some((
+            tournament::NODE_COUNT,
+            "the tournament's smallest (4-node) chain",
+        )),
         _ => None,
     };
     if let Some((bound, desc)) = node_bound {
@@ -270,7 +289,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let queue_aware = ["capacity", "handoff", "all"];
+    let queue_aware = ["capacity", "handoff", "tournament", "all"];
     if queue.is_some() && !queue_aware.contains(&what.as_str()) {
         eprintln!(
             "--queue is not wired into '{what}'; it applies to: {}",
@@ -605,6 +624,65 @@ fn main() {
         std::fs::write("BENCH_handoff.json", &json)
             .expect("write BENCH_handoff.json in the current directory");
         println!("  wrote BENCH_handoff.json");
+        println!();
+    }
+    if run("tournament") {
+        let params = if quick {
+            tournament::TournamentParams::quick(scale.seeds)
+        } else {
+            tournament::TournamentParams::full(scale.seeds.min(3))
+        }
+        .sim_workers(sim_workers)
+        .queue(queue);
+        let pts = if want_metrics {
+            let (pts, rec) = tournament::run_with_metrics(&campaign, &params);
+            metrics.merge(&rec);
+            pts
+        } else {
+            tournament::run_with(&campaign, &params)
+        };
+        println!("{}", tournament::render(&pts));
+        println!(
+            "{}",
+            tournament::render_frontier(&tournament::frontier(&pts))
+        );
+        // The harness doubles as the coding-safety smoke test: a repair
+        // packet may cost bytes, never correctness.
+        for p in &pts {
+            if p.corrupted > 0 {
+                eprintln!(
+                    "tournament: corrupted delivery at arm={} channel={} loss={}",
+                    p.arm.label(),
+                    p.channel.label(),
+                    p.loss
+                );
+                std::process::exit(1);
+            }
+        }
+        // And as the subsystem's determinism contract: the same runs
+        // must digest byte-identically across exec modes, queue kinds,
+        // worker counts, and telemetry on/off.
+        let check = tournament::determinism_check(&params);
+        if !check.identical {
+            eprintln!("tournament: digests diverged across exec modes / queue kinds");
+            std::process::exit(1);
+        }
+        println!(
+            "  tournament determinism: {} arms, {} runs byte-identical across \
+             SerialDet/Parallel{{2,4}} x heap/wheel x telemetry on/off",
+            check.combos, check.runs
+        );
+        match tournament::nc_vs_cacheflush(&pts) {
+            Some(c) => println!(
+                "  nc vs cache-flush: {} cells compared, nc wins {}, best ratio {:.3}x at {}",
+                c.cells_compared, c.nc_wins, c.best_ratio, c.best_cell
+            ),
+            None => println!("  nc vs cache-flush: no comparable cells"),
+        }
+        let json = tournament::bench_json(&params, &pts);
+        std::fs::write("BENCH_tournament.json", &json)
+            .expect("write BENCH_tournament.json in the current directory");
+        println!("  wrote BENCH_tournament.json");
         println!();
     }
     if run("mobility") {

@@ -28,6 +28,7 @@
 //! | [`recovery`] | beyond the paper — decoder cache wipe mid-transfer: stall time and bytes sacrificed to safety |
 //! | [`capacity`] | beyond the paper — 10k-flow flash crowd through a gateway bank; heap-vs-wheel events/sec |
 //! | [`handoff`] | beyond the paper — multi-hop topologies and gateway handoff: resync vs cache migration, cache chains |
+//! | [`tournament`] | beyond the paper — every retransmission-mitigation arm (TCP, DRE policies, XOR network coding) on the same channel realizations |
 //!
 //! Experiment grids execute on the [`campaign`] executor: deterministic
 //! parallel fan-out whose output is byte-identical for every thread
@@ -62,6 +63,7 @@ pub mod stalltrace;
 pub mod sweep;
 pub mod table1;
 pub mod table2;
+pub mod tournament;
 pub mod tuning;
 
 pub use campaign::Campaign;

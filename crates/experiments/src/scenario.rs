@@ -3,8 +3,11 @@
 use bytecache::gateway::{DecoderGateway, EncoderGateway, PayloadMode};
 use bytecache::{Decoder, DecoderStats, DreConfig, Encoder, EncoderStats, PolicyKind};
 use bytecache_netsim::channel::{ChannelConfig, LossModel};
+use bytecache_netsim::nc::{
+    NcConfig, NcDecoderNode, NcDecoderStats, NcEncoderNode, NcEncoderStats, NcTuning,
+};
 use bytecache_netsim::time::{SimDuration, SimTime};
-use bytecache_netsim::{Context, ExecMode, LinkConfig, LinkStats, Node, Simulator};
+use bytecache_netsim::{Context, ExecMode, LinkConfig, LinkStats, Node, QueueKind, Simulator};
 use bytecache_packet::{FlowId, Packet};
 use bytecache_tcp::{DownloadReport, ServerReport, TcpClientNode, TcpConfig, TcpServerNode};
 use bytecache_telemetry::Recorder;
@@ -20,6 +23,12 @@ pub mod addrs {
     pub const ENCODER_GW: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
     /// Decoder gateway.
     pub const DECODER_GW: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 4);
+    /// Network-coding encoder node (enc-gateway side of the wireless
+    /// hop; present only when [`ScenarioConfig::nc`] is set).
+    pub const NC_ENC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5);
+    /// Network-coding decoder node (dec-gateway side of the wireless
+    /// hop; present only when [`ScenarioConfig::nc`] is set).
+    pub const NC_DEC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 6);
     /// Server TCP port.
     pub const SERVER_PORT: u16 = 80;
     /// Client TCP port.
@@ -96,6 +105,15 @@ pub struct ScenarioConfig {
     /// conservative PDES engine. All values `>= 1` produce identical
     /// results to each other.
     pub sim_workers: usize,
+    /// Bracket the wireless hop with the network-coded retransmission
+    /// pair ([`NcEncoderNode`]/[`NcDecoderNode`]): the chain grows to
+    /// six nodes and XOR repair frames ride the lossy link alongside
+    /// the data. `None` (the default) keeps the classic four-node
+    /// chain byte-for-byte.
+    pub nc: Option<NcTuning>,
+    /// Event-queue kind override (`None` keeps the simulator default);
+    /// results are byte-identical for every kind.
+    pub queue: Option<QueueKind>,
 }
 
 impl ScenarioConfig {
@@ -132,6 +150,8 @@ impl ScenarioConfig {
             wire_gen: false,
             recovery: false,
             sim_workers: 0,
+            nc: None,
+            queue: None,
         }
     }
 
@@ -199,6 +219,22 @@ impl ScenarioConfig {
     #[must_use]
     pub fn sim_workers(mut self, workers: usize) -> Self {
         self.sim_workers = workers;
+        self
+    }
+
+    /// Enable the network-coded retransmission pair around the
+    /// wireless hop (builder style).
+    #[must_use]
+    pub fn nc(mut self, tuning: NcTuning) -> Self {
+        self.nc = Some(tuning);
+        self
+    }
+
+    /// Pin the event-queue kind (builder style); `None` keeps the
+    /// simulator default.
+    #[must_use]
+    pub fn queue(mut self, queue: Option<QueueKind>) -> Self {
+        self.queue = queue;
         self
     }
 
@@ -277,6 +313,12 @@ pub struct RunResult {
     /// Merged telemetry snapshot (server, gateways, simulator), present
     /// when [`ScenarioConfig::telemetry`] was set.
     pub telemetry: Option<Recorder>,
+    /// Network-coding encoder counters (`None` unless
+    /// [`ScenarioConfig::nc`] was set).
+    pub nc_encoder: Option<NcEncoderStats>,
+    /// Network-coding decoder counters (`None` unless
+    /// [`ScenarioConfig::nc`] was set).
+    pub nc_decoder: Option<NcDecoderStats>,
 }
 
 impl RunResult {
@@ -318,8 +360,9 @@ impl RunResult {
     }
 }
 
-/// Run one object retrieval through the four-node chain and collect
-/// everything the experiments need.
+/// Run one object retrieval through the four-node chain (six when
+/// [`ScenarioConfig::nc`] brackets the wireless hop with the coder
+/// pair) and collect everything the experiments need.
 ///
 /// # Panics
 ///
@@ -335,6 +378,9 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         0 => {}
         1 => sim.set_exec_mode(ExecMode::SerialDet),
         w => sim.set_exec_mode(ExecMode::Parallel { workers: w }),
+    }
+    if let Some(queue) = config.queue {
+        sim.set_queue_kind(queue);
     }
 
     if config.telemetry {
@@ -394,34 +440,73 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
     };
     sim.add_duplex_link(server, enc_gw, lan.clone());
     sim.add_duplex_link(dec_gw, client, lan);
-    let wireless_data = sim.add_link(
-        enc_gw,
-        dec_gw,
-        LinkConfig {
-            rate_bytes_per_sec: Some(config.wireless_rate),
-            propagation: config.wireless_propagation,
-            channel: config.data_channel(),
-        },
-    );
-    sim.add_link(
-        dec_gw,
-        enc_gw,
-        LinkConfig {
-            rate_bytes_per_sec: Some(config.wireless_rate),
-            propagation: config.wireless_propagation,
-            channel: config.control_channel(),
-        },
-    );
+    let data_link = LinkConfig {
+        rate_bytes_per_sec: Some(config.wireless_rate),
+        propagation: config.wireless_propagation,
+        channel: config.data_channel(),
+    };
+    let control_link = LinkConfig {
+        rate_bytes_per_sec: Some(config.wireless_rate),
+        propagation: config.wireless_propagation,
+        channel: config.control_channel(),
+    };
+    let (wireless_data, nc_nodes) = match &config.nc {
+        None => {
+            let wireless_data = sim.add_link(enc_gw, dec_gw, data_link);
+            sim.add_link(dec_gw, enc_gw, control_link);
 
-    // Routes (static IP forwarding tables).
-    sim.add_route(server, CLIENT, enc_gw);
-    sim.add_route(enc_gw, CLIENT, dec_gw);
-    sim.add_route(dec_gw, CLIENT, client);
-    sim.add_route(client, SERVER, dec_gw);
-    sim.add_route(dec_gw, SERVER, enc_gw);
-    sim.add_route(enc_gw, SERVER, server);
-    // NACK control path: decoder gateway → encoder gateway.
-    sim.add_route(dec_gw, ENCODER_GW, enc_gw);
+            // Routes (static IP forwarding tables).
+            sim.add_route(server, CLIENT, enc_gw);
+            sim.add_route(enc_gw, CLIENT, dec_gw);
+            sim.add_route(dec_gw, CLIENT, client);
+            sim.add_route(client, SERVER, dec_gw);
+            sim.add_route(dec_gw, SERVER, enc_gw);
+            sim.add_route(enc_gw, SERVER, server);
+            // NACK control path: decoder gateway → encoder gateway.
+            sim.add_route(dec_gw, ENCODER_GW, enc_gw);
+            (wireless_data, None)
+        }
+        Some(tuning) => {
+            // Bracket the lossy hop with the coder pair: the repair
+            // frames ride the same constrained link as the data, and
+            // the gateways on either side see a cleaner channel.
+            let nc_cfg = |src| NcConfig {
+                data_dst: CLIENT,
+                feedback_dst: SERVER,
+                src,
+                tuning: tuning.clone(),
+            };
+            let nc_enc = sim.add_node(NcEncoderNode::new(nc_cfg(NC_ENC)));
+            let nc_dec = sim.add_node(NcDecoderNode::new(nc_cfg(NC_DEC)));
+            // Near-zero-cost hops into the coder nodes; nonzero
+            // propagation keeps the PDES lookahead positive.
+            let hop = LinkConfig {
+                rate_bytes_per_sec: None,
+                propagation: SimDuration::from_micros(1),
+                channel: ChannelConfig::clean(),
+            };
+            sim.add_duplex_link(enc_gw, nc_enc, hop.clone());
+            sim.add_duplex_link(nc_dec, dec_gw, hop);
+            let wireless_data = sim.add_link(nc_enc, nc_dec, data_link);
+            sim.add_link(nc_dec, nc_enc, control_link);
+
+            sim.add_route(server, CLIENT, enc_gw);
+            sim.add_route(enc_gw, CLIENT, nc_enc);
+            sim.add_route(nc_enc, CLIENT, nc_dec);
+            sim.add_route(nc_dec, CLIENT, dec_gw);
+            sim.add_route(dec_gw, CLIENT, client);
+            sim.add_route(client, SERVER, dec_gw);
+            sim.add_route(dec_gw, SERVER, nc_dec);
+            sim.add_route(nc_dec, SERVER, nc_enc);
+            sim.add_route(nc_enc, SERVER, enc_gw);
+            sim.add_route(enc_gw, SERVER, server);
+            // NACK control path: decoder gateway → encoder gateway.
+            sim.add_route(dec_gw, ENCODER_GW, nc_dec);
+            sim.add_route(nc_dec, ENCODER_GW, nc_enc);
+            sim.add_route(nc_enc, ENCODER_GW, enc_gw);
+            (wireless_data, Some((nc_enc, nc_dec)))
+        }
+    };
 
     let end_time = match (config.wipe_at, config.policy.is_some()) {
         (Some(at), true) => {
@@ -457,6 +542,24 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
             )
         }
         None => (None, None, 0, 0, 0),
+    };
+
+    let (nc_encoder, nc_decoder) = match nc_nodes {
+        Some((a, b)) => (
+            Some(
+                sim.node::<NcEncoderNode>(a)
+                    .expect("nc encoder")
+                    .stats()
+                    .clone(),
+            ),
+            Some(
+                sim.node::<NcDecoderNode>(b)
+                    .expect("nc decoder")
+                    .stats()
+                    .clone(),
+            ),
+        ),
+        None => (None, None),
     };
 
     let wireless = sim.link_stats(wireless_data).clone();
@@ -517,6 +620,8 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
         data_intact,
         object_len,
         telemetry,
+        nc_encoder,
+        nc_decoder,
     }
 }
 
@@ -524,6 +629,37 @@ pub fn run_scenario(config: &ScenarioConfig) -> RunResult {
 mod tests {
     use super::*;
     use bytecache_workload::FileSpec;
+
+    #[test]
+    fn nc_bracket_recovers_losses_and_delivers_intact() {
+        // Bernoulli losses are isolated, so a single XOR repair per
+        // block is enough and the decoder must win some recoveries.
+        let object = FileSpec::File1.build(120_000, 3);
+        let cfg = ScenarioConfig::new(object)
+            .loss(0.08)
+            .seed(11)
+            .nc(NcTuning {
+                initial_loss: 0.08,
+                ..NcTuning::default()
+            });
+        let r = run_scenario(&cfg);
+        assert!(r.completed(), "nc run must complete intact");
+        let enc = r.nc_encoder.expect("nc encoder stats");
+        let dec = r.nc_decoder.expect("nc decoder stats");
+        assert!(enc.data_packets > 0 && enc.repairs_sent > 0);
+        assert!(
+            dec.recovered > 0,
+            "an 8% Bernoulli channel must give the decoder repairs it wins: {dec:?}"
+        );
+        assert_eq!(dec.malformed_repairs, 0);
+    }
+
+    #[test]
+    fn nc_none_leaves_result_fields_empty() {
+        let object = FileSpec::File1.build(60_000, 2);
+        let r = run_scenario(&ScenarioConfig::new(object));
+        assert!(r.nc_encoder.is_none() && r.nc_decoder.is_none());
+    }
 
     #[test]
     fn baseline_clean_run_completes_intact() {

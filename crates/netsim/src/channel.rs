@@ -76,6 +76,36 @@ impl LossModel {
         }
     }
 
+    /// Check every probability in the model is finite and in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, p: f64| -> Result<(), String> {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("loss model {name} must be in [0, 1], got {p}"))
+            }
+        };
+        match *self {
+            LossModel::None => Ok(()),
+            LossModel::Bernoulli { rate } => check("rate", rate),
+            LossModel::GilbertElliott {
+                good_loss,
+                bad_loss,
+                p_good_to_bad,
+                p_bad_to_good,
+            } => {
+                check("good_loss", good_loss)?;
+                check("bad_loss", bad_loss)?;
+                check("p_good_to_bad", p_good_to_bad)?;
+                check("p_bad_to_good", p_bad_to_good)
+            }
+        }
+    }
+
     /// Long-run expected loss rate of this model.
     #[must_use]
     pub fn mean_rate(&self) -> f64 {
@@ -187,6 +217,36 @@ impl ChannelConfig {
         Self::default()
     }
 
+    /// Check every probability is finite and in `[0, 1]` and the burst
+    /// length is at least 1.
+    ///
+    /// A rate outside `[0, 1]` used to slip through construction and
+    /// only blow up later inside `gen_bool` mid-simulation (and NaN or
+    /// negative rates silently behaved as 0 because every draw is gated
+    /// on `rate > 0.0`). [`Channel::new`] now rejects such configs up
+    /// front; call this to validate without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, p: f64| -> Result<(), String> {
+            if p.is_finite() && (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("{name} must be in [0, 1], got {p}"))
+            }
+        };
+        self.loss.validate()?;
+        check("corruption_rate", self.corruption_rate)?;
+        check("reorder_rate", self.reorder_rate)?;
+        check("duplicate_rate", self.duplicate_rate)?;
+        if self.reorder_burst_len < 1 {
+            return Err("reorder_burst_len must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
     /// Bernoulli loss at `rate`, nothing else — the paper's setting.
     #[must_use]
     pub fn lossy(rate: f64) -> Self {
@@ -228,8 +288,17 @@ pub struct Channel {
 
 impl Channel {
     /// Build the runtime channel for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ChannelConfig::validate`] rejects the configuration —
+    /// failing fast at link construction instead of deep inside
+    /// `gen_bool` halfway through a simulation.
     #[must_use]
     pub fn new(config: ChannelConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid ChannelConfig: {e}");
+        }
         Channel {
             loss: LossState::new(config.loss.clone()),
             config,
@@ -439,6 +508,178 @@ mod tests {
         assert_eq!(cfg.corruption_rate, 0.0);
         assert_eq!(cfg.reorder_rate, 0.0);
         assert!(matches!(ChannelConfig::lossy(0.0).loss, LossModel::None));
+    }
+
+    #[test]
+    fn gilbert_elliott_rate_and_burst_length_within_tolerance() {
+        // Statistical sanity for the tournament's bursty axis: with a
+        // fixed seed, BOTH the empirical loss rate and the empirical
+        // mean burst length must land near the configured values, for
+        // every (rate, burst) pair the sweeps use.
+        for &(rate, burst) in &[(0.02, 4.0), (0.08, 4.0), (0.10, 8.0)] {
+            let model = LossModel::bursty(rate, burst);
+            assert!((model.mean_rate() - rate).abs() < 1e-9);
+            let mut state = LossState::new(model);
+            let mut r = rng();
+            let n = 600_000;
+            let mut lost = 0usize;
+            let mut runs = Vec::new();
+            let mut current = 0usize;
+            for _ in 0..n {
+                if state.is_lost(&mut r) {
+                    lost += 1;
+                    current += 1;
+                } else if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            }
+            let emp_rate = lost as f64 / n as f64;
+            let emp_burst = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+            assert!(
+                (emp_rate - rate).abs() < rate * 0.10,
+                "rate {rate}/burst {burst}: empirical loss rate {emp_rate}"
+            );
+            assert!(
+                (emp_burst - burst).abs() < burst * 0.10,
+                "rate {rate}/burst {burst}: empirical mean burst {emp_burst}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_rates_zero_and_one_are_valid_and_behave() {
+        // 0.0 everywhere: valid and always delivers.
+        let zero = ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 0.0 },
+            corruption_rate: 0.0,
+            reorder_rate: 0.0,
+            duplicate_rate: 0.0,
+            ..ChannelConfig::default()
+        };
+        assert!(zero.validate().is_ok());
+        let mut ch = Channel::new(zero);
+        let mut r = rng();
+        assert!((0..1000).all(|_| ch.verdict(&mut r) == Verdict::Deliver));
+
+        // 1.0 is a legal probability at every knob; each verdict short-
+        // circuits in priority order (loss > corrupt > reorder > dup).
+        let mut all_lose = Channel::new(ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 1.0 },
+            ..ChannelConfig::default()
+        });
+        assert!((0..100).all(|_| all_lose.verdict(&mut r) == Verdict::Lose));
+        let mut all_corrupt = Channel::new(ChannelConfig {
+            corruption_rate: 1.0,
+            ..ChannelConfig::default()
+        });
+        assert!((0..100).all(|_| all_corrupt.verdict(&mut r) == Verdict::Corrupt));
+        let mut all_reorder = Channel::new(ChannelConfig {
+            reorder_rate: 1.0,
+            ..ChannelConfig::default()
+        });
+        assert!((0..100).all(|_| matches!(all_reorder.verdict(&mut r), Verdict::Reorder(_))));
+        let mut all_dup = Channel::new(ChannelConfig {
+            duplicate_rate: 1.0,
+            ..ChannelConfig::default()
+        });
+        assert!((0..100).all(|_| matches!(all_dup.verdict(&mut r), Verdict::Duplicate(_))));
+        let ge_boundary = ChannelConfig {
+            loss: LossModel::GilbertElliott {
+                good_loss: 0.0,
+                bad_loss: 1.0,
+                p_good_to_bad: 0.0,
+                p_bad_to_good: 1.0,
+            },
+            ..ChannelConfig::default()
+        };
+        assert!(ge_boundary.validate().is_ok());
+        let _ = Channel::new(ge_boundary);
+    }
+
+    #[test]
+    fn out_of_range_rates_fail_validation() {
+        let bad = [f64::NAN, f64::INFINITY, -0.1, 1.0 + 1e-9, 1.5];
+        for &rate in &bad {
+            assert!(
+                ChannelConfig {
+                    loss: LossModel::Bernoulli { rate },
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "loss rate {rate} accepted"
+            );
+            assert!(
+                ChannelConfig {
+                    corruption_rate: rate,
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "corruption_rate {rate} accepted"
+            );
+            assert!(
+                ChannelConfig {
+                    reorder_rate: rate,
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "reorder_rate {rate} accepted"
+            );
+            assert!(
+                ChannelConfig {
+                    duplicate_rate: rate,
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "duplicate_rate {rate} accepted"
+            );
+            assert!(
+                ChannelConfig {
+                    loss: LossModel::GilbertElliott {
+                        good_loss: 0.0,
+                        bad_loss: rate,
+                        p_good_to_bad: 0.1,
+                        p_bad_to_good: 0.1,
+                    },
+                    ..ChannelConfig::default()
+                }
+                .validate()
+                .is_err(),
+                "GE bad_loss {rate} accepted"
+            );
+        }
+        assert!(ChannelConfig {
+            reorder_burst_len: 0,
+            ..ChannelConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ChannelConfig")]
+    fn channel_construction_rejects_over_unity_rate() {
+        // Previously this panicked only when the first packet hit
+        // `gen_bool(1.5)` mid-simulation; now it fails at construction.
+        let _ = Channel::new(ChannelConfig {
+            loss: LossModel::Bernoulli { rate: 1.5 },
+            ..ChannelConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ChannelConfig")]
+    fn channel_construction_rejects_nan_rate() {
+        // NaN used to silently behave as "never" (every draw is gated on
+        // `rate > 0.0`, which NaN fails); now it is rejected loudly.
+        let _ = Channel::new(ChannelConfig {
+            corruption_rate: f64::NAN,
+            ..ChannelConfig::default()
+        });
     }
 
     #[test]

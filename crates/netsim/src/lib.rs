@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod nc;
 pub mod time;
 
 mod engine;
